@@ -1,0 +1,50 @@
+"""Figure 10 / Theorem 19: the 1-norm cross-polytope lower bound.
+
+Regenerates the dimension series ``PoA >= 1 + alpha / (2 + alpha/(2d-1))``
+and verifies that the star centred at ``v_1`` is a Nash equilibrium while the
+origin star is the social optimum.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constructions import cross_polytope_lower_bound
+from repro.core.bounds import metric_poa_upper, rd_one_norm_poa_lower
+from repro.core.equilibria import is_nash_equilibrium
+from repro.core.social_optimum import exact_social_optimum
+
+ALPHA = 2.0
+
+
+def _verify(d: int, alpha: float) -> float:
+    instance = cross_polytope_lower_bound(d, alpha)
+    assert is_nash_equilibrium(instance.game, instance.equilibrium)
+    return instance.measured_ratio
+
+
+@pytest.mark.benchmark(group="fig10-cross-polytope")
+def test_fig10_dimension_series(benchmark, paper_report):
+    ratio = benchmark.pedantic(_verify, args=(3, ALPHA), rounds=1, iterations=1)
+    series = [(d, cross_polytope_lower_bound(d, ALPHA).measured_ratio) for d in (1, 2, 3, 4)]
+    rows = [
+        (f"ratio at d={d}", rd_one_norm_poa_lower(ALPHA, d), measured) for d, measured in series
+    ]
+    rows.append(("limit (alpha+2)/2", metric_poa_upper(ALPHA), series[-1][1]))
+    paper_report("Fig. 10 / Thm. 19 — 1-norm cross-polytope (alpha=2)", rows)
+    assert ratio == pytest.approx(rd_one_norm_poa_lower(ALPHA, 3))
+    for d, measured in series:
+        assert measured == pytest.approx(rd_one_norm_poa_lower(ALPHA, d))
+        assert measured <= metric_poa_upper(ALPHA) + 1e-9
+
+
+@pytest.mark.benchmark(group="fig10-cross-polytope")
+def test_fig10_small_instance_optimum_is_exact(benchmark):
+    def verify():
+        inst = cross_polytope_lower_bound(2, ALPHA)
+        exact = exact_social_optimum(inst.game)
+        assert inst.optimum_cost == pytest.approx(exact.cost)
+        return inst.measured_ratio
+
+    ratio = benchmark.pedantic(verify, rounds=1, iterations=1)
+    assert ratio > 1.0

@@ -1,0 +1,66 @@
+"""Figure 1: the model hierarchy.
+
+Every specialised host-graph generator must produce instances that the more
+general model validators accept, reproducing the inclusion arrows of Fig. 1:
+NCG ⊂ 1-2–GNCG ⊂ M–GNCG ⊂ GNCG, T–GNCG ⊂ M–GNCG, Rd–GNCG ⊂ M–GNCG,
+1-∞–GNCG ⊂ GNCG.  The benchmark times classification over a batch of random
+hosts of every class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.host_graph import ModelVariant
+from repro.metrics import (
+    random_euclidean_host,
+    random_general_host,
+    random_metric_host,
+    random_one_infinity_host,
+    random_one_two_host,
+    random_tree_host,
+    unit_host,
+)
+
+GENERATORS = {
+    "NCG": lambda rng: unit_host(8),
+    "1-2-GNCG": lambda rng: random_one_two_host(8, rng=rng),
+    "1-inf-GNCG": lambda rng: random_one_infinity_host(8, rng=rng),
+    "T-GNCG": lambda rng: random_tree_host(8, rng=rng),
+    "Rd-GNCG": lambda rng: random_euclidean_host(8, rng=rng),
+    "M-GNCG": lambda rng: random_metric_host(8, rng=rng),
+    "GNCG": lambda rng: random_general_host(8, rng=rng),
+}
+
+EXPECTED_SUPERSETS = {
+    "NCG": ModelVariant.METRIC,
+    "1-2-GNCG": ModelVariant.METRIC,
+    "1-inf-GNCG": ModelVariant.GENERAL,
+    "T-GNCG": ModelVariant.METRIC,
+    "Rd-GNCG": ModelVariant.METRIC,
+    "M-GNCG": ModelVariant.METRIC,
+    "GNCG": ModelVariant.GENERAL,
+}
+
+
+def _classify_all(seed: int) -> dict[str, ModelVariant]:
+    rng = np.random.default_rng(seed)
+    return {name: gen(rng).classify() for name, gen in GENERATORS.items()}
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_model_hierarchy(benchmark, paper_report):
+    variants = benchmark(_classify_all, 0)
+    rows = []
+    for name, variant in variants.items():
+        expected = EXPECTED_SUPERSETS[name]
+        rows.append((name, expected.value, variant.value))
+        assert variant.is_special_case_of(expected)
+    paper_report("Fig. 1 — generated hosts classified within the expected class", rows)
+    # the general generator should (typically) produce genuinely non-metric hosts
+    rng = np.random.default_rng(1)
+    non_metric_seen = any(
+        random_general_host(8, rng=rng).classify() is ModelVariant.GENERAL for _ in range(5)
+    )
+    assert non_metric_seen

@@ -1,0 +1,48 @@
+"""Figure 6 / Theorem 15: the tree-metric star lower bound.
+
+Regenerates the paper's series: for growing ``n`` the ratio between the cost
+of the star equilibrium ``S_n`` and the optimal star ``S*_n`` approaches
+``(alpha + 2)/2``.  The benchmark times the full verification (equilibrium
+check + cost ratio) of one instance and prints the ratio series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constructions import tree_star_lower_bound
+from repro.constructions.tree_star_lower_bound import tree_star_claimed_ratio
+from repro.core.bounds import metric_poa_upper
+from repro.core.equilibria import is_nash_equilibrium
+
+ALPHA = 2.0
+
+
+def _verify_instance(n: int, alpha: float) -> float:
+    instance = tree_star_lower_bound(n, alpha)
+    assert is_nash_equilibrium(instance.game, instance.equilibrium)
+    return instance.measured_ratio
+
+
+@pytest.mark.benchmark(group="fig6-tree-star")
+def test_fig6_tree_star_ratio(benchmark, paper_report):
+    ratio = benchmark(_verify_instance, 8, ALPHA)
+    assert ratio == pytest.approx(tree_star_claimed_ratio(8, ALPHA))
+
+    series = [(n, tree_star_lower_bound(n, ALPHA).measured_ratio) for n in (4, 6, 8, 12, 16)]
+    rows = [
+        (f"ratio at n={n}", tree_star_claimed_ratio(n, ALPHA), measured)
+        for n, measured in series
+    ]
+    rows.append(("asymptotic bound (alpha+2)/2", metric_poa_upper(ALPHA), max(m for _, m in series)))
+    paper_report("Fig. 6 / Thm. 15 — tree-metric star lower bound (alpha=2)", rows)
+    for n, measured in series:
+        assert measured <= metric_poa_upper(ALPHA) + 1e-9
+
+
+@pytest.mark.benchmark(group="fig6-tree-star")
+@pytest.mark.parametrize("alpha", [0.5, 1.0, 4.0])
+def test_fig6_ratio_tracks_alpha(benchmark, alpha):
+    ratio = benchmark.pedantic(_verify_instance, args=(8, alpha), rounds=1, iterations=1)
+    assert ratio == pytest.approx(tree_star_claimed_ratio(8, alpha))
+    assert ratio <= metric_poa_upper(alpha) + 1e-9

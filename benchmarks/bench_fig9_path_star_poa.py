@@ -1,0 +1,52 @@
+"""Figure 9 / Lemma 8 and Theorem 18: geometric path-vs-star lower bounds.
+
+Regenerates the ratio series of the line construction (PoA > 1 for every
+alpha, with the 4-node restriction matching the Theorem 18 closed form) and
+benchmarks the instance verification.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constructions import geometric_path_star, theorem18_four_node_family
+from repro.core.bounds import metric_poa_upper, rd_pnorm_poa_lower_4node
+from repro.core.equilibria import is_nash_equilibrium
+from repro.core.social_optimum import exact_social_optimum
+
+ALPHA = 2.0
+
+
+def _verify(num_nodes: int, alpha: float) -> float:
+    instance = geometric_path_star(num_nodes, alpha)
+    assert is_nash_equilibrium(instance.game, instance.equilibrium)
+    return instance.measured_ratio
+
+
+@pytest.mark.benchmark(group="fig9-path-star")
+def test_fig9_lemma8_series(benchmark, paper_report):
+    ratio = benchmark.pedantic(_verify, args=(6, ALPHA), rounds=1, iterations=1)
+    series = [(n, geometric_path_star(n, ALPHA).measured_ratio) for n in (3, 4, 5, 6, 8)]
+    rows = [(f"ratio at n={n}", "> 1 (Lemma 8)", measured) for n, measured in series]
+    rows.append(("metric upper bound", metric_poa_upper(ALPHA), max(m for _, m in series)))
+    paper_report("Fig. 9 / Lemma 8 — path vs star on the line (alpha=2)", rows)
+    assert ratio > 1.0
+    for _, measured in series:
+        assert 1.0 < measured <= metric_poa_upper(ALPHA) + 1e-9
+
+
+@pytest.mark.benchmark(group="fig9-path-star")
+@pytest.mark.parametrize("alpha", [0.5, 1.0, 2.0, 8.0])
+def test_theorem18_four_node_ratio(benchmark, alpha, paper_report):
+    def verify():
+        inst = theorem18_four_node_family(alpha)
+        assert is_nash_equilibrium(inst.game, inst.equilibrium)
+        assert exact_social_optimum(inst.game).cost == pytest.approx(inst.optimum_cost)
+        return inst.measured_ratio
+
+    ratio = benchmark.pedantic(verify, rounds=1, iterations=1)
+    paper_report(
+        f"Thm. 18 — 4-node lower bound (alpha={alpha})",
+        [("(3a^3+24a^2+40a+24)/(a^3+10a^2+32a+24)", rd_pnorm_poa_lower_4node(alpha), ratio)],
+    )
+    assert ratio == pytest.approx(rd_pnorm_poa_lower_4node(alpha))

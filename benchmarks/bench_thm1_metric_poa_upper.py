@@ -1,0 +1,56 @@
+"""Theorems 1 and 20: Price-of-Anarchy upper bounds verified on sampled equilibria.
+
+For random metric (Euclidean) and general (non-metric) hosts, equilibria are
+sampled with best-response dynamics and their cost ratios against the exact
+optimum are compared to the ``(alpha+2)/2`` and ``((alpha+2)/2)^2`` bounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import general_poa_upper, metric_poa_upper
+from repro.core.game import NetworkCreationGame
+from repro.core.poa import estimate_poa
+from repro.metrics.generators import random_euclidean_host, random_general_host
+
+ALPHA = 2.0
+
+
+def _max_ratio(host_generator, alpha: float, instances: int) -> float:
+    rng = np.random.default_rng(0)
+    worst = 0.0
+    for _ in range(instances):
+        game = NetworkCreationGame(host_generator(6, rng=rng), alpha)
+        estimate = estimate_poa(game, num_samples=4, rng=rng)
+        if not np.isnan(estimate.price_of_anarchy):
+            worst = max(worst, estimate.price_of_anarchy)
+    return worst
+
+
+@pytest.mark.benchmark(group="thm1-poa-upper")
+def test_thm1_metric_bound_on_random_instances(benchmark, paper_report):
+    worst = benchmark.pedantic(
+        _max_ratio, args=(random_euclidean_host, ALPHA, 3), rounds=1, iterations=1
+    )
+    paper_report(
+        "Thm. 1 — metric PoA upper bound (alpha=2, random Euclidean hosts)",
+        [("worst sampled NE ratio", f"<= {metric_poa_upper(ALPHA)}", worst)],
+    )
+    assert 1.0 <= worst <= metric_poa_upper(ALPHA) + 1e-6
+
+
+@pytest.mark.benchmark(group="thm1-poa-upper")
+def test_thm20_general_bound_on_random_instances(benchmark, paper_report):
+    worst = benchmark.pedantic(
+        _max_ratio, args=(random_general_host, ALPHA, 3), rounds=1, iterations=1
+    )
+    paper_report(
+        "Thm. 20 — general PoA upper bound (alpha=2, random non-metric hosts)",
+        [
+            ("worst sampled NE ratio", f"<= {general_poa_upper(ALPHA)}", worst),
+            ("conjectured tight value", metric_poa_upper(ALPHA), worst),
+        ],
+    )
+    assert 1.0 <= worst <= general_poa_upper(ALPHA) + 1e-6

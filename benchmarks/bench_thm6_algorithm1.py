@@ -1,0 +1,84 @@
+"""Theorems 5, 6 and 9: optimal networks and equilibria of 1-2 graphs with alpha <= 1.
+
+* Theorem 6 — Algorithm 1 computes a social optimum in polynomial time; the
+  benchmark compares it against the exponential exact search and times both.
+* Theorem 5 — a minimum-weight 3/2-spanner admits a NE edge-ownership
+  assignment for 1/2 <= alpha <= 1.
+* Theorem 9 — for alpha < 1/2 the Algorithm 1 network is a NE, so PoA = 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constructions.ownership import find_equilibrium_orientation
+from repro.core.equilibria import is_nash_equilibrium
+from repro.core.game import NetworkCreationGame
+from repro.core.social_optimum import algorithm1_one_two, exact_social_optimum
+from repro.core.spanner import minimum_weight_spanner
+from repro.metrics.generators import random_one_two_host
+
+
+def _make_game(seed: int, alpha: float, n: int = 6) -> NetworkCreationGame:
+    rng = np.random.default_rng(seed)
+    return NetworkCreationGame(random_one_two_host(n, rng=rng), alpha)
+
+
+@pytest.mark.benchmark(group="thm6-algorithm1")
+def test_algorithm1_runtime(benchmark, paper_report):
+    game = _make_game(0, alpha=0.8)
+    result = benchmark(algorithm1_one_two, game)
+    exact = exact_social_optimum(game)
+    paper_report(
+        "Thm. 6 — Algorithm 1 vs exhaustive optimum (alpha=0.8)",
+        [
+            ("social cost (Algorithm 1)", exact.cost, result.cost),
+            ("optimality gap", 0.0, result.cost - exact.cost),
+        ],
+    )
+    assert result.cost == pytest.approx(exact.cost)
+
+
+@pytest.mark.benchmark(group="thm6-algorithm1")
+def test_exact_optimum_runtime_reference(benchmark):
+    """The exponential baseline Algorithm 1 replaces (kept for the timing contrast)."""
+    game = _make_game(0, alpha=0.8)
+    result = benchmark.pedantic(exact_social_optimum, args=(game,), rounds=1, iterations=1)
+    assert result.exact
+
+
+@pytest.mark.benchmark(group="thm6-algorithm1")
+def test_theorem5_spanner_equilibrium(benchmark, paper_report):
+    game = _make_game(3, alpha=0.75, n=5)
+
+    def build():
+        spanner = minimum_weight_spanner(game.host, 1.5)
+        return spanner, find_equilibrium_orientation(game, list(spanner.edges), notion="nash")
+
+    spanner, oriented = benchmark.pedantic(build, rounds=1, iterations=1)
+    paper_report(
+        "Thm. 5 — minimum-weight 3/2-spanner admits a NE orientation (alpha=0.75)",
+        [
+            ("spanner stretch", "<= 1.5", spanner.stretch),
+            ("NE orientation found", True, oriented is not None),
+        ],
+    )
+    assert oriented is not None
+    assert is_nash_equilibrium(game, oriented)
+
+
+@pytest.mark.benchmark(group="thm6-algorithm1")
+def test_theorem9_algorithm1_network_is_ne(benchmark, paper_report):
+    game = _make_game(5, alpha=0.3)
+
+    def verify():
+        opt = algorithm1_one_two(game)
+        return opt, is_nash_equilibrium(game, opt.profile)
+
+    opt, stable = benchmark.pedantic(verify, rounds=1, iterations=1)
+    paper_report(
+        "Thm. 9 — PoA = 1 for alpha < 1/2",
+        [("Algorithm 1 network is a NE", True, stable)],
+    )
+    assert stable

@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module reproduces one table, figure or theorem row of the
+paper.  Besides timing the underlying computation with ``pytest-benchmark``,
+each benchmark prints a small "paper vs. measured" report through
+:func:`report` so the regenerated numbers are visible in the benchmark log
+(and collected into EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(title: str, rows: list[tuple[str, object, object]]) -> None:
+    """Print a compact paper-vs-measured table under a benchmark.
+
+    ``rows`` is a list of ``(label, paper_value, measured_value)`` triples.
+    """
+    width = max((len(label) for label, _, _ in rows), default=10)
+    print(f"\n[{title}]")
+    print(f"  {'quantity':<{width}}   {'paper':>14}   {'measured':>14}")
+    for label, paper, measured in rows:
+        paper_s = f"{paper:.6g}" if isinstance(paper, (int, float)) else str(paper)
+        measured_s = (
+            f"{measured:.6g}" if isinstance(measured, (int, float)) else str(measured)
+        )
+        print(f"  {label:<{width}}   {paper_s:>14}   {measured_s:>14}")
+
+
+@pytest.fixture
+def paper_report():
+    """Fixture handing the report printer to benchmark functions."""
+    return report

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""The NP-hardness gadgets of the paper, executed end to end.
+
+Three reductions are demonstrated on small instances:
+
+1. Theorem 13 (tree metrics) — computing a best response encodes Minimum Set
+   Cover: the gadget agent's exact best response buys edges to exactly the
+   set nodes of a minimum cover.
+2. Theorem 16 (points in the plane) — the same statement in the geometric
+   setting.
+3. Theorem 4 (1-2 graphs, NE decision) — the constructed profile admits an
+   improving move for the special agent *iff* the underlying Vertex Cover
+   instance has a cover smaller than the one encoded in the profile.
+
+Run with ``python examples/hardness_gadgets.py``.
+"""
+
+from __future__ import annotations
+
+from repro.core.best_response import best_response_exact
+from repro.reductions.set_cover import (
+    SetCoverInstance,
+    euclidean_set_cover_reduction,
+    exact_set_cover,
+    tree_set_cover_reduction,
+    u_best_response_cover,
+)
+from repro.reductions.vertex_cover import (
+    VertexCoverInstance,
+    exact_minimum_vertex_cover,
+    nash_decision_reduction,
+)
+
+
+def set_cover_demo() -> None:
+    instance = SetCoverInstance.from_lists(
+        5, [[0, 1], [1, 2, 3], [3, 4], [0, 4], [2]]
+    )
+    optimum = exact_set_cover(instance)
+    print("Minimum Set Cover instance: universe {0..4}, "
+          f"{instance.num_subsets} subsets; optimum size = {len(optimum)}")
+
+    for name, gadget in (
+        ("Theorem 13 (tree metric)", tree_set_cover_reduction(instance)),
+        ("Theorem 16 (points in R^2)", euclidean_set_cover_reduction(instance)),
+    ):
+        cover = u_best_response_cover(gadget)
+        print(f"  {name}: agent u's best response buys set nodes {sorted(cover)} "
+              f"-> cover of size {len(cover)} (optimum {len(optimum)})")
+
+
+def vertex_cover_demo() -> None:
+    instance = VertexCoverInstance.from_edges([(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)])
+    minimum = exact_minimum_vertex_cover(instance)
+    print(f"\nVertex Cover instance: 4 vertices, {len(instance.edges)} edges; "
+          f"minimum cover size = {len(minimum)}")
+
+    for provided in ([1, 3], [0, 1, 3]):
+        gadget = nash_decision_reduction(instance, provided)
+        response = best_response_exact(gadget.game, gadget.profile, gadget.u)
+        has_improvement = response.improvement > 1e-9
+        print(f"  profile encodes cover of size {len(provided)}: "
+              f"agent u can improve = {has_improvement} "
+              f"(expected {len(provided) > len(minimum)})")
+
+
+def main() -> None:
+    set_cover_demo()
+    vertex_cover_demo()
+    print("\nBest responses and equilibrium decisions inherit the hardness of the")
+    print("encoded covering problems — exactly the content of Thms. 4, 13 and 16.")
+
+
+if __name__ == "__main__":
+    main()

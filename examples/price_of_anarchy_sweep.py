@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Price-of-Anarchy sweep across model variants and alpha values.
+
+For every host-graph class of the paper (1-2 graphs, tree metrics, points in
+the plane, general metrics) and a range of ``alpha`` values, the script
+
+* samples equilibria of random instances with best-response dynamics,
+* measures the worst equilibrium-vs-optimum ratio found,
+* evaluates the paper's lower-bound constructions at the same ``alpha``,
+* prints everything next to the closed-form upper bounds of Table 1.
+
+The measured random-instance ratios are typically far below the worst case,
+while the constructions track their closed forms exactly — the same picture
+the paper paints analytically.
+
+Run with ``python examples/price_of_anarchy_sweep.py`` (takes ~a minute).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import poa_experiment
+from repro.constructions import cross_polytope_lower_bound, tree_star_lower_bound
+from repro.core.bounds import metric_poa_upper, one_two_poa_upper
+
+
+def main() -> None:
+    alphas = (0.5, 1.0, 2.0, 4.0)
+    n = 6
+
+    header = (f"{'variant':>10} {'alpha':>6} | {'random max ratio':>17} "
+              f"{'construction ratio':>19} {'upper bound':>12}")
+    print(header)
+    print("-" * len(header))
+
+    for alpha in alphas:
+        for variant in ("one_two", "tree", "euclidean", "metric"):
+            summary = poa_experiment(
+                variant, n, alpha, instances=3, samples_per_instance=4, seed=42
+            )
+            if variant == "tree":
+                construction = tree_star_lower_bound(n, alpha).measured_ratio
+                bound = metric_poa_upper(alpha)
+            elif variant == "euclidean":
+                construction = cross_polytope_lower_bound(2, alpha).measured_ratio
+                bound = metric_poa_upper(alpha)
+            elif variant == "one_two":
+                construction = float("nan")
+                bound = one_two_poa_upper(alpha)
+            else:
+                construction = tree_star_lower_bound(n, alpha).measured_ratio
+                bound = metric_poa_upper(alpha)
+            print(
+                f"{variant:>10} {alpha:>6.2f} | {summary.max_ratio:>17.4f} "
+                f"{construction:>19.4f} {bound:>12.4f}"
+            )
+        print()
+
+    print("Random instances stay far from the worst case; the paper's explicit")
+    print("constructions achieve ratios matching their closed forms and approach")
+    print("the (alpha+2)/2 bound as the instances grow.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Peering on a hierarchical (tree-metric) topology: good and bad equilibria.
+
+Data centers are organised hierarchically — a backbone hub with regional
+aggregation sites and leaf sites — so the latency between any two sites is
+the path length in a weighted tree (the T–GNCG of the paper).  The example
+shows the two faces of this model:
+
+* the defining tree itself is simultaneously a social optimum and a Nash
+  equilibrium (Corollary 3), so well-coordinated agents lose nothing
+  (Price of Stability = 1);
+* the paper's Theorem 15 star construction is *also* a Nash equilibrium, and
+  its cost exceeds the optimum by a factor approaching ``(alpha+2)/2`` — the
+  worst case allowed by Theorem 1 — demonstrating why coordination matters
+  when edges are expensive.
+
+Run with ``python examples/tree_metric_peering.py``.
+"""
+
+from __future__ import annotations
+
+from repro import NetworkCreationGame
+from repro.constructions import tree_star_lower_bound
+from repro.core import is_nash_equilibrium, metric_poa_upper, social_optimum
+from repro.core.equilibria import tree_profile_from_host
+from repro.core.host_graph import HostGraph
+
+
+def hierarchical_tree_host() -> HostGraph:
+    """A small backbone: hub 0, regional sites 1-2, leaf sites 3-7."""
+    edges = [
+        (0, 1, 2.0),   # hub <-> region A
+        (0, 2, 3.0),   # hub <-> region B
+        (1, 3, 0.5),
+        (1, 4, 0.8),
+        (2, 5, 0.6),
+        (2, 6, 1.2),
+        (2, 7, 0.4),
+    ]
+    return HostGraph.from_tree(edges, 8)
+
+
+def main() -> None:
+    alpha = 4.0
+    host = hierarchical_tree_host()
+    game = NetworkCreationGame(host, alpha=alpha)
+    print(f"Tree-metric host on {host.n} sites, alpha = {alpha}")
+    print(f"Classified as: {host.classify().value}\n")
+
+    tree = tree_profile_from_host(game)
+    opt = social_optimum(game)
+    print("The defining tree:")
+    print(f"  social cost          = {game.social_cost(tree):.3f}")
+    print(f"  social optimum cost  = {opt.cost:.3f}   (method: {opt.method})")
+    print(f"  is Nash equilibrium  = {is_nash_equilibrium(game, tree)}")
+    print("  => Price of Stability = 1 (Corollary 3)\n")
+
+    # The adversarial equilibrium of Theorem 15 on a comparable tree.
+    bad = tree_star_lower_bound(host.n, alpha)
+    bad_ratio = bad.measured_ratio
+    print("Theorem 15 star construction (same number of agents):")
+    print(f"  equilibrium cost / optimum cost = {bad_ratio:.4f}")
+    print(f"  is Nash equilibrium             = "
+          f"{is_nash_equilibrium(bad.game, bad.equilibrium)}")
+    print(f"  asymptotic worst case (alpha+2)/2 = {metric_poa_upper(alpha):.4f}")
+    print("\nBoth outcomes are stable: which one materialises depends entirely on")
+    print("coordination — the gap between them is the Price of Anarchy the paper")
+    print("pins down exactly for tree metrics.")
+
+
+if __name__ == "__main__":
+    main()

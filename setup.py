@@ -1,0 +1,10 @@
+"""Setuptools shim so ``pip install -e .`` works without the ``wheel`` package.
+
+The canonical metadata lives in ``pyproject.toml``; this file only exists so
+that legacy editable installs (``python setup.py develop``) work in offline
+environments that lack the ``wheel`` backend.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,42 @@
+"""repro — a reproduction of *Geometric Network Creation Games* (SPAA 2019).
+
+The package implements the Generalized Network Creation Game (GNCG) of
+Bilò, Friedrich, Lenzner and Melnichenko on edge-weighted host graphs,
+together with every special case studied in the paper (1-2 graphs, 1-∞
+graphs, tree metrics, points in R^d under p-norms, general metrics and
+arbitrary weights), the equilibrium concepts, best-response machinery,
+social-optimum algorithms, the explicit lower-bound constructions, the
+executable NP-hardness reductions and the empirical Price-of-Anarchy
+toolkit used by the benchmark harness.
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import HostGraph, NetworkCreationGame, StrategyProfile
+>>> from repro.core import is_nash_equilibrium, social_optimum
+>>> rng = np.random.default_rng(0)
+>>> host = HostGraph.from_points(rng.random((6, 2)), p=2)    # 6 agents in the plane
+>>> game = NetworkCreationGame(host, alpha=1.0)
+>>> star = StrategyProfile.star(6, center=0)
+>>> cost = game.social_cost(star)
+>>> opt = social_optimum(game)
+>>> opt.cost <= cost
+True
+"""
+
+from .core import (
+    HostGraph,
+    ModelVariant,
+    NetworkCreationGame,
+    StrategyProfile,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "HostGraph",
+    "ModelVariant",
+    "NetworkCreationGame",
+    "StrategyProfile",
+    "__version__",
+]

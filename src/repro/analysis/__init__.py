@@ -1,0 +1,30 @@
+"""Experiment layer: parameter sweeps, parallel execution and paper-style summaries."""
+
+from .experiments import (
+    DynamicsSummary,
+    PoASummary,
+    dynamics_convergence_experiment,
+    poa_experiment,
+    run_parallel,
+    sweep_alpha,
+)
+from .reporting import ExperimentRecord, ReproductionReport, build_construction_report
+from .structure import NetworkStatistics, network_statistics, weighted_diameter
+from .table1 import Table1Row, table1_summary
+
+__all__ = [
+    "DynamicsSummary",
+    "ExperimentRecord",
+    "NetworkStatistics",
+    "PoASummary",
+    "ReproductionReport",
+    "Table1Row",
+    "build_construction_report",
+    "dynamics_convergence_experiment",
+    "network_statistics",
+    "poa_experiment",
+    "run_parallel",
+    "sweep_alpha",
+    "table1_summary",
+    "weighted_diameter",
+]

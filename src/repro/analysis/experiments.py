@@ -1,0 +1,250 @@
+"""Empirical experiments: PoA sweeps and dynamics-convergence studies.
+
+The experiments follow the methodology implied by the paper: equilibria are
+sampled with best-response dynamics (the paper's own notion of natural game
+play), their social costs are compared against exact or structural optima,
+and the measured ratios are reported next to the closed-form bounds of
+:mod:`repro.core.bounds`.
+
+Independent instances are embarrassingly parallel, so :func:`run_parallel`
+executes experiment callables across processes with
+:class:`concurrent.futures.ProcessPoolExecutor`; every experiment function
+is also usable serially (``workers=0``), which the test-suite relies on.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..core.bounds import general_poa_upper, metric_poa_upper
+from ..core.dynamics import run_dynamics
+from ..core.game import NetworkCreationGame
+from ..core.host_graph import HostGraph, ModelVariant
+from ..core.poa import estimate_poa
+from ..core.strategy import StrategyProfile
+from ..metrics.generators import (
+    random_euclidean_host,
+    random_general_host,
+    random_metric_host,
+    random_one_two_host,
+    random_tree_host,
+)
+
+__all__ = [
+    "PoASummary",
+    "DynamicsSummary",
+    "host_factory",
+    "poa_experiment",
+    "sweep_alpha",
+    "dynamics_convergence_experiment",
+    "run_parallel",
+]
+
+
+@dataclass
+class PoASummary:
+    """Aggregated PoA measurements for one (variant, n, alpha) cell."""
+
+    variant: str
+    n: int
+    alpha: float
+    instances: int
+    max_ratio: float
+    mean_ratio: float
+    upper_bound: float
+    bound_respected: bool
+    equilibria_found: int
+
+
+@dataclass
+class DynamicsSummary:
+    """Aggregated convergence statistics of best-response dynamics."""
+
+    variant: str
+    n: int
+    alpha: float
+    instances: int
+    runs: int
+    converged_runs: int
+    cycling_runs: int
+    mean_moves_to_converge: float
+    max_moves_to_converge: int
+
+    @property
+    def convergence_rate(self) -> float:
+        return self.converged_runs / self.runs if self.runs else float("nan")
+
+
+def host_factory(variant: str, n: int, rng: np.random.Generator) -> HostGraph:
+    """Generate a random host of the requested variant (by Table 1 row name)."""
+    variant = variant.lower()
+    if variant in ("ncg", "unit"):
+        return HostGraph.unit(n)
+    if variant in ("1-2", "one_two", "1-2-gncg"):
+        return random_one_two_host(n, rng=rng)
+    if variant in ("tree", "t-gncg"):
+        return random_tree_host(n, rng=rng)
+    if variant in ("euclidean", "rd", "rd-gncg", "r2"):
+        return random_euclidean_host(n, rng=rng)
+    if variant in ("metric", "m-gncg"):
+        return random_metric_host(n, rng=rng)
+    if variant in ("general", "gncg"):
+        return random_general_host(n, rng=rng)
+    raise ValueError(f"unknown host variant {variant!r}")
+
+
+def _upper_bound_for(host: HostGraph, alpha: float) -> float:
+    if host.classify().is_special_case_of(ModelVariant.METRIC):
+        return metric_poa_upper(alpha)
+    return general_poa_upper(alpha)
+
+
+def poa_experiment(
+    variant: str,
+    n: int,
+    alpha: float,
+    *,
+    instances: int = 5,
+    samples_per_instance: int = 6,
+    seed: int = 0,
+    max_candidates: int = 22,
+) -> PoASummary:
+    """Measure the empirical PoA of random instances of one variant.
+
+    Each instance contributes the worst ratio over all sampled equilibria;
+    the summary reports the maximum and mean over instances and whether the
+    relevant closed-form upper bound was respected by every measurement.
+    """
+    rng = np.random.default_rng(seed)
+    ratios: list[float] = []
+    found = 0
+    bound_ok = True
+    bound_val = float("nan")
+    for i in range(instances):
+        host = host_factory(variant, n, rng)
+        game = NetworkCreationGame(host, alpha)
+        bound_val = _upper_bound_for(host, alpha)
+        estimate = estimate_poa(
+            game,
+            num_samples=samples_per_instance,
+            rng=rng,
+            max_candidates=max_candidates,
+        )
+        found += estimate.equilibria_found
+        poa = estimate.price_of_anarchy
+        if np.isnan(poa):
+            continue
+        ratios.append(poa)
+        if estimate.optimum.exact and poa > bound_val + 1e-6:
+            bound_ok = False
+    return PoASummary(
+        variant=variant,
+        n=n,
+        alpha=alpha,
+        instances=instances,
+        max_ratio=float(np.max(ratios)) if ratios else float("nan"),
+        mean_ratio=float(np.mean(ratios)) if ratios else float("nan"),
+        upper_bound=bound_val,
+        bound_respected=bound_ok,
+        equilibria_found=found,
+    )
+
+
+def sweep_alpha(
+    variant: str,
+    n: int,
+    alphas: Sequence[float],
+    *,
+    instances: int = 3,
+    samples_per_instance: int = 4,
+    seed: int = 0,
+) -> list[PoASummary]:
+    """Run :func:`poa_experiment` for every alpha in a sweep."""
+    return [
+        poa_experiment(
+            variant,
+            n,
+            float(alpha),
+            instances=instances,
+            samples_per_instance=samples_per_instance,
+            seed=seed + i,
+        )
+        for i, alpha in enumerate(alphas)
+    ]
+
+
+def dynamics_convergence_experiment(
+    variant: str,
+    n: int,
+    alpha: float,
+    *,
+    instances: int = 5,
+    runs_per_instance: int = 4,
+    max_rounds: int = 40,
+    response: str = "best",
+    seed: int = 0,
+) -> DynamicsSummary:
+    """Measure how often best-response dynamics converge on random instances."""
+    rng = np.random.default_rng(seed)
+    converged = 0
+    cycling = 0
+    total_runs = 0
+    moves: list[int] = []
+    for _ in range(instances):
+        host = host_factory(variant, n, rng)
+        game = NetworkCreationGame(host, alpha)
+        for _ in range(runs_per_instance):
+            total_runs += 1
+            density = rng.uniform(0.1, 0.5)
+            owns = np.triu(rng.random((n, n)) < density, k=1)
+            start = StrategyProfile(owns, copy=False, validate=False)
+            result = run_dynamics(
+                game,
+                start,
+                response=response,  # type: ignore[arg-type]
+                order="round_robin",
+                max_rounds=max_rounds,
+                rng=rng,
+            )
+            if result.converged:
+                converged += 1
+                moves.append(result.moves)
+            if result.cycle_detected:
+                cycling += 1
+    return DynamicsSummary(
+        variant=variant,
+        n=n,
+        alpha=alpha,
+        instances=instances,
+        runs=total_runs,
+        converged_runs=converged,
+        cycling_runs=cycling,
+        mean_moves_to_converge=float(np.mean(moves)) if moves else float("nan"),
+        max_moves_to_converge=int(np.max(moves)) if moves else 0,
+    )
+
+
+def run_parallel(
+    tasks: Iterable[tuple[Callable, tuple]],
+    *,
+    workers: int | None = None,
+):
+    """Execute ``(callable, args)`` tasks, optionally across processes.
+
+    ``workers=0`` (or a single task) runs serially in-process; otherwise a
+    :class:`ProcessPoolExecutor` with ``workers`` processes (default: CPU
+    count capped at 8) is used.  Results are returned in task order.
+    """
+    task_list = list(tasks)
+    if workers == 0 or len(task_list) <= 1:
+        return [fn(*args) for fn, args in task_list]
+    if workers is None:
+        workers = min(os.cpu_count() or 1, 8)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(fn, *args) for fn, args in task_list]
+        return [f.result() for f in futures]

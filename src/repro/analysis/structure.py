@@ -1,0 +1,96 @@
+"""Structural statistics of created networks.
+
+These helpers quantify the network shapes the paper reasons about — the
+diameter bound of Lemma 7 / Theorem 11, the tree structure of Theorem 12, and
+the edge-cost / distance-cost decomposition driving all PoA arguments.  They
+are used by the benchmark harness and exposed for downstream analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.game import NetworkCreationGame
+from ..core.strategy import StrategyProfile
+
+__all__ = ["NetworkStatistics", "network_statistics", "weighted_diameter", "is_spanning_tree"]
+
+
+@dataclass(frozen=True)
+class NetworkStatistics:
+    """Summary statistics of one created network under a given game."""
+
+    num_nodes: int
+    num_edges: int
+    total_edge_weight: float
+    is_connected: bool
+    is_tree: bool
+    weighted_diameter: float
+    max_degree: int
+    mean_degree: float
+    edge_cost_share: float
+    distance_cost_share: float
+    social_cost: float
+
+    def as_dict(self) -> dict[str, float | int | bool]:
+        return {
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "total_edge_weight": self.total_edge_weight,
+            "is_connected": self.is_connected,
+            "is_tree": self.is_tree,
+            "weighted_diameter": self.weighted_diameter,
+            "max_degree": self.max_degree,
+            "mean_degree": self.mean_degree,
+            "edge_cost_share": self.edge_cost_share,
+            "distance_cost_share": self.distance_cost_share,
+            "social_cost": self.social_cost,
+        }
+
+
+def weighted_diameter(game: NetworkCreationGame, profile: StrategyProfile) -> float:
+    """Largest finite pairwise distance of the created network (``inf`` if disconnected)."""
+    distances = game.distances(profile)
+    if not np.all(np.isfinite(distances)):
+        return float("inf")
+    return float(distances.max()) if game.n > 1 else 0.0
+
+
+def is_spanning_tree(profile: StrategyProfile, game: NetworkCreationGame) -> bool:
+    """``True`` iff the created network is connected with exactly ``n - 1`` edges."""
+    return profile.num_edges() == game.n - 1 and game.is_connected(profile)
+
+
+def network_statistics(game: NetworkCreationGame, profile: StrategyProfile) -> NetworkStatistics:
+    """Compute all structural statistics of a created network in one pass."""
+    n = game.n
+    adjacency = profile.adjacency()
+    degrees = adjacency.sum(axis=1)
+    edges = profile.edges()
+    total_weight = float(sum(game.host.weight(u, v) for u, v in edges))
+    distances = game.distances(profile)
+    connected = bool(np.all(np.isfinite(distances)))
+    edge_cost, distance_cost = game.social_cost_parts(profile, distances)
+    social = edge_cost + distance_cost
+    if np.isfinite(social) and social > 0:
+        edge_share = edge_cost / social
+        distance_share = distance_cost / social
+    else:
+        edge_share = float("nan")
+        distance_share = float("nan")
+    diameter = float(distances.max()) if connected and n > 1 else (0.0 if n <= 1 else float("inf"))
+    return NetworkStatistics(
+        num_nodes=n,
+        num_edges=len(edges),
+        total_edge_weight=total_weight,
+        is_connected=connected,
+        is_tree=connected and len(edges) == n - 1,
+        weighted_diameter=diameter,
+        max_degree=int(degrees.max()) if n else 0,
+        mean_degree=float(degrees.mean()) if n else 0.0,
+        edge_cost_share=edge_share,
+        distance_cost_share=distance_share,
+        social_cost=float(social),
+    )

@@ -1,0 +1,179 @@
+"""Command-line interface for the reproduction toolkit.
+
+``python -m repro.cli <command>`` exposes the main entry points without
+writing any code:
+
+* ``table1``        — print the reproduced Table 1 for a given alpha;
+* ``constructions`` — verify every lower-bound construction and print a
+  paper-vs-measured Markdown table;
+* ``poa``           — run an empirical Price-of-Anarchy experiment on random
+  instances of one model variant;
+* ``dynamics``      — measure best-response-dynamics convergence on random
+  instances;
+* ``simulate``      — play one game instance end to end (optimum, dynamics,
+  equilibrium certification) and print the outcome.
+
+Every command accepts ``--seed`` for reproducibility.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Geometric Network Creation Games (SPAA 2019) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table = sub.add_parser("table1", help="print the reproduced Table 1")
+    p_table.add_argument("--alpha", type=float, default=1.0)
+    p_table.add_argument("--gadget-size", type=int, default=8)
+
+    p_cons = sub.add_parser("constructions", help="verify the lower-bound constructions")
+    p_cons.add_argument("--alpha", type=float, default=2.0)
+    p_cons.add_argument("--gadget-size", type=int, default=8)
+
+    p_poa = sub.add_parser("poa", help="empirical PoA on random instances")
+    p_poa.add_argument("--variant", default="euclidean",
+                       choices=["ncg", "one_two", "tree", "euclidean", "metric", "general"])
+    p_poa.add_argument("--n", type=int, default=6)
+    p_poa.add_argument("--alpha", type=float, default=1.0)
+    p_poa.add_argument("--instances", type=int, default=3)
+    p_poa.add_argument("--samples", type=int, default=4)
+    p_poa.add_argument("--seed", type=int, default=0)
+
+    p_dyn = sub.add_parser("dynamics", help="best-response dynamics convergence study")
+    p_dyn.add_argument("--variant", default="euclidean",
+                       choices=["ncg", "one_two", "tree", "euclidean", "metric", "general"])
+    p_dyn.add_argument("--n", type=int, default=6)
+    p_dyn.add_argument("--alpha", type=float, default=1.0)
+    p_dyn.add_argument("--instances", type=int, default=3)
+    p_dyn.add_argument("--runs", type=int, default=3)
+    p_dyn.add_argument("--seed", type=int, default=0)
+
+    p_sim = sub.add_parser("simulate", help="play one random instance end to end")
+    p_sim.add_argument("--variant", default="euclidean",
+                       choices=["ncg", "one_two", "tree", "euclidean", "metric", "general"])
+    p_sim.add_argument("--n", type=int, default=7)
+    p_sim.add_argument("--alpha", type=float, default=1.5)
+    p_sim.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_table1(args) -> int:
+    from .analysis.table1 import format_table1, table1_summary
+
+    rows = table1_summary(alpha=args.alpha, gadget_size=args.gadget_size)
+    print(format_table1(rows))
+    return 0
+
+
+def _cmd_constructions(args) -> int:
+    from .analysis.reporting import build_construction_report
+
+    report = build_construction_report(alpha=args.alpha, gadget_size=args.gadget_size)
+    print(report.to_markdown())
+    return 0 if report.all_hold else 1
+
+
+def _cmd_poa(args) -> int:
+    from .analysis.experiments import poa_experiment
+
+    summary = poa_experiment(
+        args.variant,
+        args.n,
+        args.alpha,
+        instances=args.instances,
+        samples_per_instance=args.samples,
+        seed=args.seed,
+    )
+    print(
+        f"variant={summary.variant} n={summary.n} alpha={summary.alpha}\n"
+        f"equilibria found : {summary.equilibria_found}\n"
+        f"max NE/OPT ratio : {summary.max_ratio:.4f}\n"
+        f"mean NE/OPT ratio: {summary.mean_ratio:.4f}\n"
+        f"upper bound      : {summary.upper_bound:.4f}\n"
+        f"bound respected  : {summary.bound_respected}"
+    )
+    return 0 if summary.bound_respected else 1
+
+
+def _cmd_dynamics(args) -> int:
+    from .analysis.experiments import dynamics_convergence_experiment
+
+    summary = dynamics_convergence_experiment(
+        args.variant,
+        args.n,
+        args.alpha,
+        instances=args.instances,
+        runs_per_instance=args.runs,
+        seed=args.seed,
+    )
+    print(
+        f"variant={summary.variant} n={summary.n} alpha={summary.alpha}\n"
+        f"runs              : {summary.runs}\n"
+        f"converged runs    : {summary.converged_runs}\n"
+        f"cycling runs      : {summary.cycling_runs}\n"
+        f"convergence rate  : {summary.convergence_rate:.2f}\n"
+        f"mean moves        : {summary.mean_moves_to_converge:.2f}"
+    )
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .analysis.experiments import host_factory
+    from .core.bounds import general_poa_upper, metric_poa_upper
+    from .core.dynamics import best_response_dynamics
+    from .core.equilibria import is_nash_equilibrium
+    from .core.game import NetworkCreationGame
+    from .core.host_graph import ModelVariant
+    from .core.social_optimum import social_optimum
+    from .core.strategy import StrategyProfile
+
+    rng = np.random.default_rng(args.seed)
+    host = host_factory(args.variant, args.n, rng)
+    game = NetworkCreationGame(host, args.alpha)
+    opt = social_optimum(game)
+    result = best_response_dynamics(game, StrategyProfile.empty(args.n), max_rounds=60)
+    profile = result.final_profile
+    stable = result.converged and is_nash_equilibrium(game, profile)
+    ratio = game.social_cost(profile) / opt.cost if opt.cost > 0 else float("nan")
+    bound = (
+        metric_poa_upper(args.alpha)
+        if host.classify().is_special_case_of(ModelVariant.METRIC)
+        else general_poa_upper(args.alpha)
+    )
+    print(
+        f"host variant      : {host.classify().value} (n={args.n}, alpha={args.alpha})\n"
+        f"optimum cost      : {opt.cost:.4f}  ({opt.method})\n"
+        f"dynamics converged: {result.converged} after {result.moves} moves\n"
+        f"reached a NE      : {stable}\n"
+        f"equilibrium cost  : {game.social_cost(profile):.4f}\n"
+        f"cost ratio        : {ratio:.4f}   (paper bound {bound:.4f})"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "table1": _cmd_table1,
+        "constructions": _cmd_constructions,
+        "poa": _cmd_poa,
+        "dynamics": _cmd_dynamics,
+        "simulate": _cmd_simulate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Explicit constructions from the paper.
+
+Every lower-bound family, equilibrium gadget and best-response-cycle host of
+the paper is generated programmatically here, so that the benchmark harness
+can re-verify the corresponding theorem (equilibrium property + cost ratio)
+for concrete parameter values.
+"""
+
+from .br_cycles import (
+    fig5_tree_cycle_host,
+    fig8_geometric_cycle_host,
+    search_improving_response_cycle,
+)
+from .general_weights import three_cycle_general_host
+from .geometric_path_star import (
+    geometric_path_star,
+    theorem18_four_node_family,
+)
+from .cross_polytope import cross_polytope_lower_bound
+from .one_two_lower_bound import clique_of_stars_lower_bound
+from .ownership import find_equilibrium_orientation
+from .stars import star_equilibrium_one_two
+from .tree_star_lower_bound import tree_star_lower_bound
+
+__all__ = [
+    "LowerBoundInstance",
+    "clique_of_stars_lower_bound",
+    "cross_polytope_lower_bound",
+    "fig5_tree_cycle_host",
+    "fig8_geometric_cycle_host",
+    "find_equilibrium_orientation",
+    "geometric_path_star",
+    "search_improving_response_cycle",
+    "star_equilibrium_one_two",
+    "theorem18_four_node_family",
+    "three_cycle_general_host",
+    "tree_star_lower_bound",
+]
+
+from .common import LowerBoundInstance  # noqa: E402  (re-exported dataclass)

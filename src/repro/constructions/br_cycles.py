@@ -1,0 +1,193 @@
+"""Best-response cycles (Theorem 14 / Figure 5 and Theorem 17 / Figure 8).
+
+The paper shows that no GNCG variant has the finite improvement property by
+exhibiting best-response cycles.  Two host graphs are published:
+
+* Figure 5 — a weighted tree on ten agents ``a_0..a_9`` whose metric closure
+  admits a best-response cycle of length 4 (Theorem 14).  The figure lists
+  the nine edge weights ``{3, 7, 2, 5, 12, 9, 11, 2, 10}`` but the exact
+  tree topology and the four strategy profiles are only shown graphically,
+  so :func:`fig5_tree_cycle_host` reconstructs a tree carrying that weight
+  multiset (documented as a reconstruction in EXPERIMENTS.md).
+
+* Figure 8 — ten agents in the plane under the 1-norm with fully published
+  coordinates (Theorem 17); :func:`fig8_geometric_cycle_host` reproduces the
+  host exactly.
+
+Because the cycles themselves are only available as figures, the library
+*searches* for improving/best-response cycles on these hosts:
+:func:`search_improving_response_cycle` explores the directed graph whose
+vertices are strategy profiles and whose arcs are improving (or best-)
+response moves, and returns an explicit cycle when one is reached — a
+machine-checkable witness that the game violates the FIP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.best_response import best_response_exact, enumerate_single_moves
+from ..core.game import NetworkCreationGame
+from ..core.host_graph import HostGraph
+from ..core.strategy import StrategyProfile
+
+__all__ = [
+    "FIG8_POSITIONS",
+    "FIG5_TREE_WEIGHTS",
+    "fig8_geometric_cycle_host",
+    "fig5_tree_cycle_host",
+    "CycleSearchResult",
+    "search_improving_response_cycle",
+]
+
+#: Exact agent coordinates of Figure 8 (Theorem 17), R^2 with the 1-norm.
+FIG8_POSITIONS: tuple[tuple[float, float], ...] = (
+    (3.0, 0.0),  # a0
+    (0.0, 3.0),  # a1
+    (2.0, 2.0),  # a2
+    (0.0, 2.0),  # a3
+    (1.0, 1.0),  # a4
+    (4.0, 3.0),  # a5
+    (2.0, 0.0),  # a6
+    (4.0, 1.0),  # a7
+    (1.0, 4.0),  # a8
+    (1.0, 0.0),  # a9
+)
+
+#: The nine edge weights of the Figure 5 tree (topology reconstructed).
+FIG5_TREE_WEIGHTS: tuple[float, ...] = (3.0, 7.0, 2.0, 5.0, 12.0, 9.0, 11.0, 2.0, 10.0)
+
+
+def fig8_geometric_cycle_host(alpha: float = 1.0) -> NetworkCreationGame:
+    """The R²/1-norm host of Figure 8 with the published coordinates."""
+    points = np.array(FIG8_POSITIONS)
+    host = HostGraph.from_points(points, p=1)
+    return NetworkCreationGame(host, alpha)
+
+
+def fig5_tree_cycle_host(alpha: float = 1.0) -> NetworkCreationGame:
+    """A tree-metric host on ten agents carrying the Figure 5 weight multiset.
+
+    The exact topology of the Figure 5 tree is only available graphically in
+    the paper, so this host assigns the published weights to a caterpillar
+    tree rooted at ``a_0``; it serves as the T–GNCG instance on which the
+    cycle search of Theorem 14 is exercised.
+    """
+    weights = FIG5_TREE_WEIGHTS
+    # Caterpillar: spine a0-a1-...-a4, each spine node (except a0) hangs one leaf.
+    edges = [
+        (0, 1, weights[0]),
+        (1, 2, weights[1]),
+        (2, 3, weights[2]),
+        (3, 4, weights[3]),
+        (1, 5, weights[4]),
+        (2, 6, weights[5]),
+        (3, 7, weights[6]),
+        (4, 8, weights[7]),
+        (4, 9, weights[8]),
+    ]
+    host = HostGraph.from_tree(edges, 10)
+    return NetworkCreationGame(host, alpha)
+
+
+@dataclass(frozen=True)
+class CycleSearchResult:
+    """Result of a search for an improving-response cycle."""
+
+    found: bool
+    cycle: tuple[StrategyProfile, ...]
+    states_explored: int
+    response_kind: str
+
+    @property
+    def length(self) -> int:
+        return len(self.cycle)
+
+
+def _successors(
+    game: NetworkCreationGame,
+    profile: StrategyProfile,
+    response: str,
+    max_candidates: int,
+    tol: float,
+) -> list[StrategyProfile]:
+    succ: list[StrategyProfile] = []
+    for u in range(game.n):
+        if response == "best":
+            result = best_response_exact(game, profile, u, max_candidates=max_candidates)
+            if result.improvement > tol:
+                succ.append(profile.with_strategy(u, result.strategy))
+        elif response == "single":
+            for move in enumerate_single_moves(game, profile, u):
+                if move.gain > tol:
+                    succ.append(move.apply(profile, u))
+        else:
+            raise ValueError(f"unknown response kind {response!r}")
+    return succ
+
+
+def search_improving_response_cycle(
+    game: NetworkCreationGame,
+    *,
+    start_profiles: Sequence[StrategyProfile] | None = None,
+    response: str = "single",
+    max_states: int = 2000,
+    max_candidates: int = 22,
+    tol: float = 1e-9,
+) -> CycleSearchResult:
+    """Search for a cycle of improving (or best-) response moves.
+
+    The search performs a depth-first traversal of the response graph from
+    each starting profile, keeping the current path in a hash set; reaching a
+    state already on the path yields an explicit improving-response cycle,
+    which certifies that the game has no potential function (the FIP fails).
+
+    Note that *not* finding a cycle within the state budget proves nothing —
+    the theorems guarantee existence of cycles for the model, not for every
+    instance or every starting profile.
+    """
+    if start_profiles is None:
+        n = game.n
+        start_profiles = [
+            StrategyProfile.star(n, center=0),
+            StrategyProfile.star(n, center=n - 1),
+            StrategyProfile.complete(n),
+            StrategyProfile.empty(n),
+        ]
+    explored = 0
+    for start in start_profiles:
+        # Iterative DFS with explicit stack: (profile, successor iterator).
+        path: list[StrategyProfile] = [start]
+        path_keys: dict[bytes, int] = {start.canonical_key(): 0}
+        stack = [iter(_successors(game, start, response, max_candidates, tol))]
+        explored += 1
+        visited_global: set[bytes] = {start.canonical_key()}
+        while stack:
+            if explored >= max_states:
+                break
+            try:
+                nxt = next(stack[-1])
+            except StopIteration:
+                stack.pop()
+                popped = path.pop()
+                path_keys.pop(popped.canonical_key(), None)
+                continue
+            key = nxt.canonical_key()
+            if key in path_keys:
+                cycle = tuple(path[path_keys[key] :])
+                return CycleSearchResult(
+                    found=True, cycle=cycle, states_explored=explored, response_kind=response
+                )
+            if key in visited_global:
+                continue
+            visited_global.add(key)
+            explored += 1
+            path.append(nxt)
+            path_keys[key] = len(path) - 1
+            stack.append(iter(_successors(game, nxt, response, max_candidates, tol)))
+    return CycleSearchResult(
+        found=False, cycle=(), states_explored=explored, response_kind=response
+    )

@@ -1,0 +1,58 @@
+"""Shared result type for the paper's lower-bound constructions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.game import NetworkCreationGame
+from ..core.strategy import StrategyProfile
+
+__all__ = ["LowerBoundInstance"]
+
+
+@dataclass(frozen=True)
+class LowerBoundInstance:
+    """A packaged lower-bound gadget: the game, a stable profile and a reference optimum.
+
+    Attributes
+    ----------
+    game:
+        The GNCG instance (host graph + alpha).
+    equilibrium:
+        The profile the paper claims to be a (Nash) equilibrium.
+    optimum:
+        The profile the paper uses as the social optimum (or as an upper
+        bound on it, see ``optimum_is_exact``).
+    optimum_is_exact:
+        ``True`` when ``optimum`` is claimed to be an exact social optimum,
+        ``False`` when it is only an upper bound on the optimum cost (which
+        still yields a valid PoA lower bound).
+    claimed_ratio:
+        The cost ratio the paper derives for this instance (may be an
+        asymptotic value; the benchmarks report both).
+    name:
+        Identifier linking the instance to the paper (e.g. ``"thm15"``).
+    """
+
+    game: NetworkCreationGame
+    equilibrium: StrategyProfile
+    optimum: StrategyProfile
+    optimum_is_exact: bool
+    claimed_ratio: float
+    name: str
+
+    @property
+    def equilibrium_cost(self) -> float:
+        return self.game.social_cost(self.equilibrium)
+
+    @property
+    def optimum_cost(self) -> float:
+        return self.game.social_cost(self.optimum)
+
+    @property
+    def measured_ratio(self) -> float:
+        """Equilibrium cost over the reference optimum cost."""
+        opt = self.optimum_cost
+        if opt <= 0:
+            return float("nan")
+        return self.equilibrium_cost / opt

@@ -1,0 +1,67 @@
+"""Theorem 19 / Figure 10: the 1-norm cross-polytope lower bound.
+
+For dimension ``d`` the construction places ``n = 2d + 1`` agents in R^d
+under the 1-norm:
+
+* ``v_0`` at the origin,
+* ``v_1`` at ``(1, 0, ..., 0)``,
+* ``v_2`` at ``(-2/alpha, 0, ..., 0)``,
+* for every remaining axis ``j = 1..d-1`` two agents at ``+-(2/alpha) e_j``.
+
+The star centred at the origin is the social optimum; the star centred at
+``v_1`` (all edges owned by ``v_1``) is a Nash equilibrium because, under the
+1-norm, the distances from ``v_1`` replicate exactly the tree-metric star of
+Theorem 15.  The resulting cost ratio is
+
+    PoA >= 1 + alpha / (2 + alpha / (2d - 1)),
+
+which approaches the tight metric bound ``(alpha + 2)/2`` as ``d`` grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bounds import rd_one_norm_poa_lower
+from ..core.game import NetworkCreationGame
+from ..core.host_graph import HostGraph
+from ..core.strategy import StrategyProfile
+from .common import LowerBoundInstance
+
+__all__ = ["cross_polytope_points", "cross_polytope_lower_bound"]
+
+
+def cross_polytope_points(d: int, alpha: float) -> np.ndarray:
+    """The ``(2d+1, d)`` coordinate array of the Theorem 19 construction."""
+    if d < 1:
+        raise ValueError("dimension must be at least 1")
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    r = 2.0 / alpha
+    points = [np.zeros(d), np.eye(d)[0], -r * np.eye(d)[0]]
+    for axis in range(1, d):
+        points.append(r * np.eye(d)[axis])
+        points.append(-r * np.eye(d)[axis])
+    return np.vstack(points)
+
+
+def cross_polytope_lower_bound(d: int, alpha: float) -> LowerBoundInstance:
+    """Build the Theorem 19 instance in dimension ``d`` for the given ``alpha``.
+
+    Node 0 is the origin (center of the optimum star); node 1 is the center
+    of the equilibrium star and owns all its edges.
+    """
+    points = cross_polytope_points(d, alpha)
+    n = points.shape[0]
+    host = HostGraph.from_points(points, p=1)
+    game = NetworkCreationGame(host, alpha)
+    optimum = StrategyProfile.star(n, center=0, center_owns=True)
+    equilibrium = StrategyProfile.star(n, center=1, center_owns=True)
+    return LowerBoundInstance(
+        game=game,
+        equilibrium=equilibrium,
+        optimum=optimum,
+        optimum_is_exact=True,
+        claimed_ratio=rd_one_norm_poa_lower(alpha, d),
+        name="thm19_cross_polytope",
+    )

@@ -1,0 +1,63 @@
+"""The Theorem 20 remark: a non-metric 3-cycle host with a large per-pair ratio.
+
+The host graph is a triangle with edge weights 0, 1 and ``(alpha + 2)/2``
+(the last weight violates the triangle inequality, so this is a genuinely
+non-metric GNCG instance).  The social optimum is the path using the weights
+0 and 1; the path using the weights 0 and ``(alpha + 2)/2`` is a Nash
+equilibrium (for a suitable edge-ownership assignment).  The *per-pair*
+social-cost contribution ratio ``sigma`` of the heavy pair equals
+``((alpha + 2)/2)^2``, showing that the Theorem 20 proof technique cannot be
+improved, even though the overall PoA of the instance is only
+``(alpha + 2)/2``.
+"""
+
+from __future__ import annotations
+
+from ..core.game import NetworkCreationGame
+from ..core.host_graph import HostGraph
+from ..core.strategy import StrategyProfile
+from .common import LowerBoundInstance
+from .ownership import find_equilibrium_orientation
+
+__all__ = ["three_cycle_general_host"]
+
+
+def three_cycle_general_host(alpha: float) -> LowerBoundInstance:
+    """Build the Theorem 20 remark instance.
+
+    Nodes: 0 and 1 are joined by the weight-0 edge, 1 and 2 by the weight-1
+    edge, 0 and 2 by the heavy edge of weight ``(alpha + 2)/2``.
+
+    The equilibrium profile is the heavy path ``{(0,1), (0,2)}`` with an
+    edge-ownership assignment found by exhaustive orientation search (the
+    paper asserts one exists); the optimum is the light path
+    ``{(0,1), (1,2)}``.
+    """
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    heavy = (alpha + 2.0) / 2.0
+    weights = [
+        [0.0, 0.0, heavy],
+        [0.0, 0.0, 1.0],
+        [heavy, 1.0, 0.0],
+    ]
+    host = HostGraph.from_matrix(weights)
+    game = NetworkCreationGame(host, alpha)
+
+    optimum = StrategyProfile.from_undirected_edges(3, [(0, 1), (1, 2)])
+    oriented = find_equilibrium_orientation(game, [(0, 1), (0, 2)], notion="nash")
+    if oriented is None:
+        # Fall back to the natural orientation; the benchmark will report the
+        # stability status explicitly.
+        oriented = StrategyProfile.from_undirected_edges(3, [(0, 1), (0, 2)])
+
+    ne_cost = game.social_cost(oriented)
+    opt_cost = game.social_cost(optimum)
+    return LowerBoundInstance(
+        game=game,
+        equilibrium=oriented,
+        optimum=optimum,
+        optimum_is_exact=True,
+        claimed_ratio=ne_cost / opt_cost,
+        name="thm20_three_cycle",
+    )

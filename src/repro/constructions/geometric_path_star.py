@@ -1,0 +1,81 @@
+"""Lemma 8 / Figure 9 and Theorem 18: geometric path-vs-star families.
+
+Lemma 8 places ``n + 1`` agents on the real line at positions
+
+    x_0 = 0,   x_i = (1 + 2/alpha)^(i-1)   for i = 1..n,
+
+so that consecutive gaps are ``w(v_0, v_1) = 1`` and
+``w(v_{i-1}, v_i) = (2/alpha) * (1 + 2/alpha)^(i-2)``.  The path ``P_{n+1}``
+through consecutive points is the social optimum, while the spanning star
+centred at ``v_0`` (owned by ``v_0``) is a Nash equilibrium — the PoA of the
+Rd–GNCG is therefore strictly larger than 1 under any p-norm.
+
+Theorem 18 is the same construction restricted to 4 nodes; its exact cost
+ratio is ``(3a^3 + 24a^2 + 40a + 24) / (a^3 + 10a^2 + 32a + 24)``, which is
+the paper's lower bound for the Rd–GNCG under any p-norm with p >= 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bounds import rd_pnorm_poa_lower_4node
+from ..core.game import NetworkCreationGame
+from ..core.host_graph import HostGraph
+from ..core.strategy import StrategyProfile
+from .common import LowerBoundInstance
+
+__all__ = ["geometric_path_star", "theorem18_four_node_family", "line_positions"]
+
+
+def line_positions(num_nodes: int, alpha: float) -> np.ndarray:
+    """The Lemma 8 positions ``0, 1, (1+2/alpha), (1+2/alpha)^2, ...`` on the line."""
+    if num_nodes < 2:
+        raise ValueError("need at least 2 nodes")
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    ratio = 1.0 + 2.0 / alpha
+    positions = np.zeros(num_nodes)
+    positions[1:] = ratio ** np.arange(num_nodes - 1)
+    return positions
+
+
+def geometric_path_star(num_nodes: int, alpha: float, *, p: float = 2.0) -> LowerBoundInstance:
+    """Build the Lemma 8 instance with ``num_nodes`` agents on the line.
+
+    The construction lives in one dimension, where every p-norm coincides,
+    but the returned host records the points so it can be embedded in any
+    R^d / p-norm setting.
+    """
+    positions = line_positions(num_nodes, alpha)
+    host = HostGraph.from_points(positions[:, None], p=p)
+    game = NetworkCreationGame(host, alpha)
+    optimum = StrategyProfile.path(range(num_nodes), num_nodes)
+    equilibrium = StrategyProfile.star(num_nodes, center=0, center_owns=True)
+    ne_cost = game.social_cost(equilibrium)
+    opt_cost = game.social_cost(optimum)
+    return LowerBoundInstance(
+        game=game,
+        equilibrium=equilibrium,
+        optimum=optimum,
+        optimum_is_exact=True,
+        claimed_ratio=ne_cost / opt_cost,
+        name="lemma8_path_star",
+    )
+
+
+def theorem18_four_node_family(alpha: float, *, p: float = 2.0) -> LowerBoundInstance:
+    """The 4-node restriction of Lemma 8 used in Theorem 18.
+
+    Its claimed ratio is the closed form of Theorem 18; the benchmark checks
+    that the measured ratio matches it exactly.
+    """
+    instance = geometric_path_star(4, alpha, p=p)
+    return LowerBoundInstance(
+        game=instance.game,
+        equilibrium=instance.equilibrium,
+        optimum=instance.optimum,
+        optimum_is_exact=True,
+        claimed_ratio=rd_pnorm_poa_lower_4node(alpha),
+        name="thm18_four_node",
+    )

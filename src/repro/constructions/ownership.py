@@ -1,0 +1,76 @@
+"""Edge-ownership search.
+
+Several existence results in the paper (Theorem 5, the Theorem 20 remark)
+assert that *some* assignment of edge owners turns a given network into an
+equilibrium.  This module searches over the ``2^m`` orientations of an edge
+set and returns one satisfying the requested stability notion, mirroring the
+"there is an edge ownership assignment such that G is in NE" statements.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from ..core.equilibria import (
+    is_add_only_equilibrium,
+    is_greedy_equilibrium,
+    is_nash_equilibrium,
+)
+from ..core.game import NetworkCreationGame
+from ..core.strategy import StrategyProfile
+
+__all__ = ["find_equilibrium_orientation", "all_orientations"]
+
+
+def all_orientations(n: int, edges: Sequence[tuple[int, int]]) -> Iterable[StrategyProfile]:
+    """Yield every single-owner orientation of an undirected edge set."""
+    edges = [(int(u), int(v)) for u, v in edges]
+    m = len(edges)
+    for bits in itertools.product((0, 1), repeat=m):
+        owned = [
+            (u, v) if bit == 0 else (v, u) for (u, v), bit in zip(edges, bits)
+        ]
+        yield StrategyProfile.from_owned_edges(n, owned)
+
+
+def find_equilibrium_orientation(
+    game: NetworkCreationGame,
+    edges: Sequence[tuple[int, int]],
+    *,
+    notion: str = "nash",
+    max_edges: int = 16,
+    max_candidates: int = 22,
+) -> StrategyProfile | None:
+    """Find an edge-ownership assignment making the network stable, if one exists.
+
+    Parameters
+    ----------
+    notion:
+        ``"nash"``, ``"greedy"`` or ``"add_only"``.
+    max_edges:
+        Guard on the ``2^m`` orientation search.
+
+    Returns
+    -------
+    StrategyProfile or None
+        A stable orientation, or ``None`` when no orientation satisfies the
+        requested notion.
+    """
+    edges = [(int(u), int(v)) for u, v in edges]
+    if len(edges) > max_edges:
+        raise ValueError(
+            f"orientation search over 2^{len(edges)} assignments refused; raise max_edges"
+        )
+    for profile in all_orientations(game.n, edges):
+        if notion == "nash":
+            ok = is_nash_equilibrium(game, profile, max_candidates=max_candidates)
+        elif notion == "greedy":
+            ok = is_greedy_equilibrium(game, profile)
+        elif notion == "add_only":
+            ok = is_add_only_equilibrium(game, profile)
+        else:
+            raise ValueError(f"unknown stability notion {notion!r}")
+        if ok:
+            return profile
+    return None

@@ -1,0 +1,30 @@
+"""Theorem 10: spanning stars are equilibria of the 1-2–GNCG for alpha >= 3."""
+
+from __future__ import annotations
+
+from ..core.game import NetworkCreationGame
+from ..core.strategy import StrategyProfile
+
+__all__ = ["star_equilibrium_one_two"]
+
+
+def star_equilibrium_one_two(
+    game: NetworkCreationGame, center: int = 0
+) -> StrategyProfile:
+    """The spanning star owned by its center, the Theorem 10 equilibrium.
+
+    Theorem 10 states that for any 1-2 host graph and ``alpha >= 3`` this
+    profile is a Nash equilibrium: leaves own nothing, so their only moves
+    are edge additions, and any added edge costs at least ``alpha >= 3``
+    while shortening distances by at most 3.
+
+    The function only builds the profile; the equilibrium property should be
+    checked with :func:`repro.core.equilibria.is_nash_equilibrium` (and the
+    test-suite does exactly that, including the negative case ``alpha < 3``
+    where stars may fail to be stable).
+    """
+    if game.alpha < 3:
+        # The construction is still returned (callers may want to inspect the
+        # unstable case); the docstring documents the validity range.
+        pass
+    return StrategyProfile.star(game.n, center=center, center_owns=True)

@@ -1,0 +1,61 @@
+"""Theorem 15 / Figure 6: the tree-metric star lower bound.
+
+The defining tree ``S*_n`` is a star with center ``u`` (node 0): one edge of
+weight 1 towards ``v`` (node 1) and ``n-2`` edges of weight ``2/alpha``
+towards the remaining nodes.  The social optimum is the tree itself, while
+the spanning star ``S_n`` centred at ``v`` — with ``v`` owning every edge —
+is a Nash equilibrium whose social cost is larger by a factor approaching
+``(alpha + 2) / 2`` as ``n`` grows.  This matches the Theorem 1 upper bound
+and therefore settles the PoA of the T–GNCG and M–GNCG.
+"""
+
+from __future__ import annotations
+
+from ..core.game import NetworkCreationGame
+from ..core.host_graph import HostGraph
+from ..core.strategy import StrategyProfile
+from .common import LowerBoundInstance
+
+__all__ = ["tree_star_lower_bound", "tree_star_claimed_ratio"]
+
+
+def tree_star_claimed_ratio(n: int, alpha: float) -> float:
+    """The exact cost ratio of the Theorem 15 instance with ``n`` nodes.
+
+    Both networks are spanning stars, so their social costs are
+    ``(2n + alpha - 2)`` times their total edge weight; the ratio of edge
+    weights is ``((n-2)(1 + 2/alpha) + 1) / ((n-2)(2/alpha) + 1)`` which tends
+    to ``(alpha + 2)/2`` as ``n`` grows.
+    """
+    if n < 3:
+        raise ValueError("the construction needs at least 3 nodes")
+    ne_weight = (n - 2) * (1.0 + 2.0 / alpha) + 1.0
+    opt_weight = (n - 2) * (2.0 / alpha) + 1.0
+    return ne_weight / opt_weight
+
+
+def tree_star_lower_bound(n: int, alpha: float) -> LowerBoundInstance:
+    """Build the Theorem 15 instance on ``n`` nodes for the given ``alpha``.
+
+    Node 0 is the tree center ``u``, node 1 is the special node ``v`` (the
+    center of the equilibrium star), nodes ``2..n-1`` are the leaves.
+    """
+    if n < 3:
+        raise ValueError("the construction needs at least 3 nodes")
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    tree_edges = [(0, 1, 1.0)] + [(0, i, 2.0 / alpha) for i in range(2, n)]
+    host = HostGraph.from_tree(tree_edges, n)
+    game = NetworkCreationGame(host, alpha)
+
+    optimum = StrategyProfile.star(n, center=0, center_owns=True)
+    equilibrium = StrategyProfile.star(n, center=1, center_owns=True)
+
+    return LowerBoundInstance(
+        game=game,
+        equilibrium=equilibrium,
+        optimum=optimum,
+        optimum_is_exact=True,
+        claimed_ratio=tree_star_claimed_ratio(n, alpha),
+        name="thm15_tree_star",
+    )

@@ -1,0 +1,320 @@
+"""Improving- and best-response dynamics, convergence and cycle detection.
+
+The paper proves that none of the GNCG variants has the *finite improvement
+property* (Cor. 1, Thm. 14, Thm. 17): there exist best-response cycles, so
+iterated (best-)response dynamics need not converge.  This module provides
+the sequential processes used to explore this empirically:
+
+* :func:`run_dynamics` — round-robin / random / max-gain activation of
+  agents, each playing an exact best response, a greedy (single-move) local
+  optimum, or just the best single move; stops on convergence, on a detected
+  state cycle, or after a step budget.
+
+* :func:`verify_best_response_cycle` — checks that an explicitly given
+  sequence of profiles (e.g. Fig. 5 or Fig. 8 of the paper) is a genuine
+  best-response cycle: each transition changes exactly one agent's strategy,
+  each move is strictly improving, the new strategy is a best response, and
+  the sequence returns to its starting profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Literal, Sequence
+
+import numpy as np
+
+from .best_response import best_response_exact, best_single_move, greedy_response
+from .game import NetworkCreationGame
+from .strategy import StrategyProfile
+
+__all__ = [
+    "DynamicsResult",
+    "CycleCheckResult",
+    "run_dynamics",
+    "best_response_dynamics",
+    "verify_best_response_cycle",
+]
+
+_TOL = 1e-9
+
+ResponseKind = Literal["best", "greedy", "single"]
+OrderKind = Literal["round_robin", "random", "max_gain"]
+
+
+@dataclass
+class DynamicsResult:
+    """Outcome of a run of (best-)response dynamics."""
+
+    converged: bool
+    steps: int
+    moves: int
+    cycle_detected: bool
+    cycle_length: int | None
+    final_profile: StrategyProfile
+    social_costs: list[float] = field(default_factory=list)
+    history: list[StrategyProfile] | None = None
+
+    @property
+    def final_social_cost(self) -> float:
+        return self.social_costs[-1] if self.social_costs else float("nan")
+
+
+@dataclass(frozen=True)
+class CycleCheckResult:
+    """Verification of an explicit best-response cycle."""
+
+    is_cycle: bool
+    is_improving: bool
+    is_best_response: bool
+    length: int
+    failures: tuple[str, ...]
+
+    @property
+    def violates_fip(self) -> bool:
+        """True iff the sequence certifies that the game is not a potential game."""
+        return self.is_cycle and self.is_improving
+
+
+def _respond(
+    game: NetworkCreationGame,
+    profile: StrategyProfile,
+    agent: int,
+    response: ResponseKind,
+    max_candidates: int,
+):
+    if response == "best":
+        return best_response_exact(game, profile, agent, max_candidates=max_candidates)
+    if response == "greedy":
+        return greedy_response(game, profile, agent)
+    if response == "single":
+        move = best_single_move(game, profile, agent)
+        if move.kind == "none":
+            current = game.agent_cost(profile, agent)
+            from .best_response import BestResponseResult
+
+            return BestResponseResult(
+                agent=agent,
+                strategy=profile.strategy(agent),
+                cost=current,
+                current_cost=current,
+                method="single",
+            )
+        new_profile = move.apply(profile, agent)
+        from .best_response import BestResponseResult
+
+        return BestResponseResult(
+            agent=agent,
+            strategy=new_profile.strategy(agent),
+            cost=game.agent_cost(new_profile, agent),
+            current_cost=game.agent_cost(profile, agent),
+            method="single",
+        )
+    raise ValueError(f"unknown response kind {response!r}")
+
+
+def run_dynamics(
+    game: NetworkCreationGame,
+    initial: StrategyProfile,
+    *,
+    response: ResponseKind = "best",
+    order: OrderKind | Sequence[int] = "round_robin",
+    max_rounds: int = 100,
+    rng: np.random.Generator | None = None,
+    record_history: bool = False,
+    detect_cycles: bool = True,
+    max_candidates: int = 22,
+    tol: float = _TOL,
+) -> DynamicsResult:
+    """Run sequential response dynamics from ``initial``.
+
+    Parameters
+    ----------
+    response:
+        ``"best"`` (exact best responses), ``"greedy"`` (single-move local
+        optimum per activation) or ``"single"`` (one best single move per
+        activation).
+    order:
+        ``"round_robin"``, ``"random"``, ``"max_gain"`` (activate the agent
+        with the largest available improvement), or an explicit activation
+        sequence of agent indices.
+    max_rounds:
+        A *round* activates every agent once (for explicit sequences, one
+        activation counts as one step and ``max_rounds`` bounds the number of
+        passes over the sequence).
+
+    Returns
+    -------
+    DynamicsResult
+        Convergence flag, number of improving moves made, cycle information
+        and the trajectory of social costs.
+    """
+    rng = np.random.default_rng() if rng is None else rng
+    profile = initial
+    n = game.n
+    seen: dict[bytes, int] = {}
+    history: list[StrategyProfile] | None = [initial] if record_history else None
+    social_costs = [game.social_cost(profile)]
+    moves = 0
+    steps = 0
+    cycle_detected = False
+    cycle_length: int | None = None
+
+    if detect_cycles:
+        seen[profile.canonical_key()] = 0
+
+    explicit_order = None
+    if not isinstance(order, str):
+        explicit_order = [int(a) for a in order]
+
+    for round_idx in range(max_rounds):
+        improved_this_round = False
+        if explicit_order is not None:
+            agents = explicit_order
+        elif order == "round_robin":
+            agents = list(range(n))
+        elif order == "random":
+            agents = list(rng.permutation(n))
+        elif order == "max_gain":
+            agents = None  # handled below
+        else:
+            raise ValueError(f"unknown order {order!r}")
+
+        if order == "max_gain" and explicit_order is None:
+            # One round = n activations of the currently most-improving agent.
+            for _ in range(n):
+                steps += 1
+                best_agent, best_result = None, None
+                for u in range(n):
+                    result = _respond(game, profile, u, response, max_candidates)
+                    if result.improvement > tol and (
+                        best_result is None or result.improvement > best_result.improvement
+                    ):
+                        best_agent, best_result = u, result
+                if best_result is None:
+                    break
+                profile = profile.with_strategy(best_agent, best_result.strategy)
+                moves += 1
+                improved_this_round = True
+                social_costs.append(game.social_cost(profile))
+                if record_history:
+                    history.append(profile)
+                if detect_cycles:
+                    key = profile.canonical_key()
+                    if key in seen:
+                        cycle_detected = True
+                        cycle_length = moves - seen[key]
+                        break
+                    seen[key] = moves
+            if cycle_detected:
+                break
+        else:
+            for u in agents:
+                steps += 1
+                result = _respond(game, profile, u, response, max_candidates)
+                if result.improvement > tol:
+                    profile = profile.with_strategy(u, result.strategy)
+                    moves += 1
+                    improved_this_round = True
+                    social_costs.append(game.social_cost(profile))
+                    if record_history:
+                        history.append(profile)
+                    if detect_cycles:
+                        key = profile.canonical_key()
+                        if key in seen:
+                            cycle_detected = True
+                            cycle_length = moves - seen[key]
+                            break
+                        seen[key] = moves
+            if cycle_detected:
+                break
+
+        if not improved_this_round:
+            return DynamicsResult(
+                converged=True,
+                steps=steps,
+                moves=moves,
+                cycle_detected=False,
+                cycle_length=None,
+                final_profile=profile,
+                social_costs=social_costs,
+                history=history,
+            )
+
+    return DynamicsResult(
+        converged=False,
+        steps=steps,
+        moves=moves,
+        cycle_detected=cycle_detected,
+        cycle_length=cycle_length,
+        final_profile=profile,
+        social_costs=social_costs,
+        history=history,
+    )
+
+
+def best_response_dynamics(
+    game: NetworkCreationGame, initial: StrategyProfile, **kwargs
+) -> DynamicsResult:
+    """Convenience wrapper for :func:`run_dynamics` with exact best responses."""
+    kwargs.setdefault("response", "best")
+    return run_dynamics(game, initial, **kwargs)
+
+
+def verify_best_response_cycle(
+    game: NetworkCreationGame,
+    profiles: Sequence[StrategyProfile],
+    *,
+    require_best_response: bool = True,
+    max_candidates: int = 22,
+    tol: float = _TOL,
+) -> CycleCheckResult:
+    """Verify that ``profiles`` is a best-response cycle.
+
+    ``profiles`` lists the states *visited in order*; the move from
+    ``profiles[i]`` to ``profiles[i+1]`` must change exactly one agent's
+    strategy.  The sequence is a cycle when appending a final transition back
+    to ``profiles[0]`` (so the input should not repeat the first state at the
+    end; it is closed automatically).
+    """
+    failures: list[str] = []
+    states = list(profiles)
+    if len(states) < 2:
+        return CycleCheckResult(False, False, False, len(states), ("need at least two states",))
+    closed = states + [states[0]]
+    improving = True
+    best_resp = True
+    for i, (before, after) in enumerate(zip(closed[:-1], closed[1:])):
+        diff_agents = [
+            u for u in range(game.n) if before.strategy(u) != after.strategy(u)
+        ]
+        if len(diff_agents) != 1:
+            failures.append(f"step {i}: {len(diff_agents)} agents changed (expected 1)")
+            improving = False
+            best_resp = False
+            continue
+        agent = diff_agents[0]
+        before_cost = game.agent_cost(before, agent)
+        after_cost = game.agent_cost(after, agent)
+        if not after_cost < before_cost - tol:
+            failures.append(
+                f"step {i}: agent {agent} move is not improving "
+                f"({before_cost:.6g} -> {after_cost:.6g})"
+            )
+            improving = False
+        if require_best_response:
+            br = best_response_exact(game, before, agent, max_candidates=max_candidates)
+            if after_cost > br.cost + max(tol, 1e-7 * abs(br.cost)):
+                failures.append(
+                    f"step {i}: agent {agent} move is improving but not a best response "
+                    f"(achieved {after_cost:.6g}, best {br.cost:.6g})"
+                )
+                best_resp = False
+    is_cycle = not any("agents changed" in f for f in failures)
+    return CycleCheckResult(
+        is_cycle=is_cycle,
+        is_improving=improving,
+        is_best_response=best_resp if require_best_response else improving,
+        length=len(states),
+        failures=tuple(failures),
+    )

@@ -1,0 +1,254 @@
+"""Equilibrium concepts: NE, Greedy Equilibrium, Add-only Equilibrium, β-approximations.
+
+The paper analyses a hierarchy of stability notions (Section 1.1):
+
+* **pure Nash Equilibrium (NE)** — no agent has *any* improving strategy
+  change;
+* **Greedy Equilibrium (GE)** — no agent improves by adding, deleting or
+  swapping a *single* owned edge;
+* **Add-only Equilibrium (AE)** — no agent improves by buying a single edge;
+* **β-approximate NE / GE** — no deviation (single move for GE) reduces an
+  agent's cost below ``cost / β``.
+
+Every NE is a GE and every GE is an AE.  Theorem 2 shows AE ⇒ (α+1)-GE and
+Theorem 3 shows GE ⇒ 3-NE in the metric case, giving Corollary 2's
+3(α+1)-approximate NE guarantee; the checkers here are used by the
+benchmarks that validate those chains empirically.
+
+This module also contains constructive equilibria used in the paper's
+positive results: the star equilibrium for α ≥ 3 in 1-2 graphs (Thm. 10),
+the defining tree as an equilibrium of the T–GNCG (Cor. 3), and the
+all-1-edges equilibrium of 1-2 graphs for α < 1/2 (Thm. 9 via Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .best_response import (
+    best_response_exact,
+    best_single_move,
+    enumerate_single_moves,
+)
+from .game import NetworkCreationGame
+from .strategy import StrategyProfile
+
+__all__ = [
+    "EquilibriumReport",
+    "is_add_only_equilibrium",
+    "is_greedy_equilibrium",
+    "is_nash_equilibrium",
+    "is_approx_nash_equilibrium",
+    "is_approx_greedy_equilibrium",
+    "best_deviation_factor",
+    "equilibrium_report",
+    "star_profile",
+    "tree_profile_from_host",
+    "all_unit_edges_profile",
+]
+
+_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class EquilibriumReport:
+    """Summary of every agent's best deviation against a profile."""
+
+    is_nash: bool
+    is_greedy: bool
+    is_add_only: bool
+    max_improvement: float
+    max_improvement_agent: int | None
+    approx_factor: float
+    greedy_approx_factor: float
+
+    def satisfies_beta_ne(self, beta: float) -> bool:
+        """``True`` iff the profile is a β-approximate NE."""
+        return self.approx_factor <= beta + _TOL
+
+    def satisfies_beta_ge(self, beta: float) -> bool:
+        """``True`` iff the profile is a β-approximate Greedy Equilibrium."""
+        return self.greedy_approx_factor <= beta + _TOL
+
+
+# ----------------------------------------------------------------------
+# Stability predicates
+# ----------------------------------------------------------------------
+def is_add_only_equilibrium(
+    game: NetworkCreationGame, profile: StrategyProfile, *, tol: float = _TOL
+) -> bool:
+    """No agent can strictly improve by buying one additional edge."""
+    for u in range(game.n):
+        move = best_single_move(game, profile, u, moves=("add",), tol=tol)
+        if move.kind != "none":
+            return False
+    return True
+
+
+def is_greedy_equilibrium(
+    game: NetworkCreationGame, profile: StrategyProfile, *, tol: float = _TOL
+) -> bool:
+    """No agent can strictly improve by one add, delete or swap."""
+    for u in range(game.n):
+        move = best_single_move(game, profile, u, moves=("add", "delete", "swap"), tol=tol)
+        if move.kind != "none":
+            return False
+    return True
+
+
+def is_nash_equilibrium(
+    game: NetworkCreationGame,
+    profile: StrategyProfile,
+    *,
+    tol: float = _TOL,
+    method: str = "exact",
+    max_candidates: int = 22,
+) -> bool:
+    """No agent has *any* improving strategy change.
+
+    With ``method="exact"`` every agent's best response is computed by
+    exhaustive enumeration (exponential in ``n`` but exact); this is what the
+    test-suite and the gadget verifications use.  ``method="greedy"`` only
+    certifies a Greedy Equilibrium and is provided for large instances.
+    """
+    if method == "greedy":
+        return is_greedy_equilibrium(game, profile, tol=tol)
+    if method != "exact":
+        raise ValueError(f"unknown method {method!r}")
+    for u in range(game.n):
+        result = best_response_exact(game, profile, u, max_candidates=max_candidates)
+        if result.improvement > tol:
+            return False
+    return True
+
+
+def best_deviation_factor(
+    game: NetworkCreationGame,
+    profile: StrategyProfile,
+    *,
+    single_move_only: bool = False,
+    max_candidates: int = 22,
+) -> tuple[float, int | None, float]:
+    """Worst-case deviation over all agents.
+
+    Returns ``(factor, agent, improvement)`` where ``factor`` is the largest
+    ratio ``cost(u, s) / cost(u, best deviation)`` over agents ``u`` (this is
+    the smallest β such that the profile is a β-approximate NE, or GE when
+    ``single_move_only``), ``agent`` attains it and ``improvement`` is the
+    largest absolute cost decrease available to any agent.
+    """
+    worst_factor = 1.0
+    worst_improvement = 0.0
+    worst_agent: int | None = None
+    for u in range(game.n):
+        current = game.agent_cost(profile, u)
+        if single_move_only:
+            moves = enumerate_single_moves(game, profile, u)
+            best_cost = current
+            for mv in moves:
+                if mv.gain > 0 and current - mv.gain < best_cost:
+                    best_cost = current - mv.gain
+        else:
+            best_cost = best_response_exact(
+                game, profile, u, max_candidates=max_candidates
+            ).cost
+        improvement = current - best_cost
+        if improvement > worst_improvement:
+            worst_improvement = improvement
+            worst_agent = u
+        if best_cost > _TOL:
+            factor = current / best_cost
+        else:
+            factor = 1.0 if current <= _TOL else float("inf")
+        worst_factor = max(worst_factor, factor)
+    return worst_factor, worst_agent, worst_improvement
+
+
+def is_approx_nash_equilibrium(
+    game: NetworkCreationGame, profile: StrategyProfile, beta: float, *, max_candidates: int = 22
+) -> bool:
+    """β-approximate NE: no agent can reduce its cost below ``cost / β``."""
+    factor, _, _ = best_deviation_factor(game, profile, max_candidates=max_candidates)
+    return factor <= beta + _TOL
+
+
+def is_approx_greedy_equilibrium(
+    game: NetworkCreationGame, profile: StrategyProfile, beta: float
+) -> bool:
+    """β-approximate GE: no single-edge move reduces an agent's cost below ``cost / β``."""
+    factor, _, _ = best_deviation_factor(game, profile, single_move_only=True)
+    return factor <= beta + _TOL
+
+
+def equilibrium_report(
+    game: NetworkCreationGame,
+    profile: StrategyProfile,
+    *,
+    exact: bool = True,
+    max_candidates: int = 22,
+) -> EquilibriumReport:
+    """Evaluate every stability notion for a profile in one pass."""
+    add_only = is_add_only_equilibrium(game, profile)
+    greedy = add_only and is_greedy_equilibrium(game, profile)
+    ge_factor, _, _ = best_deviation_factor(game, profile, single_move_only=True)
+    if exact:
+        ne_factor, agent, improvement = best_deviation_factor(
+            game, profile, max_candidates=max_candidates
+        )
+        nash = improvement <= _TOL
+    else:
+        ne_factor, agent, improvement = ge_factor, None, 0.0
+        nash = greedy
+    return EquilibriumReport(
+        is_nash=nash,
+        is_greedy=greedy,
+        is_add_only=add_only,
+        max_improvement=improvement,
+        max_improvement_agent=agent,
+        approx_factor=ne_factor,
+        greedy_approx_factor=ge_factor,
+    )
+
+
+# ----------------------------------------------------------------------
+# Constructive equilibria from the paper's positive results
+# ----------------------------------------------------------------------
+def star_profile(game: NetworkCreationGame, center: int = 0) -> StrategyProfile:
+    """A spanning star owned by its center.
+
+    Theorem 10: for the 1-2–GNCG with α ≥ 3 any such star is a NE.  The
+    function builds the profile for an arbitrary host; the equilibrium claim
+    only holds in the 1-2 setting.
+    """
+    return StrategyProfile.star(game.n, center=center, center_owns=True)
+
+
+def tree_profile_from_host(game: NetworkCreationGame) -> StrategyProfile:
+    """The defining tree of a T–GNCG host, each edge owned by its smaller endpoint.
+
+    Corollary 3: for tree metrics this profile is simultaneously a social
+    optimum and a NE (hence the Price of Stability is 1).
+    """
+    edges = game.host.tree_edges
+    if edges is None:
+        raise ValueError("the host graph was not built from a tree (no tree_edges recorded)")
+    return StrategyProfile.from_undirected_edges(game.n, [(u, v) for u, v, _ in edges])
+
+
+def all_unit_edges_profile(game: NetworkCreationGame, *, unit_weight: float = 1.0) -> StrategyProfile:
+    """The network of all weight-``unit_weight`` host edges (owner = smaller endpoint).
+
+    For 1-2 hosts with α < 1 every NE contains all 1-edges (Lemma 3); for
+    α < 1/2 the unique NE adds exactly the 2-edges kept by Algorithm 1
+    (Thm. 9), so this profile is the canonical starting point of dynamics.
+    """
+    w = game.host.weights
+    edges = [
+        (u, v)
+        for u in range(game.n)
+        for v in range(u + 1, game.n)
+        if np.isclose(w[u, v], unit_weight)
+    ]
+    return StrategyProfile.from_undirected_edges(game.n, edges)

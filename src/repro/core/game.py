@@ -1,0 +1,225 @@
+"""The Generalized Network Creation Game (GNCG) engine.
+
+:class:`NetworkCreationGame` couples a :class:`~repro.core.host_graph.HostGraph`
+with the edge-price parameter ``alpha`` and exposes the cost model of the
+paper (Section 1.1):
+
+* the *edge cost* of agent ``u`` is ``alpha * sum_{v in S_u} w(u, v)``,
+* the *distance cost* of agent ``u`` is ``sum_{v} d_{G(s)}(u, v)`` (``inf``
+  when the created network does not connect ``u`` to everyone),
+* the *agent cost* is their sum and the *social cost* is the sum over all
+  agents, equivalently ``alpha * total edge weight + sum of all pairwise
+  distances`` (edges bought by both endpoints are charged twice, exactly as
+  in the paper's footnote 1).
+
+All quantities are computed from dense NumPy matrices; the distance matrix
+of a profile is the only non-trivial computation and can be reused across
+queries by passing it explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .host_graph import HostGraph
+from .shortest_paths import all_pairs_shortest_paths
+from .strategy import StrategyProfile
+
+__all__ = ["NetworkCreationGame", "AgentCostBreakdown"]
+
+
+@dataclass(frozen=True)
+class AgentCostBreakdown:
+    """Edge/distance decomposition of one agent's cost in a profile."""
+
+    agent: int
+    edge_cost: float
+    distance_cost: float
+
+    @property
+    def total(self) -> float:
+        return self.edge_cost + self.distance_cost
+
+
+class NetworkCreationGame:
+    """A GNCG instance: a weighted host graph together with ``alpha``."""
+
+    __slots__ = ("_host", "_alpha")
+
+    def __init__(self, host: HostGraph, alpha: float) -> None:
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self._host = host
+        self._alpha = float(alpha)
+
+    @property
+    def host(self) -> HostGraph:
+        return self._host
+
+    @property
+    def alpha(self) -> float:
+        return self._alpha
+
+    @property
+    def n(self) -> int:
+        return self._host.n
+
+    def with_alpha(self, alpha: float) -> "NetworkCreationGame":
+        """The same host graph with a different price parameter."""
+        return NetworkCreationGame(self._host, alpha)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NetworkCreationGame(n={self.n}, alpha={self._alpha}, variant={self._host.classify().value})"
+
+    # ------------------------------------------------------------------
+    # Created network geometry
+    # ------------------------------------------------------------------
+    def network_weights(self, profile: StrategyProfile) -> np.ndarray:
+        """Dense weight matrix of the created network (``inf`` on non-edges)."""
+        self._check_profile(profile)
+        adj = profile.adjacency()
+        w = np.where(adj, self._host.weights, np.inf)
+        np.fill_diagonal(w, 0.0)
+        return w
+
+    def distances(self, profile: StrategyProfile) -> np.ndarray:
+        """All-pairs shortest-path distances in the created network."""
+        return all_pairs_shortest_paths(self.network_weights(profile))
+
+    def is_connected(self, profile: StrategyProfile) -> bool:
+        """``True`` iff the created network connects every pair of agents."""
+        return bool(np.all(np.isfinite(self.distances(profile))))
+
+    # ------------------------------------------------------------------
+    # Costs
+    # ------------------------------------------------------------------
+    def edge_cost(self, profile: StrategyProfile, u: int) -> float:
+        """``alpha * w(u, S_u)`` — the building cost of agent ``u``."""
+        self._check_profile(profile)
+        owned = profile.ownership[u]
+        weights = self._host.weights[u]
+        bought = weights[owned]
+        if bought.size and not np.all(np.isfinite(bought)):
+            return float("inf")
+        return float(self._alpha * bought.sum()) if bought.size else 0.0
+
+    def distance_cost(
+        self, profile: StrategyProfile, u: int, distances: np.ndarray | None = None
+    ) -> float:
+        """``sum_v d_{G(s)}(u, v)`` — the usage cost of agent ``u``."""
+        if distances is None:
+            distances = self.distances(profile)
+        row = distances[u]
+        return float(row.sum())
+
+    def agent_cost(
+        self, profile: StrategyProfile, u: int, distances: np.ndarray | None = None
+    ) -> float:
+        """Total cost of agent ``u`` in the profile."""
+        return self.edge_cost(profile, u) + self.distance_cost(profile, u, distances)
+
+    def agent_cost_breakdown(
+        self, profile: StrategyProfile, u: int, distances: np.ndarray | None = None
+    ) -> AgentCostBreakdown:
+        return AgentCostBreakdown(
+            agent=u,
+            edge_cost=self.edge_cost(profile, u),
+            distance_cost=self.distance_cost(profile, u, distances),
+        )
+
+    def all_agent_costs(
+        self, profile: StrategyProfile, distances: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Vector of all agents' costs (edge + distance) in one pass."""
+        self._check_profile(profile)
+        if distances is None:
+            distances = self.distances(profile)
+        owned_weights = np.where(profile.ownership, self._host.weights, 0.0)
+        owned_infinite = profile.ownership & ~np.isfinite(self._host.weights)
+        edge_costs = self._alpha * owned_weights.sum(axis=1)
+        edge_costs[owned_infinite.any(axis=1)] = np.inf
+        return edge_costs + distances.sum(axis=1)
+
+    def social_cost(
+        self, profile: StrategyProfile, distances: np.ndarray | None = None
+    ) -> float:
+        """Sum of all agents' costs."""
+        return float(self.all_agent_costs(profile, distances).sum())
+
+    def social_cost_parts(
+        self, profile: StrategyProfile, distances: np.ndarray | None = None
+    ) -> tuple[float, float]:
+        """``(total edge cost, total distance cost)`` of the profile."""
+        self._check_profile(profile)
+        if distances is None:
+            distances = self.distances(profile)
+        owned_weights = np.where(profile.ownership, self._host.weights, 0.0)
+        if np.any(profile.ownership & ~np.isfinite(self._host.weights)):
+            edge_total = float("inf")
+        else:
+            edge_total = float(self._alpha * owned_weights.sum())
+        return edge_total, float(distances.sum())
+
+    def social_cost_of_edges(self, edges, *, count_double: bool = False) -> float:
+        """Social cost of the network induced by an undirected edge set.
+
+        Ownership is irrelevant for the social cost as long as no edge is
+        bought twice, so this helper evaluates candidate *networks* (e.g. in
+        the social-optimum search) without constructing profiles.
+        """
+        n = self.n
+        adj = np.zeros((n, n), dtype=bool)
+        edge_weight = 0.0
+        seen: set[tuple[int, int]] = set()
+        for u, v in edges:
+            if u == v:
+                raise ValueError("self-loops are not allowed")
+            key = (min(u, v), max(u, v))
+            if key in seen and not count_double:
+                continue
+            seen.add(key)
+            adj[u, v] = adj[v, u] = True
+            edge_weight += self._host.weight(u, v)
+        w = np.where(adj, self._host.weights, np.inf)
+        np.fill_diagonal(w, 0.0)
+        dist = all_pairs_shortest_paths(w)
+        return float(self._alpha * edge_weight + dist.sum())
+
+    # ------------------------------------------------------------------
+    # Improving moves
+    # ------------------------------------------------------------------
+    def deviation_gain(
+        self,
+        profile: StrategyProfile,
+        u: int,
+        new_strategy,
+        *,
+        current_cost: float | None = None,
+    ) -> float:
+        """Cost decrease for agent ``u`` of switching to ``new_strategy``.
+
+        Positive values are improvements; the deviation leaves all other
+        agents' strategies untouched.
+        """
+        if current_cost is None:
+            current_cost = self.agent_cost(profile, u)
+        deviated = profile.with_strategy(u, new_strategy)
+        new_cost = self.agent_cost(deviated, u)
+        return current_cost - new_cost
+
+    def is_improving_move(
+        self, profile: StrategyProfile, u: int, new_strategy, *, tol: float = 1e-9
+    ) -> bool:
+        """``True`` iff switching agent ``u`` to ``new_strategy`` strictly lowers its cost."""
+        return self.deviation_gain(profile, u, new_strategy) > tol
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_profile(self, profile: StrategyProfile) -> None:
+        if profile.n != self.n:
+            raise ValueError(
+                f"profile is over {profile.n} agents but the game has {self.n}"
+            )

@@ -1,0 +1,453 @@
+"""Weighted host graphs for the Generalized Network Creation Game.
+
+A *host graph* ``H`` in the paper is a complete undirected graph on ``n``
+nodes with non-negative (possibly infinite) edge weights.  The created
+network of any strategy profile is a spanning subgraph of ``H`` and the edge
+price of ``(u, v)`` is ``alpha * w(u, v)``.
+
+The class :class:`HostGraph` stores the weights densely as an ``(n, n)``
+NumPy array and exposes the constructors for every model variant in the
+paper's hierarchy (Fig. 1):
+
+* :meth:`HostGraph.unit`            — the classical NCG (all weights 1),
+* :meth:`HostGraph.from_matrix`     — arbitrary non-negative weights (GNCG),
+* :meth:`HostGraph.one_two`         — weights in ``{1, 2}`` (1-2–GNCG),
+* :meth:`HostGraph.one_infinity`    — weights in ``{1, inf}`` (1-∞–GNCG),
+* :meth:`HostGraph.from_points`     — p-norm distances of points in R^d
+  (Rd–GNCG),
+* :meth:`HostGraph.from_tree`       — the metric closure of a weighted tree
+  (T–GNCG).
+
+Model classification (:meth:`HostGraph.classify`) recognises which variant a
+given weight matrix belongs to, which is used by the Table 1 / Fig. 1
+reproduction benchmarks.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .shortest_paths import all_pairs_shortest_paths
+
+__all__ = ["HostGraph", "ModelVariant", "MetricViolation"]
+
+_DEFAULT_TOL = 1e-9
+
+
+class ModelVariant(enum.Enum):
+    """The host-graph classes studied in the paper (Fig. 1)."""
+
+    NCG = "NCG"
+    ONE_TWO = "1-2-GNCG"
+    ONE_INFINITY = "1-inf-GNCG"
+    TREE = "T-GNCG"
+    METRIC = "M-GNCG"
+    GENERAL = "GNCG"
+
+    def is_special_case_of(self, other: "ModelVariant") -> bool:
+        """Return ``True`` if ``self`` is a (non-strict) special case of ``other``.
+
+        Encodes the arrows of Fig. 1: NCG ⊂ 1-2 ⊂ {T, metric}, NCG ⊂ 1-∞,
+        T ⊂ metric ⊂ general, 1-∞ ⊂ general.
+        """
+        order = {
+            ModelVariant.NCG: {
+                ModelVariant.NCG,
+                ModelVariant.ONE_TWO,
+                ModelVariant.ONE_INFINITY,
+                ModelVariant.TREE,
+                ModelVariant.METRIC,
+                ModelVariant.GENERAL,
+            },
+            ModelVariant.ONE_TWO: {
+                ModelVariant.ONE_TWO,
+                ModelVariant.METRIC,
+                ModelVariant.GENERAL,
+            },
+            ModelVariant.ONE_INFINITY: {
+                ModelVariant.ONE_INFINITY,
+                ModelVariant.GENERAL,
+            },
+            ModelVariant.TREE: {
+                ModelVariant.TREE,
+                ModelVariant.METRIC,
+                ModelVariant.GENERAL,
+            },
+            ModelVariant.METRIC: {ModelVariant.METRIC, ModelVariant.GENERAL},
+            ModelVariant.GENERAL: {ModelVariant.GENERAL},
+        }
+        return other in order[self]
+
+
+@dataclass(frozen=True)
+class MetricViolation:
+    """A witness that the triangle inequality fails: ``w(u,v) > w(u,x) + w(x,v)``."""
+
+    u: int
+    v: int
+    via: int
+    direct: float
+    detour: float
+
+    @property
+    def excess(self) -> float:
+        return self.direct - self.detour
+
+
+class HostGraph:
+    """Complete weighted host graph of a network creation game.
+
+    Parameters
+    ----------
+    weights:
+        ``(n, n)`` symmetric array of non-negative edge weights.  Entries may
+        be ``numpy.inf`` (the 1-∞ variant uses this to forbid edges).  The
+        diagonal is forced to zero.
+    points:
+        Optional ``(n, d)`` array of coordinates when the host graph was
+        built from points in R^d; kept for bookkeeping and plotting.
+    tree_edges:
+        Optional list of ``(u, v, weight)`` triples when the host graph is
+        the metric closure of a tree; kept so tree-specific algorithms
+        (Cor. 3 equilibria) can recover the defining tree.
+    """
+
+    __slots__ = ("_weights", "_points", "_tree_edges")
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        *,
+        points: np.ndarray | None = None,
+        tree_edges: Sequence[tuple[int, int, float]] | None = None,
+        validate: bool = True,
+        copy: bool = True,
+    ) -> None:
+        arr = np.array(weights, dtype=float, copy=copy)
+        if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+            raise ValueError(f"weights must be a square matrix, got shape {arr.shape}")
+        np.fill_diagonal(arr, 0.0)
+        if validate:
+            if np.any(np.isnan(arr)):
+                raise ValueError("weights must not contain NaN")
+            if np.any(arr < 0):
+                raise ValueError("weights must be non-negative")
+            if not np.allclose(
+                np.where(np.isfinite(arr), arr, 0.0),
+                np.where(np.isfinite(arr.T), arr.T, 0.0),
+                rtol=0,
+                atol=_DEFAULT_TOL,
+            ) or not np.array_equal(np.isfinite(arr), np.isfinite(arr.T)):
+                raise ValueError("weights must be symmetric")
+        arr = (arr + arr.T) / 2.0 if np.all(np.isfinite(arr)) else arr
+        np.fill_diagonal(arr, 0.0)
+        arr.setflags(write=False)
+        self._weights = arr
+        self._points = None if points is None else np.array(points, dtype=float)
+        self._tree_edges = None if tree_edges is None else [
+            (int(u), int(v), float(w)) for u, v, w in tree_edges
+        ]
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of nodes (agents)."""
+        return self._weights.shape[0]
+
+    @property
+    def weights(self) -> np.ndarray:
+        """The read-only ``(n, n)`` weight matrix."""
+        return self._weights
+
+    @property
+    def points(self) -> np.ndarray | None:
+        """Node coordinates if the host was built from points, else ``None``."""
+        return self._points
+
+    @property
+    def tree_edges(self) -> list[tuple[int, int, float]] | None:
+        """Defining tree edges if the host is a tree metric closure, else ``None``."""
+        return None if self._tree_edges is None else list(self._tree_edges)
+
+    def weight(self, u: int, v: int) -> float:
+        """Weight of the host edge ``(u, v)`` (0 if ``u == v``)."""
+        return float(self._weights[u, v])
+
+    def nodes(self) -> range:
+        return range(self.n)
+
+    def edge_list(self, *, finite_only: bool = True) -> list[tuple[int, int, float]]:
+        """All host edges ``(u, v, w)`` with ``u < v``."""
+        out: list[tuple[int, int, float]] = []
+        n = self.n
+        for u in range(n):
+            for v in range(u + 1, n):
+                w = float(self._weights[u, v])
+                if finite_only and not np.isfinite(w):
+                    continue
+                out.append((u, v, w))
+        return out
+
+    def total_weight(self) -> float:
+        """Sum of all (finite) host edge weights."""
+        finite = np.where(np.isfinite(self._weights), self._weights, 0.0)
+        return float(np.triu(finite, k=1).sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HostGraph(n={self.n}, variant={self.classify().value})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HostGraph):
+            return NotImplemented
+        if self.n != other.n:
+            return False
+        a, b = self._weights, other._weights
+        return bool(
+            np.array_equal(np.isfinite(a), np.isfinite(b))
+            and np.allclose(
+                np.where(np.isfinite(a), a, 0.0),
+                np.where(np.isfinite(b), b, 0.0),
+            )
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.n, self._weights.tobytes()))
+
+    # ------------------------------------------------------------------
+    # Metric structure
+    # ------------------------------------------------------------------
+    def host_distances(self) -> np.ndarray:
+        """Shortest-path distances *within the host graph* ``d_H``."""
+        return all_pairs_shortest_paths(self._weights)
+
+    def metric_violations(self, tol: float = _DEFAULT_TOL) -> list[MetricViolation]:
+        """All triples witnessing a triangle-inequality violation.
+
+        For an exact check we compare each direct weight with the two-hop
+        detour through every intermediate node; a complete graph satisfies
+        the triangle inequality iff no two-hop detour is shorter.
+        """
+        w = self._weights
+        n = self.n
+        violations: list[MetricViolation] = []
+        for x in range(n):
+            detour = w[:, x : x + 1] + w[x : x + 1, :]
+            bad = w > detour + tol
+            np.fill_diagonal(bad, False)
+            bad[x, :] = False
+            bad[:, x] = False
+            for u, v in zip(*np.nonzero(bad)):
+                if u < v:
+                    violations.append(
+                        MetricViolation(int(u), int(v), x, float(w[u, v]), float(detour[u, v]))
+                    )
+        return violations
+
+    def is_metric(self, tol: float = _DEFAULT_TOL) -> bool:
+        """``True`` iff all weights are finite and satisfy the triangle inequality."""
+        if not np.all(np.isfinite(self._weights)):
+            return False
+        w = self._weights
+        for x in range(self.n):
+            if np.any(w > w[:, x : x + 1] + w[x : x + 1, :] + tol):
+                return False
+        return True
+
+    def metric_closure(self) -> "HostGraph":
+        """The host graph whose weights are the shortest-path distances of this one."""
+        return HostGraph(self.host_distances(), validate=False)
+
+    def is_tree_metric(self, tol: float = _DEFAULT_TOL) -> bool:
+        """Check the four-point condition characterizing tree metrics.
+
+        A metric ``d`` is a tree metric iff for all quadruples ``u,v,x,y`` the
+        two largest of the three sums ``d(u,v)+d(x,y)``, ``d(u,x)+d(v,y)``,
+        ``d(u,y)+d(v,x)`` are equal.
+        """
+        if not self.is_metric(tol):
+            return False
+        d = self._weights
+        n = self.n
+        for u in range(n):
+            for v in range(u + 1, n):
+                for x in range(v + 1, n):
+                    for y in range(x + 1, n):
+                        sums = sorted(
+                            (
+                                d[u, v] + d[x, y],
+                                d[u, x] + d[v, y],
+                                d[u, y] + d[v, x],
+                            )
+                        )
+                        if abs(sums[2] - sums[1]) > tol:
+                            return False
+        return True
+
+    def classify(self, tol: float = _DEFAULT_TOL) -> ModelVariant:
+        """Return the most specific :class:`ModelVariant` this host belongs to."""
+        w = self._weights
+        n = self.n
+        off_diag = w[~np.eye(n, dtype=bool)] if n > 1 else np.array([])
+        if off_diag.size == 0:
+            return ModelVariant.NCG
+        finite = np.isfinite(off_diag)
+        if np.all(finite):
+            if np.allclose(off_diag, 1.0, atol=tol):
+                return ModelVariant.NCG
+            if np.all(
+                np.isclose(off_diag, 1.0, atol=tol) | np.isclose(off_diag, 2.0, atol=tol)
+            ):
+                return ModelVariant.ONE_TWO
+            if self.is_metric(tol):
+                if n <= 12 and self.is_tree_metric(tol):
+                    return ModelVariant.TREE
+                if self._tree_edges is not None:
+                    return ModelVariant.TREE
+                return ModelVariant.METRIC
+            return ModelVariant.GENERAL
+        if np.all(np.isclose(off_diag[finite], 1.0, atol=tol)):
+            return ModelVariant.ONE_INFINITY
+        return ModelVariant.GENERAL
+
+    # ------------------------------------------------------------------
+    # Constructors for the model hierarchy
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_matrix(cls, weights: np.ndarray, **kwargs) -> "HostGraph":
+        """Host graph from an explicit weight matrix (general GNCG)."""
+        return cls(weights, **kwargs)
+
+    @classmethod
+    def unit(cls, n: int) -> "HostGraph":
+        """The classical NCG host: a complete graph with unit weights."""
+        if n < 1:
+            raise ValueError("n must be positive")
+        w = np.ones((n, n), dtype=float)
+        np.fill_diagonal(w, 0.0)
+        return cls(w, validate=False)
+
+    @classmethod
+    def one_two(cls, one_edges: Iterable[tuple[int, int]], n: int) -> "HostGraph":
+        """A 1-2 host graph: listed edges get weight 1, all others weight 2."""
+        if n < 1:
+            raise ValueError("n must be positive")
+        w = np.full((n, n), 2.0)
+        np.fill_diagonal(w, 0.0)
+        for u, v in one_edges:
+            if u == v:
+                raise ValueError("self-loops are not allowed")
+            w[u, v] = 1.0
+            w[v, u] = 1.0
+        return cls(w, validate=False)
+
+    @classmethod
+    def one_infinity(cls, allowed_edges: Iterable[tuple[int, int]], n: int) -> "HostGraph":
+        """A 1-∞ host graph: listed edges have weight 1, all others are forbidden."""
+        if n < 1:
+            raise ValueError("n must be positive")
+        w = np.full((n, n), np.inf)
+        np.fill_diagonal(w, 0.0)
+        for u, v in allowed_edges:
+            if u == v:
+                raise ValueError("self-loops are not allowed")
+            w[u, v] = 1.0
+            w[v, u] = 1.0
+        return cls(w, validate=False)
+
+    @classmethod
+    def from_points(cls, points: np.ndarray, p: float = 2.0) -> "HostGraph":
+        """Rd–GNCG host: agents are points, weights are p-norm distances.
+
+        Parameters
+        ----------
+        points:
+            ``(n, d)`` array of coordinates.
+        p:
+            The norm parameter; ``numpy.inf`` gives the Chebyshev norm.
+        """
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim == 1:
+            pts = pts[:, None]
+        if pts.ndim != 2:
+            raise ValueError("points must be a (n, d) array")
+        diff = np.abs(pts[:, None, :] - pts[None, :, :])
+        if np.isinf(p):
+            w = diff.max(axis=-1)
+        elif p == 1:
+            w = diff.sum(axis=-1)
+        elif p == 2:
+            w = np.sqrt((diff**2).sum(axis=-1))
+        else:
+            if p < 1:
+                raise ValueError("p must be >= 1 for a valid norm")
+            w = (diff**p).sum(axis=-1) ** (1.0 / p)
+        return cls(w, points=pts, validate=False)
+
+    @classmethod
+    def from_tree(
+        cls, tree_edges: Sequence[tuple[int, int, float]], n: int | None = None
+    ) -> "HostGraph":
+        """T–GNCG host: the metric closure of a weighted tree.
+
+        ``tree_edges`` is a list of ``(u, v, weight)``.  The edges must form a
+        spanning tree of the implied node set.
+        """
+        edges = [(int(u), int(v), float(w)) for u, v, w in tree_edges]
+        if n is None:
+            n = 1 + max(max(u, v) for u, v, _ in edges) if edges else 1
+        if len(edges) != n - 1:
+            raise ValueError(f"a tree on {n} nodes needs {n - 1} edges, got {len(edges)}")
+        for _, _, w in edges:
+            if w < 0:
+                raise ValueError("tree edge weights must be non-negative")
+        adj = np.full((n, n), np.inf)
+        np.fill_diagonal(adj, 0.0)
+        for u, v, w in edges:
+            adj[u, v] = min(adj[u, v], w)
+            adj[v, u] = adj[u, v]
+        dist = all_pairs_shortest_paths(adj)
+        if not np.all(np.isfinite(dist)):
+            raise ValueError("tree edges do not span all nodes")
+        return cls(dist, tree_edges=edges, validate=False)
+
+    @classmethod
+    def from_networkx(cls, graph, weight: str = "weight") -> "HostGraph":
+        """Host graph given by the metric closure of a weighted networkx graph."""
+        import networkx as nx
+
+        nodes = list(graph.nodes())
+        index = {node: i for i, node in enumerate(nodes)}
+        n = len(nodes)
+        adj = np.full((n, n), np.inf)
+        np.fill_diagonal(adj, 0.0)
+        for u, v, data in graph.edges(data=True):
+            w = float(data.get(weight, 1.0))
+            i, j = index[u], index[v]
+            adj[i, j] = min(adj[i, j], w)
+            adj[j, i] = adj[i, j]
+        dist = all_pairs_shortest_paths(adj)
+        if not np.all(np.isfinite(dist)):
+            raise ValueError("input graph must be connected")
+        tree_edges = None
+        if nx.is_tree(graph):
+            tree_edges = [
+                (index[u], index[v], float(d.get(weight, 1.0)))
+                for u, v, d in graph.edges(data=True)
+            ]
+        return cls(dist, tree_edges=tree_edges, validate=False)
+
+    def to_networkx(self):
+        """Export the host graph as a complete weighted :class:`networkx.Graph`."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        for u, v, w in self.edge_list(finite_only=True):
+            g.add_edge(u, v, weight=w)
+        return g

@@ -1,0 +1,227 @@
+"""Price of Anarchy estimation.
+
+The Price of Anarchy (PoA) of an instance is the worst social-cost ratio of
+any Nash equilibrium against the social optimum.  Since enumerating all
+equilibria is infeasible beyond toy sizes, the library follows the paper's
+own methodology:
+
+* the *lower-bound constructions* of the paper are verified directly (their
+  equilibria are known in closed form — see :mod:`repro.constructions`);
+* for random instances, equilibria are *sampled* by running best-response
+  dynamics from many starting profiles (and from structurally extreme
+  profiles such as stars and spanning trees); the worst stable state found
+  gives an empirical PoA lower bound while the closed forms in
+  :mod:`repro.core.bounds` provide the matching upper bounds.
+
+:func:`enumerate_nash_equilibria` additionally performs exhaustive
+equilibrium enumeration for very small instances, which the test-suite uses
+to validate the sampling machinery.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .dynamics import run_dynamics
+from .equilibria import is_greedy_equilibrium, is_nash_equilibrium
+from .game import NetworkCreationGame
+from .social_optimum import OptimumResult, social_optimum
+from .strategy import StrategyProfile
+
+__all__ = [
+    "PoAEstimate",
+    "ratio",
+    "sample_equilibria",
+    "enumerate_nash_equilibria",
+    "estimate_poa",
+]
+
+_TOL = 1e-9
+
+
+@dataclass
+class PoAEstimate:
+    """Result of an empirical PoA study on one instance."""
+
+    optimum: OptimumResult
+    worst_equilibrium: StrategyProfile | None
+    worst_equilibrium_cost: float
+    best_equilibrium_cost: float
+    equilibria_found: int
+    equilibrium_kind: str
+    samples: int
+
+    @property
+    def price_of_anarchy(self) -> float:
+        """Worst found equilibrium cost over the optimum cost (empirical lower bound)."""
+        if self.worst_equilibrium is None or self.optimum.cost <= _TOL:
+            return float("nan")
+        return self.worst_equilibrium_cost / self.optimum.cost
+
+    @property
+    def price_of_stability(self) -> float:
+        """Best found equilibrium cost over the optimum cost (empirical upper bound on PoS)."""
+        if self.equilibria_found == 0 or self.optimum.cost <= _TOL:
+            return float("nan")
+        return self.best_equilibrium_cost / self.optimum.cost
+
+
+def ratio(game: NetworkCreationGame, equilibrium: StrategyProfile, optimum: StrategyProfile) -> float:
+    """Social-cost ratio of an equilibrium profile against an optimum profile."""
+    opt_cost = game.social_cost(optimum)
+    if opt_cost <= _TOL:
+        return float("nan")
+    return game.social_cost(equilibrium) / opt_cost
+
+
+def _initial_profiles(
+    game: NetworkCreationGame, num_random: int, rng: np.random.Generator
+) -> list[StrategyProfile]:
+    """Structurally diverse starting points for equilibrium sampling."""
+    n = game.n
+    profiles: list[StrategyProfile] = [StrategyProfile.empty(n)]
+    for center in range(min(n, 3)):
+        profiles.append(StrategyProfile.star(n, center=center))
+    profiles.append(StrategyProfile.complete(n))
+    from .social_optimum import mst_profile
+
+    try:
+        profiles.append(mst_profile(game))
+    except ValueError:
+        pass
+    for _ in range(num_random):
+        density = rng.uniform(0.1, 0.6)
+        owns = rng.random((n, n)) < density
+        np.fill_diagonal(owns, False)
+        # avoid double-bought edges in the seed: keep only one direction
+        owns &= ~np.tril(np.ones((n, n), dtype=bool))
+        extra = rng.random((n, n)) < density / 2
+        owns |= np.tril(extra, k=-1)
+        profiles.append(StrategyProfile(owns, copy=False, validate=False))
+    return profiles
+
+
+def sample_equilibria(
+    game: NetworkCreationGame,
+    *,
+    num_samples: int = 10,
+    max_rounds: int = 60,
+    response: str = "best",
+    verify: str = "nash",
+    rng: np.random.Generator | None = None,
+    max_candidates: int = 22,
+) -> list[StrategyProfile]:
+    """Sample stable profiles by running response dynamics from varied seeds.
+
+    ``verify`` selects the acceptance test for a converged profile:
+    ``"nash"`` (exact NE check), ``"greedy"`` (GE check) or ``"none"``.
+    """
+    rng = np.random.default_rng(0) if rng is None else rng
+    found: dict[bytes, StrategyProfile] = {}
+    for seed_profile in _initial_profiles(game, num_samples, rng):
+        result = run_dynamics(
+            game,
+            seed_profile,
+            response=response,  # type: ignore[arg-type]
+            order="round_robin",
+            max_rounds=max_rounds,
+            rng=rng,
+            max_candidates=max_candidates,
+        )
+        if not result.converged:
+            continue
+        profile = result.final_profile
+        if verify == "nash":
+            ok = is_nash_equilibrium(game, profile, max_candidates=max_candidates)
+        elif verify == "greedy":
+            ok = is_greedy_equilibrium(game, profile)
+        elif verify == "none":
+            ok = True
+        else:
+            raise ValueError(f"unknown verify mode {verify!r}")
+        if ok:
+            found[profile.canonical_key()] = profile
+    return list(found.values())
+
+
+def enumerate_nash_equilibria(
+    game: NetworkCreationGame,
+    *,
+    max_nodes: int = 4,
+    max_candidates: int = 22,
+) -> list[StrategyProfile]:
+    """Exhaustively enumerate all pure NE of a very small instance.
+
+    The strategy space has ``(2^(n-1))^n`` profiles, so this is restricted to
+    ``n <= max_nodes`` (default 4, i.e. at most 4096 profiles).
+    """
+    n = game.n
+    if n > max_nodes:
+        raise ValueError(
+            f"exhaustive NE enumeration requested for n={n} > max_nodes={max_nodes}"
+        )
+    per_agent: list[list[frozenset[int]]] = []
+    for u in range(n):
+        others = [v for v in range(n) if v != u and np.isfinite(game.host.weights[u, v])]
+        subsets = []
+        for r in range(len(others) + 1):
+            subsets.extend(frozenset(c) for c in itertools.combinations(others, r))
+        per_agent.append(subsets)
+    equilibria = []
+    for combo in itertools.product(*per_agent):
+        profile = StrategyProfile.from_sets(n, list(combo))
+        if is_nash_equilibrium(game, profile, max_candidates=max_candidates):
+            equilibria.append(profile)
+    return equilibria
+
+
+def estimate_poa(
+    game: NetworkCreationGame,
+    *,
+    num_samples: int = 10,
+    response: str = "best",
+    verify: str = "nash",
+    optimum_method: str = "auto",
+    extra_equilibria: Iterable[StrategyProfile] = (),
+    rng: np.random.Generator | None = None,
+    max_candidates: int = 22,
+) -> PoAEstimate:
+    """Empirical Price-of-Anarchy estimate for one instance.
+
+    ``extra_equilibria`` lets callers inject known equilibria (e.g. the
+    paper's constructions) so the estimate is at least as large as the
+    constructions imply.
+    """
+    opt = social_optimum(game, method=optimum_method)
+    equilibria = sample_equilibria(
+        game,
+        num_samples=num_samples,
+        response=response,
+        verify=verify,
+        rng=rng,
+        max_candidates=max_candidates,
+    )
+    for profile in extra_equilibria:
+        equilibria.append(profile)
+    worst: StrategyProfile | None = None
+    worst_cost = -np.inf
+    best_cost = np.inf
+    for eq in equilibria:
+        cost = game.social_cost(eq)
+        if cost > worst_cost:
+            worst_cost = cost
+            worst = eq
+        best_cost = min(best_cost, cost)
+    return PoAEstimate(
+        optimum=opt,
+        worst_equilibrium=worst,
+        worst_equilibrium_cost=float(worst_cost) if worst is not None else float("nan"),
+        best_equilibrium_cost=float(best_cost) if equilibria else float("nan"),
+        equilibria_found=len(equilibria),
+        equilibrium_kind=verify,
+        samples=num_samples,
+    )

@@ -1,0 +1,196 @@
+"""All-pairs and single-source shortest-path kernels.
+
+The game engine needs shortest-path distances in two situations:
+
+* the *created* network ``G(s)`` of a strategy profile, where the relevant
+  input is a dense ``(n, n)`` weight matrix with ``numpy.inf`` marking
+  non-edges, and
+* best-response search, where the distances of a *residual* graph (the
+  created network with one agent's owned edges removed) are combined with
+  candidate edges of that agent.
+
+Two interchangeable all-pairs kernels are provided:
+
+``floyd_warshall``
+    A fully vectorized NumPy Floyd–Warshall.  It is the reference
+    implementation: it handles zero-weight edges and ``inf`` non-edges
+    exactly and is fast enough for the instance sizes used throughout the
+    paper (n up to a few hundred).
+
+``apsp_scipy``
+    A wrapper around :func:`scipy.sparse.csgraph.shortest_path` operating on
+    a masked dense matrix.  It is used as a cross-validation oracle in the
+    test-suite and as a faster path for large sparse networks.
+
+Both accept the same input convention and return an ``(n, n)`` float array
+whose diagonal is zero and whose unreachable pairs are ``numpy.inf``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # scipy is a hard dependency of the package, but keep the import local.
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import shortest_path as _scipy_shortest_path
+
+    _HAVE_SCIPY = True
+except Exception:  # pragma: no cover - scipy is always installed in CI.
+    _HAVE_SCIPY = False
+
+__all__ = [
+    "floyd_warshall",
+    "apsp_scipy",
+    "all_pairs_shortest_paths",
+    "single_source_dijkstra",
+    "distances_with_candidate_edges",
+]
+
+
+def _as_square_float(matrix: np.ndarray) -> np.ndarray:
+    arr = np.asarray(matrix, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {arr.shape}")
+    return arr
+
+
+def floyd_warshall(weights: np.ndarray) -> np.ndarray:
+    """Vectorized Floyd–Warshall on a dense weight matrix.
+
+    Parameters
+    ----------
+    weights:
+        ``(n, n)`` array; ``weights[u, v]`` is the length of the edge
+        ``(u, v)`` or ``numpy.inf`` if the edge is absent.  The diagonal is
+        ignored (treated as zero).  Weights must be non-negative; zero-weight
+        edges are allowed and handled exactly.
+
+    Returns
+    -------
+    numpy.ndarray
+        The ``(n, n)`` matrix of shortest-path distances.
+    """
+    dist = _as_square_float(weights).copy()
+    n = dist.shape[0]
+    np.fill_diagonal(dist, 0.0)
+    if n == 0:
+        return dist
+    if np.any(dist < 0):
+        raise ValueError("negative edge weights are not supported")
+    for k in range(n):
+        # dist[i, j] = min(dist[i, j], dist[i, k] + dist[k, j]) for all i, j.
+        np.minimum(dist, dist[:, k : k + 1] + dist[k : k + 1, :], out=dist)
+    return dist
+
+
+def apsp_scipy(weights: np.ndarray) -> np.ndarray:
+    """All-pairs shortest paths via :mod:`scipy.sparse.csgraph`.
+
+    Zero-weight edges are preserved by passing a masked array, which scipy
+    interprets as "masked entries are non-edges" (a plain dense matrix would
+    instead treat zeros as missing edges).
+    """
+    if not _HAVE_SCIPY:  # pragma: no cover
+        return floyd_warshall(weights)
+    dist0 = _as_square_float(weights)
+    n = dist0.shape[0]
+    if n == 0:
+        return dist0.copy()
+    masked = np.ma.masked_array(dist0, mask=~np.isfinite(dist0))
+    result = _scipy_shortest_path(masked, method="D", directed=False)
+    np.fill_diagonal(result, 0.0)
+    return np.asarray(result, dtype=float)
+
+
+def all_pairs_shortest_paths(weights: np.ndarray, method: str = "auto") -> np.ndarray:
+    """Dispatch to an all-pairs shortest-path kernel.
+
+    ``method`` may be ``"auto"``, ``"floyd_warshall"`` or ``"scipy"``.  The
+    automatic choice uses the vectorized Floyd–Warshall for small instances
+    (where it is essentially free and exactly reproducible) and scipy's
+    Dijkstra for larger ones.
+    """
+    dist0 = _as_square_float(weights)
+    n = dist0.shape[0]
+    if method == "floyd_warshall":
+        return floyd_warshall(dist0)
+    if method == "scipy":
+        return apsp_scipy(dist0)
+    if method != "auto":
+        raise ValueError(f"unknown shortest-path method: {method!r}")
+    if n <= 192 or not _HAVE_SCIPY:
+        return floyd_warshall(dist0)
+    return apsp_scipy(dist0)
+
+
+def single_source_dijkstra(weights: np.ndarray, source: int) -> np.ndarray:
+    """Single-source distances on a dense weight matrix.
+
+    A simple ``O(n^2)`` Dijkstra without a heap; for the dense complete-graph
+    setting of the paper this is the appropriate variant.  ``weights`` follows
+    the same convention as :func:`floyd_warshall`.
+    """
+    dist0 = _as_square_float(weights)
+    n = dist0.shape[0]
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} out of range for n={n}")
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    visited = np.zeros(n, dtype=bool)
+    for _ in range(n):
+        unvisited_dist = np.where(visited, np.inf, dist)
+        u = int(np.argmin(unvisited_dist))
+        if not np.isfinite(unvisited_dist[u]):
+            break
+        visited[u] = True
+        np.minimum(dist, dist[u] + dist0[u], out=dist)
+    dist[source] = 0.0
+    return dist
+
+
+def distances_with_candidate_edges(
+    base_from_u: np.ndarray,
+    candidate_matrix: np.ndarray,
+    subset_mask: np.ndarray,
+) -> np.ndarray:
+    """Distances from an agent ``u`` after buying a subset of candidate edges.
+
+    This implements the key observation used by the exact best-response
+    solver (and by the facility-location view of Theorem 3): once the
+    residual network ``G_rest`` (the created network without ``u``'s owned
+    edges) is fixed, the distance from ``u`` to any node ``x`` after buying
+    edges towards a set ``S`` of candidates is::
+
+        d(u, x) = min( d_rest(u, x), min_{v in S} [ w(u, v) + d_rest(v, x) ] )
+
+    because a shortest path leaving ``u`` through a bought edge never returns
+    to ``u``.
+
+    Parameters
+    ----------
+    base_from_u:
+        ``(n,)`` distances from ``u`` in the residual network.
+    candidate_matrix:
+        ``(m, n)`` matrix whose row ``i`` is ``w(u, c_i) + d_rest(c_i, :)``
+        for candidate ``c_i``.
+    subset_mask:
+        ``(..., m)`` boolean mask selecting which candidates are bought.  Any
+        leading batch dimensions are supported.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(..., n)`` distances from ``u`` for each subset in the batch.
+    """
+    base = np.asarray(base_from_u, dtype=float)
+    cand = np.asarray(candidate_matrix, dtype=float)
+    mask = np.asarray(subset_mask, dtype=bool)
+    if cand.ndim != 2 or cand.shape[1] != base.shape[0]:
+        raise ValueError("candidate_matrix must be (m, n) matching base_from_u")
+    if mask.shape[-1] != cand.shape[0]:
+        raise ValueError("subset_mask last dimension must equal number of candidates")
+    selected = np.where(mask[..., :, None], cand, np.inf)
+    best_via_candidates = selected.min(axis=-2) if cand.shape[0] else np.full_like(
+        np.broadcast_to(base, mask.shape[:-1] + base.shape), np.inf
+    )
+    return np.minimum(base, best_via_candidates)

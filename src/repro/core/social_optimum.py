@@ -1,0 +1,335 @@
+"""Social optimum computation: exact search, local search and structural baselines.
+
+The social optimum of a GNCG instance is the subgraph of the host graph
+minimising ``alpha * (total edge weight) + (sum of all pairwise distances)``
+— the game-theoretic analogue of the Network Design Problem, which the paper
+expects to be NP-hard in general.  Accordingly this module provides:
+
+* :func:`exact_social_optimum` — brute force over all edge subsets of the
+  host graph (practical for the gadget sizes ``n <= 7`` used in the paper's
+  constructions and in the test-suite);
+* :func:`local_search_social_optimum` — add/remove-one-edge local search,
+  the standard heuristic for larger instances;
+* :func:`algorithm1_one_two` — the paper's Algorithm 1, a *polynomial-time
+  exact* algorithm for the 1-2–GNCG with α ≤ 1 (Thm. 6): start from the
+  complete graph and repeatedly delete the 2-edge of any 1-1-2 triangle;
+* structural baselines (MST, best star, complete graph, defining tree) that
+  bracket the optimum and are themselves optimal in special cases
+  (the defining tree for the T–GNCG, Cor. 3).
+
+:func:`social_optimum` dispatches between these and returns the best network
+found together with its cost and the method that produced it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from .game import NetworkCreationGame
+from .shortest_paths import all_pairs_shortest_paths
+from .strategy import StrategyProfile
+
+__all__ = [
+    "OptimumResult",
+    "exact_social_optimum",
+    "local_search_social_optimum",
+    "algorithm1_one_two",
+    "mst_profile",
+    "best_star_profile",
+    "complete_profile",
+    "structural_baselines",
+    "social_optimum",
+]
+
+_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class OptimumResult:
+    """A candidate social optimum together with its cost and provenance."""
+
+    profile: StrategyProfile
+    cost: float
+    method: str
+    exact: bool
+
+
+def _profile_from_edge_set(n: int, edges) -> StrategyProfile:
+    return StrategyProfile.from_undirected_edges(n, edges)
+
+
+def _network_cost(game: NetworkCreationGame, adjacency: np.ndarray) -> float:
+    w = np.where(adjacency, game.host.weights, np.inf)
+    np.fill_diagonal(w, 0.0)
+    dist = all_pairs_shortest_paths(w)
+    finite_w = np.where(adjacency & np.isfinite(game.host.weights), game.host.weights, 0.0)
+    edge_weight = float(np.triu(finite_w, k=1).sum())
+    if np.any(adjacency & ~np.isfinite(game.host.weights)):
+        return float("inf")
+    return float(game.alpha * edge_weight + dist.sum())
+
+
+# ----------------------------------------------------------------------
+# Exact optimum (small n)
+# ----------------------------------------------------------------------
+def exact_social_optimum(
+    game: NetworkCreationGame, *, max_edges: int = 21
+) -> OptimumResult:
+    """Brute-force the optimum over all subsets of host edges.
+
+    Only host edges with finite weight are considered.  The search space has
+    ``2^m`` members for ``m`` candidate edges; ``max_edges`` guards against
+    accidental exponential blow-ups (21 edges = a complete graph on 7 nodes).
+    """
+    n = game.n
+    candidates = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if np.isfinite(game.host.weights[u, v])
+    ]
+    m = len(candidates)
+    if m > max_edges:
+        raise ValueError(
+            f"exact optimum would enumerate 2^{m} edge subsets; "
+            f"use local_search_social_optimum or raise max_edges"
+        )
+    best_cost = float("inf")
+    best_edges: tuple = ()
+    weights = game.host.weights
+    alpha = game.alpha
+    for r in range(n - 1, m + 1):
+        # Networks with fewer than n-1 edges are disconnected; skip them.
+        for combo in itertools.combinations(range(m), r):
+            adj = np.zeros((n, n), dtype=bool)
+            edge_weight = 0.0
+            for idx in combo:
+                u, v = candidates[idx]
+                adj[u, v] = adj[v, u] = True
+                edge_weight += weights[u, v]
+            edge_cost = alpha * edge_weight
+            if edge_cost >= best_cost:
+                continue
+            w = np.where(adj, weights, np.inf)
+            np.fill_diagonal(w, 0.0)
+            dist = all_pairs_shortest_paths(w)
+            total = edge_cost + dist.sum()
+            if total < best_cost - _TOL:
+                best_cost = float(total)
+                best_edges = tuple(candidates[idx] for idx in combo)
+    profile = _profile_from_edge_set(n, best_edges)
+    return OptimumResult(profile=profile, cost=best_cost, method="exact", exact=True)
+
+
+# ----------------------------------------------------------------------
+# Local search
+# ----------------------------------------------------------------------
+def local_search_social_optimum(
+    game: NetworkCreationGame,
+    initial: StrategyProfile | None = None,
+    *,
+    max_iterations: int = 10_000,
+) -> OptimumResult:
+    """Add/remove-one-edge local search over networks.
+
+    Starts from ``initial`` (default: the best structural baseline) and moves
+    to the best neighbouring network (one host edge added or removed) while
+    the social cost strictly decreases.
+    """
+    n = game.n
+    if initial is None:
+        initial = min(
+            structural_baselines(game), key=lambda res: res.cost
+        ).profile
+    adjacency = initial.adjacency().copy()
+    cost = _network_cost(game, adjacency)
+    finite = np.isfinite(game.host.weights)
+
+    for _ in range(max_iterations):
+        best_delta = _TOL
+        best_edge: tuple[int, int] | None = None
+        best_add: bool | None = None
+        for u in range(n):
+            for v in range(u + 1, n):
+                if not finite[u, v]:
+                    continue
+                adjacency[u, v] = adjacency[v, u] = not adjacency[u, v]
+                candidate_cost = _network_cost(game, adjacency)
+                adjacency[u, v] = adjacency[v, u] = not adjacency[u, v]
+                delta = cost - candidate_cost
+                if delta > best_delta:
+                    best_delta = delta
+                    best_edge = (u, v)
+                    best_add = not adjacency[u, v]
+        if best_edge is None:
+            break
+        u, v = best_edge
+        adjacency[u, v] = adjacency[v, u] = bool(best_add)
+        cost -= best_delta
+        cost = _network_cost(game, adjacency)
+
+    edges = [(int(u), int(v)) for u, v in zip(*np.nonzero(np.triu(adjacency, k=1)))]
+    profile = _profile_from_edge_set(n, edges)
+    return OptimumResult(profile=profile, cost=float(cost), method="local_search", exact=False)
+
+
+# ----------------------------------------------------------------------
+# Algorithm 1 for 1-2 host graphs (Thm. 6)
+# ----------------------------------------------------------------------
+def algorithm1_one_two(game: NetworkCreationGame) -> OptimumResult:
+    """The paper's Algorithm 1: optimal network for the 1-2–GNCG with α ≤ 1.
+
+    Start from the complete host graph and, while some triangle has two
+    1-edges and one 2-edge, delete the 2-edge.  The result keeps all 1-edges,
+    has diameter 2, and is a social optimum for every α ≤ 1 (Thm. 6).
+    """
+    w = game.host.weights
+    n = game.n
+    off_diag = w[~np.eye(n, dtype=bool)]
+    if n > 1 and not np.all(
+        np.isclose(off_diag, 1.0, atol=_TOL) | np.isclose(off_diag, 2.0, atol=_TOL)
+    ):
+        raise ValueError("Algorithm 1 requires a 1-2 host graph")
+    adjacency = ~np.eye(n, dtype=bool)
+    one = np.isclose(w, 1.0, atol=_TOL)
+    # A 2-edge (u, v) is in a 1-1-2 triangle iff some x has 1-edges to both.
+    # Removing it never creates new 1-1-2 triangles (only 2-edges are deleted),
+    # so one vectorized pass suffices.
+    two_hop_one = (one @ one) > 0
+    removable = np.isclose(w, 2.0, atol=_TOL) & two_hop_one
+    adjacency &= ~removable
+    np.fill_diagonal(adjacency, False)
+    edges = [(int(u), int(v)) for u, v in zip(*np.nonzero(np.triu(adjacency, k=1)))]
+    profile = _profile_from_edge_set(n, edges)
+    cost = _network_cost(game, adjacency)
+    return OptimumResult(
+        profile=profile, cost=float(cost), method="algorithm1", exact=game.alpha <= 1.0 + _TOL
+    )
+
+
+# ----------------------------------------------------------------------
+# Structural baselines
+# ----------------------------------------------------------------------
+def mst_profile(game: NetworkCreationGame) -> StrategyProfile:
+    """A minimum spanning tree of the host graph (Prim's algorithm)."""
+    w = game.host.weights
+    n = game.n
+    in_tree = np.zeros(n, dtype=bool)
+    in_tree[0] = True
+    best_dist = w[0].copy()
+    best_parent = np.zeros(n, dtype=int)
+    edges: list[tuple[int, int]] = []
+    for _ in range(n - 1):
+        masked = np.where(in_tree, np.inf, best_dist)
+        v = int(np.argmin(masked))
+        if not np.isfinite(masked[v]):
+            raise ValueError("host graph is not connected; no spanning tree exists")
+        edges.append((int(best_parent[v]), v))
+        in_tree[v] = True
+        closer = w[v] < best_dist
+        best_dist = np.where(closer, w[v], best_dist)
+        best_parent = np.where(closer, v, best_parent)
+    return _profile_from_edge_set(n, edges)
+
+
+def best_star_profile(game: NetworkCreationGame) -> StrategyProfile:
+    """The spanning star with the cheapest social cost over all centers."""
+    n = game.n
+    best_cost = float("inf")
+    best_center = 0
+    for center in range(n):
+        adj = np.zeros((n, n), dtype=bool)
+        adj[center, :] = True
+        adj[:, center] = True
+        np.fill_diagonal(adj, False)
+        cost = _network_cost(game, adj)
+        if cost < best_cost:
+            best_cost = cost
+            best_center = center
+    return StrategyProfile.star(n, center=best_center, center_owns=True)
+
+
+def complete_profile(game: NetworkCreationGame) -> StrategyProfile:
+    """The complete network over all finite host edges."""
+    n = game.n
+    edges = [
+        (u, v)
+        for u in range(n)
+        for v in range(u + 1, n)
+        if np.isfinite(game.host.weights[u, v])
+    ]
+    return _profile_from_edge_set(n, edges)
+
+
+def structural_baselines(game: NetworkCreationGame) -> list[OptimumResult]:
+    """MST, best star, complete graph (and defining tree / Algorithm 1 when applicable)."""
+    results: list[OptimumResult] = []
+    for name, builder in (
+        ("mst", mst_profile),
+        ("best_star", best_star_profile),
+        ("complete", complete_profile),
+    ):
+        try:
+            profile = builder(game)
+        except ValueError:
+            continue
+        results.append(
+            OptimumResult(profile=profile, cost=game.social_cost(profile), method=name, exact=False)
+        )
+    if game.host.tree_edges is not None:
+        from .equilibria import tree_profile_from_host
+
+        profile = tree_profile_from_host(game)
+        results.append(
+            OptimumResult(
+                profile=profile, cost=game.social_cost(profile), method="host_tree", exact=True
+            )
+        )
+    variant = game.host.classify()
+    if variant.value in ("1-2-GNCG", "NCG") and game.alpha <= 1.0 + _TOL:
+        results.append(algorithm1_one_two(game))
+    return results
+
+
+def social_optimum(
+    game: NetworkCreationGame,
+    *,
+    method: str = "auto",
+    max_edges_exact: int = 21,
+) -> OptimumResult:
+    """Compute (or approximate) the social optimum.
+
+    ``method``:
+
+    * ``"exact"`` — brute force (small instances only);
+    * ``"local_search"`` — baselines + local search;
+    * ``"auto"`` — exact when the host has at most ``max_edges_exact`` finite
+      edges, Algorithm 1 for 1-2 hosts with α ≤ 1, the defining tree for tree
+      hosts, otherwise baselines + local search.
+    """
+    n = game.n
+    finite_edges = int(np.count_nonzero(np.triu(np.isfinite(game.host.weights), k=1)))
+    variant = game.host.classify()
+
+    if method == "exact":
+        return exact_social_optimum(game, max_edges=max(max_edges_exact, finite_edges))
+    if method == "local_search":
+        return local_search_social_optimum(game)
+    if method != "auto":
+        raise ValueError(f"unknown method {method!r}")
+
+    if game.host.tree_edges is not None:
+        from .equilibria import tree_profile_from_host
+
+        profile = tree_profile_from_host(game)
+        return OptimumResult(
+            profile=profile, cost=game.social_cost(profile), method="host_tree", exact=True
+        )
+    if variant.value in ("1-2-GNCG", "NCG") and game.alpha <= 1.0 + _TOL:
+        return algorithm1_one_two(game)
+    if finite_edges <= max_edges_exact:
+        return exact_social_optimum(game, max_edges=max_edges_exact)
+    return local_search_social_optimum(game)

@@ -1,0 +1,167 @@
+"""Spanners of the host graph.
+
+Spanners appear in the paper in three ways:
+
+* Lemma 1 — every Add-only Equilibrium (hence every GE and NE) is an
+  ``(α+1)``-spanner of the host graph;
+* Lemma 2 — every social optimum is an ``(α/2+1)``-spanner;
+* Theorem 5 — for 1-2 host graphs with ``1/2 ≤ α ≤ 1`` a minimum-weight
+  ``3/2``-spanner admits an edge-ownership assignment that is a NE.
+
+This module provides the ``k``-spanner predicate and stretch computation,
+the classical greedy spanner construction (which yields a ``(2k-1)``-spanner
+when run with threshold ``2k-1``; for our purposes it is run directly with
+the target stretch), and a weight-pruning local search used to approximate
+*minimum-weight* spanners for the Theorem 5 construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .host_graph import HostGraph
+from .shortest_paths import all_pairs_shortest_paths
+from .strategy import StrategyProfile
+
+__all__ = [
+    "SpannerResult",
+    "spanner_stretch",
+    "is_k_spanner",
+    "greedy_spanner",
+    "prune_spanner",
+    "minimum_weight_spanner",
+]
+
+_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class SpannerResult:
+    """A spanner given by its edge set, with weight and achieved stretch."""
+
+    edges: tuple[tuple[int, int], ...]
+    total_weight: float
+    stretch: float
+
+    def to_profile(self, n: int) -> StrategyProfile:
+        return StrategyProfile.from_undirected_edges(n, self.edges)
+
+
+def _subgraph_distances(host: HostGraph, adjacency: np.ndarray) -> np.ndarray:
+    w = np.where(adjacency, host.weights, np.inf)
+    np.fill_diagonal(w, 0.0)
+    return all_pairs_shortest_paths(w)
+
+
+def spanner_stretch(host: HostGraph, subgraph, *, tol: float = _TOL) -> float:
+    """Maximum ratio ``d_G(u, v) / d_H(u, v)`` over all pairs.
+
+    ``subgraph`` may be a :class:`StrategyProfile`, a boolean adjacency
+    matrix, or an iterable of undirected edges.  Pairs at host distance zero
+    are required to also be at distance zero in the subgraph (otherwise the
+    stretch is infinite).
+    """
+    adjacency = _as_adjacency(host.n, subgraph)
+    d_sub = _subgraph_distances(host, adjacency)
+    d_host = host.host_distances()
+    n = host.n
+    mask = ~np.eye(n, dtype=bool)
+    ratios = np.ones((n, n))
+    positive = mask & (d_host > tol)
+    ratios[positive] = d_sub[positive] / d_host[positive]
+    zero_pairs = mask & (d_host <= tol)
+    if np.any(zero_pairs & (d_sub > tol)):
+        return float("inf")
+    return float(ratios[mask].max()) if n > 1 else 1.0
+
+
+def is_k_spanner(host: HostGraph, subgraph, k: float, *, tol: float = 1e-9) -> bool:
+    """``True`` iff ``d_G(u, v) <= k * d_H(u, v)`` for every pair."""
+    return spanner_stretch(host, subgraph) <= k * (1 + 1e-12) + tol
+
+
+def _as_adjacency(n: int, subgraph) -> np.ndarray:
+    if isinstance(subgraph, StrategyProfile):
+        return subgraph.adjacency()
+    arr = np.asarray(subgraph)
+    if arr.ndim == 2 and arr.shape == (n, n):
+        return arr.astype(bool)
+    adjacency = np.zeros((n, n), dtype=bool)
+    for u, v in subgraph:
+        adjacency[u, v] = adjacency[v, u] = True
+    return adjacency
+
+
+def greedy_spanner(host: HostGraph, k: float) -> SpannerResult:
+    """The classical greedy ``k``-spanner.
+
+    Process host edges by non-decreasing weight; add edge ``(u, v)`` iff the
+    current subgraph distance between ``u`` and ``v`` exceeds ``k * w(u, v)``.
+    The result is always a ``k``-spanner of the host graph.
+    """
+    n = host.n
+    edges = sorted(host.edge_list(finite_only=True), key=lambda e: e[2])
+    adjacency = np.zeros((n, n), dtype=bool)
+    chosen: list[tuple[int, int]] = []
+    for u, v, w in edges:
+        d = _subgraph_distances(host, adjacency)
+        if d[u, v] > k * w + _TOL:
+            adjacency[u, v] = adjacency[v, u] = True
+            chosen.append((u, v))
+    total = sum(host.weight(u, v) for u, v in chosen)
+    return SpannerResult(
+        edges=tuple(chosen), total_weight=float(total), stretch=spanner_stretch(host, adjacency)
+    )
+
+
+def prune_spanner(host: HostGraph, edges, k: float) -> SpannerResult:
+    """Remove edges (heaviest first) while the subgraph remains a ``k``-spanner."""
+    n = host.n
+    adjacency = _as_adjacency(n, edges)
+    current_edges = sorted(
+        [(int(u), int(v)) for u, v in zip(*np.nonzero(np.triu(adjacency, k=1)))],
+        key=lambda e: -host.weight(*e),
+    )
+    for u, v in current_edges:
+        adjacency[u, v] = adjacency[v, u] = False
+        if spanner_stretch(host, adjacency) > k * (1 + 1e-12) + _TOL:
+            adjacency[u, v] = adjacency[v, u] = True
+    kept = [(int(u), int(v)) for u, v in zip(*np.nonzero(np.triu(adjacency, k=1)))]
+    total = sum(host.weight(u, v) for u, v in kept)
+    return SpannerResult(
+        edges=tuple(kept), total_weight=float(total), stretch=spanner_stretch(host, adjacency)
+    )
+
+
+def minimum_weight_spanner(host: HostGraph, k: float, *, exact_max_edges: int = 18) -> SpannerResult:
+    """A minimum-weight ``k``-spanner (exact for small hosts, pruned-greedy otherwise).
+
+    Exact search enumerates edge subsets by increasing total weight; it is
+    used to build the Theorem 5 equilibrium networks on gadget-sized 1-2
+    hosts.  Larger instances fall back to greedy construction followed by
+    heaviest-first pruning.
+    """
+    n = host.n
+    all_edges = host.edge_list(finite_only=True)
+    m = len(all_edges)
+    if m <= exact_max_edges:
+        import itertools
+
+        best: SpannerResult | None = None
+        for r in range(n - 1, m + 1):
+            for combo in itertools.combinations(range(m), r):
+                edges = [(all_edges[i][0], all_edges[i][1]) for i in combo]
+                weight = sum(all_edges[i][2] for i in combo)
+                if best is not None and weight >= best.total_weight - _TOL:
+                    continue
+                stretch = spanner_stretch(host, edges)
+                if stretch <= k * (1 + 1e-12) + _TOL:
+                    best = SpannerResult(
+                        edges=tuple(edges), total_weight=float(weight), stretch=float(stretch)
+                    )
+        if best is not None:
+            return best
+    greedy = greedy_spanner(host, k)
+    return prune_spanner(host, greedy.edges, k)

@@ -1,0 +1,265 @@
+"""Strategy profiles of the Generalized Network Creation Game.
+
+A strategy of agent ``u`` is a set ``S_u ⊆ V \\ {u}`` of nodes towards which
+``u`` buys an (undirected) edge; ``u`` is then the *owner* of those edges and
+pays ``alpha * w(u, v)`` for each.  A strategy profile is the vector of all
+agents' strategies; it determines the created network ``G(s)`` whose edge set
+is ``{(u, v) : v ∈ S_u for some u}``.
+
+:class:`StrategyProfile` stores the whole profile as an ``(n, n)`` boolean
+*ownership matrix* ``owns`` where ``owns[u, v]`` means "agent ``u`` buys the
+edge towards ``v``".  This representation makes the created network's
+adjacency (``owns | owns.T``), per-agent edge costs and profile hashing all
+cheap vectorized operations, while still allowing the per-agent set view
+used by the game-theoretic definitions.
+
+Profiles are immutable; all editing operations (:meth:`with_strategy`,
+:meth:`add_edge`, :meth:`delete_edge`, :meth:`swap_edge`) return new objects,
+which keeps best-response search and dynamics free of aliasing bugs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["StrategyProfile"]
+
+
+class StrategyProfile:
+    """Immutable ownership matrix representation of a strategy profile."""
+
+    __slots__ = ("_owns",)
+
+    def __init__(self, ownership: np.ndarray, *, copy: bool = True, validate: bool = True) -> None:
+        owns = np.array(ownership, dtype=bool, copy=copy)
+        if owns.ndim != 2 or owns.shape[0] != owns.shape[1]:
+            raise ValueError(f"ownership must be a square boolean matrix, got {owns.shape}")
+        if validate and np.any(np.diag(owns)):
+            raise ValueError("agents cannot buy self-loops")
+        np.fill_diagonal(owns, False)
+        owns.setflags(write=False)
+        self._owns = owns
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, n: int) -> "StrategyProfile":
+        """The profile in which no agent buys any edge."""
+        return cls(np.zeros((n, n), dtype=bool), copy=False, validate=False)
+
+    @classmethod
+    def from_sets(cls, n: int, strategies: Mapping[int, Iterable[int]] | Sequence[Iterable[int]]) -> "StrategyProfile":
+        """Build a profile from per-agent strategy sets.
+
+        ``strategies`` may be a sequence indexed by agent or a mapping from
+        agent to an iterable of targets.
+        """
+        owns = np.zeros((n, n), dtype=bool)
+        if isinstance(strategies, Mapping):
+            items = strategies.items()
+        else:
+            items = enumerate(strategies)
+        for u, targets in items:
+            for v in targets:
+                if u == v:
+                    raise ValueError(f"agent {u} cannot buy an edge to itself")
+                if not (0 <= u < n and 0 <= v < n):
+                    raise ValueError(f"edge ({u}, {v}) out of range for n={n}")
+                owns[u, v] = True
+        return cls(owns, copy=False, validate=False)
+
+    @classmethod
+    def from_owned_edges(cls, n: int, owned_edges: Iterable[tuple[int, int]]) -> "StrategyProfile":
+        """Build a profile from ``(owner, target)`` pairs."""
+        owns = np.zeros((n, n), dtype=bool)
+        for u, v in owned_edges:
+            if u == v:
+                raise ValueError("self-loops are not allowed")
+            owns[u, v] = True
+        return cls(owns, copy=False, validate=False)
+
+    @classmethod
+    def from_undirected_edges(
+        cls, n: int, edges: Iterable[tuple[int, int]], *, owner: str = "low"
+    ) -> "StrategyProfile":
+        """Build a profile from an undirected edge set with a deterministic owner rule.
+
+        ``owner`` is ``"low"`` (the smaller endpoint buys) or ``"high"``.
+        Ownership does not affect the social cost, only individual costs.
+        """
+        owns = np.zeros((n, n), dtype=bool)
+        for u, v in edges:
+            if u == v:
+                raise ValueError("self-loops are not allowed")
+            a, b = (min(u, v), max(u, v)) if owner == "low" else (max(u, v), min(u, v))
+            owns[a, b] = True
+        return cls(owns, copy=False, validate=False)
+
+    @classmethod
+    def star(cls, n: int, center: int = 0, *, center_owns: bool = True) -> "StrategyProfile":
+        """A spanning star; the center (or each leaf) owns all its edges."""
+        if not 0 <= center < n:
+            raise ValueError("center out of range")
+        owns = np.zeros((n, n), dtype=bool)
+        if center_owns:
+            owns[center, :] = True
+            owns[center, center] = False
+        else:
+            owns[:, center] = True
+            owns[center, center] = False
+        return cls(owns, copy=False, validate=False)
+
+    @classmethod
+    def complete(cls, n: int) -> "StrategyProfile":
+        """The complete network, each edge owned by its smaller endpoint."""
+        owns = np.triu(np.ones((n, n), dtype=bool), k=1)
+        return cls(owns, copy=False, validate=False)
+
+    @classmethod
+    def path(cls, order: Sequence[int], n: int | None = None) -> "StrategyProfile":
+        """A path visiting ``order``; each edge is owned by the earlier node."""
+        seq = [int(x) for x in order]
+        if n is None:
+            n = (max(seq) + 1) if seq else 0
+        owns = np.zeros((n, n), dtype=bool)
+        for a, b in zip(seq, seq[1:]):
+            owns[a, b] = True
+        return cls(owns, copy=False, validate=False)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self._owns.shape[0]
+
+    @property
+    def ownership(self) -> np.ndarray:
+        """Read-only ``(n, n)`` boolean ownership matrix."""
+        return self._owns
+
+    def strategy(self, u: int) -> frozenset[int]:
+        """Agent ``u``'s strategy ``S_u`` as a frozen set of targets."""
+        return frozenset(int(v) for v in np.nonzero(self._owns[u])[0])
+
+    def strategies(self) -> list[frozenset[int]]:
+        return [self.strategy(u) for u in range(self.n)]
+
+    def adjacency(self) -> np.ndarray:
+        """Boolean adjacency matrix of the created network ``G(s)``."""
+        return self._owns | self._owns.T
+
+    def owns_edge(self, u: int, v: int) -> bool:
+        return bool(self._owns[u, v])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return bool(self._owns[u, v] or self._owns[v, u])
+
+    def owned_edges(self) -> list[tuple[int, int]]:
+        """All ``(owner, target)`` pairs."""
+        return [(int(u), int(v)) for u, v in zip(*np.nonzero(self._owns))]
+
+    def edges(self) -> list[tuple[int, int]]:
+        """Undirected edges of the created network as sorted pairs ``u < v``."""
+        adj = np.triu(self.adjacency(), k=1)
+        return [(int(u), int(v)) for u, v in zip(*np.nonzero(adj))]
+
+    def num_edges(self) -> int:
+        return int(np.count_nonzero(np.triu(self.adjacency(), k=1)))
+
+    def num_owned_edges(self, u: int | None = None) -> int:
+        if u is None:
+            return int(np.count_nonzero(self._owns))
+        return int(np.count_nonzero(self._owns[u]))
+
+    def double_bought_edges(self) -> list[tuple[int, int]]:
+        """Edges bought by both endpoints (never happens in equilibrium or OPT)."""
+        both = self._owns & self._owns.T
+        return [(int(u), int(v)) for u, v in zip(*np.nonzero(np.triu(both, k=1)))]
+
+    def to_networkx(self, host=None):
+        """Export the created network as a networkx graph (weighted if a host is given)."""
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(range(self.n))
+        for u, v in self.edges():
+            if host is None:
+                g.add_edge(u, v)
+            else:
+                g.add_edge(u, v, weight=host.weight(u, v))
+        return g
+
+    # ------------------------------------------------------------------
+    # Editing (all return new profiles)
+    # ------------------------------------------------------------------
+    def with_strategy(self, u: int, targets: Iterable[int]) -> "StrategyProfile":
+        """Replace agent ``u``'s strategy with ``targets``."""
+        owns = np.array(self._owns, copy=True)
+        owns[u, :] = False
+        for v in targets:
+            if v == u:
+                raise ValueError("agents cannot buy self-loops")
+            owns[u, v] = True
+        return StrategyProfile(owns, copy=False, validate=False)
+
+    def add_edge(self, owner: int, target: int) -> "StrategyProfile":
+        """Agent ``owner`` additionally buys the edge towards ``target``."""
+        if owner == target:
+            raise ValueError("agents cannot buy self-loops")
+        owns = np.array(self._owns, copy=True)
+        owns[owner, target] = True
+        return StrategyProfile(owns, copy=False, validate=False)
+
+    def delete_edge(self, owner: int, target: int) -> "StrategyProfile":
+        """Agent ``owner`` removes its bought edge towards ``target``."""
+        owns = np.array(self._owns, copy=True)
+        owns[owner, target] = False
+        return StrategyProfile(owns, copy=False, validate=False)
+
+    def swap_edge(self, owner: int, old_target: int, new_target: int) -> "StrategyProfile":
+        """Agent ``owner`` swaps its edge from ``old_target`` to ``new_target``."""
+        if owner == new_target:
+            raise ValueError("agents cannot buy self-loops")
+        owns = np.array(self._owns, copy=True)
+        owns[owner, old_target] = False
+        owns[owner, new_target] = True
+        return StrategyProfile(owns, copy=False, validate=False)
+
+    def transfer_ownership(self, u: int, v: int) -> "StrategyProfile":
+        """Flip the owner of the edge ``(u, v)`` keeping the network unchanged."""
+        owns = np.array(self._owns, copy=True)
+        if owns[u, v]:
+            owns[u, v] = False
+            owns[v, u] = True
+        elif owns[v, u]:
+            owns[v, u] = False
+            owns[u, v] = True
+        else:
+            raise ValueError(f"edge ({u}, {v}) is not present in the profile")
+        return StrategyProfile(owns, copy=False, validate=False)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def canonical_key(self) -> bytes:
+        """A hashable canonical representation (used for cycle detection)."""
+        return np.packbits(self._owns).tobytes()
+
+    def network_key(self) -> bytes:
+        """A canonical key of the *created network* only (ownership ignored)."""
+        return np.packbits(self.adjacency()).tobytes()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StrategyProfile):
+            return NotImplemented
+        return self.n == other.n and bool(np.array_equal(self._owns, other._owns))
+
+    def __hash__(self) -> int:
+        return hash((self.n, self.canonical_key()))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StrategyProfile(n={self.n}, edges={self.num_edges()})"

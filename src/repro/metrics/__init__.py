@@ -1,0 +1,35 @@
+"""Random instance generators and validators for every host-graph class.
+
+The generators mirror the model hierarchy of Fig. 1 of the paper; each
+returns a :class:`~repro.core.host_graph.HostGraph` whose
+:meth:`~repro.core.host_graph.HostGraph.classify` result is the intended
+variant (or a more specific one).
+"""
+
+from .generators import (
+    random_euclidean_host,
+    random_general_host,
+    random_metric_host,
+    random_one_infinity_host,
+    random_one_two_host,
+    random_tree_host,
+    unit_host,
+)
+from .validation import (
+    is_metric_matrix,
+    nearest_metric_repair,
+    triangle_violations,
+)
+
+__all__ = [
+    "is_metric_matrix",
+    "nearest_metric_repair",
+    "random_euclidean_host",
+    "random_general_host",
+    "random_metric_host",
+    "random_one_infinity_host",
+    "random_one_two_host",
+    "random_tree_host",
+    "triangle_violations",
+    "unit_host",
+]

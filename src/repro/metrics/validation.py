@@ -1,0 +1,39 @@
+"""Validation helpers for weight matrices: metricity checks and repair."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.host_graph import HostGraph, MetricViolation
+from ..core.shortest_paths import all_pairs_shortest_paths
+
+__all__ = ["is_metric_matrix", "triangle_violations", "nearest_metric_repair"]
+
+
+def is_metric_matrix(weights: np.ndarray, *, tol: float = 1e-9) -> bool:
+    """``True`` iff the square matrix is symmetric, finite, non-negative and triangular."""
+    arr = np.asarray(weights, dtype=float)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        return False
+    if np.any(~np.isfinite(arr)) or np.any(arr < -tol):
+        return False
+    if not np.allclose(arr, arr.T, atol=tol):
+        return False
+    return HostGraph(arr, validate=False).is_metric(tol)
+
+
+def triangle_violations(weights: np.ndarray, *, tol: float = 1e-9) -> list[MetricViolation]:
+    """All triangle-inequality violations of a weight matrix."""
+    return HostGraph(np.asarray(weights, dtype=float), validate=False).metric_violations(tol)
+
+
+def nearest_metric_repair(weights: np.ndarray) -> np.ndarray:
+    """Repair a weight matrix into a metric by taking its shortest-path closure.
+
+    The closure is the largest metric dominated by the input (every repaired
+    weight is at most the original weight), which is the standard repair for
+    host graphs intended to be metric.
+    """
+    arr = np.asarray(weights, dtype=float).copy()
+    np.fill_diagonal(arr, 0.0)
+    return all_pairs_shortest_paths(arr)

@@ -1,0 +1,274 @@
+"""Theorems 13 and 16: best-response computation is NP-hard (Set Cover gadgets).
+
+Both hardness proofs reduce Minimum Set Cover to the best-response problem of
+a single agent ``u``:
+
+* **Theorem 13 (tree metric, Fig. 4)** — the metric is defined by a tree
+  with a hub ``c`` at distance ``L - eps`` from ``u``, set nodes ``a_i`` at
+  distance ``eps`` from ``c``, element nodes ``p_j`` hanging at distance
+  ``L`` below one of the set nodes containing them, and blocker nodes
+  ``b_i`` at distance ``(L - beta)/2`` from ``u``.
+
+* **Theorem 16 (points in R^2, Fig. 7)** — the same combinatorial structure
+  realised geometrically: set nodes on a tiny arc of the radius-``L`` circle
+  around ``u``, element nodes on a tiny arc of the radius-``2L`` circle, and
+  blocker nodes on the segments from ``u`` towards each set node.
+
+In both gadgets the pre-existing network consists of the edges
+``(b_i, u)``, ``(b_i, a_i)`` and ``(a_i, p_j)`` for ``p_j ∈ X_i``; agent
+``u`` owns nothing, and its best response buys edges exactly towards the set
+nodes of a *minimum* set cover (for ``L >> beta >> k * eps``).
+
+The module also provides greedy and exact Set Cover solvers so the
+equivalence can be verified computationally on small instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.best_response import best_response_exact
+from ..core.game import NetworkCreationGame
+from ..core.host_graph import HostGraph
+from ..core.strategy import StrategyProfile
+
+__all__ = [
+    "SetCoverInstance",
+    "SetCoverGadget",
+    "greedy_set_cover",
+    "exact_set_cover",
+    "tree_set_cover_reduction",
+    "euclidean_set_cover_reduction",
+    "strategy_to_cover",
+    "u_best_response_cover",
+]
+
+
+@dataclass(frozen=True)
+class SetCoverInstance:
+    """A Set Cover instance: a universe ``{0..k-1}`` and a family of subsets."""
+
+    universe_size: int
+    subsets: tuple[frozenset[int], ...]
+
+    def __post_init__(self) -> None:
+        if self.universe_size < 1:
+            raise ValueError("the universe must be non-empty")
+        covered = set().union(*self.subsets) if self.subsets else set()
+        if covered != set(range(self.universe_size)):
+            raise ValueError("the subsets must cover the whole universe")
+        if any(not s for s in self.subsets):
+            raise ValueError("subsets must be non-empty")
+
+    @classmethod
+    def from_lists(cls, universe_size: int, subsets: Sequence[Iterable[int]]) -> "SetCoverInstance":
+        return cls(universe_size, tuple(frozenset(int(x) for x in s) for s in subsets))
+
+    @property
+    def num_subsets(self) -> int:
+        return len(self.subsets)
+
+
+def is_cover(instance: SetCoverInstance, selection: Iterable[int]) -> bool:
+    """``True`` iff the selected subset indices cover the whole universe."""
+    covered: set[int] = set()
+    for idx in selection:
+        covered |= instance.subsets[idx]
+    return covered == set(range(instance.universe_size))
+
+
+def greedy_set_cover(instance: SetCoverInstance) -> set[int]:
+    """The classical greedy (ln n)-approximation."""
+    uncovered = set(range(instance.universe_size))
+    chosen: set[int] = set()
+    while uncovered:
+        best_idx = max(
+            range(instance.num_subsets),
+            key=lambda i: len(instance.subsets[i] & uncovered),
+        )
+        if not instance.subsets[best_idx] & uncovered:
+            raise ValueError("instance is not coverable")  # pragma: no cover
+        chosen.add(best_idx)
+        uncovered -= instance.subsets[best_idx]
+    return chosen
+
+
+def exact_set_cover(instance: SetCoverInstance) -> set[int]:
+    """An exact minimum set cover by enumeration in increasing cardinality."""
+    indices = range(instance.num_subsets)
+    for r in range(1, instance.num_subsets + 1):
+        for combo in itertools.combinations(indices, r):
+            if is_cover(instance, combo):
+                return set(combo)
+    raise ValueError("instance is not coverable")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class SetCoverGadget:
+    """A best-response-hardness gadget: game, pre-existing profile and bookkeeping."""
+
+    game: NetworkCreationGame
+    profile: StrategyProfile
+    instance: SetCoverInstance
+    u: int
+    set_nodes: tuple[int, ...]
+    element_nodes: tuple[int, ...]
+    blocker_nodes: tuple[int, ...]
+    hub_node: int | None
+    kind: str
+
+
+def _gadget_profile(
+    n: int,
+    u: int,
+    hub_node: int | None,
+    set_nodes: Sequence[int],
+    element_nodes: Sequence[int],
+    blocker_nodes: Sequence[int],
+    instance: SetCoverInstance,
+    element_parent: Sequence[int],
+) -> StrategyProfile:
+    """The pre-existing network: (b_i,u), (b_i,a_i), (a_i,p_j) for p_j in X_i, and (c,u)."""
+    owns = np.zeros((n, n), dtype=bool)
+    for b, a in zip(blocker_nodes, set_nodes):
+        owns[b, u] = True
+        owns[b, a] = True
+    if hub_node is not None:
+        owns[hub_node, u] = True
+    for j, parent in enumerate(element_parent):
+        # every element is attached to every set node whose subset contains it
+        for i, subset in enumerate(instance.subsets):
+            if j in subset:
+                owns[set_nodes[i], element_nodes[j]] = True
+    return StrategyProfile(owns, copy=False, validate=False)
+
+
+def tree_set_cover_reduction(
+    instance: SetCoverInstance,
+    *,
+    alpha: float = 1.0,
+    L: float = 100.0,
+    beta: float = 10.0,
+    eps: float = 0.01,
+) -> SetCoverGadget:
+    """Build the Theorem 13 (tree metric) gadget for a Set Cover instance.
+
+    The defaults satisfy the proof's requirements ``L >> eps`` and
+    ``beta > 2 * k * eps`` for universes of size up to a few hundred.
+    """
+    k = instance.universe_size
+    m = instance.num_subsets
+    if beta <= 2 * k * eps:
+        raise ValueError("need beta > 2 * k * eps for the reduction to be faithful")
+    if L <= 3 * beta:
+        raise ValueError("need L substantially larger than beta")
+
+    # Node layout: u, c, a_1..a_m, b_1..b_m, p_1..p_k
+    u = 0
+    c = 1
+    set_nodes = tuple(range(2, 2 + m))
+    blocker_nodes = tuple(range(2 + m, 2 + 2 * m))
+    element_nodes = tuple(range(2 + 2 * m, 2 + 2 * m + k))
+    n = 2 + 2 * m + k
+
+    element_parent = []
+    tree_edges: list[tuple[int, int, float]] = [(c, u, L - eps)]
+    for i in range(m):
+        tree_edges.append((c, set_nodes[i], eps))
+        tree_edges.append((u, blocker_nodes[i], (L - beta) / 2.0))
+    for j in range(k):
+        parent_set = next(i for i, s in enumerate(instance.subsets) if j in s)
+        element_parent.append(parent_set)
+        tree_edges.append((set_nodes[parent_set], element_nodes[j], L))
+    host = HostGraph.from_tree(tree_edges, n)
+    game = NetworkCreationGame(host, alpha)
+    profile = _gadget_profile(
+        n, u, c, set_nodes, element_nodes, blocker_nodes, instance, element_parent
+    )
+    return SetCoverGadget(
+        game=game,
+        profile=profile,
+        instance=instance,
+        u=u,
+        set_nodes=set_nodes,
+        element_nodes=element_nodes,
+        blocker_nodes=blocker_nodes,
+        hub_node=c,
+        kind="tree",
+    )
+
+
+def euclidean_set_cover_reduction(
+    instance: SetCoverInstance,
+    *,
+    alpha: float = 1.0,
+    L: float = 100.0,
+    beta: float = 10.0,
+    eps: float = 0.01,
+) -> SetCoverGadget:
+    """Build the Theorem 16 (points in R^2) gadget for a Set Cover instance.
+
+    Set nodes sit on a tiny arc of the radius-``L`` circle around ``u``,
+    element nodes on a tiny arc of the radius-``2L`` circle, and blocker
+    nodes at distance ``(L - beta)/2`` on the rays towards the set nodes.
+    """
+    k = instance.universe_size
+    m = instance.num_subsets
+    if beta <= k * eps:
+        raise ValueError("need beta > k * eps for the reduction to be faithful")
+    if not beta < L / 3.0:
+        raise ValueError("need beta < L / 3")
+
+    u = 0
+    set_nodes = tuple(range(1, 1 + m))
+    blocker_nodes = tuple(range(1 + m, 1 + 2 * m))
+    element_nodes = tuple(range(1 + 2 * m, 1 + 2 * m + k))
+    n = 1 + 2 * m + k
+
+    points = np.zeros((n, 2))
+    # spread the set nodes over an arc of total length eps on the circle of radius L
+    set_angles = (np.arange(m) - (m - 1) / 2.0) * (eps / max(L * max(m - 1, 1), 1.0))
+    for i, angle in enumerate(set_angles):
+        points[set_nodes[i]] = L * np.array([np.cos(angle), np.sin(angle)])
+        # Each blocker lies on the line through u and a_i but on the opposite
+        # side of u, so that d(u, a_i) through b_i equals 2L - beta (Fig. 7).
+        points[blocker_nodes[i]] = -(L - beta) / 2.0 * np.array([np.cos(angle), np.sin(angle)])
+    elem_angles = (np.arange(k) - (k - 1) / 2.0) * (eps / max(2 * L * max(k - 1, 1), 1.0))
+    for j, angle in enumerate(elem_angles):
+        points[element_nodes[j]] = 2 * L * np.array([np.cos(angle), np.sin(angle)])
+
+    host = HostGraph.from_points(points, p=2)
+    game = NetworkCreationGame(host, alpha)
+    element_parent = [next(i for i, s in enumerate(instance.subsets) if j in s) for j in range(k)]
+    profile = _gadget_profile(
+        n, u, None, set_nodes, element_nodes, blocker_nodes, instance, element_parent
+    )
+    return SetCoverGadget(
+        game=game,
+        profile=profile,
+        instance=instance,
+        u=u,
+        set_nodes=set_nodes,
+        element_nodes=element_nodes,
+        blocker_nodes=blocker_nodes,
+        hub_node=None,
+        kind="euclidean",
+    )
+
+
+def strategy_to_cover(gadget: SetCoverGadget, strategy: Iterable[int]) -> set[int]:
+    """Interpret a strategy of agent ``u`` as a selection of subsets (set nodes only)."""
+    index = {node: i for i, node in enumerate(gadget.set_nodes)}
+    return {index[t] for t in strategy if t in index}
+
+
+def u_best_response_cover(gadget: SetCoverGadget, *, max_candidates: int = 24) -> set[int]:
+    """Agent ``u``'s exact best response mapped to a subset selection."""
+    result = best_response_exact(
+        gadget.game, gadget.profile, gadget.u, max_candidates=max_candidates
+    )
+    return strategy_to_cover(gadget, result.strategy)

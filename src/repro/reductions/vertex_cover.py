@@ -1,0 +1,215 @@
+"""Theorem 4 / Figure 2: deciding Nash equilibrium is NP-hard for the 1-2–GNCG.
+
+The reduction maps a Vertex Cover instance ``(G_vc, C)`` (a graph together
+with a vertex cover of size ``k``) to a 1-2 host graph and a strategy
+profile with ``alpha = 1`` such that
+
+* every agent except the special agent ``u`` plays a best response, and
+* agent ``u`` has an improving move **iff** ``G_vc`` admits a vertex cover of
+  size at most ``k - 1``.
+
+The host graph (Fig. 2) has one *vertex node* per vertex of ``G_vc``, two
+*edge nodes* ``p_j, p'_j`` per edge ``e_j``, and the extra node ``u``.
+1-edges join a vertex node to the edge nodes of its incident edges and every
+pair of vertex nodes; all remaining pairs (including everything incident to
+``u``) are 2-edges.  In the constructed profile every 1-edge is bought by one
+endpoint and ``u`` buys 2-edges towards the vertex nodes of the given cover.
+
+Agent ``u``'s cost under a cover-shaped strategy of size ``k'`` is
+``3N + 6m + k'`` (N = #vertices, m = #edges of the VC instance), so best
+responses of ``u`` correspond exactly to minimum vertex covers.
+
+This module also ships exact (branch-and-bound) and greedy (maximal
+matching, 2-approximate) vertex-cover solvers so the equivalence can be
+validated end-to-end on small instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core.best_response import best_response_exact
+from ..core.game import NetworkCreationGame
+from ..core.host_graph import HostGraph
+from ..core.strategy import StrategyProfile
+
+__all__ = [
+    "VertexCoverInstance",
+    "NashDecisionGadget",
+    "is_vertex_cover",
+    "greedy_vertex_cover",
+    "exact_minimum_vertex_cover",
+    "nash_decision_reduction",
+    "strategy_to_vertex_cover",
+    "agent_u_cost_formula",
+]
+
+
+@dataclass(frozen=True)
+class VertexCoverInstance:
+    """An undirected graph given by its vertex count and edge list."""
+
+    num_vertices: int
+    edges: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        for u, v in self.edges:
+            if u == v:
+                raise ValueError("vertex cover instances must not contain self-loops")
+            if not (0 <= u < self.num_vertices and 0 <= v < self.num_vertices):
+                raise ValueError("edge endpoint out of range")
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[tuple[int, int]], num_vertices: int | None = None) -> "VertexCoverInstance":
+        edge_list = tuple((int(u), int(v)) for u, v in edges)
+        if num_vertices is None:
+            num_vertices = 1 + max((max(u, v) for u, v in edge_list), default=-1)
+        return cls(num_vertices=num_vertices, edges=edge_list)
+
+
+def is_vertex_cover(instance: VertexCoverInstance, cover: Iterable[int]) -> bool:
+    """``True`` iff every edge of the instance has an endpoint in ``cover``."""
+    cover_set = set(cover)
+    return all(u in cover_set or v in cover_set for u, v in instance.edges)
+
+
+def greedy_vertex_cover(instance: VertexCoverInstance) -> set[int]:
+    """The classical maximal-matching 2-approximation."""
+    cover: set[int] = set()
+    for u, v in instance.edges:
+        if u not in cover and v not in cover:
+            cover.add(u)
+            cover.add(v)
+    return cover
+
+
+def exact_minimum_vertex_cover(instance: VertexCoverInstance) -> set[int]:
+    """An exact minimum vertex cover by branch and bound on uncovered edges."""
+    edges = list(instance.edges)
+
+    best: set[int] | None = None
+
+    def branch(cover: set[int], remaining: list[tuple[int, int]]) -> None:
+        nonlocal best
+        if best is not None and len(cover) >= len(best):
+            return
+        uncovered = [e for e in remaining if e[0] not in cover and e[1] not in cover]
+        if not uncovered:
+            if best is None or len(cover) < len(best):
+                best = set(cover)
+            return
+        u, v = uncovered[0]
+        branch(cover | {u}, uncovered)
+        branch(cover | {v}, uncovered)
+
+    branch(set(), edges)
+    return best if best is not None else set()
+
+
+@dataclass(frozen=True)
+class NashDecisionGadget:
+    """The Theorem 4 gadget: game, profile and node bookkeeping."""
+
+    game: NetworkCreationGame
+    profile: StrategyProfile
+    instance: VertexCoverInstance
+    cover: tuple[int, ...]
+    vertex_nodes: tuple[int, ...]
+    edge_nodes: tuple[tuple[int, int], ...]
+    u: int
+
+    @property
+    def cover_size(self) -> int:
+        return len(self.cover)
+
+
+def nash_decision_reduction(
+    instance: VertexCoverInstance, cover: Sequence[int], *, alpha: float = 1.0
+) -> NashDecisionGadget:
+    """Build the Theorem 4 host graph and strategy profile.
+
+    Parameters
+    ----------
+    instance:
+        The Vertex Cover instance.
+    cover:
+        A vertex cover of the instance (its size is the ``k`` of the proof).
+    alpha:
+        The reduction is stated for ``alpha = 1``; other values are allowed
+        for experimentation but void the equivalence guarantee.
+    """
+    cover = tuple(sorted(set(int(c) for c in cover)))
+    if not is_vertex_cover(instance, cover):
+        raise ValueError("the provided set is not a vertex cover of the instance")
+
+    N = instance.num_vertices
+    m = len(instance.edges)
+    vertex_nodes = tuple(range(N))
+    edge_nodes = tuple((N + 2 * j, N + 2 * j + 1) for j in range(m))
+    u = N + 2 * m
+    n = N + 2 * m + 1
+
+    one_edges: list[tuple[int, int]] = []
+    # vertex-node clique
+    for i in range(N):
+        for j in range(i + 1, N):
+            one_edges.append((vertex_nodes[i], vertex_nodes[j]))
+    # vertex node <-> incident edge nodes
+    for j, (a, b) in enumerate(instance.edges):
+        pj, pj_prime = edge_nodes[j]
+        one_edges.extend(
+            [
+                (vertex_nodes[a], pj),
+                (vertex_nodes[a], pj_prime),
+                (vertex_nodes[b], pj),
+                (vertex_nodes[b], pj_prime),
+            ]
+        )
+    host = HostGraph.one_two(one_edges, n)
+    game = NetworkCreationGame(host, alpha)
+
+    # Profile: each 1-edge owned by its smaller endpoint, u buys the cover.
+    owned = [(min(a, b), max(a, b)) for a, b in one_edges]
+    owns = np.zeros((n, n), dtype=bool)
+    for a, b in owned:
+        owns[a, b] = True
+    for c in cover:
+        owns[u, vertex_nodes[c]] = True
+    profile = StrategyProfile(owns, copy=False, validate=False)
+    return NashDecisionGadget(
+        game=game,
+        profile=profile,
+        instance=instance,
+        cover=cover,
+        vertex_nodes=vertex_nodes,
+        edge_nodes=edge_nodes,
+        u=u,
+    )
+
+
+def strategy_to_vertex_cover(gadget: NashDecisionGadget, strategy: Iterable[int]) -> set[int]:
+    """Interpret a strategy of agent ``u`` as a set of VC vertices (vertex nodes only)."""
+    vertex_index = {node: i for i, node in enumerate(gadget.vertex_nodes)}
+    return {vertex_index[t] for t in strategy if t in vertex_index}
+
+
+def agent_u_cost_formula(gadget: NashDecisionGadget, cover_size: int) -> float:
+    """The closed-form cost ``3N + 6m + k'`` of agent ``u`` for a cover-shaped strategy.
+
+    ``N`` and ``m`` are the number of vertices and edges of the VC instance;
+    ``k'`` is the number of vertex nodes bought.  Valid for ``alpha = 1``.
+    """
+    N = gadget.instance.num_vertices
+    m = len(gadget.instance.edges)
+    return 3.0 * N + 6.0 * m + float(cover_size)
+
+
+def u_best_response_cover(gadget: NashDecisionGadget, *, max_candidates: int = 22) -> set[int]:
+    """Agent ``u``'s exact best response mapped back to a vertex set of the VC instance."""
+    result = best_response_exact(
+        gadget.game, gadget.profile, gadget.u, max_candidates=max_candidates
+    )
+    return strategy_to_vertex_cover(gadget, result.strategy)

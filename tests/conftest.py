@@ -1,0 +1,49 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.game import NetworkCreationGame
+from repro.core.host_graph import HostGraph
+from repro.core.strategy import StrategyProfile
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_euclidean_game() -> NetworkCreationGame:
+    """Five agents in the plane, alpha = 1 — the workhorse metric instance."""
+    points = np.array(
+        [
+            [0.0, 0.0],
+            [1.0, 0.0],
+            [0.0, 1.0],
+            [1.0, 1.0],
+            [0.5, 0.5],
+        ]
+    )
+    return NetworkCreationGame(HostGraph.from_points(points, p=2), alpha=1.0)
+
+
+@pytest.fixture
+def small_tree_game() -> NetworkCreationGame:
+    """A five-node tree metric with alpha = 2."""
+    edges = [(0, 1, 1.0), (1, 2, 2.0), (1, 3, 0.5), (3, 4, 1.5)]
+    return NetworkCreationGame(HostGraph.from_tree(edges, 5), alpha=2.0)
+
+
+@pytest.fixture
+def one_two_game() -> NetworkCreationGame:
+    """A six-node 1-2 host graph with alpha = 0.75."""
+    one_edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5), (1, 4)]
+    return NetworkCreationGame(HostGraph.one_two(one_edges, 6), alpha=0.75)
+
+
+@pytest.fixture
+def star_profile_5() -> StrategyProfile:
+    return StrategyProfile.star(5, center=0)

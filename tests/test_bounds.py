@@ -1,0 +1,107 @@
+"""Tests for the closed-form bounds of Table 1."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bounds
+
+
+class TestValues:
+    def test_metric_poa_upper(self):
+        assert bounds.metric_poa_upper(2.0) == pytest.approx(2.0)
+        assert bounds.metric_poa_upper(0.0) == pytest.approx(1.0)
+
+    def test_general_poa_upper_is_square_of_metric(self):
+        for alpha in (0.5, 1.0, 3.0, 10.0):
+            assert bounds.general_poa_upper(alpha) == pytest.approx(
+                bounds.metric_poa_upper(alpha) ** 2
+            )
+
+    def test_general_poa_lower_equals_metric_tight_bound(self):
+        assert bounds.general_poa_lower(4.0) == pytest.approx(bounds.tree_poa_tight(4.0))
+
+    def test_one_two_regimes(self):
+        assert bounds.one_two_poa_upper(0.25) == pytest.approx(1.0)
+        assert bounds.one_two_poa_upper(0.75) == pytest.approx(3.0 / 2.75)
+        assert bounds.one_two_poa_upper(1.0) == pytest.approx(1.5)
+        assert bounds.one_two_poa_upper(4.0) == pytest.approx(10.0)
+        assert bounds.one_two_poa_lower(0.25) == pytest.approx(1.0)
+        assert bounds.one_two_poa_lower(1.0) == pytest.approx(1.5)
+
+    def test_one_two_sqrt_alpha_shape(self):
+        assert bounds.one_two_sqrt_alpha_poa_upper(4.0, 100) == pytest.approx(10.0)
+
+    def test_theorem18_formula(self):
+        # alpha = 1: (3+24+40+24)/(1+10+32+24) = 91/67
+        assert bounds.rd_pnorm_poa_lower_4node(1.0) == pytest.approx(91.0 / 67.0)
+
+    def test_theorem19_formula(self):
+        assert bounds.rd_one_norm_poa_lower(2.0, 2) == pytest.approx(1.75)
+        with pytest.raises(ValueError):
+            bounds.rd_one_norm_poa_lower(1.0, 0)
+
+    def test_spanner_and_approximation_factors(self):
+        assert bounds.ne_spanner_factor(3.0) == pytest.approx(4.0)
+        assert bounds.opt_spanner_factor(3.0) == pytest.approx(2.5)
+        assert bounds.ae_to_ge_factor(2.0) == pytest.approx(3.0)
+        assert bounds.ge_to_ne_factor() == pytest.approx(3.0)
+        assert bounds.ae_to_ne_factor(2.0) == pytest.approx(9.0)
+
+    def test_classical_ncg_bounds(self):
+        assert bounds.ncg_poa_upper_fabrikant(9.0) == pytest.approx(5.0)
+        assert bounds.one_infinity_poa_tight_order(32.0) == pytest.approx(2.0)
+
+
+class TestShapeProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(alpha=st.floats(min_value=0.0, max_value=100.0))
+    def test_metric_bound_below_general_bound(self, alpha):
+        assert bounds.metric_poa_upper(alpha) <= bounds.general_poa_upper(alpha) + 1e-12
+
+    @settings(max_examples=50, deadline=None)
+    @given(alpha=st.floats(min_value=0.01, max_value=100.0), d=st.integers(1, 50))
+    def test_theorem19_below_metric_upper_bound(self, alpha, d):
+        """The 1-norm lower bound never exceeds the (alpha+2)/2 upper bound."""
+        assert bounds.rd_one_norm_poa_lower(alpha, d) <= bounds.metric_poa_upper(alpha) + 1e-12
+
+    @settings(max_examples=50, deadline=None)
+    @given(alpha=st.floats(min_value=0.01, max_value=100.0))
+    def test_theorem19_increases_with_dimension(self, alpha):
+        values = [bounds.rd_one_norm_poa_lower(alpha, d) for d in (1, 2, 5, 20)]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    @settings(max_examples=50, deadline=None)
+    @given(alpha=st.floats(min_value=0.01, max_value=100.0))
+    def test_theorem19_limit_is_metric_bound(self, alpha):
+        limit = bounds.rd_one_norm_poa_lower(alpha, 10_000)
+        assert limit == pytest.approx(bounds.metric_poa_upper(alpha), rel=1e-2)
+
+    @settings(max_examples=50, deadline=None)
+    @given(alpha=st.floats(min_value=0.0, max_value=100.0))
+    def test_theorem18_between_one_and_three(self, alpha):
+        value = bounds.rd_pnorm_poa_lower_4node(alpha)
+        assert 1.0 - 1e-12 <= value <= 3.0 + 1e-12
+
+    def test_theorem18_limit_is_three(self):
+        assert bounds.rd_pnorm_poa_lower_4node(1e9) == pytest.approx(3.0, rel=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(alpha=st.floats(min_value=0.0, max_value=0.499))
+    def test_one_two_poa_is_one_below_half(self, alpha):
+        assert bounds.one_two_poa_upper(alpha) == 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(alpha=st.floats(min_value=0.5, max_value=0.999))
+    def test_one_two_upper_matches_lower_in_tight_regime(self, alpha):
+        assert bounds.one_two_poa_upper(alpha) == pytest.approx(bounds.one_two_poa_lower(alpha))
+
+    @settings(max_examples=30, deadline=None)
+    @given(alpha=st.floats(min_value=0.0, max_value=50.0))
+    def test_spanner_factors_ordering(self, alpha):
+        """Lemma 2's factor is at most Lemma 1's factor (optima are tighter spanners)."""
+        assert bounds.opt_spanner_factor(alpha) <= bounds.ne_spanner_factor(alpha) + 1e-12

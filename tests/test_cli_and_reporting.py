@@ -1,0 +1,81 @@
+"""Tests for the command-line interface and the reproduction report builder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import ReproductionReport, build_construction_report
+from repro.cli import build_parser, main
+
+
+class TestReproductionReport:
+    def test_manual_records_and_markdown(self):
+        report = ReproductionReport()
+        report.add("Thm. X", "ratio", 1.5, 1.5, True)
+        report.add("Thm. Y", "ratio", 2.0, 2.5, False)
+        assert not report.all_hold
+        md = report.to_markdown()
+        assert "Thm. X" in md
+        assert md.count("|") > 10
+        assert "NO" in md
+
+    @pytest.mark.parametrize("alpha", [1.0, 2.0])
+    def test_construction_report_all_hold(self, alpha):
+        report = build_construction_report(alpha=alpha, gadget_size=6)
+        assert report.records
+        assert report.all_hold, report.to_markdown()
+
+    def test_report_covers_all_main_constructions(self):
+        report = build_construction_report(alpha=2.0, gadget_size=6)
+        experiments = {r.experiment for r in report.records}
+        assert {"Thm. 15 (Fig. 6)", "Thm. 19 (Fig. 10)", "Thm. 18 (Fig. 9)",
+                "Thm. 8 (Fig. 3)", "Thm. 20 remark"} <= experiments
+
+
+class TestCLI:
+    def test_parser_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_table1_command(self, capsys):
+        code = main(["table1", "--alpha", "1.0", "--gadget-size", "6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "T-GNCG" in out
+
+    def test_constructions_command(self, capsys):
+        code = main(["constructions", "--alpha", "2.0", "--gadget-size", "6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Thm. 15" in out
+
+    def test_poa_command(self, capsys):
+        code = main(
+            ["poa", "--variant", "euclidean", "--n", "5", "--alpha", "1.0",
+             "--instances", "1", "--samples", "2", "--seed", "3"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bound respected  : True" in out
+
+    def test_dynamics_command(self, capsys):
+        code = main(
+            ["dynamics", "--variant", "tree", "--n", "5", "--alpha", "1.0",
+             "--instances", "1", "--runs", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "convergence rate" in out
+
+    def test_simulate_command(self, capsys):
+        code = main(["simulate", "--variant", "euclidean", "--n", "6", "--alpha", "1.5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cost ratio" in out
+
+    def test_simulate_tree_variant(self, capsys):
+        code = main(["simulate", "--variant", "tree", "--n", "6", "--alpha", "2.0", "--seed", "1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "optimum cost" in out

@@ -1,0 +1,116 @@
+"""Tests for the best-response-cycle hosts, the cycle search and ownership orientation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constructions.br_cycles import (
+    FIG5_TREE_WEIGHTS,
+    FIG8_POSITIONS,
+    fig5_tree_cycle_host,
+    fig8_geometric_cycle_host,
+    search_improving_response_cycle,
+)
+from repro.constructions.ownership import all_orientations, find_equilibrium_orientation
+from repro.core.dynamics import verify_best_response_cycle
+from repro.core.game import NetworkCreationGame
+from repro.core.host_graph import HostGraph, ModelVariant
+from repro.core.strategy import StrategyProfile
+
+
+class TestCycleHosts:
+    def test_fig8_host_matches_published_coordinates(self):
+        game = fig8_geometric_cycle_host()
+        assert game.n == 10
+        assert np.allclose(game.host.points, np.array(FIG8_POSITIONS))
+        # 1-norm distances: d(a0, a1) = |3-0| + |0-3| = 6
+        assert game.host.weight(0, 1) == pytest.approx(6.0)
+        assert game.host.classify() in (ModelVariant.METRIC, ModelVariant.TREE)
+
+    def test_fig5_host_is_tree_metric_with_published_weights(self):
+        game = fig5_tree_cycle_host()
+        assert game.n == 10
+        assert game.host.tree_edges is not None
+        weights = sorted(w for _, _, w in game.host.tree_edges)
+        assert weights == sorted(FIG5_TREE_WEIGHTS)
+        assert game.host.classify() is ModelVariant.TREE
+
+    def test_alpha_parameter_is_respected(self):
+        assert fig8_geometric_cycle_host(alpha=2.5).alpha == 2.5
+        assert fig5_tree_cycle_host(alpha=0.5).alpha == 0.5
+
+
+class TestCycleSearch:
+    def test_search_terminates_within_budget(self):
+        game = fig8_geometric_cycle_host(alpha=1.0)
+        result = search_improving_response_cycle(game, response="single", max_states=60)
+        assert result.states_explored <= 60 + game.n
+        assert result.response_kind == "single"
+
+    def test_found_cycle_is_verified_improving(self):
+        """Whenever the search reports a cycle it must be a genuine improving cycle."""
+        for game in (fig8_geometric_cycle_host(1.0), fig5_tree_cycle_host(1.0)):
+            result = search_improving_response_cycle(game, response="single", max_states=250)
+            if result.found:
+                assert len(result.cycle) >= 2
+                check = verify_best_response_cycle(
+                    game, list(result.cycle), require_best_response=False
+                )
+                assert check.violates_fip
+
+    def test_no_cycle_in_potential_like_instance(self):
+        """On a 2-agent instance improving dynamics cannot cycle."""
+        host = HostGraph.unit(2)
+        game = NetworkCreationGame(host, alpha=0.5)
+        result = search_improving_response_cycle(game, response="single", max_states=200)
+        assert not result.found
+
+    def test_unknown_response_kind(self):
+        game = fig8_geometric_cycle_host()
+        with pytest.raises(ValueError):
+            search_improving_response_cycle(game, response="bogus", max_states=10)
+
+    def test_custom_start_profiles(self):
+        game = NetworkCreationGame(HostGraph.unit(3), alpha=1.0)
+        starts = [StrategyProfile.star(3, center=0)]
+        result = search_improving_response_cycle(
+            game, start_profiles=starts, response="single", max_states=50
+        )
+        assert result.states_explored >= 1
+
+
+class TestOwnershipOrientation:
+    def test_all_orientations_count(self):
+        edges = [(0, 1), (1, 2)]
+        orientations = list(all_orientations(3, edges))
+        assert len(orientations) == 4
+        networks = {o.network_key() for o in orientations}
+        assert len(networks) == 1  # same undirected network
+        keys = {o.canonical_key() for o in orientations}
+        assert len(keys) == 4
+
+    def test_find_orientation_on_tree_host(self, small_tree_game):
+        edges = [(u, v) for u, v, _ in small_tree_game.host.tree_edges]
+        oriented = find_equilibrium_orientation(small_tree_game, edges, notion="nash")
+        assert oriented is not None
+        assert set(oriented.edges()) == {(min(u, v), max(u, v)) for u, v in edges}
+
+    def test_find_orientation_returns_none_when_unstable(self):
+        # A path on a cheap unit host can never be a NE regardless of ownership
+        # (adding the missing chord is always improving).
+        game = NetworkCreationGame(HostGraph.unit(3), alpha=0.3)
+        oriented = find_equilibrium_orientation(game, [(0, 1), (1, 2)], notion="nash")
+        assert oriented is None
+
+    def test_greedy_and_add_only_notions(self, small_tree_game):
+        edges = [(u, v) for u, v, _ in small_tree_game.host.tree_edges]
+        assert find_equilibrium_orientation(small_tree_game, edges, notion="greedy") is not None
+        assert find_equilibrium_orientation(small_tree_game, edges, notion="add_only") is not None
+
+    def test_unknown_notion_and_size_guard(self, small_tree_game):
+        edges = [(u, v) for u, v, _ in small_tree_game.host.tree_edges]
+        with pytest.raises(ValueError):
+            find_equilibrium_orientation(small_tree_game, edges, notion="bogus")
+        with pytest.raises(ValueError):
+            find_equilibrium_orientation(small_tree_game, edges, max_edges=1)

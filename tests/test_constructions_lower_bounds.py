@@ -1,0 +1,201 @@
+"""Tests for the paper's lower-bound constructions (Thms. 8, 15, 18, 19, Lemma 8, Thm. 20)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constructions import (
+    clique_of_stars_lower_bound,
+    cross_polytope_lower_bound,
+    geometric_path_star,
+    theorem18_four_node_family,
+    three_cycle_general_host,
+    tree_star_lower_bound,
+)
+from repro.constructions.cross_polytope import cross_polytope_points
+from repro.constructions.geometric_path_star import line_positions
+from repro.constructions.tree_star_lower_bound import tree_star_claimed_ratio
+from repro.core.bounds import (
+    metric_poa_upper,
+    rd_one_norm_poa_lower,
+    rd_pnorm_poa_lower_4node,
+)
+from repro.core.equilibria import is_nash_equilibrium
+from repro.core.host_graph import ModelVariant
+from repro.core.social_optimum import exact_social_optimum
+
+
+class TestTheorem15TreeStar:
+    @pytest.mark.parametrize("alpha", [0.5, 1.0, 2.0, 4.0])
+    def test_equilibrium_is_nash(self, alpha):
+        inst = tree_star_lower_bound(6, alpha)
+        assert is_nash_equilibrium(inst.game, inst.equilibrium)
+
+    @pytest.mark.parametrize("alpha", [1.0, 2.0])
+    def test_optimum_is_exact(self, alpha):
+        inst = tree_star_lower_bound(5, alpha)
+        exact = exact_social_optimum(inst.game)
+        assert inst.optimum_cost == pytest.approx(exact.cost)
+
+    @pytest.mark.parametrize("n,alpha", [(5, 1.0), (7, 2.0), (9, 4.0)])
+    def test_measured_ratio_matches_closed_form(self, n, alpha):
+        inst = tree_star_lower_bound(n, alpha)
+        assert inst.measured_ratio == pytest.approx(tree_star_claimed_ratio(n, alpha))
+
+    def test_ratio_approaches_metric_bound(self):
+        alpha = 3.0
+        ratios = [tree_star_claimed_ratio(n, alpha) for n in (5, 20, 200, 2000)]
+        assert all(b >= a for a, b in zip(ratios, ratios[1:]))
+        assert ratios[-1] == pytest.approx(metric_poa_upper(alpha), rel=1e-2)
+        assert all(r <= metric_poa_upper(alpha) + 1e-9 for r in ratios)
+
+    def test_host_is_tree_metric(self):
+        inst = tree_star_lower_bound(6, 3.0)
+        assert inst.game.host.classify() is ModelVariant.TREE
+        # at alpha = 2 the weights collapse to {1, 2}: still a tree metric, but
+        # classified as the (more specific) 1-2 class
+        inst2 = tree_star_lower_bound(6, 2.0)
+        assert inst2.game.host.is_tree_metric()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            tree_star_lower_bound(2, 1.0)
+        with pytest.raises(ValueError):
+            tree_star_lower_bound(5, 0.0)
+
+
+class TestTheorem19CrossPolytope:
+    @pytest.mark.parametrize("d,alpha", [(2, 1.0), (2, 2.0), (3, 2.0)])
+    def test_equilibrium_is_nash(self, d, alpha):
+        inst = cross_polytope_lower_bound(d, alpha)
+        assert is_nash_equilibrium(inst.game, inst.equilibrium)
+
+    @pytest.mark.parametrize("d,alpha", [(2, 1.0), (3, 2.5), (4, 0.7)])
+    def test_ratio_matches_theorem19_formula(self, d, alpha):
+        inst = cross_polytope_lower_bound(d, alpha)
+        assert inst.measured_ratio == pytest.approx(rd_one_norm_poa_lower(alpha, d))
+
+    def test_number_of_points(self):
+        for d in (1, 2, 5):
+            assert cross_polytope_points(d, 2.0).shape == (2 * d + 1, d)
+
+    def test_optimum_is_exact_small(self):
+        inst = cross_polytope_lower_bound(2, 2.0)
+        exact = exact_social_optimum(inst.game)
+        assert inst.optimum_cost == pytest.approx(exact.cost)
+
+    def test_ratio_below_metric_upper_bound(self):
+        for d, alpha in ((2, 1.0), (3, 5.0), (5, 2.0)):
+            inst = cross_polytope_lower_bound(d, alpha)
+            assert inst.measured_ratio <= metric_poa_upper(alpha) + 1e-9
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            cross_polytope_lower_bound(0, 1.0)
+        with pytest.raises(ValueError):
+            cross_polytope_lower_bound(2, -1.0)
+
+
+class TestLemma8AndTheorem18:
+    def test_positions_are_geometric(self):
+        pos = line_positions(5, 2.0)
+        # consecutive gaps grow by the factor (1 + 2/alpha) = 2
+        gaps = np.diff(pos)
+        assert gaps[0] == pytest.approx(1.0)
+        assert gaps[2] / gaps[1] == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("alpha", [0.5, 1.0, 3.0])
+    def test_star_is_nash(self, alpha):
+        inst = geometric_path_star(5, alpha)
+        assert is_nash_equilibrium(inst.game, inst.equilibrium)
+
+    @pytest.mark.parametrize("alpha", [0.5, 1.0, 3.0])
+    def test_path_is_exact_optimum(self, alpha):
+        inst = geometric_path_star(5, alpha)
+        exact = exact_social_optimum(inst.game)
+        assert inst.optimum_cost == pytest.approx(exact.cost)
+
+    def test_lemma8_ratio_strictly_above_one(self):
+        for alpha in (0.5, 1.0, 4.0):
+            inst = geometric_path_star(6, alpha)
+            assert inst.measured_ratio > 1.0
+
+    @pytest.mark.parametrize("alpha", [0.5, 1.0, 2.0, 10.0])
+    def test_theorem18_ratio_formula(self, alpha):
+        inst = theorem18_four_node_family(alpha)
+        assert inst.measured_ratio == pytest.approx(rd_pnorm_poa_lower_4node(alpha))
+        assert is_nash_equilibrium(inst.game, inst.equilibrium)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            geometric_path_star(1, 1.0)
+        with pytest.raises(ValueError):
+            geometric_path_star(4, -2.0)
+
+
+class TestTheorem8CliqueOfStars:
+    def test_alpha_one_flavour(self):
+        inst = clique_of_stars_lower_bound(2, 1.0)
+        assert inst.game.host.classify() is ModelVariant.ONE_TWO
+        assert is_nash_equilibrium(inst.game, inst.equilibrium)
+        assert inst.optimum_is_exact
+        assert 1.0 < inst.measured_ratio <= 1.5 + 1e-9
+
+    def test_small_alpha_flavour(self):
+        inst = clique_of_stars_lower_bound(2, 0.6)
+        assert is_nash_equilibrium(inst.game, inst.equilibrium)
+        # the claimed asymptotic ratio is 3/(alpha+2)
+        assert inst.claimed_ratio == pytest.approx(3.0 / 2.6)
+
+    def test_node_count(self):
+        from repro.constructions.one_two_lower_bound import clique_of_stars_node_layout
+
+        layout = clique_of_stars_node_layout(3)
+        assert layout["n"] == 13
+        assert len(layout["clique"]) == 3
+        assert len(layout["leaves"]) == 3
+        inst = clique_of_stars_lower_bound(3, 1.0)
+        assert inst.game.n == 13
+
+    def test_ratio_grows_with_gadget_size(self):
+        small = clique_of_stars_lower_bound(2, 1.0).measured_ratio
+        large = clique_of_stars_lower_bound(3, 1.0).measured_ratio
+        assert large > small
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            clique_of_stars_lower_bound(1, 1.0)
+        with pytest.raises(ValueError):
+            clique_of_stars_lower_bound(2, 2.0)
+
+
+class TestTheorem20Remark:
+    @pytest.mark.parametrize("alpha", [1.0, 2.0, 5.0])
+    def test_equilibrium_and_ratio(self, alpha):
+        inst = three_cycle_general_host(alpha)
+        assert is_nash_equilibrium(inst.game, inst.equilibrium)
+        # the instance's overall PoA matches the metric bound, not its square
+        assert inst.measured_ratio == pytest.approx(metric_poa_upper(alpha))
+
+    def test_host_is_non_metric(self):
+        inst = three_cycle_general_host(2.0)
+        assert inst.game.host.classify() is ModelVariant.GENERAL
+
+    def test_per_pair_sigma_achieves_squared_bound(self):
+        """The heavy pair's per-pair cost ratio equals ((alpha+2)/2)^2 (Thm. 20 remark)."""
+        alpha = 2.0
+        inst = three_cycle_general_host(alpha)
+        game = inst.game
+        d_ne = game.distances(inst.equilibrium)
+        d_opt = game.distances(inst.optimum)
+        heavy = (0, 2)
+        w = game.host.weight(*heavy)
+        x = 1.0 if inst.equilibrium.has_edge(*heavy) else 0.0
+        x_star = 1.0 if inst.optimum.has_edge(*heavy) else 0.0
+        sigma = (alpha * w * x + 2 * d_ne[heavy]) / (alpha * w * x_star + 2 * d_opt[heavy])
+        assert sigma == pytest.approx(((alpha + 2.0) / 2.0) ** 2)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            three_cycle_general_host(0.0)

@@ -1,0 +1,154 @@
+"""Tests for the Theorem 3 facility-location reduction and the UMFL local search."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.equilibria import is_greedy_equilibrium
+from repro.core.game import NetworkCreationGame
+from repro.core.host_graph import HostGraph
+from repro.core.strategy import StrategyProfile
+from repro.reductions.facility_location import (
+    UMFLInstance,
+    best_response_via_facility_location,
+    facility_solution_to_strategy,
+    strategy_to_facility_solution,
+    umfl_cost,
+    umfl_from_agent,
+    umfl_local_search,
+)
+
+
+def exact_umfl_optimum(instance: UMFLInstance) -> float:
+    """Brute-force optimum over all non-empty facility sets containing the forced ones."""
+    m = instance.num_facilities
+    best = np.inf
+    free = [f for f in range(m) if f not in instance.forced_open]
+    forced = set(instance.forced_open)
+    for r in range(len(free) + 1):
+        for combo in itertools.combinations(free, r):
+            open_set = forced | set(combo)
+            if not open_set:
+                continue
+            best = min(best, umfl_cost(instance, open_set))
+    return float(best)
+
+
+class TestUMFLBasics:
+    def test_cost_computation(self):
+        instance = UMFLInstance(
+            opening_costs=np.array([1.0, 5.0]),
+            distances=np.array([[2.0, 3.0], [1.0, 1.0]]),
+        )
+        assert umfl_cost(instance, [0]) == pytest.approx(1.0 + 2.0 + 3.0)
+        assert umfl_cost(instance, [0, 1]) == pytest.approx(1.0 + 5.0 + 1.0 + 1.0)
+        assert umfl_cost(instance, []) == np.inf
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            UMFLInstance(opening_costs=np.zeros(2), distances=np.zeros((3, 4)))
+
+    def test_local_search_is_locally_optimal(self):
+        rng = np.random.default_rng(0)
+        instance = UMFLInstance(
+            opening_costs=rng.uniform(0.5, 2.0, size=5),
+            distances=rng.uniform(0.1, 3.0, size=(5, 6)),
+        )
+        solution = umfl_local_search(instance)
+        cost = umfl_cost(instance, solution)
+        # no single open/close/swap improves
+        for f in range(5):
+            if f not in solution:
+                assert umfl_cost(instance, solution | {f}) >= cost - 1e-9
+            elif len(solution) > 1:
+                assert umfl_cost(instance, solution - {f}) >= cost - 1e-9
+
+    def test_local_search_respects_forced_facilities(self):
+        rng = np.random.default_rng(1)
+        instance = UMFLInstance(
+            opening_costs=rng.uniform(0.5, 2.0, size=4),
+            distances=rng.uniform(0.1, 3.0, size=(4, 4)),
+            forced_open=frozenset({2}),
+        )
+        solution = umfl_local_search(instance)
+        assert 2 in solution
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_locality_gap_within_three(self, seed):
+        """Arya et al.: local optima are within factor 3 of the optimum (metric instances)."""
+        rng = np.random.default_rng(seed)
+        points = rng.random((6, 2))
+        dist = np.linalg.norm(points[:, None] - points[None, :], axis=-1)
+        instance = UMFLInstance(
+            opening_costs=rng.uniform(0.2, 1.0, size=6),
+            distances=dist,
+        )
+        local = umfl_cost(instance, umfl_local_search(instance))
+        optimum = exact_umfl_optimum(instance)
+        assert local <= 3.0 * optimum + 1e-9
+
+
+class TestTheorem3Mapping:
+    def test_cost_preserving_bijection(self, small_euclidean_game):
+        """cost(u, G(S)) equals the UMFL cost of pi(S) = S ∪ Z for every strategy S."""
+        game = small_euclidean_game
+        profile = StrategyProfile.from_sets(5, [[1], [2], [0], [4], []])
+        u = 0
+        instance, nodes = umfl_from_agent(game, profile, u)
+        others = [v for v in range(5) if v != u]
+        # exclude strategies that double-buy edges already bought towards u (node 2 owns (2,0))
+        owners_towards_u = {2}
+        for r in range(len(others) + 1):
+            for combo in itertools.combinations(others, r):
+                if set(combo) & owners_towards_u:
+                    continue
+                candidate = profile.with_strategy(u, combo)
+                game_cost = game.agent_cost(candidate, u)
+                solution = strategy_to_facility_solution(combo, nodes, instance.forced_open)
+                assert umfl_cost(instance, solution) == pytest.approx(game_cost)
+
+    def test_roundtrip_of_mapping(self, small_euclidean_game):
+        game = small_euclidean_game
+        profile = StrategyProfile.from_sets(5, [[], [2], [0], [4], []])
+        instance, nodes = umfl_from_agent(game, profile, 0)
+        strategy = frozenset({1, 3})
+        solution = strategy_to_facility_solution(strategy, nodes, instance.forced_open)
+        back = facility_solution_to_strategy(solution, nodes, instance.forced_open)
+        assert back == strategy
+
+    def test_forced_facilities_are_edge_owners_towards_u(self, small_euclidean_game):
+        game = small_euclidean_game
+        profile = StrategyProfile.from_sets(5, [[], [0], [0], [], []])
+        instance, nodes = umfl_from_agent(game, profile, 0)
+        forced_nodes = {nodes[f] for f in instance.forced_open}
+        assert forced_nodes == {1, 2}
+        for f in instance.forced_open:
+            assert instance.opening_costs[f] == 0.0
+
+    def test_facility_location_response_is_single_move_optimal(self, small_euclidean_game):
+        """Theorem 3 consequence: the UMFL local optimum cannot be improved by
+        a single add/delete/swap of agent u in the game."""
+        from repro.core.best_response import best_single_move
+
+        game = small_euclidean_game
+        profile = StrategyProfile.star(5, center=1)
+        u = 0
+        strategy = best_response_via_facility_location(game, profile, u)
+        deviated = profile.with_strategy(u, strategy)
+        assert best_single_move(game, deviated, u).kind == "none"
+
+    def test_facility_location_response_within_factor_three(self, rng):
+        """The UMFL-derived strategy is a 3-approximate best response on metric hosts."""
+        from repro.core.best_response import best_response_exact
+
+        host = HostGraph.from_points(rng.random((6, 2)))
+        game = NetworkCreationGame(host, alpha=1.0)
+        profile = StrategyProfile.star(6, center=2)
+        u = 0
+        strategy = best_response_via_facility_location(game, profile, u)
+        approx_cost = game.agent_cost(profile.with_strategy(u, strategy), u)
+        exact_cost = best_response_exact(game, profile, u).cost
+        assert approx_cost <= 3.0 * exact_cost + 1e-9

@@ -1,0 +1,158 @@
+"""Tests for the GNCG cost model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.game import NetworkCreationGame
+from repro.core.host_graph import HostGraph
+from repro.core.strategy import StrategyProfile
+
+
+def _random_profile(n: int, rng: np.random.Generator, density: float = 0.4) -> StrategyProfile:
+    owns = np.triu(rng.random((n, n)) < density, k=1)
+    return StrategyProfile(owns)
+
+
+class TestBasics:
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkCreationGame(HostGraph.unit(3), -1.0)
+
+    def test_with_alpha(self):
+        game = NetworkCreationGame(HostGraph.unit(3), 1.0)
+        other = game.with_alpha(2.5)
+        assert other.alpha == 2.5
+        assert other.host is game.host
+
+    def test_profile_size_mismatch_rejected(self):
+        game = NetworkCreationGame(HostGraph.unit(3), 1.0)
+        with pytest.raises(ValueError):
+            game.social_cost(StrategyProfile.empty(4))
+
+
+class TestCostsOnUnitStar:
+    """A unit-weight star on n nodes has closed-form costs."""
+
+    @pytest.mark.parametrize("n", [3, 5, 8])
+    def test_center_cost(self, n):
+        game = NetworkCreationGame(HostGraph.unit(n), alpha=2.0)
+        star = StrategyProfile.star(n, center=0)
+        # center buys n-1 edges at alpha each, distances 1 to everyone
+        assert game.edge_cost(star, 0) == pytest.approx(2.0 * (n - 1))
+        assert game.distance_cost(star, 0) == pytest.approx(n - 1)
+        assert game.agent_cost(star, 0) == pytest.approx(2.0 * (n - 1) + (n - 1))
+
+    @pytest.mark.parametrize("n", [3, 5, 8])
+    def test_leaf_cost(self, n):
+        game = NetworkCreationGame(HostGraph.unit(n), alpha=2.0)
+        star = StrategyProfile.star(n, center=0)
+        # leaves own nothing; distance 1 to center, 2 to other n-2 leaves
+        assert game.edge_cost(star, 1) == 0.0
+        assert game.distance_cost(star, 1) == pytest.approx(1 + 2 * (n - 2))
+
+    @pytest.mark.parametrize("n", [3, 5, 8])
+    def test_social_cost_formula(self, n):
+        game = NetworkCreationGame(HostGraph.unit(n), alpha=2.0)
+        star = StrategyProfile.star(n, center=0)
+        # alpha*(n-1) edge weight + sum of pairwise distances (ordered):
+        # 2*(n-1)*1 for center pairs + (n-1)(n-2)*2 for leaf pairs
+        expected = 2.0 * (n - 1) + 2 * (n - 1) + 2 * (n - 1) * (n - 2)
+        assert game.social_cost(star) == pytest.approx(expected)
+
+    def test_social_cost_parts(self):
+        game = NetworkCreationGame(HostGraph.unit(4), alpha=3.0)
+        star = StrategyProfile.star(4, center=0)
+        edge, dist = game.social_cost_parts(star)
+        assert edge == pytest.approx(9.0)
+        assert dist == pytest.approx(2 * 3 + 2 * 3 * 2)
+        assert edge + dist == pytest.approx(game.social_cost(star))
+
+
+class TestWeightedCosts:
+    def test_weighted_edge_and_distance_cost(self, small_tree_game):
+        game = small_tree_game
+        profile = StrategyProfile.from_sets(5, [[1], [2], [], [], []])
+        # agent 0 buys edge to 1 (weight 1); network is a path 0-1-2 plus isolated 3,4
+        assert game.edge_cost(profile, 0) == pytest.approx(2.0 * 1.0)
+        assert np.isinf(game.distance_cost(profile, 0))
+        assert not game.is_connected(profile)
+
+    def test_distances_use_created_network_not_host(self, small_tree_game):
+        game = small_tree_game
+        # connect everything as a path 0-1-2, 1-3, 3-4 (i.e. the host tree)
+        profile = StrategyProfile.from_sets(5, [[1], [2, 3], [], [4], []])
+        d = game.distances(profile)
+        # host tree distances: d(0,2)=3, d(2,4)=4
+        assert d[0, 2] == pytest.approx(3.0)
+        assert d[2, 4] == pytest.approx(4.0)
+        assert game.is_connected(profile)
+
+    def test_double_bought_edge_charged_twice(self):
+        host = HostGraph.from_matrix([[0.0, 4.0], [4.0, 0.0]])
+        game = NetworkCreationGame(host, alpha=1.0)
+        both = StrategyProfile.from_owned_edges(2, [(0, 1), (1, 0)])
+        single = StrategyProfile.from_owned_edges(2, [(0, 1)])
+        assert game.social_cost(both) == pytest.approx(game.social_cost(single) + 4.0)
+
+    def test_all_agent_costs_matches_individual(self, small_euclidean_game, rng):
+        game = small_euclidean_game
+        profile = _random_profile(game.n, rng, density=0.6)
+        all_costs = game.all_agent_costs(profile)
+        for u in range(game.n):
+            assert all_costs[u] == pytest.approx(game.agent_cost(profile, u))
+
+    def test_social_cost_is_sum_of_agent_costs(self, small_euclidean_game, rng):
+        game = small_euclidean_game
+        profile = _random_profile(game.n, rng, density=0.7)
+        total = sum(game.agent_cost(profile, u) for u in range(game.n))
+        assert game.social_cost(profile) == pytest.approx(total)
+
+    def test_infinite_weight_edge_cost(self):
+        host = HostGraph.one_infinity([(0, 1)], 3)
+        game = NetworkCreationGame(host, alpha=1.0)
+        profile = StrategyProfile.from_owned_edges(3, [(0, 2)])
+        assert np.isinf(game.edge_cost(profile, 0))
+        assert np.isinf(game.all_agent_costs(profile)[0])
+
+    def test_social_cost_of_edges_matches_profile(self, small_euclidean_game):
+        game = small_euclidean_game
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4)]
+        profile = StrategyProfile.from_undirected_edges(5, edges)
+        assert game.social_cost_of_edges(edges) == pytest.approx(game.social_cost(profile))
+
+    def test_social_cost_of_edges_rejects_self_loop(self, small_euclidean_game):
+        with pytest.raises(ValueError):
+            small_euclidean_game.social_cost_of_edges([(1, 1)])
+
+
+class TestImprovingMoves:
+    def test_deviation_gain_sign(self, small_euclidean_game):
+        game = small_euclidean_game
+        star = StrategyProfile.star(5, center=0)
+        # dropping all edges disconnects the center -> negative gain
+        assert game.deviation_gain(star, 0, []) == -np.inf or game.deviation_gain(star, 0, []) < 0
+        # a leaf adding a redundant expensive edge cannot gain
+        gain = game.deviation_gain(star, 1, [2])
+        assert gain <= 1e-9
+
+    def test_is_improving_move_detects_connection(self):
+        host = HostGraph.unit(3)
+        game = NetworkCreationGame(host, alpha=1.0)
+        profile = StrategyProfile.from_sets(3, [[1], [], []])
+        assert game.is_improving_move(profile, 2, [0])
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), alpha=st.floats(min_value=0.1, max_value=5.0))
+    def test_agent_cost_decomposition(self, seed, alpha):
+        rng = np.random.default_rng(seed)
+        host = HostGraph.from_points(rng.random((5, 2)))
+        game = NetworkCreationGame(host, alpha)
+        profile = _random_profile(5, rng, density=0.8)
+        for u in range(5):
+            breakdown = game.agent_cost_breakdown(profile, u)
+            assert breakdown.total == pytest.approx(game.agent_cost(profile, u))
+            assert breakdown.edge_cost >= 0.0

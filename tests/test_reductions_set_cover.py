@@ -1,0 +1,138 @@
+"""Tests for the Theorems 13/16 set-cover reductions and the SC solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.best_response import best_response_exact
+from repro.core.host_graph import ModelVariant
+from repro.reductions.set_cover import (
+    SetCoverInstance,
+    euclidean_set_cover_reduction,
+    exact_set_cover,
+    greedy_set_cover,
+    is_cover,
+    strategy_to_cover,
+    tree_set_cover_reduction,
+    u_best_response_cover,
+)
+
+SIMPLE = SetCoverInstance.from_lists(4, [[0, 1], [2, 3], [1, 2], [3]])
+OVERLAPPING = SetCoverInstance.from_lists(5, [[0, 1, 2], [2, 3], [3, 4], [0, 4], [1]])
+SINGLETONS = SetCoverInstance.from_lists(3, [[0], [1], [2]])
+
+
+class TestSolvers:
+    @pytest.mark.parametrize(
+        "instance,optimum_size",
+        [(SIMPLE, 2), (OVERLAPPING, 2), (SINGLETONS, 3)],
+    )
+    def test_exact_solver(self, instance, optimum_size):
+        cover = exact_set_cover(instance)
+        assert is_cover(instance, cover)
+        assert len(cover) == optimum_size
+
+    @pytest.mark.parametrize("instance", [SIMPLE, OVERLAPPING, SINGLETONS])
+    def test_greedy_solver_produces_cover(self, instance):
+        cover = greedy_set_cover(instance)
+        assert is_cover(instance, cover)
+        assert len(cover) >= len(exact_set_cover(instance))
+
+    def test_instance_validation(self):
+        with pytest.raises(ValueError):
+            SetCoverInstance.from_lists(3, [[0], [1]])  # element 2 uncovered
+        with pytest.raises(ValueError):
+            SetCoverInstance.from_lists(2, [[0, 1], []])  # empty subset
+        with pytest.raises(ValueError):
+            SetCoverInstance(0, ())
+
+
+class TestTreeGadget:
+    def test_gadget_shape_and_variant(self):
+        gadget = tree_set_cover_reduction(SIMPLE)
+        k, m = 4, 4
+        assert gadget.game.n == 2 + 2 * m + k
+        assert gadget.kind == "tree"
+        assert gadget.game.host.tree_edges is not None
+        assert gadget.game.host.classify() is ModelVariant.TREE
+
+    def test_agent_u_owns_nothing(self):
+        gadget = tree_set_cover_reduction(SIMPLE)
+        assert gadget.profile.strategy(gadget.u) == frozenset()
+
+    def test_distances_match_paper_construction(self):
+        gadget = tree_set_cover_reduction(SIMPLE, L=100.0, beta=10.0, eps=0.01)
+        d = gadget.game.distances(gadget.profile)
+        # d_G(u, a_i) = 2L - beta and d_G(u, p_j) >= 3L - beta - O(eps)
+        for a in gadget.set_nodes:
+            assert d[gadget.u, a] == pytest.approx(2 * 100.0 - 10.0, rel=1e-6)
+        for p in gadget.element_nodes:
+            assert d[gadget.u, p] >= 3 * 100.0 - 10.0 - 1.0
+
+    @pytest.mark.parametrize("instance", [SIMPLE, OVERLAPPING])
+    def test_best_response_is_minimum_cover(self, instance):
+        gadget = tree_set_cover_reduction(instance)
+        cover = u_best_response_cover(gadget)
+        assert is_cover(instance, cover)
+        assert len(cover) == len(exact_set_cover(instance))
+
+    def test_parameter_guards(self):
+        with pytest.raises(ValueError):
+            tree_set_cover_reduction(SIMPLE, beta=0.0001, eps=0.01)
+        with pytest.raises(ValueError):
+            tree_set_cover_reduction(SIMPLE, L=1.0, beta=10.0)
+
+
+class TestEuclideanGadget:
+    def test_gadget_shape_and_geometry(self):
+        gadget = euclidean_set_cover_reduction(SIMPLE, L=100.0, beta=10.0)
+        k, m = 4, 4
+        assert gadget.game.n == 1 + 2 * m + k
+        assert gadget.kind == "euclidean"
+        host = gadget.game.host
+        for a in gadget.set_nodes:
+            assert host.weight(gadget.u, a) == pytest.approx(100.0, rel=1e-9)
+        for p in gadget.element_nodes:
+            assert host.weight(gadget.u, p) == pytest.approx(200.0, rel=1e-9)
+        for b in gadget.blocker_nodes:
+            assert host.weight(gadget.u, b) == pytest.approx(45.0, rel=1e-9)
+
+    def test_set_nodes_are_close_together(self):
+        gadget = euclidean_set_cover_reduction(OVERLAPPING, L=100.0, beta=10.0, eps=0.01)
+        host = gadget.game.host
+        for a in gadget.set_nodes:
+            for b in gadget.set_nodes:
+                assert host.weight(a, b) <= 0.01 + 1e-9
+
+    def test_graph_distances_match_paper(self):
+        gadget = euclidean_set_cover_reduction(SIMPLE, L=100.0, beta=10.0)
+        d = gadget.game.distances(gadget.profile)
+        for a in gadget.set_nodes:
+            assert d[gadget.u, a] == pytest.approx(2 * 100.0 - 10.0, rel=1e-6)
+
+    @pytest.mark.parametrize("instance", [SIMPLE, OVERLAPPING])
+    def test_best_response_is_minimum_cover(self, instance):
+        gadget = euclidean_set_cover_reduction(instance)
+        cover = u_best_response_cover(gadget)
+        assert is_cover(instance, cover)
+        assert len(cover) == len(exact_set_cover(instance))
+
+    def test_parameter_guards(self):
+        with pytest.raises(ValueError):
+            euclidean_set_cover_reduction(SIMPLE, beta=0.0001, eps=1.0)
+        with pytest.raises(ValueError):
+            euclidean_set_cover_reduction(SIMPLE, L=1.0, beta=10.0)
+
+
+class TestMapping:
+    def test_strategy_to_cover_ignores_other_nodes(self):
+        gadget = tree_set_cover_reduction(SIMPLE)
+        strategy = {gadget.set_nodes[1], gadget.element_nodes[0], gadget.blocker_nodes[0]}
+        assert strategy_to_cover(gadget, strategy) == {1}
+
+    def test_best_response_never_buys_element_nodes(self):
+        """The proofs show u never buys edges towards element nodes."""
+        for gadget in (tree_set_cover_reduction(SIMPLE), euclidean_set_cover_reduction(SIMPLE)):
+            result = best_response_exact(gadget.game, gadget.profile, gadget.u, max_candidates=24)
+            assert not (set(result.strategy) & set(gadget.element_nodes))

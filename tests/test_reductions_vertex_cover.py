@@ -1,0 +1,124 @@
+"""Tests for the Theorem 4 vertex-cover reduction and the VC solvers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.best_response import best_response_exact
+from repro.core.host_graph import ModelVariant
+from repro.reductions.vertex_cover import (
+    VertexCoverInstance,
+    agent_u_cost_formula,
+    exact_minimum_vertex_cover,
+    greedy_vertex_cover,
+    is_vertex_cover,
+    nash_decision_reduction,
+    strategy_to_vertex_cover,
+    u_best_response_cover,
+)
+
+TRIANGLE = VertexCoverInstance.from_edges([(0, 1), (1, 2), (0, 2)])
+PATH4 = VertexCoverInstance.from_edges([(0, 1), (1, 2), (2, 3)])
+STAR = VertexCoverInstance.from_edges([(0, 1), (0, 2), (0, 3), (0, 4)])
+CYCLE5 = VertexCoverInstance.from_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+
+
+class TestSolvers:
+    @pytest.mark.parametrize(
+        "instance,expected",
+        [(TRIANGLE, 2), (PATH4, 2), (STAR, 1), (CYCLE5, 3)],
+    )
+    def test_exact_minimum_sizes(self, instance, expected):
+        cover = exact_minimum_vertex_cover(instance)
+        assert is_vertex_cover(instance, cover)
+        assert len(cover) == expected
+
+    @pytest.mark.parametrize("instance", [TRIANGLE, PATH4, STAR, CYCLE5])
+    def test_greedy_is_cover_and_2_approx(self, instance):
+        greedy = greedy_vertex_cover(instance)
+        assert is_vertex_cover(instance, greedy)
+        assert len(greedy) <= 2 * len(exact_minimum_vertex_cover(instance))
+
+    def test_empty_graph(self):
+        empty = VertexCoverInstance(3, ())
+        assert exact_minimum_vertex_cover(empty) == set()
+        assert greedy_vertex_cover(empty) == set()
+
+    def test_instance_validation(self):
+        with pytest.raises(ValueError):
+            VertexCoverInstance(3, ((0, 0),))
+        with pytest.raises(ValueError):
+            VertexCoverInstance(2, ((0, 5),))
+
+
+class TestGadgetConstruction:
+    def test_gadget_shape(self):
+        gadget = nash_decision_reduction(PATH4, [1, 2])
+        N, m = 4, 3
+        assert gadget.game.n == N + 2 * m + 1
+        assert gadget.game.host.classify() is ModelVariant.ONE_TWO
+        assert gadget.u == N + 2 * m
+        # u buys exactly the cover vertices
+        assert gadget.profile.strategy(gadget.u) == frozenset(
+            gadget.vertex_nodes[c] for c in (1, 2)
+        )
+
+    def test_rejects_non_cover(self):
+        with pytest.raises(ValueError):
+            nash_decision_reduction(PATH4, [0])
+
+    def test_every_other_agent_plays_best_response(self):
+        """The proof requires all agents except u to already be at a best response."""
+        gadget = nash_decision_reduction(PATH4, [1, 2])
+        for agent in range(gadget.game.n):
+            if agent == gadget.u:
+                continue
+            result = best_response_exact(gadget.game, gadget.profile, agent)
+            assert result.improvement <= 1e-9, f"agent {agent} can improve"
+
+    def test_cost_formula_matches_game_cost(self):
+        gadget = nash_decision_reduction(PATH4, [1, 2])
+        cost = gadget.game.agent_cost(gadget.profile, gadget.u)
+        assert cost == pytest.approx(agent_u_cost_formula(gadget, 2))
+
+    def test_strategy_to_vertex_cover_ignores_edge_nodes(self):
+        gadget = nash_decision_reduction(PATH4, [1, 2])
+        pj = gadget.edge_nodes[0][0]
+        mapped = strategy_to_vertex_cover(gadget, [gadget.vertex_nodes[1], pj])
+        assert mapped == {1}
+
+
+class TestEquivalence:
+    """Agent u improves iff a smaller vertex cover exists (Theorem 4)."""
+
+    @pytest.mark.parametrize(
+        "instance,cover,expect_improvement",
+        [
+            (TRIANGLE, [0, 1], False),       # minimum cover -> stable
+            (TRIANGLE, [0, 1, 2], True),     # oversized cover -> improvable
+            (PATH4, [1, 2], False),
+            (PATH4, [0, 1, 2], True),
+            (STAR, [0], False),
+            (STAR, [1, 2, 3, 4], True),
+            (CYCLE5, [0, 2, 3], False),
+            (CYCLE5, [0, 1, 2, 3], True),
+        ],
+    )
+    def test_improving_move_iff_smaller_cover(self, instance, cover, expect_improvement):
+        gadget = nash_decision_reduction(instance, cover)
+        response = best_response_exact(gadget.game, gadget.profile, gadget.u)
+        assert (response.improvement > 1e-9) == expect_improvement
+
+    @pytest.mark.parametrize("instance", [TRIANGLE, PATH4, STAR, CYCLE5])
+    def test_best_response_encodes_minimum_cover(self, instance):
+        trivial_cover = list(range(instance.num_vertices))
+        gadget = nash_decision_reduction(instance, trivial_cover)
+        cover = u_best_response_cover(gadget)
+        assert is_vertex_cover(instance, cover)
+        assert len(cover) == len(exact_minimum_vertex_cover(instance))
+
+    def test_u_cost_decreases_exactly_by_cover_difference(self):
+        oversized = nash_decision_reduction(PATH4, [0, 1, 2])
+        response = best_response_exact(oversized.game, oversized.profile, oversized.u)
+        # cost formula: improvement = k - k_min
+        assert response.improvement == pytest.approx(3 - 2)

@@ -1,0 +1,190 @@
+"""Tests for the dense shortest-path kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.shortest_paths import (
+    all_pairs_shortest_paths,
+    apsp_scipy,
+    distances_with_candidate_edges,
+    floyd_warshall,
+    single_source_dijkstra,
+)
+
+
+def _random_weight_matrix(n: int, rng: np.random.Generator, edge_prob: float = 0.6) -> np.ndarray:
+    w = rng.uniform(0.1, 5.0, size=(n, n))
+    mask = rng.random((n, n)) < edge_prob
+    w = np.where(mask, w, np.inf)
+    w = np.minimum(w, w.T)
+    np.fill_diagonal(w, 0.0)
+    return w
+
+
+class TestFloydWarshall:
+    def test_path_graph(self):
+        w = np.full((4, 4), np.inf)
+        np.fill_diagonal(w, 0.0)
+        for i in range(3):
+            w[i, i + 1] = w[i + 1, i] = 1.0 + i
+        d = floyd_warshall(w)
+        assert d[0, 3] == pytest.approx(1 + 2 + 3)
+        assert d[0, 2] == pytest.approx(3)
+        assert np.allclose(d, d.T)
+
+    def test_disconnected_pairs_are_infinite(self):
+        w = np.full((4, 4), np.inf)
+        np.fill_diagonal(w, 0.0)
+        w[0, 1] = w[1, 0] = 1.0
+        w[2, 3] = w[3, 2] = 2.0
+        d = floyd_warshall(w)
+        assert np.isinf(d[0, 2])
+        assert np.isinf(d[1, 3])
+        assert d[0, 1] == 1.0
+
+    def test_zero_weight_edges_are_respected(self):
+        w = np.full((3, 3), np.inf)
+        np.fill_diagonal(w, 0.0)
+        w[0, 1] = w[1, 0] = 0.0
+        w[1, 2] = w[2, 1] = 2.0
+        d = floyd_warshall(w)
+        assert d[0, 1] == 0.0
+        assert d[0, 2] == pytest.approx(2.0)
+
+    def test_shortcut_beats_direct_edge(self):
+        w = np.array([[0.0, 10.0, 1.0], [10.0, 0.0, 1.0], [1.0, 1.0, 0.0]])
+        d = floyd_warshall(w)
+        assert d[0, 1] == pytest.approx(2.0)
+
+    def test_negative_weights_rejected(self):
+        w = np.array([[0.0, -1.0], [-1.0, 0.0]])
+        with pytest.raises(ValueError):
+            floyd_warshall(w)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            floyd_warshall(np.zeros((2, 3)))
+
+    def test_empty_matrix(self):
+        d = floyd_warshall(np.zeros((0, 0)))
+        assert d.shape == (0, 0)
+
+    def test_single_node(self):
+        d = floyd_warshall(np.zeros((1, 1)))
+        assert d[0, 0] == 0.0
+
+
+class TestScipyAgreement:
+    @pytest.mark.parametrize("n", [2, 5, 9, 15])
+    def test_matches_floyd_warshall_on_random_graphs(self, n):
+        rng = np.random.default_rng(n)
+        w = _random_weight_matrix(n, rng)
+        fw = floyd_warshall(w)
+        sp = apsp_scipy(w)
+        finite = np.isfinite(fw)
+        assert np.array_equal(finite, np.isfinite(sp))
+        assert np.allclose(fw[finite], sp[finite])
+
+    def test_dispatch_methods_agree(self):
+        rng = np.random.default_rng(3)
+        w = _random_weight_matrix(7, rng)
+        a = all_pairs_shortest_paths(w, method="floyd_warshall")
+        b = all_pairs_shortest_paths(w, method="scipy")
+        c = all_pairs_shortest_paths(w, method="auto")
+        assert np.allclose(np.nan_to_num(a, posinf=1e18), np.nan_to_num(b, posinf=1e18))
+        assert np.allclose(np.nan_to_num(a, posinf=1e18), np.nan_to_num(c, posinf=1e18))
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            all_pairs_shortest_paths(np.zeros((2, 2)), method="bogus")
+
+
+class TestSingleSource:
+    @pytest.mark.parametrize("source", [0, 3, 6])
+    def test_matches_apsp_row(self, source):
+        rng = np.random.default_rng(source + 10)
+        w = _random_weight_matrix(8, rng)
+        full = floyd_warshall(w)
+        row = single_source_dijkstra(w, source)
+        finite = np.isfinite(full[source])
+        assert np.array_equal(finite, np.isfinite(row))
+        assert np.allclose(full[source][finite], row[finite])
+
+    def test_out_of_range_source(self):
+        with pytest.raises(ValueError):
+            single_source_dijkstra(np.zeros((3, 3)), 5)
+
+
+class TestCandidateEdgeDistances:
+    def test_matches_direct_recomputation(self):
+        rng = np.random.default_rng(42)
+        n = 6
+        w = _random_weight_matrix(n, rng, edge_prob=0.8)
+        d = floyd_warshall(w)
+        u = 0
+        candidates = [1, 2, 3]
+        extra = np.array([1.0, 2.0, 0.5])
+        cand_matrix = extra[:, None] + d[candidates]
+        mask = np.array([True, False, True])
+        combined = distances_with_candidate_edges(d[u], cand_matrix, mask)
+        expected = np.minimum(d[u], np.minimum(cand_matrix[0], cand_matrix[2]))
+        assert np.allclose(combined, expected)
+
+    def test_empty_subset_returns_base(self):
+        base = np.array([0.0, 1.0, np.inf])
+        cand = np.ones((2, 3))
+        out = distances_with_candidate_edges(base, cand, np.array([False, False]))
+        assert np.array_equal(np.isfinite(out), np.isfinite(base))
+        assert np.allclose(out[:2], base[:2])
+
+    def test_batch_dimension(self):
+        base = np.array([0.0, 5.0, 5.0])
+        cand = np.array([[10.0, 1.0, 10.0], [10.0, 10.0, 1.0]])
+        masks = np.array([[True, False], [False, True], [True, True]])
+        out = distances_with_candidate_edges(base, cand, masks)
+        assert out.shape == (3, 3)
+        assert np.allclose(out[0], [0.0, 1.0, 5.0])
+        assert np.allclose(out[1], [0.0, 5.0, 1.0])
+        assert np.allclose(out[2], [0.0, 1.0, 1.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            distances_with_candidate_edges(np.zeros(3), np.zeros((2, 4)), np.zeros(2, dtype=bool))
+
+
+class TestMetricProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        weights=hnp.arrays(
+            dtype=float,
+            shape=st.integers(min_value=2, max_value=7).map(lambda n: (n, n)),
+            elements=st.floats(min_value=0.05, max_value=10.0),
+        )
+    )
+    def test_output_satisfies_triangle_inequality(self, weights):
+        w = np.minimum(weights, weights.T)
+        np.fill_diagonal(w, 0.0)
+        d = floyd_warshall(w)
+        n = d.shape[0]
+        for k in range(n):
+            assert np.all(d <= d[:, [k]] + d[[k], :] + 1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        weights=hnp.arrays(
+            dtype=float,
+            shape=st.integers(min_value=2, max_value=7).map(lambda n: (n, n)),
+            elements=st.floats(min_value=0.05, max_value=10.0),
+        )
+    )
+    def test_output_dominated_by_input(self, weights):
+        w = np.minimum(weights, weights.T)
+        np.fill_diagonal(w, 0.0)
+        d = floyd_warshall(w)
+        assert np.all(d <= w + 1e-9)
+        assert np.all(np.diag(d) == 0.0)

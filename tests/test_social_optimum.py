@@ -1,0 +1,172 @@
+"""Tests for social-optimum computation (exact, local search, Algorithm 1, baselines)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.game import NetworkCreationGame
+from repro.core.host_graph import HostGraph
+from repro.core.social_optimum import (
+    algorithm1_one_two,
+    best_star_profile,
+    complete_profile,
+    exact_social_optimum,
+    local_search_social_optimum,
+    mst_profile,
+    social_optimum,
+    structural_baselines,
+)
+from repro.core.strategy import StrategyProfile
+
+
+class TestExactOptimum:
+    def test_unit_host_small_alpha_is_complete(self):
+        """For alpha < 2 on a unit clique adding any edge saves at least 2 in distance."""
+        game = NetworkCreationGame(HostGraph.unit(4), alpha=1.0)
+        opt = exact_social_optimum(game)
+        assert opt.profile.num_edges() == 6
+        assert opt.exact
+
+    def test_unit_host_large_alpha_is_star_cost(self):
+        """For large alpha on a unit clique the optimum is a spanning star."""
+        game = NetworkCreationGame(HostGraph.unit(5), alpha=10.0)
+        opt = exact_social_optimum(game)
+        star_cost = game.social_cost(StrategyProfile.star(5, center=0))
+        assert opt.cost == pytest.approx(star_cost)
+
+    def test_exact_beats_or_matches_all_baselines(self, small_euclidean_game):
+        opt = exact_social_optimum(small_euclidean_game)
+        for baseline in structural_baselines(small_euclidean_game):
+            assert opt.cost <= baseline.cost + 1e-9
+
+    def test_guard_on_instance_size(self):
+        game = NetworkCreationGame(HostGraph.unit(9), alpha=1.0)
+        with pytest.raises(ValueError):
+            exact_social_optimum(game, max_edges=10)
+
+    def test_tree_host_optimum_is_tree(self, small_tree_game):
+        """Cor. 3: for tree metrics the defining tree is an optimum."""
+        from repro.core.equilibria import tree_profile_from_host
+
+        opt = exact_social_optimum(small_tree_game)
+        tree = tree_profile_from_host(small_tree_game)
+        assert opt.cost == pytest.approx(small_tree_game.social_cost(tree))
+
+
+class TestAlgorithm1:
+    def test_requires_one_two_host(self, small_euclidean_game):
+        with pytest.raises(ValueError):
+            algorithm1_one_two(small_euclidean_game)
+
+    def test_keeps_all_one_edges_and_diameter_two(self):
+        rng = np.random.default_rng(3)
+        draws = np.triu(rng.random((6, 6)) < 0.5, k=1)
+        ones = [(int(u), int(v)) for u, v in zip(*np.nonzero(draws))]
+        host = HostGraph.one_two(ones, 6)
+        game = NetworkCreationGame(host, alpha=0.8)
+        result = algorithm1_one_two(game)
+        edges = set(result.profile.edges())
+        for u, v in ones:
+            assert (min(u, v), max(u, v)) in edges
+        distances = game.distances(result.profile)
+        assert distances.max() <= 2.0 + 1e-9
+
+    def test_removes_two_edges_in_112_triangles(self):
+        host = HostGraph.one_two([(0, 1), (1, 2)], 3)
+        game = NetworkCreationGame(host, alpha=0.5)
+        result = algorithm1_one_two(game)
+        assert (0, 2) not in result.profile.edges()
+
+    @pytest.mark.parametrize("alpha", [0.25, 0.5, 0.75, 1.0])
+    def test_matches_exact_optimum_for_alpha_at_most_one(self, alpha):
+        """Theorem 6: Algorithm 1 is optimal for every alpha <= 1."""
+        rng = np.random.default_rng(int(alpha * 100))
+        draws = np.triu(rng.random((6, 6)) < 0.5, k=1)
+        ones = [(int(u), int(v)) for u, v in zip(*np.nonzero(draws))]
+        host = HostGraph.one_two(ones, 6)
+        game = NetworkCreationGame(host, alpha=alpha)
+        alg1 = algorithm1_one_two(game)
+        exact = exact_social_optimum(game)
+        assert alg1.cost == pytest.approx(exact.cost)
+
+    def test_unit_host_accepted(self):
+        game = NetworkCreationGame(HostGraph.unit(4), alpha=0.5)
+        result = algorithm1_one_two(game)
+        assert result.profile.num_edges() == 6
+
+
+class TestBaselinesAndLocalSearch:
+    def test_mst_is_spanning_tree(self, small_euclidean_game):
+        profile = mst_profile(small_euclidean_game)
+        assert profile.num_edges() == small_euclidean_game.n - 1
+        assert small_euclidean_game.is_connected(profile)
+
+    def test_mst_requires_connected_host(self):
+        host = HostGraph.one_infinity([(0, 1)], 3)
+        game = NetworkCreationGame(host, alpha=1.0)
+        with pytest.raises(ValueError):
+            mst_profile(game)
+
+    def test_best_star_is_a_star(self, small_euclidean_game):
+        profile = best_star_profile(small_euclidean_game)
+        degrees = profile.adjacency().sum(axis=1)
+        assert degrees.max() == small_euclidean_game.n - 1
+
+    def test_complete_profile_uses_finite_edges_only(self):
+        host = HostGraph.one_infinity([(0, 1), (1, 2)], 3)
+        game = NetworkCreationGame(host, alpha=1.0)
+        profile = complete_profile(game)
+        assert set(profile.edges()) == {(0, 1), (1, 2)}
+
+    def test_local_search_never_worse_than_baselines(self, small_euclidean_game):
+        baselines = structural_baselines(small_euclidean_game)
+        result = local_search_social_optimum(small_euclidean_game)
+        assert result.cost <= min(b.cost for b in baselines) + 1e-9
+
+    def test_local_search_close_to_exact_on_small_instance(self, small_euclidean_game):
+        exact = exact_social_optimum(small_euclidean_game)
+        local = local_search_social_optimum(small_euclidean_game)
+        assert local.cost >= exact.cost - 1e-9
+        assert local.cost <= exact.cost * 1.25  # local search is a good heuristic here
+
+
+class TestDispatch:
+    def test_auto_uses_tree_for_tree_hosts(self, small_tree_game):
+        result = social_optimum(small_tree_game)
+        assert result.method == "host_tree"
+        assert result.exact
+
+    def test_auto_uses_algorithm1_for_one_two_small_alpha(self, one_two_game):
+        result = social_optimum(one_two_game)
+        assert result.method == "algorithm1"
+
+    def test_auto_uses_exact_for_small_metric(self, small_euclidean_game):
+        result = social_optimum(small_euclidean_game)
+        assert result.method == "exact"
+
+    def test_explicit_methods(self, small_euclidean_game):
+        exact = social_optimum(small_euclidean_game, method="exact")
+        local = social_optimum(small_euclidean_game, method="local_search")
+        assert exact.cost <= local.cost + 1e-9
+
+    def test_unknown_method_rejected(self, small_euclidean_game):
+        with pytest.raises(ValueError):
+            social_optimum(small_euclidean_game, method="bogus")
+
+
+class TestLemma2SpannerProperty:
+    """Lemma 2: the social optimum is an (alpha/2 + 1)-spanner of the host."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 5_000), alpha=st.floats(min_value=0.2, max_value=4.0))
+    def test_optimum_is_spanner(self, seed, alpha):
+        from repro.core.spanner import is_k_spanner
+
+        rng = np.random.default_rng(seed)
+        host = HostGraph.from_points(rng.random((5, 2)))
+        game = NetworkCreationGame(host, alpha)
+        opt = exact_social_optimum(game)
+        assert is_k_spanner(host, opt.profile, alpha / 2.0 + 1.0)

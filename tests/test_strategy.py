@@ -1,0 +1,185 @@
+"""Tests for strategy profiles (the ownership-matrix representation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.strategy import StrategyProfile
+
+
+class TestConstruction:
+    def test_empty(self):
+        p = StrategyProfile.empty(4)
+        assert p.n == 4
+        assert p.num_edges() == 0
+        assert p.edges() == []
+
+    def test_from_sets_sequence(self):
+        p = StrategyProfile.from_sets(3, [[1], [2], []])
+        assert p.owns_edge(0, 1)
+        assert p.owns_edge(1, 2)
+        assert not p.owns_edge(2, 1)
+        assert p.has_edge(2, 1)
+
+    def test_from_sets_mapping(self):
+        p = StrategyProfile.from_sets(4, {2: [0, 3]})
+        assert p.strategy(2) == frozenset({0, 3})
+        assert p.strategy(0) == frozenset()
+
+    def test_from_sets_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            StrategyProfile.from_sets(3, [[0], [], []])
+
+    def test_from_sets_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            StrategyProfile.from_sets(3, [[5], [], []])
+
+    def test_from_owned_edges(self):
+        p = StrategyProfile.from_owned_edges(3, [(0, 1), (2, 1)])
+        assert p.owned_edges() == [(0, 1), (2, 1)]
+
+    def test_from_undirected_edges_owner_rules(self):
+        low = StrategyProfile.from_undirected_edges(3, [(2, 0)], owner="low")
+        high = StrategyProfile.from_undirected_edges(3, [(2, 0)], owner="high")
+        assert low.owns_edge(0, 2)
+        assert high.owns_edge(2, 0)
+
+    def test_star_center_owns(self):
+        p = StrategyProfile.star(4, center=1)
+        assert p.strategy(1) == frozenset({0, 2, 3})
+        assert p.num_edges() == 3
+
+    def test_star_leaves_own(self):
+        p = StrategyProfile.star(4, center=1, center_owns=False)
+        assert p.strategy(1) == frozenset()
+        assert all(p.owns_edge(v, 1) for v in (0, 2, 3))
+
+    def test_star_center_out_of_range(self):
+        with pytest.raises(ValueError):
+            StrategyProfile.star(3, center=5)
+
+    def test_complete(self):
+        p = StrategyProfile.complete(4)
+        assert p.num_edges() == 6
+        assert p.double_bought_edges() == []
+
+    def test_path(self):
+        p = StrategyProfile.path([0, 2, 1], 4)
+        assert p.edges() == [(0, 2), (1, 2)]
+        assert p.owns_edge(0, 2)
+        assert p.owns_edge(2, 1)
+
+    def test_diagonal_ownership_rejected(self):
+        owns = np.eye(3, dtype=bool)
+        with pytest.raises(ValueError):
+            StrategyProfile(owns)
+
+
+class TestViews:
+    def test_adjacency_is_symmetric_or(self):
+        p = StrategyProfile.from_sets(3, [[1], [], [1]])
+        adj = p.adjacency()
+        assert adj[0, 1] and adj[1, 0]
+        assert adj[2, 1] and adj[1, 2]
+        assert not adj[0, 2]
+
+    def test_double_bought_edges_detected(self):
+        p = StrategyProfile.from_owned_edges(3, [(0, 1), (1, 0)])
+        assert p.double_bought_edges() == [(0, 1)]
+        assert p.num_edges() == 1
+        assert p.num_owned_edges() == 2
+
+    def test_num_owned_edges_per_agent(self):
+        p = StrategyProfile.from_sets(4, [[1, 2, 3], [], [], []])
+        assert p.num_owned_edges(0) == 3
+        assert p.num_owned_edges(1) == 0
+
+    def test_ownership_read_only(self):
+        p = StrategyProfile.empty(3)
+        with pytest.raises(ValueError):
+            p.ownership[0, 1] = True
+
+    def test_to_networkx(self):
+        from repro.core.host_graph import HostGraph
+
+        host = HostGraph.unit(3)
+        p = StrategyProfile.star(3, center=0)
+        g = p.to_networkx(host)
+        assert g.number_of_edges() == 2
+        assert g[0][1]["weight"] == 1.0
+
+
+class TestEditing:
+    def test_with_strategy_replaces(self):
+        p = StrategyProfile.from_sets(3, [[1, 2], [], []])
+        q = p.with_strategy(0, [2])
+        assert q.strategy(0) == frozenset({2})
+        assert p.strategy(0) == frozenset({1, 2})  # original untouched
+
+    def test_add_delete_swap(self):
+        p = StrategyProfile.empty(4)
+        p1 = p.add_edge(0, 1)
+        assert p1.owns_edge(0, 1)
+        p2 = p1.swap_edge(0, 1, 3)
+        assert not p2.owns_edge(0, 1)
+        assert p2.owns_edge(0, 3)
+        p3 = p2.delete_edge(0, 3)
+        assert p3.num_edges() == 0
+
+    def test_add_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            StrategyProfile.empty(3).add_edge(1, 1)
+
+    def test_transfer_ownership(self):
+        p = StrategyProfile.from_owned_edges(3, [(0, 1)])
+        q = p.transfer_ownership(0, 1)
+        assert q.owns_edge(1, 0)
+        assert not q.owns_edge(0, 1)
+        assert q.adjacency()[0, 1]
+
+    def test_transfer_ownership_missing_edge(self):
+        with pytest.raises(ValueError):
+            StrategyProfile.empty(3).transfer_ownership(0, 1)
+
+
+class TestIdentity:
+    def test_equality_and_hash(self):
+        a = StrategyProfile.from_sets(3, [[1], [2], []])
+        b = StrategyProfile.from_sets(3, [[1], [2], []])
+        c = StrategyProfile.from_sets(3, [[2], [], []])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_canonical_key_distinguishes_ownership(self):
+        a = StrategyProfile.from_owned_edges(3, [(0, 1)])
+        b = StrategyProfile.from_owned_edges(3, [(1, 0)])
+        assert a.canonical_key() != b.canonical_key()
+        assert a.network_key() == b.network_key()
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(min_value=2, max_value=8), seed=st.integers(0, 10_000))
+    def test_roundtrip_through_sets(self, n, seed):
+        rng = np.random.default_rng(seed)
+        owns = rng.random((n, n)) < 0.4
+        np.fill_diagonal(owns, False)
+        p = StrategyProfile(owns)
+        q = StrategyProfile.from_sets(n, [p.strategy(u) for u in range(n)])
+        assert p == q
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(min_value=2, max_value=8), seed=st.integers(0, 10_000))
+    def test_adjacency_consistency(self, n, seed):
+        rng = np.random.default_rng(seed)
+        owns = rng.random((n, n)) < 0.4
+        np.fill_diagonal(owns, False)
+        p = StrategyProfile(owns)
+        adj = p.adjacency()
+        assert np.array_equal(adj, adj.T)
+        assert p.num_edges() == len(p.edges())
+        for u, v in p.edges():
+            assert u < v
+            assert adj[u, v]

@@ -10,6 +10,13 @@ Independent instances are embarrassingly parallel, so :func:`run_parallel`
 executes experiment callables across processes with
 :class:`concurrent.futures.ProcessPoolExecutor`; every experiment function
 is also usable serially (``workers=0``), which the test-suite relies on.
+
+Every sweep accepts an ``engine`` switch (``"incremental"`` by default,
+``"exact"`` as the slow oracle) selecting the distance engine the underlying
+best-response dynamics run on; see :mod:`repro.core.incremental`.  The two
+engines compute identical best responses — the incremental one just avoids
+recomputing all-pairs shortest paths per candidate strategy — so the switch
+trades nothing but time.
 """
 
 from __future__ import annotations
@@ -113,12 +120,15 @@ def poa_experiment(
     samples_per_instance: int = 6,
     seed: int = 0,
     max_candidates: int = 22,
+    engine: str = "incremental",
 ) -> PoASummary:
     """Measure the empirical PoA of random instances of one variant.
 
     Each instance contributes the worst ratio over all sampled equilibria;
     the summary reports the maximum and mean over instances and whether the
     relevant closed-form upper bound was respected by every measurement.
+    ``engine`` picks the dynamics distance engine (``"incremental"`` fast
+    path or ``"exact"`` oracle).
     """
     rng = np.random.default_rng(seed)
     ratios: list[float] = []
@@ -134,6 +144,7 @@ def poa_experiment(
             num_samples=samples_per_instance,
             rng=rng,
             max_candidates=max_candidates,
+            engine=engine,
         )
         found += estimate.equilibria_found
         poa = estimate.price_of_anarchy
@@ -163,6 +174,7 @@ def sweep_alpha(
     instances: int = 3,
     samples_per_instance: int = 4,
     seed: int = 0,
+    engine: str = "incremental",
 ) -> list[PoASummary]:
     """Run :func:`poa_experiment` for every alpha in a sweep."""
     return [
@@ -173,6 +185,7 @@ def sweep_alpha(
             instances=instances,
             samples_per_instance=samples_per_instance,
             seed=seed + i,
+            engine=engine,
         )
         for i, alpha in enumerate(alphas)
     ]
@@ -188,6 +201,7 @@ def dynamics_convergence_experiment(
     max_rounds: int = 40,
     response: str = "best",
     seed: int = 0,
+    engine: str = "incremental",
 ) -> DynamicsSummary:
     """Measure how often best-response dynamics converge on random instances."""
     rng = np.random.default_rng(seed)
@@ -210,6 +224,7 @@ def dynamics_convergence_experiment(
                 order="round_robin",
                 max_rounds=max_rounds,
                 rng=rng,
+                engine=engine,  # type: ignore[arg-type]
             )
             if result.converged:
                 converged += 1

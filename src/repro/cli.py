@@ -13,7 +13,10 @@ writing any code:
 * ``simulate``      — play one game instance end to end (optimum, dynamics,
   equilibrium certification) and print the outcome.
 
-Every command accepts ``--seed`` for reproducibility.
+Every command accepts ``--seed`` for reproducibility.  The ``poa``,
+``dynamics`` and ``simulate`` commands additionally accept ``--engine``
+to choose between the incremental distance engine (default, fast) and the
+exact from-scratch oracle.
 """
 
 from __future__ import annotations
@@ -49,6 +52,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_poa.add_argument("--instances", type=int, default=3)
     p_poa.add_argument("--samples", type=int, default=4)
     p_poa.add_argument("--seed", type=int, default=0)
+    _add_engine_flag(p_poa)
 
     p_dyn = sub.add_parser("dynamics", help="best-response dynamics convergence study")
     p_dyn.add_argument("--variant", default="euclidean",
@@ -58,6 +62,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_dyn.add_argument("--instances", type=int, default=3)
     p_dyn.add_argument("--runs", type=int, default=3)
     p_dyn.add_argument("--seed", type=int, default=0)
+    _add_engine_flag(p_dyn)
 
     p_sim = sub.add_parser("simulate", help="play one random instance end to end")
     p_sim.add_argument("--variant", default="euclidean",
@@ -65,8 +70,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--n", type=int, default=7)
     p_sim.add_argument("--alpha", type=float, default=1.5)
     p_sim.add_argument("--seed", type=int, default=0)
+    _add_engine_flag(p_sim)
 
     return parser
+
+
+def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        default="incremental",
+        choices=["incremental", "exact"],
+        help=(
+            "distance engine for best-response dynamics: 'incremental' "
+            "(default) caches all-pairs distances, reuses residual matrices "
+            "across sweeps and updates distances in O(n^2) per move; 'exact' "
+            "recomputes shortest paths from scratch at every step (slow "
+            "cross-validation oracle — both engines play identical responses)"
+        ),
+    )
 
 
 def _cmd_table1(args) -> int:
@@ -95,6 +116,7 @@ def _cmd_poa(args) -> int:
         instances=args.instances,
         samples_per_instance=args.samples,
         seed=args.seed,
+        engine=args.engine,
     )
     print(
         f"variant={summary.variant} n={summary.n} alpha={summary.alpha}\n"
@@ -117,6 +139,7 @@ def _cmd_dynamics(args) -> int:
         instances=args.instances,
         runs_per_instance=args.runs,
         seed=args.seed,
+        engine=args.engine,
     )
     print(
         f"variant={summary.variant} n={summary.n} alpha={summary.alpha}\n"
@@ -143,7 +166,9 @@ def _cmd_simulate(args) -> int:
     host = host_factory(args.variant, args.n, rng)
     game = NetworkCreationGame(host, args.alpha)
     opt = social_optimum(game)
-    result = best_response_dynamics(game, StrategyProfile.empty(args.n), max_rounds=60)
+    result = best_response_dynamics(
+        game, StrategyProfile.empty(args.n), max_rounds=60, engine=args.engine
+    )
     profile = result.final_profile
     stable = result.converged and is_nash_equilibrium(game, profile)
     ratio = game.social_cost(profile) / opt.cost if opt.cost > 0 else float("nan")

@@ -7,6 +7,7 @@ The sub-modules are organised bottom-up:
 * :mod:`repro.core.strategy`       — immutable strategy profiles,
 * :mod:`repro.core.game`           — the cost model (agent and social costs),
 * :mod:`repro.core.best_response`  — exact and greedy best responses,
+* :mod:`repro.core.incremental`    — cached-distance incremental BR engine,
 * :mod:`repro.core.equilibria`     — NE / GE / AE / β-approximate checks,
 * :mod:`repro.core.dynamics`       — response dynamics and cycle detection,
 * :mod:`repro.core.social_optimum` — exact / heuristic optima, Algorithm 1,
@@ -20,6 +21,7 @@ from .best_response import (
     SingleMove,
     best_response,
     best_response_exact,
+    best_response_incremental,
     best_single_move,
     greedy_response,
 )
@@ -51,6 +53,8 @@ from .equilibria import (
 )
 from .game import AgentCostBreakdown, NetworkCreationGame
 from .host_graph import HostGraph, MetricViolation, ModelVariant
+from .incremental import IncrementalEngine
+from .shortest_paths import CandidateEvaluator, relax_through_edges
 from .poa import PoAEstimate, enumerate_nash_equilibria, estimate_poa, sample_equilibria
 from .social_optimum import (
     OptimumResult,
@@ -65,10 +69,12 @@ from .strategy import StrategyProfile
 __all__ = [
     "AgentCostBreakdown",
     "BestResponseResult",
+    "CandidateEvaluator",
     "CycleCheckResult",
     "DynamicsResult",
     "EquilibriumReport",
     "HostGraph",
+    "IncrementalEngine",
     "MetricViolation",
     "ModelVariant",
     "NetworkCreationGame",
@@ -82,6 +88,7 @@ __all__ = [
     "best_response",
     "best_response_dynamics",
     "best_response_exact",
+    "best_response_incremental",
     "best_single_move",
     "enumerate_nash_equilibria",
     "equilibrium_report",
@@ -102,6 +109,7 @@ __all__ = [
     "ne_spanner_factor",
     "opt_spanner_factor",
     "rd_one_norm_poa_lower",
+    "relax_through_edges",
     "rd_pnorm_poa_lower_4node",
     "run_dynamics",
     "sample_equilibria",

@@ -20,6 +20,27 @@ two regimes the paper itself uses:
 
 Both return :class:`BestResponseResult` records carrying the strategy, its
 cost and the improvement over the current strategy.
+
+Incremental evaluation
+----------------------
+All searches share the same structure: one residual all-pairs computation
+per activation, then pure ``O(k n)`` relaxations per candidate strategy via
+:class:`~repro.core.shortest_paths.CandidateEvaluator` — never a
+shortest-path rerun per candidate.  The *exactness argument*: every
+purchasable edge is incident to the deviating agent ``u``, so a shortest
+path of the deviated network uses at most one bought edge before leaving
+``u`` and never returns to ``u`` (a revisit could be shortcut by dropping
+the path prefix).  Hence ``d(u, x) = min(d_rest(u, x), min_{v in S}
+w(u, v) + d_rest(v, x))`` is exact, and with it every candidate cost.
+
+:func:`best_response_exact` recomputes the residual (and the agent's
+current cost) from scratch on every call — it is the trusted slow oracle.
+:func:`best_response_incremental` produces the same result but accepts a
+cached residual matrix (``d_rest``) and derives the current cost from it,
+performing **zero** additional shortest-path computations when the caller
+(e.g. :class:`repro.core.incremental.IncrementalEngine`) provides the
+cache.  The two are cross-validated against each other by the property
+tests in ``tests/test_incremental_engine.py``.
 """
 
 from __future__ import annotations
@@ -30,7 +51,7 @@ from typing import Iterable, Literal, Sequence
 import numpy as np
 
 from .game import NetworkCreationGame
-from .shortest_paths import all_pairs_shortest_paths
+from .shortest_paths import CandidateEvaluator, strategy_cost_from_residual
 from .strategy import StrategyProfile
 
 __all__ = [
@@ -39,6 +60,7 @@ __all__ = [
     "residual_distances",
     "strategy_cost_given_residual",
     "best_response_exact",
+    "best_response_incremental",
     "best_single_move",
     "greedy_response",
     "best_response",
@@ -100,23 +122,7 @@ def residual_distances(game: NetworkCreationGame, profile: StrategyProfile, u: i
 
     Edges towards ``u`` bought by other agents remain present.
     """
-    weights = game.network_weights(profile)
-    removed = profile.ownership[u] & ~profile.ownership[:, u]
-    weights = weights.copy()
-    weights[u, removed] = np.inf
-    weights[removed, u] = np.inf
-    return all_pairs_shortest_paths(weights)
-
-
-def _candidate_matrix(
-    game: NetworkCreationGame, d_rest: np.ndarray, u: int, candidates: Sequence[int]
-) -> tuple[np.ndarray, np.ndarray]:
-    """Per-candidate reach matrix ``M[i, x] = w(u, c_i) + d_rest(c_i, x)`` and prices."""
-    w_u = game.host.weights[u]
-    cand = np.asarray(candidates, dtype=int)
-    prices = game.alpha * w_u[cand]
-    reach = w_u[cand][:, None] + d_rest[cand]
-    return reach, prices
+    return game.residual_distances(profile, u)
 
 
 def strategy_cost_given_residual(
@@ -126,24 +132,46 @@ def strategy_cost_given_residual(
     strategy: Iterable[int],
 ) -> float:
     """Cost of agent ``u`` playing ``strategy`` against a fixed residual network."""
-    targets = sorted(set(int(v) for v in strategy))
-    if any(v == u for v in targets):
-        raise ValueError("strategies cannot contain the agent itself")
-    w_u = game.host.weights[u]
-    base = d_rest[u]
-    if targets:
-        reach = w_u[targets][:, None] + d_rest[targets]
-        dist = np.minimum(base, reach.min(axis=0))
-        edge_cost = game.alpha * w_u[targets].sum()
-    else:
-        dist = base
-        edge_cost = 0.0
-    return float(edge_cost + dist.sum())
+    return strategy_cost_from_residual(
+        d_rest, u, game.host.weights[u], game.alpha, strategy
+    )
 
 
 # ----------------------------------------------------------------------
 # Exact best response (vectorized subset enumeration)
 # ----------------------------------------------------------------------
+def _scan_candidate_subsets(
+    evaluator: CandidateEvaluator, max_candidates: int
+) -> tuple[frozenset[int], float]:
+    """Best subset of the evaluator's candidates by batched enumeration.
+
+    Seeds with the empty strategy so the search is well-defined even when
+    every subset leaves the agent disconnected (cost infinity).
+    """
+    m = evaluator.num_candidates
+    if m > max_candidates:
+        raise ValueError(
+            f"exact best response would enumerate 2^{m} subsets; "
+            f"raise max_candidates explicitly if this is intended"
+        )
+    best_cost = evaluator.empty_cost
+    if m == 0:
+        return frozenset(), best_cost
+    best_mask: np.ndarray = np.zeros(m, dtype=bool)
+    total = 1 << m
+    batch = 1 << min(_BATCH_BITS, m)
+    for start in range(0, total, batch):
+        size = min(batch, total - start)
+        masks = (((start + np.arange(size))[:, None] >> np.arange(m)) & 1).astype(bool)
+        costs = evaluator.batch_costs(masks)
+        idx = int(np.argmin(costs))
+        if costs[idx] < best_cost - 1e-15:
+            best_cost = float(costs[idx])
+            best_mask = masks[idx].copy()
+    targets = frozenset(int(v) for v in evaluator.candidates[best_mask])
+    return targets, float(best_cost)
+
+
 def best_response_exact(
     game: NetworkCreationGame,
     profile: StrategyProfile,
@@ -154,6 +182,11 @@ def best_response_exact(
 ) -> BestResponseResult:
     """Exact best response of agent ``u`` by enumerating all candidate subsets.
 
+    This is the reference oracle: it recomputes the residual network and the
+    agent's current cost from scratch on every call.  Use
+    :func:`best_response_incremental` (same result, cached residuals) on hot
+    paths.
+
     Parameters
     ----------
     candidates:
@@ -163,60 +196,45 @@ def best_response_exact(
     max_candidates:
         Safety bound on the enumeration size (``2**m`` subsets are scanned).
     """
-    d_rest = residual_distances(game, profile, u)
-    if candidates is None:
-        finite = np.isfinite(game.host.weights[u])
-        finite[u] = False
-        candidates = [int(v) for v in np.nonzero(finite)[0]]
-    else:
-        candidates = [int(v) for v in candidates if v != u]
-    m = len(candidates)
-    if m > max_candidates:
-        raise ValueError(
-            f"exact best response would enumerate 2^{m} subsets; "
-            f"raise max_candidates explicitly if this is intended"
-        )
+    evaluator = game.candidate_evaluator(profile, u, candidates=candidates)
     current_cost = game.agent_cost(profile, u)
-
-    base = d_rest[u]
-    if m == 0:
-        empty_cost = float(base.sum())
-        best_set: frozenset[int] = frozenset()
-        best_cost = empty_cost
-    else:
-        reach, prices = _candidate_matrix(game, d_rest, u, candidates)
-        # Seed with the empty strategy so the search is well-defined even when
-        # every subset leaves the agent disconnected (cost infinity).
-        best_cost = float(base.sum())
-        best_mask: np.ndarray = np.zeros(m, dtype=bool)
-        total = 1 << m
-        batch = 1 << min(_BATCH_BITS, m)
-        # Pre-compute the bit patterns of one batch once; higher bits are added
-        # per batch via broadcasting against the batch offset.
-        low_bits = ((np.arange(batch)[:, None] >> np.arange(m)) & 1).astype(bool)
-        for start in range(0, total, batch):
-            if start == 0:
-                masks = low_bits[: min(batch, total)]
-            else:
-                offsets = ((start + np.arange(min(batch, total - start)))[:, None] >> np.arange(m)) & 1
-                masks = offsets.astype(bool)
-            # distance vector per subset
-            selected = np.where(masks[:, :, None], reach[None, :, :], np.inf)
-            dist = np.minimum(base[None, :], selected.min(axis=1))
-            edge_costs = masks @ prices
-            costs = edge_costs + dist.sum(axis=1)
-            idx = int(np.argmin(costs))
-            if costs[idx] < best_cost - 1e-15:
-                best_cost = float(costs[idx])
-                best_mask = masks[idx].copy()
-        best_set = frozenset(candidates[i] for i in range(m) if best_mask[i])
-
+    best_set, best_cost = _scan_candidate_subsets(evaluator, max_candidates)
     return BestResponseResult(
         agent=u,
         strategy=best_set,
         cost=float(best_cost),
         current_cost=float(current_cost),
         method="exact",
+    )
+
+
+def best_response_incremental(
+    game: NetworkCreationGame,
+    profile: StrategyProfile,
+    u: int,
+    *,
+    d_rest: np.ndarray | None = None,
+    candidates: Sequence[int] | None = None,
+    max_candidates: int = _MAX_EXACT_CANDIDATES,
+) -> BestResponseResult:
+    """Best response of agent ``u`` via the incremental distance engine.
+
+    Produces the same optimum as :func:`best_response_exact` (the two are
+    cross-validated by randomized property tests) but performs at most one
+    shortest-path computation — and none at all when the caller supplies a
+    cached residual matrix ``d_rest``: the agent's current cost is derived
+    from the residual instead of a fresh all-pairs run over the created
+    network, and every candidate subset is scored by pure relaxation.
+    """
+    evaluator = game.candidate_evaluator(profile, u, d_rest=d_rest, candidates=candidates)
+    current_cost = evaluator.strategy_cost(profile.strategy(u))
+    best_set, best_cost = _scan_candidate_subsets(evaluator, max_candidates)
+    return BestResponseResult(
+        agent=u,
+        strategy=best_set,
+        cost=float(best_cost),
+        current_cost=float(current_cost),
+        method="incremental",
     )
 
 
@@ -238,13 +256,16 @@ def enumerate_single_moves(
     u: int,
     *,
     moves: tuple[str, ...] = ("add", "delete", "swap"),
+    d_rest: np.ndarray | None = None,
 ) -> list[SingleMove]:
     """All single-edge moves of agent ``u`` with their cost gains.
 
     Gains are computed against a fixed residual network, so the whole
-    enumeration needs only one all-pairs shortest-path computation.
+    enumeration needs at most one all-pairs shortest-path computation (none
+    when a cached ``d_rest`` is supplied).
     """
-    d_rest = residual_distances(game, profile, u)
+    if d_rest is None:
+        d_rest = residual_distances(game, profile, u)
     current = set(profile.strategy(u))
     current_cost = strategy_cost_given_residual(game, d_rest, u, current)
     n = game.n
@@ -280,9 +301,10 @@ def best_single_move(
     *,
     moves: tuple[str, ...] = ("add", "delete", "swap"),
     tol: float = _TOL,
+    d_rest: np.ndarray | None = None,
 ) -> SingleMove:
     """The highest-gain single-edge move of agent ``u`` (or a no-op if none improves)."""
-    options = enumerate_single_moves(game, profile, u, moves=moves)
+    options = enumerate_single_moves(game, profile, u, moves=moves, d_rest=d_rest)
     if not options:
         return SingleMove("none", gain=0.0)
     best = max(options, key=lambda mv: mv.gain)
@@ -298,13 +320,17 @@ def greedy_response(
     *,
     moves: tuple[str, ...] = ("add", "delete", "swap"),
     max_iterations: int = 10_000,
+    d_rest: np.ndarray | None = None,
 ) -> BestResponseResult:
     """Iterate the best single-edge move of ``u`` until a local optimum is reached.
 
     The result is a strategy from which no single add/delete/swap improves —
-    exactly the per-agent condition of a Greedy Equilibrium.
+    exactly the per-agent condition of a Greedy Equilibrium.  A cached
+    residual matrix can be injected via ``d_rest`` (the whole local search
+    then runs without any shortest-path computation).
     """
-    d_rest = residual_distances(game, profile, u)
+    if d_rest is None:
+        d_rest = residual_distances(game, profile, u)
     current = set(profile.strategy(u))
     current_cost = strategy_cost_given_residual(game, d_rest, u, current)
     start_cost = current_cost
@@ -362,11 +388,14 @@ def best_response(
 ) -> BestResponseResult:
     """Best response with automatic method selection.
 
-    ``method`` is ``"exact"``, ``"greedy"`` or ``"auto"`` (exact when the
-    number of candidate edges is small enough, greedy otherwise).
+    ``method`` is ``"exact"``, ``"incremental"``, ``"greedy"`` or ``"auto"``
+    (exact when the number of candidate edges is small enough, greedy
+    otherwise).
     """
     if method == "exact":
         return best_response_exact(game, profile, u, max_candidates=max_candidates)
+    if method == "incremental":
+        return best_response_incremental(game, profile, u, max_candidates=max_candidates)
     if method == "greedy":
         return greedy_response(game, profile, u)
     if method != "auto":

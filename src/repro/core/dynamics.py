@@ -8,7 +8,14 @@ the sequential processes used to explore this empirically:
 * :func:`run_dynamics` — round-robin / random / max-gain activation of
   agents, each playing an exact best response, a greedy (single-move) local
   optimum, or just the best single move; stops on convergence, on a detected
-  state cycle, or after a step budget.
+  state cycle, or after a step budget.  By default it runs on the
+  *incremental* distance engine (:class:`repro.core.incremental.
+  IncrementalEngine`), which caches the profile's distance matrix, reuses
+  residual matrices across sweeps and updates distances in ``O(n^2)`` per
+  move; ``engine="exact"`` recomputes everything from scratch and serves as
+  the slow cross-validation oracle.  Random activation is deterministic:
+  ``rng`` accepts a :class:`numpy.random.Generator` or an integer seed and
+  defaults to seed 0 (never a module-level RNG).
 
 * :func:`verify_best_response_cycle` — checks that an explicitly given
   sequence of profiles (e.g. Fig. 5 or Fig. 8 of the paper) is a genuine
@@ -26,6 +33,7 @@ import numpy as np
 
 from .best_response import best_response_exact, best_single_move, greedy_response
 from .game import NetworkCreationGame
+from .incremental import IncrementalEngine
 from .strategy import StrategyProfile
 
 __all__ = [
@@ -40,6 +48,7 @@ _TOL = 1e-9
 
 ResponseKind = Literal["best", "greedy", "single"]
 OrderKind = Literal["round_robin", "random", "max_gain"]
+EngineKind = Literal["exact", "incremental"]
 
 
 @dataclass
@@ -120,10 +129,11 @@ def run_dynamics(
     response: ResponseKind = "best",
     order: OrderKind | Sequence[int] = "round_robin",
     max_rounds: int = 100,
-    rng: np.random.Generator | None = None,
+    rng: np.random.Generator | int | None = None,
     record_history: bool = False,
     detect_cycles: bool = True,
     max_candidates: int = 22,
+    engine: EngineKind = "incremental",
     tol: float = _TOL,
 ) -> DynamicsResult:
     """Run sequential response dynamics from ``initial``.
@@ -142,6 +152,16 @@ def run_dynamics(
         A *round* activates every agent once (for explicit sequences, one
         activation counts as one step and ``max_rounds`` bounds the number of
         passes over the sequence).
+    rng:
+        Randomness for ``order="random"``: a :class:`numpy.random.Generator`
+        or an integer seed.  ``None`` uses the fixed seed 0, so two runs with
+        the same arguments always produce identical trajectories.
+    engine:
+        ``"incremental"`` (default) runs on the cached-distance engine —
+        residual matrices are reused across sweeps and distances updated in
+        ``O(n^2)`` per move; ``"exact"`` recomputes every quantity from
+        scratch and is kept as the slow cross-validation oracle.  Both
+        engines play the same (exact) responses.
 
     Returns
     -------
@@ -149,12 +169,32 @@ def run_dynamics(
         Convergence flag, number of improving moves made, cycle information
         and the trajectory of social costs.
     """
-    rng = np.random.default_rng() if rng is None else rng
+    if rng is None or isinstance(rng, (int, np.integer)):
+        rng = np.random.default_rng(0 if rng is None else int(rng))
+    if engine not in ("exact", "incremental"):
+        raise ValueError(f"unknown engine {engine!r}")
     profile = initial
     n = game.n
+    inc = IncrementalEngine(game, initial) if engine == "incremental" else None
+
+    def respond(u: int):
+        if inc is not None:
+            return inc.respond(u, response, max_candidates=max_candidates)
+        return _respond(game, profile, u, response, max_candidates)
+
+    def apply_move(u: int, strategy) -> StrategyProfile:
+        if inc is not None:
+            return inc.apply(u, strategy)
+        return profile.with_strategy(u, strategy)
+
+    def social_cost() -> float:
+        if inc is not None:
+            return inc.social_cost()
+        return game.social_cost(profile)
+
     seen: dict[bytes, int] = {}
     history: list[StrategyProfile] | None = [initial] if record_history else None
-    social_costs = [game.social_cost(profile)]
+    social_costs = [social_cost()]
     moves = 0
     steps = 0
     cycle_detected = False
@@ -186,17 +226,17 @@ def run_dynamics(
                 steps += 1
                 best_agent, best_result = None, None
                 for u in range(n):
-                    result = _respond(game, profile, u, response, max_candidates)
+                    result = respond(u)
                     if result.improvement > tol and (
                         best_result is None or result.improvement > best_result.improvement
                     ):
                         best_agent, best_result = u, result
                 if best_result is None:
                     break
-                profile = profile.with_strategy(best_agent, best_result.strategy)
+                profile = apply_move(best_agent, best_result.strategy)
                 moves += 1
                 improved_this_round = True
-                social_costs.append(game.social_cost(profile))
+                social_costs.append(social_cost())
                 if record_history:
                     history.append(profile)
                 if detect_cycles:
@@ -211,12 +251,12 @@ def run_dynamics(
         else:
             for u in agents:
                 steps += 1
-                result = _respond(game, profile, u, response, max_candidates)
+                result = respond(u)
                 if result.improvement > tol:
-                    profile = profile.with_strategy(u, result.strategy)
+                    profile = apply_move(u, result.strategy)
                     moves += 1
                     improved_this_round = True
-                    social_costs.append(game.social_cost(profile))
+                    social_costs.append(social_cost())
                     if record_history:
                         history.append(profile)
                     if detect_cycles:

@@ -14,7 +14,12 @@ paper (Section 1.1):
 
 All quantities are computed from dense NumPy matrices; the distance matrix
 of a profile is the only non-trivial computation and can be reused across
-queries by passing it explicitly.
+queries by passing it explicitly.  For repeated per-agent queries the game
+also hands out :class:`~repro.core.shortest_paths.CandidateEvaluator`
+objects (:meth:`NetworkCreationGame.candidate_evaluator`), which score any
+strategy of one agent against a fixed residual network in ``O(k n)`` —
+the building block of the incremental best-response engine in
+:mod:`repro.core.incremental`.
 """
 
 from __future__ import annotations
@@ -24,7 +29,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from .host_graph import HostGraph
-from .shortest_paths import all_pairs_shortest_paths
+from .shortest_paths import (
+    CandidateEvaluator,
+    all_pairs_shortest_paths,
+    strategy_cost_from_residual,
+)
 from .strategy import StrategyProfile
 
 __all__ = ["NetworkCreationGame", "AgentCostBreakdown"]
@@ -91,6 +100,43 @@ class NetworkCreationGame:
     def is_connected(self, profile: StrategyProfile) -> bool:
         """``True`` iff the created network connects every pair of agents."""
         return bool(np.all(np.isfinite(self.distances(profile))))
+
+    def residual_weights(self, profile: StrategyProfile, u: int) -> np.ndarray:
+        """Weight matrix of the created network *without* ``u``'s solely-owned edges.
+
+        Edges towards ``u`` bought by other agents (and edges bought by both
+        endpoints) remain present.
+        """
+        weights = self.network_weights(profile)
+        removed = profile.ownership[u] & ~profile.ownership[:, u]
+        weights[u, removed] = np.inf
+        weights[removed, u] = np.inf
+        return weights
+
+    def residual_distances(self, profile: StrategyProfile, u: int) -> np.ndarray:
+        """All-pairs distances of the created network without ``u``'s owned edges."""
+        return all_pairs_shortest_paths(self.residual_weights(profile, u))
+
+    def candidate_evaluator(
+        self,
+        profile: StrategyProfile,
+        u: int,
+        *,
+        d_rest: np.ndarray | None = None,
+        candidates=None,
+    ) -> CandidateEvaluator:
+        """Incremental cost evaluator for agent ``u`` against a fixed residual.
+
+        ``d_rest`` may be supplied by callers that cache residual distance
+        matrices (see :mod:`repro.core.incremental`); otherwise it is
+        computed once here.  Every strategy of ``u`` can then be scored in
+        ``O(k n)`` without further shortest-path computations.
+        """
+        if d_rest is None:
+            d_rest = self.residual_distances(profile, u)
+        return CandidateEvaluator(
+            d_rest, u, self._host.weights[u], self._alpha, candidates
+        )
 
     # ------------------------------------------------------------------
     # Costs
@@ -201,12 +247,17 @@ class NetworkCreationGame:
         """Cost decrease for agent ``u`` of switching to ``new_strategy``.
 
         Positive values are improvements; the deviation leaves all other
-        agents' strategies untouched.
+        agents' strategies untouched.  Both costs are evaluated against the
+        same residual network, so the whole comparison needs a single
+        shortest-path computation instead of one per profile.
         """
+        d_rest = self.residual_distances(profile, u)
+        w_u = self._host.weights[u]
         if current_cost is None:
-            current_cost = self.agent_cost(profile, u)
-        deviated = profile.with_strategy(u, new_strategy)
-        new_cost = self.agent_cost(deviated, u)
+            current_cost = strategy_cost_from_residual(
+                d_rest, u, w_u, self._alpha, profile.strategy(u)
+            )
+        new_cost = strategy_cost_from_residual(d_rest, u, w_u, self._alpha, new_strategy)
         return current_cost - new_cost
 
     def is_improving_move(

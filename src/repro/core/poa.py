@@ -114,11 +114,14 @@ def sample_equilibria(
     verify: str = "nash",
     rng: np.random.Generator | None = None,
     max_candidates: int = 22,
+    engine: str = "incremental",
 ) -> list[StrategyProfile]:
     """Sample stable profiles by running response dynamics from varied seeds.
 
     ``verify`` selects the acceptance test for a converged profile:
     ``"nash"`` (exact NE check), ``"greedy"`` (GE check) or ``"none"``.
+    ``engine`` selects the dynamics distance engine (``"incremental"`` or the
+    slow ``"exact"`` oracle, see :func:`repro.core.dynamics.run_dynamics`).
     """
     rng = np.random.default_rng(0) if rng is None else rng
     found: dict[bytes, StrategyProfile] = {}
@@ -131,6 +134,7 @@ def sample_equilibria(
             max_rounds=max_rounds,
             rng=rng,
             max_candidates=max_candidates,
+            engine=engine,  # type: ignore[arg-type]
         )
         if not result.converged:
             continue
@@ -189,12 +193,14 @@ def estimate_poa(
     extra_equilibria: Iterable[StrategyProfile] = (),
     rng: np.random.Generator | None = None,
     max_candidates: int = 22,
+    engine: str = "incremental",
 ) -> PoAEstimate:
     """Empirical Price-of-Anarchy estimate for one instance.
 
     ``extra_equilibria`` lets callers inject known equilibria (e.g. the
     paper's constructions) so the estimate is at least as large as the
-    constructions imply.
+    constructions imply.  ``engine`` selects the dynamics distance engine
+    used for equilibrium sampling.
     """
     opt = social_optimum(game, method=optimum_method)
     equilibria = sample_equilibria(
@@ -204,6 +210,7 @@ def estimate_poa(
         verify=verify,
         rng=rng,
         max_candidates=max_candidates,
+        engine=engine,
     )
     for profile in extra_equilibria:
         equilibria.append(profile)

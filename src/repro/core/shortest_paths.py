@@ -24,9 +24,32 @@ Two interchangeable all-pairs kernels are provided:
 
 Both accept the same input convention and return an ``(n, n)`` float array
 whose diagonal is zero and whose unreachable pairs are ``numpy.inf``.
+
+On top of the full-matrix kernels, this module provides the *incremental*
+primitives used by the fast best-response engine
+(:mod:`repro.core.incremental`):
+
+``relax_through_edges``
+    Given an already shortest-path-closed distance matrix ``d`` and a set of
+    extra edges, returns the exact distance matrix of the augmented graph by
+    relaxing only through the new edges:
+    ``d'[u, v] = min(d[u, v], min_{s,t} d[u, s] + d_T[s, t] + d[t, v])``
+    where ``d_T`` are the distances among the new-edge endpoints.  This costs
+    ``O(k^3 + n^2 k)`` for ``k`` endpoints instead of an ``O(n^3)`` rerun of
+    Floyd–Warshall — exact because every shortest path of the augmented graph
+    decomposes into old-graph segments between new-edge endpoints.
+
+``CandidateEvaluator``
+    Scores candidate edge-sets of a single agent against a fixed residual
+    distance matrix.  All candidate edges share one endpoint (the agent), so
+    a path uses at most one bought edge before leaving the agent and the
+    post-purchase distances follow from pure ``O(n)``-per-candidate
+    relaxations — no per-candidate shortest-path recomputation at all.
 """
 
 from __future__ import annotations
+
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -44,6 +67,10 @@ __all__ = [
     "all_pairs_shortest_paths",
     "single_source_dijkstra",
     "distances_with_candidate_edges",
+    "relax_through_edges",
+    "relax_source_row",
+    "strategy_cost_from_residual",
+    "CandidateEvaluator",
 ]
 
 
@@ -194,3 +221,243 @@ def distances_with_candidate_edges(
         np.broadcast_to(base, mask.shape[:-1] + base.shape), np.inf
     )
     return np.minimum(base, best_via_candidates)
+
+
+def relax_through_edges(
+    dist: np.ndarray,
+    edges: Sequence[tuple[int, int, float]],
+    *,
+    directed: bool = False,
+) -> np.ndarray:
+    """Exact distances after adding ``edges`` to a shortest-path-closed matrix.
+
+    Parameters
+    ----------
+    dist:
+        ``(n, n)`` matrix of shortest-path distances of some graph ``G`` (it
+        must already be a metric closure, e.g. the output of
+        :func:`floyd_warshall`; ``inf`` marks unreachable pairs).
+    edges:
+        Extra edges ``(a, b, w)`` with non-negative weights ``w``.
+    directed:
+        When ``False`` (the default, matching the undirected created networks
+        of the game) each edge is usable in both directions.
+
+    Returns
+    -------
+    numpy.ndarray
+        The ``(n, n)`` shortest-path matrix of ``G`` plus the extra edges.
+
+    Notes
+    -----
+    Every shortest path of the augmented graph decomposes into maximal
+    segments inside ``G`` separated by new edges, and each segment runs
+    between new-edge endpoints (or the query endpoints).  It therefore
+    suffices to compute exact distances ``d_T`` among the ``k`` endpoints of
+    the new edges — a Floyd–Warshall restricted to those ``k`` nodes seeded
+    with ``dist`` and the new edge weights — and relax::
+
+        d'[u, v] = min(d[u, v], min_{s,t in T} d[u, s] + d_T[s, t] + d[t, v])
+
+    at a total cost of ``O(k^3 + n k^2 + n^2 k)`` instead of ``O(n^3)``.
+    """
+    d = _as_square_float(dist)
+    n = d.shape[0]
+    edge_list = [(int(a), int(b), float(w)) for a, b, w in edges]
+    if not edge_list or n == 0:
+        return d.copy()
+    for a, b, w in edge_list:
+        if not (0 <= a < n and 0 <= b < n):
+            raise ValueError(f"edge ({a}, {b}) out of range for n={n}")
+        if w < 0:
+            raise ValueError("negative edge weights are not supported")
+    terminals = sorted({x for a, b, _ in edge_list for x in (a, b)})
+    t_index = {node: i for i, node in enumerate(terminals)}
+    t = len(terminals)
+    # Seed terminal-to-terminal distances with the old metric, overlay the
+    # new edges, and close under the new edges with a k-node Floyd–Warshall.
+    d_t = d[np.ix_(terminals, terminals)].copy()
+    for a, b, w in edge_list:
+        ia, ib = t_index[a], t_index[b]
+        if w < d_t[ia, ib]:
+            d_t[ia, ib] = w
+        if not directed and w < d_t[ib, ia]:
+            d_t[ib, ia] = w
+    for k in range(t):
+        np.minimum(d_t, d_t[:, k : k + 1] + d_t[k : k + 1, :], out=d_t)
+    # best distance from every node to each terminal, allowed to use new edges
+    into = d[:, terminals]  # (n, t): old-graph distances only
+    via_in = (into[:, :, None] + d_t[None, :, :]).min(axis=1)  # (n, t)
+    out_of = d[terminals, :] if directed else into.T  # (t, n)
+    relaxed = np.minimum(d, (via_in[:, :, None] + out_of[None, :, :]).min(axis=1))
+    return relaxed
+
+
+def _sorted_targets(source: int, targets: Iterable[int]) -> list[int]:
+    t = sorted({int(v) for v in targets})
+    if any(v == source for v in t):
+        raise ValueError("strategies cannot contain the agent itself")
+    return t
+
+
+def relax_source_row(
+    d_rest: np.ndarray,
+    source: int,
+    edge_weights: np.ndarray,
+    targets: Iterable[int],
+) -> np.ndarray:
+    """Distance row of ``source`` after buying edges towards ``targets``.
+
+    The single place the one-bought-edge relaxation
+    ``d(u, x) = min(d_rest(u, x), min_{v in S} w(u, v) + d_rest(v, x))``
+    is implemented; exact because a shortest path leaving ``u`` through a
+    bought edge never returns to ``u``.
+    """
+    base = d_rest[source]
+    t = _sorted_targets(source, targets)
+    if not t:
+        return base.copy()
+    reach = edge_weights[t][:, None] + d_rest[t]
+    return np.minimum(base, reach.min(axis=0))
+
+
+def strategy_cost_from_residual(
+    d_rest: np.ndarray,
+    source: int,
+    edge_weights: np.ndarray,
+    alpha: float,
+    targets: Iterable[int],
+) -> float:
+    """Total cost (edge + distance) of ``source`` playing ``targets``.
+
+    Buying an infinite-weight (absent) host edge costs ``inf`` for every
+    ``alpha`` — including ``alpha == 0``, where a naive ``alpha * w`` would
+    produce NaN — matching :meth:`repro.core.game.NetworkCreationGame.edge_cost`.
+    """
+    t = _sorted_targets(source, targets)
+    if not t:
+        return float(d_rest[source].sum())
+    bought = np.asarray(edge_weights, dtype=float)[t]
+    if not np.all(np.isfinite(bought)):
+        return float("inf")
+    dist = np.minimum(d_rest[source], (bought[:, None] + d_rest[t]).min(axis=0))
+    return float(alpha * bought.sum() + dist.sum())
+
+
+class CandidateEvaluator:
+    """Incremental cost evaluation of one agent's candidate edge purchases.
+
+    The evaluator is constructed from the agent's *residual* distance matrix
+    ``d_rest`` (the created network without the agent's solely-owned edges)
+    and scores arbitrary strategies of that agent without ever recomputing
+    shortest paths: since every purchasable edge is incident to the agent
+    ``u``, the post-purchase distance from ``u`` to any ``x`` is ::
+
+        d(u, x) = min(d_rest(u, x), min_{v in S} w(u, v) + d_rest(v, x))
+
+    and the full post-purchase distance matrix follows from one more rank-1
+    relaxation through ``u`` (every path using a bought edge visits ``u``)::
+
+        d(x, y) = min(d_rest(x, y), d(u, x) + d(u, y))
+
+    Parameters
+    ----------
+    d_rest:
+        ``(n, n)`` residual shortest-path distances.
+    source:
+        The agent ``u`` whose purchases are evaluated.
+    edge_weights:
+        ``(n,)`` host-graph weight row ``w(u, ·)``.
+    alpha:
+        Edge-price parameter of the game.
+    candidates:
+        Optional explicit candidate target list used by the vectorized batch
+        interface (:meth:`batch_costs`).  Defaults to every other node with a
+        finite host weight.
+    """
+
+    __slots__ = ("d_rest", "source", "alpha", "_w", "base", "candidates", "prices", "reach")
+
+    def __init__(
+        self,
+        d_rest: np.ndarray,
+        source: int,
+        edge_weights: np.ndarray,
+        alpha: float,
+        candidates: Sequence[int] | None = None,
+    ) -> None:
+        d = _as_square_float(d_rest)
+        n = d.shape[0]
+        if not 0 <= source < n:
+            raise ValueError(f"source {source} out of range for n={n}")
+        w = np.asarray(edge_weights, dtype=float)
+        if w.shape != (n,):
+            raise ValueError(f"edge_weights must have shape ({n},), got {w.shape}")
+        if candidates is None:
+            finite = np.isfinite(w)
+            finite[source] = False
+            cand = np.nonzero(finite)[0].astype(int)
+        else:
+            cand = np.asarray([int(v) for v in candidates if int(v) != source], dtype=int)
+        self.d_rest = d
+        self.source = int(source)
+        self.alpha = float(alpha)
+        self._w = w
+        self.base = d[source]
+        self.candidates = cand
+        self.prices = self.alpha * w[cand]
+        # reach[i, x] = w(u, c_i) + d_rest(c_i, x): distance via candidate c_i.
+        self.reach = w[cand][:, None] + d[cand]
+
+    @property
+    def num_candidates(self) -> int:
+        return int(self.candidates.shape[0])
+
+    @property
+    def empty_cost(self) -> float:
+        """Cost of playing the empty strategy against the residual network."""
+        return float(self.base.sum())
+
+    # ------------------------------------------------------------------
+    # Arbitrary strategies
+    # ------------------------------------------------------------------
+    def distance_row(self, targets: Iterable[int]) -> np.ndarray:
+        """Agent ``u``'s distance vector after buying edges towards ``targets``."""
+        return relax_source_row(self.d_rest, self.source, self._w, targets)
+
+    def strategy_cost(self, targets: Iterable[int]) -> float:
+        """Total agent cost (edge + distance) of playing ``targets``.
+
+        Strategies containing infinite-weight host edges cost ``inf`` for
+        every ``alpha``, matching the exact oracle and :meth:`batch_costs`.
+        """
+        return strategy_cost_from_residual(
+            self.d_rest, self.source, self._w, self.alpha, targets
+        )
+
+    def updated_distances(self, targets: Iterable[int]) -> np.ndarray:
+        """Full ``(n, n)`` distance matrix after ``u`` buys edges to ``targets``.
+
+        Exact in ``O(n^2)``: any path using a bought edge passes through
+        ``u``, so ``d'(x, y) = min(d_rest(x, y), d'(u, x) + d'(u, y))``.
+        """
+        du = self.distance_row(targets)
+        return np.minimum(self.d_rest, du[:, None] + du[None, :])
+
+    # ------------------------------------------------------------------
+    # Vectorized candidate subsets
+    # ------------------------------------------------------------------
+    def batch_costs(self, masks: np.ndarray) -> np.ndarray:
+        """Agent costs of candidate subsets given as ``(..., m)`` boolean masks."""
+        masks = np.asarray(masks, dtype=bool)
+        if masks.shape[-1] != self.num_candidates:
+            raise ValueError(
+                f"mask last dimension {masks.shape[-1]} does not match "
+                f"{self.num_candidates} candidates"
+            )
+        dist = distances_with_candidate_edges(self.base, self.reach, masks)
+        finite = np.isfinite(self.prices)
+        edge_costs = masks @ np.where(finite, self.prices, 0.0)
+        if not finite.all():
+            edge_costs = np.where(masks[..., ~finite].any(axis=-1), np.inf, edge_costs)
+        return edge_costs + dist.sum(axis=-1)

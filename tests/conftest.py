@@ -1,4 +1,12 @@
-"""Shared fixtures for the test-suite."""
+"""Shared fixtures and the fast/slow split for the test-suite.
+
+The randomized property sweeps (``tests/test_incremental_engine.py`` and
+friends) run with a small instance budget by default so the tier-1 command
+(``PYTHONPATH=src python -m pytest -x -q``) stays fast.  Tests marked
+``@pytest.mark.slow`` — and the larger budgets handed out by the
+``property_budget`` fixture — are enabled with either ``--slow`` or an
+``-m slow`` marker expression.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +16,49 @@ import pytest
 from repro.core.game import NetworkCreationGame
 from repro.core.host_graph import HostGraph
 from repro.core.strategy import StrategyProfile
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--slow",
+        action="store_true",
+        default=False,
+        help="run slow randomized sweeps and raise the property-test budgets",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers", "slow: long randomized sweep (enable with --slow or -m slow)"
+    )
+
+
+def _slow_enabled(config: pytest.Config) -> bool:
+    if config.getoption("--slow"):
+        return True
+    # Slow mode is on when the -m expression selects `slow` positively
+    # (`slow`, `slow and not x`, ...) but not when it negates it
+    # (`not slow`) or never mentions it.
+    tokens = (config.getoption("-m") or "").replace("(", " ").replace(")", " ").split()
+    return any(
+        tok == "slow" and (i == 0 or tokens[i - 1] != "not")
+        for i, tok in enumerate(tokens)
+    )
+
+
+def pytest_collection_modifyitems(config: pytest.Config, items: list[pytest.Item]) -> None:
+    if _slow_enabled(config):
+        return
+    skip_slow = pytest.mark.skip(reason="slow sweep: pass --slow (or -m slow) to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
+
+
+@pytest.fixture
+def property_budget(request: pytest.FixtureRequest) -> int:
+    """Number of random instances per property sweep (larger under ``--slow``)."""
+    return 40 if _slow_enabled(request.config) else 8
 
 
 @pytest.fixture

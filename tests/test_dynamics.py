@@ -116,6 +116,54 @@ class TestConvergence:
             run_dynamics(small_euclidean_game, StrategyProfile.empty(5), response="bogus")
 
 
+class TestDeterminism:
+    """``order="random"`` must be reproducible: explicit rng/seed, no module-level RNG."""
+
+    def _run(self, game, rng):
+        return run_dynamics(
+            game,
+            StrategyProfile.empty(5),
+            order="random",
+            max_rounds=40,
+            rng=rng,
+            record_history=True,
+        )
+
+    def test_same_seed_same_trajectory(self, small_euclidean_game):
+        a = self._run(small_euclidean_game, np.random.default_rng(42))
+        b = self._run(small_euclidean_game, np.random.default_rng(42))
+        assert a.moves == b.moves and a.steps == b.steps
+        assert a.social_costs == b.social_costs
+        assert a.history == b.history
+        assert a.final_profile == b.final_profile
+
+    def test_integer_seed_accepted_and_deterministic(self, small_euclidean_game):
+        a = self._run(small_euclidean_game, 42)
+        b = self._run(small_euclidean_game, np.random.default_rng(42))
+        assert a.social_costs == b.social_costs
+        assert a.final_profile == b.final_profile
+
+    def test_default_rng_is_deterministic(self, small_euclidean_game):
+        """rng=None falls back to a fixed seed, never to OS entropy."""
+        a = self._run(small_euclidean_game, None)
+        b = self._run(small_euclidean_game, None)
+        assert a.social_costs == b.social_costs
+        assert a.history == b.history
+        c = self._run(small_euclidean_game, 0)
+        assert a.social_costs == c.social_costs
+
+    def test_engines_share_the_random_activation_stream(self, small_euclidean_game):
+        kwargs = dict(order="random", max_rounds=40, record_history=True)
+        a = run_dynamics(
+            small_euclidean_game, StrategyProfile.empty(5), rng=7, engine="exact", **kwargs
+        )
+        b = run_dynamics(
+            small_euclidean_game, StrategyProfile.empty(5), rng=7, engine="incremental", **kwargs
+        )
+        assert a.moves == b.moves
+        assert a.final_profile == b.final_profile
+
+
 class TestCycleVerification:
     def _two_state_cycle(self):
         """A hand-built 2-state sequence that is NOT improving (used as negative case)."""

@@ -1,0 +1,246 @@
+"""Cross-oracle property tests: incremental engine vs the exact oracle.
+
+The incremental best-response engine (:mod:`repro.core.incremental`) must be
+*indistinguishable* from the from-scratch oracle
+(:func:`repro.core.best_response.best_response_exact`) on every input: same
+best-response strategies, same costs, same dynamics trajectories.  These
+tests enforce that with seeded randomized sweeps across all model variants
+of the paper (NCG, 1-2, 1-∞, tree, euclidean/Rd, metric, general) on
+instances up to ``n = 30``.  Budgets are small by default and grow under
+``--slow`` (see ``tests/conftest.py``).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    IncrementalEngine,
+    NetworkCreationGame,
+    StrategyProfile,
+    best_response_exact,
+    best_response_incremental,
+    run_dynamics,
+)
+from repro.core.best_response import (
+    best_single_move,
+    enumerate_single_moves,
+    greedy_response,
+    residual_distances,
+)
+from repro.metrics.generators import (
+    random_euclidean_host,
+    random_general_host,
+    random_metric_host,
+    random_one_infinity_host,
+    random_one_two_host,
+    random_tree_host,
+    unit_host,
+)
+
+VARIANTS = {
+    "ncg": lambda n, rng: unit_host(n),
+    "one_two": lambda n, rng: random_one_two_host(n, rng=rng),
+    "one_infinity": lambda n, rng: random_one_infinity_host(n, rng=rng),
+    "tree": lambda n, rng: random_tree_host(n, rng=rng),
+    "euclidean": lambda n, rng: random_euclidean_host(n, rng=rng),
+    "metric": lambda n, rng: random_metric_host(n, rng=rng),
+    "general": lambda n, rng: random_general_host(n, rng=rng),
+}
+
+
+def _same_cost(a: float, b: float, tol: float = 1e-9) -> bool:
+    """Equality treating two infinities (disconnected agents) as equal."""
+    if np.isinf(a) or np.isinf(b):
+        return np.isinf(a) and np.isinf(b)
+    return abs(a - b) <= tol * max(1.0, abs(a))
+
+
+def _same_matrix(a: np.ndarray, b: np.ndarray, tol: float = 1e-9) -> bool:
+    fa, fb = np.isfinite(a), np.isfinite(b)
+    return bool(np.array_equal(fa, fb) and np.allclose(a[fa], b[fb], atol=tol))
+
+
+def _random_profile(n: int, rng: np.random.Generator, density: float = 0.35) -> StrategyProfile:
+    owns = rng.random((n, n)) < density
+    np.fill_diagonal(owns, False)
+    return StrategyProfile(owns, copy=False, validate=False)
+
+
+def _random_game(variant: str, n: int, rng: np.random.Generator) -> NetworkCreationGame:
+    host = VARIANTS[variant](n, rng)
+    return NetworkCreationGame(host, float(rng.uniform(0.2, 3.0)))
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+class TestBestResponseEquality:
+    def test_full_candidate_sets(self, variant, property_budget):
+        """Exact and incremental best responses coincide on small instances."""
+        rng = np.random.default_rng(zlib.crc32(variant.encode()) % 2**32)
+        for _ in range(property_budget):
+            n = int(rng.integers(3, 9))
+            game = _random_game(variant, n, rng)
+            profile = _random_profile(n, rng)
+            engine = IncrementalEngine(game, profile)
+            for u in range(n):
+                exact = best_response_exact(game, profile, u)
+                incremental = engine.best_response(u)
+                assert exact.strategy == incremental.strategy
+                assert _same_cost(exact.cost, incremental.cost)
+                assert _same_cost(exact.current_cost, incremental.current_cost)
+
+    def test_restricted_candidates_up_to_n30(self, variant, property_budget):
+        """Equality also holds on larger hosts with restricted candidate sets."""
+        rng = np.random.default_rng((zlib.crc32(variant.encode()) + 1) % 2**32)
+        for _ in range(max(2, property_budget // 2)):
+            n = int(rng.integers(12, 31))
+            game = _random_game(variant, n, rng)
+            profile = StrategyProfile.star(n, center=int(rng.integers(0, n)))
+            engine = IncrementalEngine(game, profile)
+            for u in rng.choice(n, size=5, replace=False):
+                u = int(u)
+                candidates = [int(v) for v in rng.choice(n, size=8, replace=False) if v != u]
+                exact = best_response_exact(game, profile, u, candidates=candidates)
+                incremental = best_response_incremental(
+                    game, profile, u, d_rest=engine.residual(u), candidates=candidates
+                )
+                assert exact.strategy == incremental.strategy
+                assert _same_cost(exact.cost, incremental.cost)
+
+    def test_dynamics_trajectories_identical(self, variant, property_budget):
+        """Both engines produce the same moves, costs and final profiles."""
+        rng = np.random.default_rng((zlib.crc32(variant.encode()) + 2) % 2**32)
+        for trial in range(max(2, property_budget // 2)):
+            n = int(rng.integers(3, 8))
+            game = _random_game(variant, n, rng)
+            profile = _random_profile(n, rng)
+            response = ("best", "greedy", "single")[trial % 3]
+            exact = run_dynamics(
+                game, profile, response=response, engine="exact", max_rounds=20, rng=0
+            )
+            incremental = run_dynamics(
+                game, profile, response=response, engine="incremental", max_rounds=20, rng=0
+            )
+            assert exact.converged == incremental.converged
+            assert exact.moves == incremental.moves
+            assert exact.final_profile == incremental.final_profile
+            assert len(exact.social_costs) == len(incremental.social_costs)
+            for a, b in zip(exact.social_costs, incremental.social_costs):
+                assert _same_cost(a, b, tol=1e-7)
+
+
+class TestEngineCaches:
+    def test_distance_cache_matches_fresh_apsp_after_moves(self, property_budget):
+        """The O(n^2) post-move update equals a from-scratch recomputation."""
+        rng = np.random.default_rng(77)
+        for _ in range(property_budget):
+            n = int(rng.integers(4, 12))
+            game = _random_game("metric", n, rng)
+            engine = IncrementalEngine(game, _random_profile(n, rng))
+            for u in list(range(n)) * 2:
+                result = engine.best_response(u)
+                if result.is_improving:
+                    engine.apply(u, result.strategy)
+                assert _same_matrix(engine.distances, game.distances(engine.profile))
+
+    def test_residual_cache_invalidation_across_moves(self):
+        """Cached residuals stay correct when other agents move between queries."""
+        rng = np.random.default_rng(5)
+        game = _random_game("euclidean", 7, rng)
+        engine = IncrementalEngine(game, _random_profile(7, rng))
+        for step in range(30):
+            u = int(rng.integers(0, 7))
+            assert _same_matrix(engine.residual(u), residual_distances(game, engine.profile, u))
+            mover = int(rng.integers(0, 7))
+            engine.apply(mover, engine.best_response(mover).strategy)
+
+    def test_own_move_keeps_residual_valid(self):
+        """An agent's residual is invariant under its own strategy changes."""
+        rng = np.random.default_rng(9)
+        game = _random_game("metric", 6, rng)
+        engine = IncrementalEngine(game, _random_profile(6, rng))
+        before = engine.residual(2)
+        engine.apply(2, {0, 1})
+        assert _same_matrix(engine.residual(2), before)
+        assert _same_matrix(engine.residual(2), residual_distances(game, engine.profile, 2))
+
+    def test_updated_distances_matches_apsp(self, property_budget):
+        """CandidateEvaluator.updated_distances equals the network's true APSP."""
+        rng = np.random.default_rng(13)
+        for _ in range(property_budget):
+            n = int(rng.integers(3, 10))
+            game = _random_game("general", n, rng)
+            profile = _random_profile(n, rng)
+            u = int(rng.integers(0, n))
+            evaluator = game.candidate_evaluator(profile, u)
+            targets = [int(v) for v in rng.choice(n, size=min(3, n - 1), replace=False) if v != u]
+            predicted = evaluator.updated_distances(targets)
+            actual = game.distances(profile.with_strategy(u, targets))
+            assert _same_matrix(predicted, actual, tol=1e-8)
+
+    def test_infinite_edge_strategy_costs_inf_even_at_alpha_zero(self):
+        """Buying an absent (inf-weight) host edge costs inf, never NaN.
+
+        Regression: with alpha == 0 a naive ``alpha * w`` yields ``0 * inf =
+        NaN``, silently de-synchronising the incremental engine's
+        current-cost path from the exact oracle on 1-inf hosts.
+        """
+        rng = np.random.default_rng(3)
+        host = VARIANTS["one_infinity"](6, rng)
+        w = host.weights
+        missing = [
+            (u, v) for u in range(6) for v in range(6) if u != v and np.isinf(w[u, v])
+        ]
+        assert missing, "generator produced a complete host; pick another seed"
+        u, v = missing[0]
+        for alpha in (0.0, 1.0):
+            game = NetworkCreationGame(host, alpha)
+            profile = StrategyProfile.from_sets(6, {u: [v]})
+            evaluator = game.candidate_evaluator(profile, u)
+            assert np.isinf(evaluator.strategy_cost([v]))
+            assert np.isinf(game.agent_cost(profile, u))
+            exact = best_response_exact(game, profile, u)
+            incremental = IncrementalEngine(game, profile).best_response(u)
+            assert exact.strategy == incremental.strategy
+            assert _same_cost(exact.current_cost, incremental.current_cost)
+            assert not np.isnan(incremental.current_cost)
+
+    def test_greedy_with_injected_residual_matches_fresh(self, property_budget):
+        rng = np.random.default_rng(21)
+        for _ in range(property_budget):
+            n = int(rng.integers(3, 9))
+            game = _random_game("tree", n, rng)
+            profile = _random_profile(n, rng)
+            u = int(rng.integers(0, n))
+            d_rest = residual_distances(game, profile, u)
+            fresh = greedy_response(game, profile, u)
+            cached = greedy_response(game, profile, u, d_rest=d_rest)
+            assert fresh.strategy == cached.strategy
+            assert _same_cost(fresh.cost, cached.cost)
+            fresh_move = best_single_move(game, profile, u)
+            cached_move = best_single_move(game, profile, u, d_rest=d_rest)
+            assert fresh_move.kind == cached_move.kind
+            assert fresh_move.gain == pytest.approx(cached_move.gain)
+            assert len(enumerate_single_moves(game, profile, u, d_rest=d_rest)) == len(
+                enumerate_single_moves(game, profile, u)
+            )
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_slow_exhaustive_equality_sweep(variant):
+    """Large-budget version of the equality sweep, run under ``--slow``."""
+    rng = np.random.default_rng((zlib.crc32(variant.encode()) + 3) % 2**32)
+    for _ in range(60):
+        n = int(rng.integers(3, 10))
+        game = _random_game(variant, n, rng)
+        profile = _random_profile(n, rng, density=float(rng.uniform(0.1, 0.6)))
+        engine = IncrementalEngine(game, profile)
+        for u in range(n):
+            exact = best_response_exact(game, profile, u)
+            incremental = engine.best_response(u)
+            assert exact.strategy == incremental.strategy
+            assert _same_cost(exact.cost, incremental.cost)

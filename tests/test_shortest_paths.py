@@ -9,10 +9,12 @@ from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.core.shortest_paths import (
+    CandidateEvaluator,
     all_pairs_shortest_paths,
     apsp_scipy,
     distances_with_candidate_edges,
     floyd_warshall,
+    relax_through_edges,
     single_source_dijkstra,
 )
 
@@ -155,6 +157,149 @@ class TestCandidateEdgeDistances:
     def test_shape_mismatch_rejected(self):
         with pytest.raises(ValueError):
             distances_with_candidate_edges(np.zeros(3), np.zeros((2, 4)), np.zeros(2, dtype=bool))
+
+
+def _assert_same_distances(a: np.ndarray, b: np.ndarray) -> None:
+    finite = np.isfinite(a)
+    assert np.array_equal(finite, np.isfinite(b))
+    assert np.allclose(a[finite], b[finite])
+
+
+class TestCrossOracle:
+    """floyd_warshall, apsp_scipy and relax_through_edges must agree everywhere.
+
+    The sweep deliberately stresses the inputs where dense shortest-path
+    oracles commonly diverge: zero-weight edges (scipy's plain dense input
+    would treat them as non-edges), ``inf`` non-edges and disconnected
+    components.
+    """
+
+    @staticmethod
+    def _adversarial_matrix(n: int, rng: np.random.Generator) -> np.ndarray:
+        w = rng.uniform(0.0, 5.0, size=(n, n))
+        w[rng.random((n, n)) < 0.25] = 0.0  # exact zero-weight edges
+        w = np.where(rng.random((n, n)) < 0.5, w, np.inf)  # many non-edges
+        # split off a disconnected block half of the time
+        if n >= 4 and rng.random() < 0.5:
+            cut = n // 2
+            w[:cut, cut:] = np.inf
+            w[cut:, :cut] = np.inf
+        w = np.minimum(w, w.T)
+        np.fill_diagonal(w, 0.0)
+        return w
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_three_oracles_agree(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 12))
+        w = self._adversarial_matrix(n, rng)
+        fw = floyd_warshall(w)
+        sp = apsp_scipy(w)
+        _assert_same_distances(fw, sp)
+        # relax_through_edges oracle: drop a few edges, close the rest, then
+        # add the dropped edges back incrementally — must recover fw exactly.
+        reduced = w.copy()
+        dropped: list[tuple[int, int, float]] = []
+        finite = [(i, j) for i in range(n) for j in range(i + 1, n) if np.isfinite(w[i, j])]
+        rng.shuffle(finite)
+        for i, j in finite[: max(1, len(finite) // 3)]:
+            dropped.append((i, j, float(w[i, j])))
+            reduced[i, j] = reduced[j, i] = np.inf
+        relaxed = relax_through_edges(floyd_warshall(reduced), dropped)
+        _assert_same_distances(fw, relaxed)
+
+    def test_relax_with_zero_weight_bridge(self):
+        """A zero-weight edge merging two components must propagate everywhere."""
+        w = np.full((4, 4), np.inf)
+        np.fill_diagonal(w, 0.0)
+        w[0, 1] = w[1, 0] = 1.0
+        w[2, 3] = w[3, 2] = 2.0
+        base = floyd_warshall(w)
+        assert np.isinf(base[0, 2])
+        relaxed = relax_through_edges(base, [(1, 2, 0.0)])
+        assert relaxed[1, 2] == 0.0
+        assert relaxed[0, 2] == pytest.approx(1.0)
+        assert relaxed[0, 3] == pytest.approx(3.0)
+        _assert_same_distances(relaxed, floyd_warshall(_with_edge(w, 1, 2, 0.0)))
+
+    def test_relax_empty_edge_list_is_identity(self):
+        rng = np.random.default_rng(3)
+        w = self._adversarial_matrix(6, rng)
+        d = floyd_warshall(w)
+        out = relax_through_edges(d, [])
+        assert out is not d  # a fresh array, not an alias
+        _assert_same_distances(d, out)
+
+    def test_relax_multi_edge_paths(self):
+        """Shortest paths may chain *several* new edges — the one-hop formula alone is wrong."""
+        n = 6
+        w = np.full((n, n), np.inf)
+        np.fill_diagonal(w, 0.0)
+        d = floyd_warshall(w)  # totally disconnected base
+        edges = [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0), (4, 5, 1.0)]
+        relaxed = relax_through_edges(d, edges)
+        assert relaxed[0, 5] == pytest.approx(5.0)
+        assert relaxed[5, 0] == pytest.approx(5.0)
+
+    def test_relax_rejects_bad_edges(self):
+        d = floyd_warshall(np.zeros((3, 3)))
+        with pytest.raises(ValueError):
+            relax_through_edges(d, [(0, 5, 1.0)])
+        with pytest.raises(ValueError):
+            relax_through_edges(d, [(0, 1, -1.0)])
+
+
+def _with_edge(w: np.ndarray, i: int, j: int, weight: float) -> np.ndarray:
+    out = w.copy()
+    out[i, j] = out[j, i] = weight
+    return out
+
+
+class TestCandidateEvaluator:
+    def test_strategy_cost_matches_manual(self):
+        rng = np.random.default_rng(0)
+        w = _random_weight_matrix(6, rng, edge_prob=0.9)
+        d = floyd_warshall(w)
+        weights = rng.uniform(0.5, 2.0, size=6)
+        weights[0] = 0.0
+        ev = CandidateEvaluator(d, 0, weights, alpha=1.5)
+        targets = [2, 4]
+        expected_dist = np.minimum(
+            d[0], np.minimum(weights[2] + d[2], weights[4] + d[4])
+        )
+        assert ev.strategy_cost(targets) == pytest.approx(
+            1.5 * (weights[2] + weights[4]) + expected_dist.sum()
+        )
+        assert np.allclose(ev.distance_row(targets), expected_dist)
+        assert ev.strategy_cost([]) == pytest.approx(d[0].sum())
+
+    def test_batch_costs_match_scalar_costs(self):
+        rng = np.random.default_rng(1)
+        w = _random_weight_matrix(7, rng, edge_prob=0.8)
+        d = floyd_warshall(w)
+        weights = rng.uniform(0.5, 2.0, size=7)
+        weights[3] = 0.0
+        ev = CandidateEvaluator(d, 3, weights, alpha=0.7)
+        m = ev.num_candidates
+        masks = (np.arange(2**m)[:, None] >> np.arange(m)) & 1
+        batch = ev.batch_costs(masks.astype(bool))
+        for row, cost in zip(masks.astype(bool), batch):
+            targets = [int(v) for v in ev.candidates[row]]
+            scalar = ev.strategy_cost(targets)
+            if np.isinf(scalar) or np.isinf(cost):
+                assert np.isinf(scalar) and np.isinf(cost)
+            else:
+                assert cost == pytest.approx(scalar)
+
+    def test_rejects_self_target_and_bad_shapes(self):
+        d = floyd_warshall(np.ones((4, 4)) - np.eye(4))
+        ev = CandidateEvaluator(d, 1, np.ones(4), alpha=1.0)
+        with pytest.raises(ValueError):
+            ev.strategy_cost([1])
+        with pytest.raises(ValueError):
+            ev.batch_costs(np.zeros(5, dtype=bool))
+        with pytest.raises(ValueError):
+            CandidateEvaluator(d, 9, np.ones(4), alpha=1.0)
 
 
 class TestMetricProperties:

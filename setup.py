@@ -1,10 +1,29 @@
-"""Setuptools shim so ``pip install -e .`` works without the ``wheel`` package.
+"""Package metadata for the *Geometric Network Creation Games* reproduction.
 
-The canonical metadata lives in ``pyproject.toml``; this file only exists so
-that legacy editable installs (``python setup.py develop``) work in offline
-environments that lack the ``wheel`` backend.
+``pip install -e .`` installs the ``repro`` package from ``src/``; the same
+code also runs uninstalled via ``PYTHONPATH=src`` (which is what the test
+and benchmark commands in the README use).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-gncg",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Geometric Network Creation Games' (SPAA 2019): "
+        "game engine, incremental best-response machinery, constructions, "
+        "reductions and the empirical Price-of-Anarchy toolkit"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.24",
+        "scipy>=1.10",
+    ],
+    extras_require={
+        "dev": ["pytest>=7", "pytest-benchmark>=4"],
+        "graphs": ["networkx>=3"],
+    },
+)

@@ -13,10 +13,12 @@ is also usable serially (``workers=0``), which the test-suite relies on.
 
 Every sweep accepts an ``engine`` switch (``"incremental"`` by default,
 ``"exact"`` as the slow oracle) selecting the distance engine the underlying
-best-response dynamics run on; see :mod:`repro.core.incremental`.  The two
-engines compute identical best responses — the incremental one just avoids
-recomputing all-pairs shortest paths per candidate strategy — so the switch
-trades nothing but time.
+best-response dynamics run on, and a ``schedule`` switch (``"sequential"``
+by default, ``"batched"`` to score each round of activations against a
+shared distance snapshot and re-validate only invalidated agents); see
+:mod:`repro.core.incremental` and :mod:`repro.core.dynamics`.  The engines
+compute identical best responses and the schedules follow identical
+trajectories — both switches trade nothing but time.
 """
 
 from __future__ import annotations
@@ -121,6 +123,7 @@ def poa_experiment(
     seed: int = 0,
     max_candidates: int = 22,
     engine: str = "incremental",
+    schedule: str = "sequential",
 ) -> PoASummary:
     """Measure the empirical PoA of random instances of one variant.
 
@@ -128,7 +131,8 @@ def poa_experiment(
     the summary reports the maximum and mean over instances and whether the
     relevant closed-form upper bound was respected by every measurement.
     ``engine`` picks the dynamics distance engine (``"incremental"`` fast
-    path or ``"exact"`` oracle).
+    path or ``"exact"`` oracle) and ``schedule`` the activation schedule
+    (``"sequential"`` or ``"batched"``).
     """
     rng = np.random.default_rng(seed)
     ratios: list[float] = []
@@ -145,6 +149,7 @@ def poa_experiment(
             rng=rng,
             max_candidates=max_candidates,
             engine=engine,
+            schedule=schedule,
         )
         found += estimate.equilibria_found
         poa = estimate.price_of_anarchy
@@ -175,6 +180,7 @@ def sweep_alpha(
     samples_per_instance: int = 4,
     seed: int = 0,
     engine: str = "incremental",
+    schedule: str = "sequential",
 ) -> list[PoASummary]:
     """Run :func:`poa_experiment` for every alpha in a sweep."""
     return [
@@ -186,6 +192,7 @@ def sweep_alpha(
             samples_per_instance=samples_per_instance,
             seed=seed + i,
             engine=engine,
+            schedule=schedule,
         )
         for i, alpha in enumerate(alphas)
     ]
@@ -202,6 +209,7 @@ def dynamics_convergence_experiment(
     response: str = "best",
     seed: int = 0,
     engine: str = "incremental",
+    schedule: str = "sequential",
 ) -> DynamicsSummary:
     """Measure how often best-response dynamics converge on random instances."""
     rng = np.random.default_rng(seed)
@@ -225,6 +233,7 @@ def dynamics_convergence_experiment(
                 max_rounds=max_rounds,
                 rng=rng,
                 engine=engine,  # type: ignore[arg-type]
+                schedule=schedule,  # type: ignore[arg-type]
             )
             if result.converged:
                 converged += 1

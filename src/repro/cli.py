@@ -16,7 +16,10 @@ writing any code:
 Every command accepts ``--seed`` for reproducibility.  The ``poa``,
 ``dynamics`` and ``simulate`` commands additionally accept ``--engine``
 to choose between the incremental distance engine (default, fast) and the
-exact from-scratch oracle.
+exact from-scratch oracle, and ``--schedule`` to choose between sequential
+activation and the batched schedule (scored proposals are cached and
+replayed; only agents an applied move invalidated are re-scored — same
+trajectory, less work).
 """
 
 from __future__ import annotations
@@ -53,6 +56,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_poa.add_argument("--samples", type=int, default=4)
     p_poa.add_argument("--seed", type=int, default=0)
     _add_engine_flag(p_poa)
+    _add_schedule_flag(p_poa)
 
     p_dyn = sub.add_parser("dynamics", help="best-response dynamics convergence study")
     p_dyn.add_argument("--variant", default="euclidean",
@@ -63,6 +67,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_dyn.add_argument("--runs", type=int, default=3)
     p_dyn.add_argument("--seed", type=int, default=0)
     _add_engine_flag(p_dyn)
+    _add_schedule_flag(p_dyn)
 
     p_sim = sub.add_parser("simulate", help="play one random instance end to end")
     p_sim.add_argument("--variant", default="euclidean",
@@ -71,6 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--alpha", type=float, default=1.5)
     p_sim.add_argument("--seed", type=int, default=0)
     _add_engine_flag(p_sim)
+    _add_schedule_flag(p_sim)
 
     return parser
 
@@ -86,6 +92,22 @@ def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
             "across sweeps and updates distances in O(n^2) per move; 'exact' "
             "recomputes shortest paths from scratch at every step (slow "
             "cross-validation oracle — both engines play identical responses)"
+        ),
+    )
+
+
+def _add_schedule_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--schedule",
+        default="sequential",
+        choices=["sequential", "batched"],
+        help=(
+            "activation schedule for response dynamics: 'sequential' "
+            "(default) re-scores every agent at every activation; 'batched' "
+            "caches scored proposals and replays them at later activations, "
+            "re-scoring only agents whose residual rows an applied move "
+            "invalidated (identical trajectory, requires --engine "
+            "incremental)"
         ),
     )
 
@@ -117,6 +139,7 @@ def _cmd_poa(args) -> int:
         samples_per_instance=args.samples,
         seed=args.seed,
         engine=args.engine,
+        schedule=args.schedule,
     )
     print(
         f"variant={summary.variant} n={summary.n} alpha={summary.alpha}\n"
@@ -140,6 +163,7 @@ def _cmd_dynamics(args) -> int:
         runs_per_instance=args.runs,
         seed=args.seed,
         engine=args.engine,
+        schedule=args.schedule,
     )
     print(
         f"variant={summary.variant} n={summary.n} alpha={summary.alpha}\n"
@@ -167,7 +191,11 @@ def _cmd_simulate(args) -> int:
     game = NetworkCreationGame(host, args.alpha)
     opt = social_optimum(game)
     result = best_response_dynamics(
-        game, StrategyProfile.empty(args.n), max_rounds=60, engine=args.engine
+        game,
+        StrategyProfile.empty(args.n),
+        max_rounds=60,
+        engine=args.engine,
+        schedule=args.schedule,
     )
     profile = result.final_profile
     stable = result.converged and is_nash_equilibrium(game, profile)
@@ -189,7 +217,13 @@ def _cmd_simulate(args) -> int:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "schedule", None) == "batched" and getattr(args, "engine", None) == "exact":
+        parser.error(
+            "--schedule batched requires --engine incremental (the exact "
+            "oracle keeps no residual matrices to re-validate proposals against)"
+        )
     handlers = {
         "table1": _cmd_table1,
         "constructions": _cmd_constructions,

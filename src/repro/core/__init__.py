@@ -19,6 +19,7 @@ The sub-modules are organised bottom-up:
 from .best_response import (
     BestResponseResult,
     SingleMove,
+    batch_best_responses,
     best_response,
     best_response_exact,
     best_response_incremental,
@@ -53,8 +54,13 @@ from .equilibria import (
 )
 from .game import AgentCostBreakdown, NetworkCreationGame
 from .host_graph import HostGraph, MetricViolation, ModelVariant
-from .incremental import IncrementalEngine
-from .shortest_paths import CandidateEvaluator, relax_through_edges
+from .incremental import EngineStats, IncrementalEngine
+from .shortest_paths import (
+    CandidateEvaluator,
+    DecrementalRepair,
+    decremental_distances,
+    relax_through_edges,
+)
 from .poa import PoAEstimate, enumerate_nash_equilibria, estimate_poa, sample_equilibria
 from .social_optimum import (
     OptimumResult,
@@ -71,7 +77,9 @@ __all__ = [
     "BestResponseResult",
     "CandidateEvaluator",
     "CycleCheckResult",
+    "DecrementalRepair",
     "DynamicsResult",
+    "EngineStats",
     "EquilibriumReport",
     "HostGraph",
     "IncrementalEngine",
@@ -85,11 +93,13 @@ __all__ = [
     "StrategyProfile",
     "ae_to_ne_factor",
     "algorithm1_one_two",
+    "batch_best_responses",
     "best_response",
     "best_response_dynamics",
     "best_response_exact",
     "best_response_incremental",
     "best_single_move",
+    "decremental_distances",
     "enumerate_nash_equilibria",
     "equilibrium_report",
     "estimate_poa",

@@ -41,6 +41,13 @@ performing **zero** additional shortest-path computations when the caller
 (e.g. :class:`repro.core.incremental.IncrementalEngine`) provides the
 cache.  The two are cross-validated against each other by the property
 tests in ``tests/test_incremental_engine.py``.
+
+:func:`batch_best_responses` scores a whole set of agents against one
+shared profile snapshot through such an engine.  This
+score-everyone-against-one-state pattern is what ``order="max_gain"``
+activation performs every step and what the batched activation schedule
+(``schedule="batched"`` in :func:`repro.core.dynamics.run_dynamics`)
+amortizes across rounds by caching and re-validating the scored proposals.
 """
 
 from __future__ import annotations
@@ -59,6 +66,7 @@ __all__ = [
     "SingleMove",
     "residual_distances",
     "strategy_cost_given_residual",
+    "batch_best_responses",
     "best_response_exact",
     "best_response_incremental",
     "best_single_move",
@@ -376,6 +384,37 @@ def greedy_response(
         current_cost=float(start_cost),
         method="greedy",
     )
+
+
+def batch_best_responses(
+    engine,
+    agents: Iterable[int] | None = None,
+    *,
+    response: str = "best",
+    max_candidates: int = _MAX_EXACT_CANDIDATES,
+) -> list[BestResponseResult]:
+    """Responses of several agents against one shared profile snapshot.
+
+    ``engine`` is a stateful evaluator of the current profile — in practice
+    a :class:`repro.core.incremental.IncrementalEngine`; any object with
+    ``game``, ``respond(u, response, max_candidates=...)`` and ``residual``
+    works, which keeps this module free of an engine import.  All agents are
+    scored against the *same* state (no move is applied in between), one
+    residual matrix per agent and zero shortest-path recomputations per
+    candidate strategy, so the batch costs ``O(sum_u a_u n^2)`` repair work
+    plus the candidate scans instead of interleaving full APSP rebuilds.
+
+    :func:`repro.core.dynamics.run_dynamics` performs this scoring pattern
+    inside its activation loop — every step under ``order="max_gain"``,
+    and lazily under ``schedule="batched"``, which additionally caches the
+    results across rounds and re-scores only agents whose residual rows an
+    applied move invalidated.
+    """
+    if agents is None:
+        agents = range(engine.game.n)
+    return [
+        engine.respond(int(u), response, max_candidates=max_candidates) for u in agents
+    ]
 
 
 def best_response(

@@ -11,17 +11,46 @@ the sequential processes used to explore this empirically:
   state cycle, or after a step budget.  By default it runs on the
   *incremental* distance engine (:class:`repro.core.incremental.
   IncrementalEngine`), which caches the profile's distance matrix, reuses
-  residual matrices across sweeps and updates distances in ``O(n^2)`` per
-  move; ``engine="exact"`` recomputes everything from scratch and serves as
-  the slow cross-validation oracle.  Random activation is deterministic:
-  ``rng`` accepts a :class:`numpy.random.Generator` or an integer seed and
-  defaults to seed 0 (never a module-level RNG).
+  residual matrices across sweeps, repairs them decrementally after edge
+  removals and updates distances in ``O(n^2)`` per move; ``engine="exact"``
+  recomputes everything from scratch and serves as the slow
+  cross-validation oracle.  Random activation is deterministic: ``rng``
+  accepts a :class:`numpy.random.Generator` or an integer seed and defaults
+  to seed 0 (never a module-level RNG).
+
+* the **batched activation schedule** (``schedule="batched"``) — the same
+  activation loop, plus a cross-activation *proposal cache*
+  (``_ProposalCache``).  Each scored response is kept together with the
+  residual matrix it was scored against; at the next activation of the
+  same agent the cached proposal is replayed unless some move applied in
+  between *invalidated* it.  Invalidation is decided per applied move with
+  exact row-level tests on the cached residual matrices: an added network
+  edge ``(v, t)`` can only change a residual row ``c`` an agent's
+  responses read if it undercuts ``c``'s distance to one of its endpoints,
+  a removed edge only if it is tight from ``c``.  Surviving proposals are
+  *numerically identical* to a fresh computation, so the batched schedule
+  follows the exact same trajectory — same moves applied at the same
+  activations, same social costs, same final profile — as
+  ``schedule="sequential"`` and differs only in work: a round in which
+  ``d`` agents were invalidated costs ``d`` response computations instead
+  of ``n``.  Batching requires the incremental engine and is available
+  for round-robin, random and explicit activation orders (``max_gain``
+  re-scores every agent per step by definition).
+  :func:`repro.core.best_response.batch_best_responses` exposes the
+  underlying score-many-agents-against-one-state primitive directly.
 
 * :func:`verify_best_response_cycle` — checks that an explicitly given
   sequence of profiles (e.g. Fig. 5 or Fig. 8 of the paper) is a genuine
   best-response cycle: each transition changes exactly one agent's strategy,
   each move is strictly improving, the new strategy is a best response, and
   the sequence returns to its starting profile.
+
+Per-activation complexity (``n`` agents, ``k`` candidates, ``a`` affected
+repair sources): candidate scoring is ``O(k n)`` per candidate strategy, an
+applied move updates the cached distances in ``O(n^2)``, a residual cache
+miss costs ``O(a n^2)`` decremental repair (full ``O(n^3)`` rebuild only
+when the repair frontier exceeds the engine threshold), and a batched
+cache hit is ``O(1)``.
 """
 
 from __future__ import annotations
@@ -31,9 +60,14 @@ from typing import Callable, Literal, Sequence
 
 import numpy as np
 
-from .best_response import best_response_exact, best_single_move, greedy_response
+from .best_response import (
+    BestResponseResult,
+    best_response_exact,
+    best_single_move,
+    greedy_response,
+)
 from .game import NetworkCreationGame
-from .incremental import IncrementalEngine
+from .incremental import EngineStats, IncrementalEngine
 from .strategy import StrategyProfile
 
 __all__ = [
@@ -49,6 +83,108 @@ _TOL = 1e-9
 ResponseKind = Literal["best", "greedy", "single"]
 OrderKind = Literal["round_robin", "random", "max_gain"]
 EngineKind = Literal["exact", "incremental"]
+ScheduleKind = Literal["sequential", "batched"]
+
+
+class _ProposalCache:
+    """Cross-activation proposal reuse behind ``schedule="batched"``.
+
+    Stores each agent's last computed response together with the residual
+    distance matrix it was scored against.  A response of agent ``u`` is a
+    pure function of the *rows* of that matrix ``u`` actually reads — its
+    own distance row plus one row per finite-weight candidate target — so
+    after a move is applied, only proposals with an invalidated row are
+    dropped.  For a network edge ``(v, t)`` of weight ``w`` touched by the
+    move, row ``c`` of ``u``'s residual is provably unchanged when
+
+    * *added* edge: ``d_u(c, v) + w >= d_u(c, t)`` and
+      ``d_u(c, t) + w >= d_u(c, v)`` — any path from ``c`` improved by the
+      new edge would have to improve ``c``'s distance to one of its
+      endpoints first;
+    * *removed* edge: ``d_u(c, v) + w != d_u(c, t)`` and
+      ``d_u(c, t) + w != d_u(c, v)`` — a shortest path from ``c`` through
+      the edge forces one of the two tight equalities, so without them no
+      shortest path from ``c`` uses the edge;
+
+    and the mover's own proposal is always dropped (its strategy changed).
+    Both tests are conservative in the safe direction (ties mark removed
+    edges dirty) and exact in exact arithmetic, so a surviving proposal is
+    numerically identical to a fresh computation against the post-move
+    state — the property that makes the batched and sequential schedules
+    trajectory-equivalent.  Validation costs ``O(|rows| * |edge diff|)``
+    vector work per cached proposal per applied move; row-level testing is
+    what lets proposals survive on sparse (1-∞-style) hosts, where a moved
+    edge rarely interacts with another agent's candidate rows.  The cache
+    holds at most one ``(n, n)`` residual matrix per agent, mirroring the
+    engine's own residual cache.  ``hits``/``misses`` count served and
+    recomputed lookups for benchmarks and tests.
+    """
+
+    __slots__ = ("_weights", "_proposals", "_rows", "hits", "misses")
+
+    def __init__(self, game: NetworkCreationGame) -> None:
+        self._weights = game.host.weights
+        # agent -> (response, residual distance matrix it was scored against)
+        self._proposals: dict[int, tuple[BestResponseResult, np.ndarray]] = {}
+        # agent -> indices of the residual rows its responses depend on
+        self._rows: dict[int, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _agent_rows(self, u: int) -> np.ndarray:
+        rows = self._rows.get(u)
+        if rows is None:
+            readable = np.isfinite(self._weights[u])
+            readable[u] = True  # the agent's own distance row is always read
+            rows = np.flatnonzero(readable)
+            self._rows[u] = rows
+        return rows
+
+    def get(self, u: int) -> BestResponseResult | None:
+        hit = self._proposals.get(u)
+        if hit is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return hit[0]
+
+    def store(self, u: int, result: BestResponseResult, d_rest: np.ndarray) -> None:
+        self._proposals[u] = (result, d_rest)
+
+    def on_move(
+        self, mover: int, old_profile: StrategyProfile, new_profile: StrategyProfile
+    ) -> None:
+        """Drop the proposals the move from ``old_profile`` invalidates."""
+        self._proposals.pop(mover, None)
+        old_row = old_profile.ownership[mover] | old_profile.ownership[:, mover]
+        new_row = new_profile.ownership[mover] | new_profile.ownership[:, mover]
+        added = np.nonzero(new_row & ~old_row)[0]
+        removed = np.nonzero(old_row & ~new_row)[0]
+        if added.size == 0 and removed.size == 0:
+            return
+        w_row = self._weights[mover]
+        for u in list(self._proposals):
+            d_u = self._proposals[u][1]
+            rows = self._agent_rows(u)
+            to_mover = d_u[rows, mover]
+            dirty = False
+            for t in added:
+                w = w_row[t]
+                to_t = d_u[rows, t]
+                if np.any(to_mover + w < to_t) or np.any(to_t + w < to_mover):
+                    dirty = True
+                    break
+            if not dirty:
+                for t in removed:
+                    w = w_row[t]
+                    to_t = d_u[rows, t]
+                    if np.any(np.isclose(to_mover + w, to_t, rtol=1e-9, atol=1e-9)) or np.any(
+                        np.isclose(to_t + w, to_mover, rtol=1e-9, atol=1e-9)
+                    ):
+                        dirty = True
+                        break
+            if dirty:
+                del self._proposals[u]
 
 
 @dataclass
@@ -63,6 +199,9 @@ class DynamicsResult:
     final_profile: StrategyProfile
     social_costs: list[float] = field(default_factory=list)
     history: list[StrategyProfile] | None = None
+    engine_stats: "EngineStats | None" = None
+    schedule_hits: int = 0
+    schedule_misses: int = 0
 
     @property
     def final_social_cost(self) -> float:
@@ -134,9 +273,10 @@ def run_dynamics(
     detect_cycles: bool = True,
     max_candidates: int = 22,
     engine: EngineKind = "incremental",
+    schedule: ScheduleKind = "sequential",
     tol: float = _TOL,
 ) -> DynamicsResult:
-    """Run sequential response dynamics from ``initial``.
+    """Run response dynamics from ``initial``.
 
     Parameters
     ----------
@@ -158,10 +298,20 @@ def run_dynamics(
         the same arguments always produce identical trajectories.
     engine:
         ``"incremental"`` (default) runs on the cached-distance engine —
-        residual matrices are reused across sweeps and distances updated in
-        ``O(n^2)`` per move; ``"exact"`` recomputes every quantity from
-        scratch and is kept as the slow cross-validation oracle.  Both
-        engines play the same (exact) responses.
+        residual matrices are reused across sweeps, repaired decrementally
+        after edge removals and distances updated in ``O(n^2)`` per move;
+        ``"exact"`` recomputes every quantity from scratch and is kept as
+        the slow cross-validation oracle.  Both engines play the same
+        (exact) responses.
+    schedule:
+        ``"sequential"`` (default) re-scores every agent at every
+        activation.  ``"batched"`` caches each scored proposal and replays
+        it at later activations, re-scoring only agents whose residual
+        rows an applied move provably invalidated; the trajectory (moves,
+        social costs, final profile) is identical to the sequential
+        schedule — see the module docstring.  Requires
+        ``engine="incremental"`` and a round-robin, random or explicit
+        activation order.
 
     Returns
     -------
@@ -173,18 +323,46 @@ def run_dynamics(
         rng = np.random.default_rng(0 if rng is None else int(rng))
     if engine not in ("exact", "incremental"):
         raise ValueError(f"unknown engine {engine!r}")
+    if schedule not in ("sequential", "batched"):
+        raise ValueError(f"unknown schedule {schedule!r}")
+    if schedule == "batched":
+        if engine != "incremental":
+            raise ValueError(
+                "schedule='batched' requires engine='incremental': the exact "
+                "oracle keeps no residual matrices to re-validate proposals against"
+            )
+        if isinstance(order, str) and order == "max_gain":
+            raise ValueError(
+                "schedule='batched' does not support order='max_gain' "
+                "(max-gain activation already re-scores every agent per step)"
+            )
     profile = initial
     n = game.n
     inc = IncrementalEngine(game, initial) if engine == "incremental" else None
+    cache = _ProposalCache(game) if schedule == "batched" else None
 
     def respond(u: int):
         if inc is not None:
+            if cache is not None:
+                cached = cache.get(u)
+                if cached is not None:
+                    return cached
+                d_rest = inc.residual(u)
+                result = inc.respond(
+                    u, response, max_candidates=max_candidates, d_rest=d_rest
+                )
+                cache.store(u, result, d_rest)
+                return result
             return inc.respond(u, response, max_candidates=max_candidates)
         return _respond(game, profile, u, response, max_candidates)
 
     def apply_move(u: int, strategy) -> StrategyProfile:
         if inc is not None:
-            return inc.apply(u, strategy)
+            old = inc.profile
+            new = inc.apply(u, strategy)
+            if cache is not None:
+                cache.on_move(u, old, new)
+            return new
         return profile.with_strategy(u, strategy)
 
     def social_cost() -> float:
@@ -221,12 +399,14 @@ def run_dynamics(
             raise ValueError(f"unknown order {order!r}")
 
         if order == "max_gain" and explicit_order is None:
-            # One round = n activations of the currently most-improving agent.
+            # One round = n activations of the currently most-improving agent;
+            # every agent is scored against the same state, exactly the
+            # batch_best_responses primitive (inlined via respond).
             for _ in range(n):
                 steps += 1
+                results = [respond(u) for u in range(n)]
                 best_agent, best_result = None, None
-                for u in range(n):
-                    result = respond(u)
+                for u, result in enumerate(results):
                     if result.improvement > tol and (
                         best_result is None or result.improvement > best_result.improvement
                     ):
@@ -279,6 +459,9 @@ def run_dynamics(
                 final_profile=profile,
                 social_costs=social_costs,
                 history=history,
+                engine_stats=inc.stats if inc is not None else None,
+                schedule_hits=cache.hits if cache is not None else 0,
+                schedule_misses=cache.misses if cache is not None else 0,
             )
 
     return DynamicsResult(
@@ -290,6 +473,9 @@ def run_dynamics(
         final_profile=profile,
         social_costs=social_costs,
         history=history,
+        engine_stats=inc.stats if inc is not None else None,
+        schedule_hits=cache.hits if cache is not None else 0,
+        schedule_misses=cache.misses if cache is not None else 0,
     )
 
 

@@ -30,13 +30,41 @@ agent's current cost and one for the social cost after a move.
    first sweep — and every fully converged sweep after a single refresh —
    without any APSP at all.
 
+4. **Decremental repair.**  A residual cache miss for an *edge-owning*
+   agent is the one remaining place a shortest-path computation happens —
+   the residual is the created network minus ``u``'s solely-owned edges.
+   Instead of a from-scratch APSP, the engine repairs the cached network
+   distances by affected-vertex relaxation
+   (:func:`repro.core.shortest_paths.decremental_distances`): only rows of
+   vertices whose old shortest paths could run through ``u`` are re-solved
+   (``O(n^2)`` per affected row), and a full ``O(n^3)`` rebuild happens
+   only when the repair frontier exceeds ``repair_threshold * n`` sources
+   (e.g. when a hub that owns most of its incident edges is activated).
+   The :attr:`IncrementalEngine.stats` counters record how often each path
+   was taken.
+
+Per-operation complexity summary (``n`` agents, ``k`` candidate edges,
+``a`` affected repair sources):
+
+=====================================  ===========================
+operation                              cost
+=====================================  ===========================
+candidate strategy scoring             ``O(k n)`` per candidate
+post-move distance update (`apply`)    ``O(n^2)``
+residual cache hit                     ``O(n^2 / 8)`` (key check)
+residual miss, decremental repair      ``O(a n^2)``, ``a <= rn``
+residual miss, frontier fallback       ``O(n^3)`` (full APSP)
+=====================================  ===========================
+
 The engine is *exact*: it returns the same best responses and costs as the
 from-scratch oracle (:func:`repro.core.best_response.best_response_exact`),
 which the randomized property tests in ``tests/test_incremental_engine.py``
-verify across all model variants.
+and ``tests/test_batched_dynamics.py`` verify across all model variants.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -48,10 +76,32 @@ from .best_response import (
     strategy_cost_given_residual,
 )
 from .game import NetworkCreationGame
-from .shortest_paths import relax_source_row
+from .shortest_paths import decremental_distances, relax_source_row
 from .strategy import StrategyProfile
 
-__all__ = ["IncrementalEngine"]
+__all__ = ["EngineStats", "IncrementalEngine"]
+
+
+@dataclass
+class EngineStats:
+    """Counters of the engine's shortest-path work, for tests and benchmarks.
+
+    ``apsp_rebuilds`` counts full ``O(n^3)`` all-pairs computations (the
+    initial distance matrix plus any repair fallbacks), ``residual_repairs``
+    the residual cache misses served by decremental row repair,
+    ``repair_fallbacks`` the repairs whose affected frontier exceeded the
+    threshold (these also perform — and count — a full rebuild),
+    ``residual_cache_hits`` the residual queries answered without any
+    shortest-path work (a valid cached matrix, or an agent owning no
+    solely-owned edges), and ``move_updates`` the ``O(n^2)`` post-move
+    distance refreshes.
+    """
+
+    apsp_rebuilds: int = 0
+    residual_repairs: int = 0
+    repair_fallbacks: int = 0
+    residual_cache_hits: int = 0
+    move_updates: int = 0
 
 
 class IncrementalEngine:
@@ -62,20 +112,37 @@ class IncrementalEngine:
     the module docstring for the update rules.  All queries (``respond``,
     ``social_cost``, ``agent_cost``) are side-effect free except for cache
     population; :meth:`apply` advances the profile.
+
+    ``repair_threshold`` bounds the decremental repair used on residual
+    cache misses: when more than ``repair_threshold * n`` sources are
+    affected by removing the agent's solely-owned edges, the engine rebuilds
+    the residual matrix from scratch instead (see
+    :func:`repro.core.shortest_paths.decremental_distances`).  ``stats``
+    exposes :class:`EngineStats` counters of the shortest-path work done.
     """
 
-    __slots__ = ("_game", "_profile", "_distances", "_residuals")
+    __slots__ = ("_game", "_profile", "_distances", "_residuals", "_repair_threshold", "stats")
 
-    def __init__(self, game: NetworkCreationGame, profile: StrategyProfile) -> None:
+    def __init__(
+        self,
+        game: NetworkCreationGame,
+        profile: StrategyProfile,
+        *,
+        repair_threshold: float = 0.5,
+    ) -> None:
         if profile.n != game.n:
             raise ValueError(
                 f"profile is over {profile.n} agents but the game has {game.n}"
             )
+        if repair_threshold < 0:
+            raise ValueError("repair_threshold must be non-negative")
         self._game = game
         self._profile = profile
         self._distances: np.ndarray | None = None
         # agent -> (residual key, residual distance matrix)
         self._residuals: dict[int, tuple[bytes, np.ndarray]] = {}
+        self._repair_threshold = float(repair_threshold)
+        self.stats = EngineStats()
 
     # ------------------------------------------------------------------
     # State
@@ -94,6 +161,7 @@ class IncrementalEngine:
         """Cached all-pairs distances of the current created network."""
         if self._distances is None:
             self._distances = self._game.distances(self._profile)
+            self.stats.apsp_rebuilds += 1
         return self._distances
 
     def social_cost(self) -> float:
@@ -120,36 +188,76 @@ class IncrementalEngine:
         return np.packbits(owns).tobytes()
 
     def residual(self, u: int) -> np.ndarray:
-        """Residual distance matrix of agent ``u``, cached across activations."""
+        """Residual distance matrix of agent ``u``, cached across activations.
+
+        A cache miss for an edge-owning agent is served by decremental
+        repair of the cached network distances (only rows whose shortest
+        paths could run through ``u`` are re-solved), falling back to a full
+        rebuild when the repair frontier exceeds ``repair_threshold * n``
+        sources.
+        """
         owns = self._profile.ownership
         removed = owns[u] & ~owns[:, u]
         if not removed.any():
             # Nothing to remove: the residual *is* the created network.
+            self.stats.residual_cache_hits += 1
             return self.distances
         key = self._residual_key(u)
         cached = self._residuals.get(u)
         if cached is not None and cached[0] == key:
+            self.stats.residual_cache_hits += 1
             return cached[1]
-        d_rest = self._game.residual_distances(self._profile, u)
+        repair = decremental_distances(
+            self.distances,
+            self._game.residual_weights(self._profile, u),
+            u,
+            max_affected_fraction=self._repair_threshold,
+        )
+        if repair.rebuilt:
+            self.stats.repair_fallbacks += 1
+            self.stats.apsp_rebuilds += 1
+        else:
+            self.stats.residual_repairs += 1
+        d_rest = repair.distances
         self._residuals[u] = (key, d_rest)
         return d_rest
 
     # ------------------------------------------------------------------
     # Responses
     # ------------------------------------------------------------------
-    def best_response(self, u: int, *, max_candidates: int = 22) -> BestResponseResult:
-        """Exact best response of ``u`` against the current profile."""
+    def best_response(
+        self,
+        u: int,
+        *,
+        max_candidates: int = 22,
+        d_rest: np.ndarray | None = None,
+    ) -> BestResponseResult:
+        """Exact best response of ``u`` against the current profile.
+
+        Callers that already hold ``u``'s residual matrix (from a preceding
+        :meth:`residual` call) can pass it as ``d_rest`` to skip the cache
+        lookup.
+        """
+        if d_rest is None:
+            d_rest = self.residual(u)
         return best_response_incremental(
-            self._game, self._profile, u, d_rest=self.residual(u), max_candidates=max_candidates
+            self._game, self._profile, u, d_rest=d_rest, max_candidates=max_candidates
         )
 
-    def greedy_response(self, u: int) -> BestResponseResult:
+    def greedy_response(
+        self, u: int, *, d_rest: np.ndarray | None = None
+    ) -> BestResponseResult:
         """Single-move local optimum of ``u`` against the current profile."""
-        return greedy_response(self._game, self._profile, u, d_rest=self.residual(u))
+        if d_rest is None:
+            d_rest = self.residual(u)
+        return greedy_response(self._game, self._profile, u, d_rest=d_rest)
 
-    def single_response(self, u: int) -> BestResponseResult:
+    def single_response(
+        self, u: int, *, d_rest: np.ndarray | None = None
+    ) -> BestResponseResult:
         """The best single add/delete/swap of ``u`` packaged as a response."""
-        d_rest = self.residual(u)
+        if d_rest is None:
+            d_rest = self.residual(u)
         current = self._profile.strategy(u)
         current_cost = strategy_cost_given_residual(self._game, d_rest, u, current)
         move = best_single_move(self._game, self._profile, u, d_rest=d_rest)
@@ -167,14 +275,21 @@ class IncrementalEngine:
             method="single",
         )
 
-    def respond(self, u: int, response: str, *, max_candidates: int = 22) -> BestResponseResult:
+    def respond(
+        self,
+        u: int,
+        response: str,
+        *,
+        max_candidates: int = 22,
+        d_rest: np.ndarray | None = None,
+    ) -> BestResponseResult:
         """Dispatch on the response kind used by :func:`repro.core.dynamics.run_dynamics`."""
         if response == "best":
-            return self.best_response(u, max_candidates=max_candidates)
+            return self.best_response(u, max_candidates=max_candidates, d_rest=d_rest)
         if response == "greedy":
-            return self.greedy_response(u)
+            return self.greedy_response(u, d_rest=d_rest)
         if response == "single":
-            return self.single_response(u)
+            return self.single_response(u, d_rest=d_rest)
         raise ValueError(f"unknown response kind {response!r}")
 
     # ------------------------------------------------------------------
@@ -199,4 +314,5 @@ class IncrementalEngine:
             new_distances = d_rest
         self._profile = new_profile
         self._distances = new_distances
+        self.stats.move_updates += 1
         return new_profile

@@ -115,13 +115,16 @@ def sample_equilibria(
     rng: np.random.Generator | None = None,
     max_candidates: int = 22,
     engine: str = "incremental",
+    schedule: str = "sequential",
 ) -> list[StrategyProfile]:
     """Sample stable profiles by running response dynamics from varied seeds.
 
     ``verify`` selects the acceptance test for a converged profile:
     ``"nash"`` (exact NE check), ``"greedy"`` (GE check) or ``"none"``.
     ``engine`` selects the dynamics distance engine (``"incremental"`` or the
-    slow ``"exact"`` oracle, see :func:`repro.core.dynamics.run_dynamics`).
+    slow ``"exact"`` oracle) and ``schedule`` the activation schedule
+    (``"sequential"`` or ``"batched"``); both reach the same equilibria —
+    see :func:`repro.core.dynamics.run_dynamics`.
     """
     rng = np.random.default_rng(0) if rng is None else rng
     found: dict[bytes, StrategyProfile] = {}
@@ -135,6 +138,7 @@ def sample_equilibria(
             rng=rng,
             max_candidates=max_candidates,
             engine=engine,  # type: ignore[arg-type]
+            schedule=schedule,  # type: ignore[arg-type]
         )
         if not result.converged:
             continue
@@ -194,13 +198,14 @@ def estimate_poa(
     rng: np.random.Generator | None = None,
     max_candidates: int = 22,
     engine: str = "incremental",
+    schedule: str = "sequential",
 ) -> PoAEstimate:
     """Empirical Price-of-Anarchy estimate for one instance.
 
     ``extra_equilibria`` lets callers inject known equilibria (e.g. the
     paper's constructions) so the estimate is at least as large as the
-    constructions imply.  ``engine`` selects the dynamics distance engine
-    used for equilibrium sampling.
+    constructions imply.  ``engine`` and ``schedule`` select the distance
+    engine and activation schedule used for equilibrium sampling.
     """
     opt = social_optimum(game, method=optimum_method)
     equilibria = sample_equilibria(
@@ -211,6 +216,7 @@ def estimate_poa(
         rng=rng,
         max_candidates=max_candidates,
         engine=engine,
+        schedule=schedule,
     )
     for profile in extra_equilibria:
         equilibria.append(profile)

@@ -45,10 +45,26 @@ primitives used by the fast best-response engine
     a path uses at most one bought edge before leaving the agent and the
     post-purchase distances follow from pure ``O(n)``-per-candidate
     relaxations — no per-candidate shortest-path recomputation at all.
+
+``decremental_distances``
+    The *decremental* counterpart of ``relax_through_edges``: exact distances
+    after **removing** edges incident to one vertex, by affected-vertex
+    relaxation.  A pair ``(x, y)`` can only lose its shortest path when some
+    shortest ``x``–``y`` path runs through the touched vertex ``v`` (every
+    removed edge is incident to ``v``), i.e. when
+    ``d(x, v) + d(v, y) == d(x, y)``.  Only the rows of such *affected*
+    sources are recomputed (single-source Dijkstra each, ``O(n^2)`` per
+    affected row); all other entries are provably unchanged.  When the
+    affected frontier exceeds ``max_affected_fraction * n`` sources, the
+    repair degenerates towards a full recomputation and the function falls
+    back to one ``O(n^3)`` all-pairs rebuild instead.  This is what lets the
+    incremental engine (:mod:`repro.core.incremental`) serve residual-matrix
+    cache misses for edge-owning agents without a from-scratch APSP.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -66,11 +82,14 @@ __all__ = [
     "apsp_scipy",
     "all_pairs_shortest_paths",
     "single_source_dijkstra",
+    "dijkstra_rows",
     "distances_with_candidate_edges",
     "relax_through_edges",
     "relax_source_row",
     "strategy_cost_from_residual",
     "CandidateEvaluator",
+    "DecrementalRepair",
+    "decremental_distances",
 ]
 
 
@@ -173,6 +192,124 @@ def single_source_dijkstra(weights: np.ndarray, source: int) -> np.ndarray:
         np.minimum(dist, dist[u] + dist0[u], out=dist)
     dist[source] = 0.0
     return dist
+
+
+def dijkstra_rows(weights: np.ndarray, sources: Sequence[int]) -> np.ndarray:
+    """Selected rows of the all-pairs distance matrix.
+
+    Runs one single-source computation per entry of ``sources`` (scipy's
+    C Dijkstra when available, the dense ``O(n^2)`` fallback otherwise) and
+    returns the ``(len(sources), n)`` block of shortest-path distances.
+    ``weights`` follows the :func:`floyd_warshall` convention (``inf`` marks
+    non-edges, the diagonal is ignored).
+    """
+    dist0 = _as_square_float(weights)
+    n = dist0.shape[0]
+    src = np.asarray([int(s) for s in sources], dtype=int)
+    if src.size == 0:
+        return np.zeros((0, n), dtype=float)
+    if np.any((src < 0) | (src >= n)):
+        raise ValueError(f"sources out of range for n={n}")
+    if _HAVE_SCIPY and n > 0:
+        masked = np.ma.masked_array(dist0, mask=~np.isfinite(dist0))
+        rows = _scipy_shortest_path(masked, method="D", directed=False, indices=src)
+        rows = np.asarray(rows, dtype=float)
+    else:  # pragma: no cover - scipy is always installed in CI.
+        rows = np.stack([single_source_dijkstra(dist0, int(s)) for s in src])
+    rows[np.arange(src.size), src] = 0.0
+    return rows
+
+
+@dataclass(frozen=True)
+class DecrementalRepair:
+    """Outcome of a decremental distance update (:func:`decremental_distances`).
+
+    ``distances`` is always the exact all-pairs matrix of the post-removal
+    graph.  ``affected_sources`` counts the vertices whose rows the repair
+    had to recompute, and ``rebuilt`` records whether the affected frontier
+    exceeded the threshold and a full all-pairs rebuild was performed
+    instead of the row-wise repair.
+    """
+
+    distances: np.ndarray
+    affected_sources: int
+    rebuilt: bool
+
+
+def decremental_distances(
+    dist: np.ndarray,
+    new_weights: np.ndarray,
+    vertex: int,
+    *,
+    max_affected_fraction: float = 0.5,
+    tol: float = 1e-9,
+) -> DecrementalRepair:
+    """Exact distances after removing edges incident to ``vertex``.
+
+    Parameters
+    ----------
+    dist:
+        ``(n, n)`` shortest-path matrix of the graph *before* the removal
+        (a symmetric metric closure, e.g. the output of
+        :func:`floyd_warshall`; ``inf`` marks unreachable pairs).
+    new_weights:
+        Weight matrix of the graph *after* the removal, in the
+        :func:`floyd_warshall` convention.  Every edge present in
+        ``new_weights`` must have been present with the same weight before;
+        only edges incident to ``vertex`` may have been dropped.
+    max_affected_fraction:
+        Fallback threshold: when more than ``max_affected_fraction * n``
+        sources are affected, repairing row by row approaches the cost of a
+        full rebuild, so one :func:`all_pairs_shortest_paths` run is
+        performed instead.
+    tol:
+        Relative slack of the affected test (needed because ``dist`` carries
+        accumulated floating-point error); marking *extra* pairs affected is
+        harmless, missing one is not.
+
+    Notes
+    -----
+    Distances only grow under edge deletion, and a pair ``(x, y)`` with
+    ``d(x, y) < d(x, vertex) + d(vertex, y)`` has a shortest path avoiding
+    ``vertex`` entirely — hence avoiding every removed edge — so its
+    distance is unchanged.  Only sources with at least one potentially
+    affected pair (plus ``vertex`` itself) are re-solved, one single-source
+    Dijkstra (``O(n^2)``) each; the repaired rows/columns are exact by the
+    correctness of Dijkstra, the untouched entries by the argument above.
+    Total cost is ``O(a n^2)`` for ``a`` affected sources instead of the
+    ``O(n^3)`` from-scratch rebuild.
+    """
+    d = _as_square_float(dist)
+    w = _as_square_float(new_weights)
+    if d.shape != w.shape:
+        raise ValueError(f"shape mismatch: dist {d.shape} vs new_weights {w.shape}")
+    n = d.shape[0]
+    v = int(vertex)
+    if not 0 <= v < n:
+        raise ValueError(f"vertex {v} out of range for n={n}")
+    # Pairs whose old shortest path may run through v (and hence through a
+    # removed edge): d(x, v) + d(v, y) <= d(x, y) + slack.  Pairs at infinite
+    # distance cannot get worse and are never affected.
+    finite = np.isfinite(d)
+    via_v = d[:, v : v + 1] + d[v : v + 1, :]
+    slack = tol * (1.0 + np.where(finite, np.abs(d), 0.0))
+    affected = finite & (via_v <= d + slack)
+    # The through-v test is meaningless for pairs involving v itself (it
+    # degenerates to equality); v's own row is always recomputed instead.
+    affected[v, :] = False
+    affected[:, v] = False
+    source_mask = affected.any(axis=1)
+    source_mask[v] = True
+    count = int(source_mask.sum())
+    budget = max(1, int(np.ceil(max_affected_fraction * n)))
+    if count > budget:
+        return DecrementalRepair(all_pairs_shortest_paths(w), count, True)
+    sources = np.nonzero(source_mask)[0]
+    rows = dijkstra_rows(w, sources)
+    out = d.copy()
+    out[sources, :] = rows
+    out[:, sources] = rows.T
+    return DecrementalRepair(out, count, False)
 
 
 def distances_with_candidate_edges(

@@ -1,0 +1,248 @@
+"""Batched-schedule and decremental-repair property tests.
+
+Two contracts are enforced here:
+
+* the **batched activation schedule** (``schedule="batched"`` in
+  :func:`repro.core.dynamics.run_dynamics`) must be indistinguishable from
+  the sequential schedule — same moves, same social-cost trajectory, same
+  final profile — on seeded random instances across every model variant of
+  the paper, because its proposal cache only reuses responses whose
+  residual rows are provably untouched;
+
+* the **decremental distance repair**
+  (:func:`repro.core.shortest_paths.decremental_distances`) that serves the
+  incremental engine's residual cache misses must agree exactly with a
+  from-scratch all-pairs recomputation, including when the affected
+  frontier exceeds the threshold and the repair falls back to a full
+  rebuild (removal-heavy hub instances force this path).
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    IncrementalEngine,
+    NetworkCreationGame,
+    StrategyProfile,
+    decremental_distances,
+    run_dynamics,
+)
+from repro.core.best_response import batch_best_responses, residual_distances
+from repro.core.shortest_paths import all_pairs_shortest_paths
+from repro.metrics.generators import (
+    random_euclidean_host,
+    random_general_host,
+    random_metric_host,
+    random_one_infinity_host,
+    random_one_two_host,
+    random_tree_host,
+    unit_host,
+)
+
+VARIANTS = {
+    "ncg": lambda n, rng: unit_host(n),
+    "one_two": lambda n, rng: random_one_two_host(n, rng=rng),
+    "one_infinity": lambda n, rng: random_one_infinity_host(n, rng=rng),
+    "tree": lambda n, rng: random_tree_host(n, rng=rng),
+    "euclidean": lambda n, rng: random_euclidean_host(n, rng=rng),
+    "metric": lambda n, rng: random_metric_host(n, rng=rng),
+    "general": lambda n, rng: random_general_host(n, rng=rng),
+}
+
+
+def _same_cost(a: float, b: float, tol: float = 1e-9) -> bool:
+    if np.isinf(a) or np.isinf(b):
+        return np.isinf(a) and np.isinf(b)
+    return abs(a - b) <= tol * max(1.0, abs(a))
+
+
+def _same_matrix(a: np.ndarray, b: np.ndarray, tol: float = 1e-8) -> bool:
+    fa, fb = np.isfinite(a), np.isfinite(b)
+    return bool(np.array_equal(fa, fb) and np.allclose(a[fa], b[fb], atol=tol))
+
+
+def _random_profile(n: int, rng: np.random.Generator, density: float = 0.35) -> StrategyProfile:
+    owns = rng.random((n, n)) < density
+    np.fill_diagonal(owns, False)
+    return StrategyProfile(owns, copy=False, validate=False)
+
+
+def _random_game(variant: str, n: int, rng: np.random.Generator) -> NetworkCreationGame:
+    host = VARIANTS[variant](n, rng)
+    return NetworkCreationGame(host, float(rng.uniform(0.2, 3.0)))
+
+
+# ----------------------------------------------------------------------
+# Batched schedule == sequential schedule
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_batched_matches_sequential_social_cost(variant, property_budget):
+    """Both schedules reach states with identical social cost (and profile)."""
+    rng = np.random.default_rng(zlib.crc32(f"batched-{variant}".encode()) % 2**32)
+    for trial in range(property_budget):
+        n = int(rng.integers(3, 10))
+        game = _random_game(variant, n, rng)
+        start = _random_profile(n, rng, density=float(rng.uniform(0.1, 0.5)))
+        response = ("best", "greedy", "single")[trial % 3]
+        order = ("round_robin", "random")[trial % 2]
+        seq = run_dynamics(
+            game, start, response=response, order=order, max_rounds=25, rng=7,
+            schedule="sequential",
+        )
+        bat = run_dynamics(
+            game, start, response=response, order=order, max_rounds=25, rng=7,
+            schedule="batched",
+        )
+        assert _same_cost(seq.final_social_cost, bat.final_social_cost, tol=1e-7)
+        assert seq.converged == bat.converged
+        assert seq.moves == bat.moves
+        assert seq.steps == bat.steps
+        assert seq.final_profile == bat.final_profile
+        assert len(seq.social_costs) == len(bat.social_costs)
+        for a, b in zip(seq.social_costs, bat.social_costs):
+            assert _same_cost(a, b, tol=1e-7)
+
+
+def test_batched_explicit_order_and_reuse():
+    """Explicit activation sequences batch too, and converged sweeps hit the cache."""
+    rng = np.random.default_rng(11)
+    game = _random_game("euclidean", 7, rng)
+    start = _random_profile(7, rng)
+    order = [3, 1, 4, 1, 5, 2, 6, 0, 3]
+    seq = run_dynamics(game, start, order=order, max_rounds=12, schedule="sequential")
+    bat = run_dynamics(game, start, order=order, max_rounds=12, schedule="batched")
+    assert seq.final_profile == bat.final_profile
+    assert seq.moves == bat.moves
+    # Once converged, repeated sweeps must be served from the proposal cache.
+    assert bat.schedule_hits > 0
+
+
+def test_batched_requires_incremental_engine():
+    game = _random_game("metric", 5, np.random.default_rng(0))
+    start = StrategyProfile.empty(5)
+    with pytest.raises(ValueError, match="incremental"):
+        run_dynamics(game, start, engine="exact", schedule="batched")
+
+
+def test_batched_rejects_max_gain_order():
+    game = _random_game("metric", 5, np.random.default_rng(0))
+    start = StrategyProfile.empty(5)
+    with pytest.raises(ValueError, match="max_gain"):
+        run_dynamics(game, start, order="max_gain", schedule="batched")
+
+
+def test_unknown_schedule_rejected():
+    game = _random_game("metric", 4, np.random.default_rng(0))
+    with pytest.raises(ValueError, match="schedule"):
+        run_dynamics(game, StrategyProfile.empty(4), schedule="bulk")
+
+
+def test_batch_best_responses_matches_engine(property_budget):
+    """The shared-snapshot scoring primitive equals per-agent engine calls."""
+    rng = np.random.default_rng(23)
+    for _ in range(property_budget):
+        n = int(rng.integers(3, 9))
+        game = _random_game("general", n, rng)
+        profile = _random_profile(n, rng)
+        results = batch_best_responses(IncrementalEngine(game, profile))
+        fresh = IncrementalEngine(game, profile)
+        for u, result in enumerate(results):
+            expected = fresh.best_response(u)
+            assert result.strategy == expected.strategy
+            assert _same_cost(result.cost, expected.cost)
+
+
+# ----------------------------------------------------------------------
+# Decremental repair
+# ----------------------------------------------------------------------
+def test_decremental_repair_matches_oracle(property_budget):
+    """Row repair equals a from-scratch APSP for random incident-edge removals."""
+    rng = np.random.default_rng(31)
+    for trial in range(property_budget * 4):
+        n = int(rng.integers(3, 15))
+        variant = ("metric", "general", "one_infinity")[trial % 3]
+        host = VARIANTS[variant](n, rng)
+        adj = np.triu(rng.random((n, n)) < rng.uniform(0.2, 0.8), k=1)
+        adj |= adj.T
+        weights = np.where(adj, host.weights, np.inf)
+        np.fill_diagonal(weights, 0.0)
+        dist = all_pairs_shortest_paths(weights)
+        v = int(rng.integers(0, n))
+        incident = np.nonzero(adj[v])[0]
+        if incident.size == 0:
+            continue
+        drop = incident[rng.random(incident.size) < 0.6]
+        removed = weights.copy()
+        removed[v, drop] = np.inf
+        removed[drop, v] = np.inf
+        repair = decremental_distances(
+            dist, removed, v, max_affected_fraction=float(rng.choice([0.0, 0.3, 0.5, 1.0]))
+        )
+        assert _same_matrix(repair.distances, all_pairs_shortest_paths(removed))
+
+
+def test_engine_residuals_match_oracle_across_variants(property_budget):
+    """Engine residual matrices (repair path included) equal the slow oracle."""
+    rng = np.random.default_rng(37)
+    for trial in range(property_budget):
+        variant = sorted(VARIANTS)[trial % len(VARIANTS)]
+        n = int(rng.integers(4, 12))
+        game = _random_game(variant, n, rng)
+        profile = _random_profile(n, rng)
+        engine = IncrementalEngine(
+            game, profile, repair_threshold=float(rng.choice([0.1, 0.5, 1.0]))
+        )
+        for u in range(n):
+            assert _same_matrix(engine.residual(u), residual_distances(game, profile, u))
+
+
+def test_removal_heavy_hub_forces_repair_fallback():
+    """A hub owning every incident edge exceeds the frontier and rebuilds.
+
+    Removing the centre's edges from a spanning star disconnects everything,
+    so every vertex is affected and the repair must fall back to a full
+    all-pairs rebuild — the counters record it and the result stays exact.
+    """
+    n = 12
+    host = VARIANTS["metric"](n, np.random.default_rng(41))
+    game = NetworkCreationGame(host, 1.0)
+    star = StrategyProfile.star(n, center=0)
+    engine = IncrementalEngine(game, star, repair_threshold=0.5)
+    d_rest = engine.residual(0)
+    assert engine.stats.repair_fallbacks == 1
+    assert engine.stats.residual_repairs == 0
+    assert _same_matrix(d_rest, residual_distances(game, star, 0))
+    # A leaf owning nothing is served straight from the network distances.
+    assert engine.stats.residual_cache_hits == 0
+    engine.residual(1)
+    assert engine.stats.residual_cache_hits == 1
+
+
+def test_leaf_removal_uses_cheap_repair():
+    """Removing one peripheral edge repairs a small frontier, no rebuild."""
+    n = 14
+    host = VARIANTS["euclidean"](n, np.random.default_rng(43))
+    game = NetworkCreationGame(host, 1.0)
+    profile = StrategyProfile.complete(n).with_strategy(0, [1])
+    engine = IncrementalEngine(game, profile)
+    d_rest = engine.residual(0)
+    assert engine.stats.residual_repairs == 1
+    assert engine.stats.repair_fallbacks == 0
+    assert _same_matrix(d_rest, residual_distances(game, profile, 0))
+
+
+def test_batched_dynamics_on_removal_heavy_instance():
+    """Batched == sequential on a star instance whose dynamics delete edges."""
+    n = 9
+    host = VARIANTS["metric"](n, np.random.default_rng(47))
+    game = NetworkCreationGame(host, 2.5)
+    start = StrategyProfile.star(n, center=0)
+    seq = run_dynamics(game, start, response="single", max_rounds=30, schedule="sequential")
+    bat = run_dynamics(game, start, response="single", max_rounds=30, schedule="batched")
+    assert seq.final_profile == bat.final_profile
+    assert _same_cost(seq.final_social_cost, bat.final_social_cost)
+    assert bat.engine_stats is not None

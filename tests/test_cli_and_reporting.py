@@ -79,3 +79,24 @@ class TestCLI:
         out = capsys.readouterr().out
         assert code == 0
         assert "optimum cost" in out
+
+    def test_batched_schedule_matches_sequential_output(self, capsys):
+        """--schedule batched must print the exact same report as sequential."""
+        outputs = {}
+        for schedule in ("sequential", "batched"):
+            code = main(
+                ["simulate", "--variant", "metric", "--n", "6", "--alpha", "1.2",
+                 "--seed", "2", "--schedule", schedule]
+            )
+            assert code == 0
+            outputs[schedule] = capsys.readouterr().out
+        assert outputs["sequential"] == outputs["batched"]
+
+    def test_dynamics_command_batched(self, capsys):
+        code = main(
+            ["dynamics", "--variant", "euclidean", "--n", "5", "--alpha", "1.0",
+             "--instances", "1", "--runs", "2", "--schedule", "batched"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "convergence rate" in out

@@ -1,0 +1,309 @@
+"""Multiprocess batched-proposal evaluation vs. serial batched dynamics.
+
+The parallel evaluator (``workers=k`` in
+:func:`repro.core.dynamics.run_dynamics`) fans the batched schedule's round
+prefill — the scoring of every cache-missing agent against one shared
+distance snapshot — out to ``k`` persistent worker processes over
+shared-memory matrices (:mod:`repro.core.parallel`).  This benchmark
+quantifies the effect on two workloads over a degree-bounded geometric
+mesh host (every agent has ~9-16 finite-weight neighbours, so one exact
+best response enumerates up to tens of thousands of candidate subsets —
+substantial per-agent work with zero coupling between agents):
+
+* **equilibrium certification** — the headline workload.  The game is
+  first converged with exact best responses (untimed); the timed runs
+  replay batched dynamics from the converged profile with a cold proposal
+  cache.  The single round scores all ``n`` agents against one snapshot,
+  no move invalidates anything, the speculation window doubles to
+  full-round batches, and virtually all work is the independent candidate
+  scans the worker pool parallelizes.  This is exactly the
+  "missed proposals within a batched round are independent given the
+  shared snapshot" shape from the large-neighborhood-search literature.
+
+* **scattered ownership outage** — the heaviest edge-owners lose their
+  strategies (each wipe keeps the network connected) and the timed runs
+  re-converge.  Real moves interleave with re-scoring here, so the
+  speculation window oscillates and a larger serial fraction (residual
+  repairs, move application) remains; the speedup is reported but only
+  the certification number is asserted.
+
+Because residual computation stays in the main process and workers execute
+the same pure scoring kernel, the runs must be **byte-identical**: same
+moves, same social-cost trajectory (exact float equality), same final
+profile, same engine stats.  That is asserted for every size, workload
+and worker count.  The headline speedup assertion — >= 1.8x for
+``workers=4`` over ``workers=1`` certification at ``n=200`` —
+additionally requires >= 4 available CPUs (on smaller machines the
+identity checks still run and the speedup is reported unasserted).
+
+Run directly (``python benchmarks/bench_parallel_dynamics.py``) for a
+plain-text report plus ``BENCH_parallel_dynamics.json``, or through
+pytest-benchmark like the other benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.core import NetworkCreationGame, StrategyProfile, default_workers, run_dynamics
+from repro.core.host_graph import HostGraph
+
+SIZES = (100, 200)
+WORKER_COUNTS = (1, 2, 4)
+ALPHA = 3.0
+MESH_DEGREE = 9
+OUTAGE_COUNT = 8  # heaviest owners wiped (connectivity permitting)
+SEED = 5
+SPEEDUP_TARGET = 1.8
+
+
+def _available_cpus() -> int:
+    """CPUs available to this process — the evaluator's own pool sizing."""
+    return default_workers()
+
+
+def mesh_host(n: int, seed: int = SEED) -> HostGraph:
+    """A degree-bounded geometric mesh (kNN graph, symmetrized)."""
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2)) * np.sqrt(n)
+    diff = pts[:, None, :] - pts[None, :, :]
+    d = np.sqrt((diff**2).sum(-1))
+    order = np.argsort(d, axis=1)
+    allowed = np.zeros((n, n), dtype=bool)
+    for u in range(n):
+        allowed[u, order[u, 1 : MESH_DEGREE + 1]] = True
+    allowed |= allowed.T
+    w = np.where(allowed, d, np.inf)
+    np.fill_diagonal(w, 0.0)
+    degrees = np.isfinite(w).sum(axis=1) - 1
+    assert degrees.max() <= 20, "mesh degree too high for exact best responses"
+    return HostGraph(w)
+
+
+def spanning_tree_profile(host: HostGraph) -> StrategyProfile:
+    """A BFS spanning tree over the finite host edges, owned by the parents."""
+    n = host.n
+    finite = np.isfinite(host.weights) & ~np.eye(n, dtype=bool)
+    owns = np.zeros((n, n), dtype=bool)
+    seen = {0}
+    queue = deque([0])
+    while queue:
+        u = queue.popleft()
+        for v in np.nonzero(finite[u])[0]:
+            if int(v) not in seen:
+                seen.add(int(v))
+                owns[u, v] = True
+                queue.append(int(v))
+    if len(seen) != n:
+        raise ValueError("host support is disconnected; pick another seed")
+    return StrategyProfile(owns, copy=False, validate=False)
+
+
+def equilibrium_instance(n: int) -> tuple[NetworkCreationGame, StrategyProfile]:
+    """A converged equilibrium of the mesh (the certification start state)."""
+    host = mesh_host(n)
+    game = NetworkCreationGame(host, ALPHA)
+    warm = run_dynamics(
+        game,
+        spanning_tree_profile(host),
+        response="best",
+        order="round_robin",
+        max_rounds=80,
+        rng=0,
+        schedule="batched",
+    )
+    assert warm.converged, "warm-up dynamics did not converge"
+    return game, warm.final_profile
+
+
+def outage_start(
+    game: NetworkCreationGame, equilibrium: StrategyProfile
+) -> StrategyProfile:
+    """The equilibrium after a scattered ownership outage.
+
+    The heaviest edge-owners (up to ``OUTAGE_COUNT`` of them) lose their
+    strategies one by one, each wipe accepted only if the created network
+    stays connected — so every cost remains finite, the wiped agents have
+    genuinely improving rebuild moves, and the repairs are scattered local
+    re-optimizations across the mesh.
+    """
+    profile = equilibrium
+    owned_counts = profile.ownership.sum(axis=1)
+    wiped = 0
+    for u in np.argsort(-owned_counts):
+        if owned_counts[u] == 0 or wiped >= OUTAGE_COUNT:
+            break
+        trial = profile.with_strategy(int(u), [])
+        if np.isfinite(game.distances(trial)).all():
+            profile = trial
+            wiped += 1
+    assert wiped > 0, "no agent's strategy could be wiped without disconnecting"
+    return profile
+
+
+def _timed_run(game, start, workers: int):
+    t0 = time.perf_counter()
+    result = run_dynamics(
+        game,
+        start,
+        response="best",
+        order="round_robin",
+        max_rounds=80,
+        rng=0,
+        schedule="batched",
+        workers=workers,
+    )
+    return time.perf_counter() - t0, result
+
+
+def compare_workers(game, start, worker_counts=WORKER_COUNTS) -> dict:
+    """Re-converge with every worker count; collect timings and identity."""
+    timings: dict[int, float] = {}
+    results = {}
+    for workers in worker_counts:
+        timings[workers], results[workers] = _timed_run(game, start, workers)
+    base = results[worker_counts[0]]
+    identical = all(
+        r.converged == base.converged
+        and r.moves == base.moves
+        and r.steps == base.steps
+        and r.final_profile == base.final_profile
+        and r.social_costs == base.social_costs  # exact float equality
+        and r.engine_stats == base.engine_stats
+        for r in results.values()
+    )
+    return {
+        "timings": timings,
+        "converged": base.converged,
+        "identical": identical,
+        "moves": base.moves,
+        "final_cost": base.final_social_cost,
+        "speedup4": timings[worker_counts[0]] / timings[4] if 4 in timings else float("nan"),
+    }
+
+
+def _scenarios(n: int):
+    """``(label, game, start, asserted)`` rows for one instance size."""
+    game, equilibrium = equilibrium_instance(n)
+    return [
+        ("certification", game, equilibrium, n == 200),
+        ("outage re-convergence", game, outage_start(game, equilibrium), False),
+    ]
+
+
+def _report_rows(stats, cpus):
+    return [
+        ("workers=1 [s]", "-", stats["timings"][1]),
+        ("workers=2 [s]", "-", stats["timings"][2]),
+        ("workers=4 [s]", "-", stats["timings"][4]),
+        (
+            "speedup (4 workers)",
+            f">= {SPEEDUP_TARGET} for certification at n=200",
+            stats["speedup4"],
+        ),
+        ("byte-identical runs", "always", stats["identical"]),
+        ("available CPUs", "-", cpus),
+    ]
+
+
+@pytest.mark.benchmark(group="parallel-dynamics")
+@pytest.mark.parametrize("n", SIZES)
+def test_parallel_workers_speedup(benchmark, n, paper_report):
+    scenarios = _scenarios(n)
+    all_stats = benchmark.pedantic(
+        lambda: {
+            label: compare_workers(game, start)
+            for label, game, start, _ in scenarios
+        },
+        rounds=1,
+        iterations=1,
+    )
+    cpus = _available_cpus()
+    skip_reason = None
+    for label, _, _, asserted in scenarios:
+        stats = all_stats[label]
+        paper_report(
+            f"Parallel batched evaluation — {label} (n={n})",
+            _report_rows(stats, cpus),
+            n=n,
+            seed=SEED,
+            alpha=ALPHA,
+            scenario=label,
+            timings_s=stats["timings"],
+            speedup_4_over_1=stats["speedup4"],
+        )
+        assert stats["converged"]
+        assert stats["identical"], f"{label}: worker counts disagreed on the trajectory"
+        if asserted:
+            if cpus >= 4:
+                assert stats["speedup4"] >= SPEEDUP_TARGET
+            else:
+                skip_reason = (
+                    f"speedup assertion needs >= 4 CPUs (have {cpus}); "
+                    "identity checks passed"
+                )
+    if skip_reason is not None:
+        pytest.skip(skip_reason)
+
+
+def main() -> int:
+    from conftest import _jsonable, write_bench_json
+
+    cpus = _available_cpus()
+    entries: list[dict] = []
+    ok = True
+    print(
+        f"geometric mesh hosts (degree {MESH_DEGREE}, alpha={ALPHA}), exact "
+        f"best responses, batched schedule, {OUTAGE_COUNT} heaviest owners "
+        f"wiped in the outage scenario, {cpus} CPUs available"
+    )
+    for n in SIZES:
+        for label, game, start, asserted in _scenarios(n):
+            stats = compare_workers(game, start)
+            t = stats["timings"]
+            print(
+                f"  n={n:>3} {label:>21}: workers=1 {t[1]:6.2f}s  "
+                f"workers=2 {t[2]:6.2f}s  workers=4 {t[4]:6.2f}s  "
+                f"speedup(4) {stats['speedup4']:.2f}x  "
+                f"identical={stats['identical']}  moves={stats['moves']}"
+            )
+            entries.append(
+                {
+                    "title": f"Parallel batched evaluation — {label} (n={n})",
+                    "rows": [
+                        {"label": lbl, "paper": _jsonable(paper), "measured": _jsonable(measured)}
+                        for lbl, paper, measured in _report_rows(stats, cpus)
+                    ],
+                    "meta": _jsonable(
+                        {
+                            "n": n,
+                            "seed": SEED,
+                            "alpha": ALPHA,
+                            "cpus": cpus,
+                            "scenario": label,
+                            "timings_s": {str(w): t[w] for w in WORKER_COUNTS},
+                            "speedup_4_over_1": stats["speedup4"],
+                        }
+                    ),
+                }
+            )
+            ok &= stats["converged"] and stats["identical"]
+            if asserted and cpus >= 4:
+                ok &= stats["speedup4"] >= SPEEDUP_TARGET
+            elif asserted:
+                print(
+                    f"  (speedup target unasserted: {cpus} < 4 CPUs available; "
+                    "identity checks still enforced)"
+                )
+    path = write_bench_json("bench_parallel_dynamics", entries)
+    print(f"wrote {path}")
+    print("OK" if ok else "FAILED: worker counts disagree or speedup below target")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

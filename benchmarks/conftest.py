@@ -5,11 +5,58 @@ paper.  Besides timing the underlying computation with ``pytest-benchmark``,
 each benchmark prints a small "paper vs. measured" report through
 :func:`report` so the regenerated numbers are visible in the benchmark log
 (and collected into EXPERIMENTS.md).
+
+Machine-readable results: every report emitted through the ``paper_report``
+fixture is also recorded, and at session end one ``BENCH_<name>.json`` per
+benchmark module is written (next to the benchmark files, or into
+``$BENCH_OUTPUT_DIR``) so the performance trajectory — timings, speedups,
+instance sizes, seeds — is tracked across PRs and uploadable as a CI
+artifact.  Benchmarks that also run standalone (``python benchmarks/
+bench_x.py``) can call :func:`write_bench_json` directly from ``main()``.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
 import pytest
+
+_RESULTS: dict[str, list[dict]] = {}
+
+
+def _jsonable(value):
+    """Coerce report values into *strict*-JSON-safe scalars (numpy included).
+
+    Non-finite floats become strings ("inf", "-inf", "nan") so the emitted
+    files parse in every strict JSON consumer (jq, JSON.parse, ...), not
+    just Python's lenient loader.
+    """
+    try:
+        import numpy as np
+
+        if isinstance(value, np.integer):
+            value = int(value)
+        elif isinstance(value, np.floating):
+            value = float(value)
+        elif isinstance(value, np.bool_):
+            value = bool(value)
+    except Exception:  # pragma: no cover - numpy is always present
+        pass
+    if isinstance(value, bool) or value is None or isinstance(value, str):
+        return value
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return value if value == value and abs(value) != float("inf") else str(value)
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
 
 
 def report(title: str, rows: list[tuple[str, object, object]]) -> None:
@@ -28,7 +75,61 @@ def report(title: str, rows: list[tuple[str, object, object]]) -> None:
         print(f"  {label:<{width}}   {paper_s:>14}   {measured_s:>14}")
 
 
+def record(module: str, title: str, rows, **meta) -> None:
+    """Record one report for the module's ``BENCH_<name>.json``."""
+    entry = {
+        "title": title,
+        "rows": [
+            {"label": label, "paper": _jsonable(paper), "measured": _jsonable(measured)}
+            for label, paper, measured in rows
+        ],
+    }
+    if meta:
+        entry["meta"] = _jsonable(dict(meta))
+    _RESULTS.setdefault(module, []).append(entry)
+
+
+def bench_output_dir() -> Path:
+    return Path(os.environ.get("BENCH_OUTPUT_DIR", Path(__file__).parent))
+
+
+def write_bench_json(module: str, entries: list[dict]) -> Path:
+    """Write ``BENCH_<name>.json`` for one benchmark module and return its path."""
+    name = module.removeprefix("bench_")
+    payload = {
+        "benchmark": name,
+        "module": module,
+        "generated_unix": time.time(),
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "entries": _jsonable(entries),
+    }
+    out = bench_output_dir() / f"BENCH_{name}.json"
+    out.write_text(json.dumps(payload, indent=2, allow_nan=False) + "\n")
+    return out
+
+
 @pytest.fixture
-def paper_report():
-    """Fixture handing the report printer to benchmark functions."""
-    return report
+def paper_report(request):
+    """Fixture handing the report printer to benchmark functions.
+
+    Prints the table as before and records it for the module's
+    ``BENCH_<name>.json`` (written at session end).  Benchmarks may attach
+    machine-readable context — sizes, seeds, raw timings — as keyword
+    arguments: ``paper_report(title, rows, n=200, seed=0)``.
+    """
+    module = request.module.__name__
+
+    def _report(title, rows, **meta):
+        report(title, rows)
+        record(module, title, rows, **meta)
+
+    return _report
+
+
+def pytest_sessionfinish(session, exitstatus):
+    for module, entries in sorted(_RESULTS.items()):
+        write_bench_json(module, entries)

@@ -13,14 +13,36 @@ The measured random-instance ratios are typically far below the worst case,
 while the constructions track their closed forms exactly — the same picture
 the paper paints analytically.
 
+The sweep demonstrates the composition of the two parallelism levels: the
+independent ``(variant, alpha)`` cells are distributed across a
+:func:`repro.analysis.run_parallel` process pool with per-cell seeds
+derived via :func:`repro.analysis.spawn_seeds`, while each cell may also
+fan its own batched evaluations out to intra-round workers (pass
+``workers_per_task`` accordingly so the machine is not oversubscribed).
+
 Run with ``python examples/price_of_anarchy_sweep.py`` (takes ~a minute).
 """
 
 from __future__ import annotations
 
-from repro.analysis import poa_experiment
+from repro.analysis import poa_experiment, run_parallel, spawn_seeds
 from repro.constructions import cross_polytope_lower_bound, tree_star_lower_bound
 from repro.core.bounds import metric_poa_upper, one_two_poa_upper
+
+VARIANTS = ("one_two", "tree", "euclidean", "metric")
+INTRA_ROUND_WORKERS = 1  # workers= handed to each cell's dynamics
+
+
+def _cell(variant: str, n: int, alpha: float, seed: int):
+    return poa_experiment(
+        variant,
+        n,
+        alpha,
+        instances=3,
+        samples_per_instance=4,
+        seed=seed,
+        workers=INTRA_ROUND_WORKERS,
+    )
 
 
 def main() -> None:
@@ -32,11 +54,20 @@ def main() -> None:
     print(header)
     print("-" * len(header))
 
+    cells = [(variant, alpha) for alpha in alphas for variant in VARIANTS]
+    seeds = spawn_seeds(42, len(cells))
+    summaries = run_parallel(
+        [
+            (_cell, (variant, n, alpha, seed))
+            for (variant, alpha), seed in zip(cells, seeds)
+        ],
+        workers_per_task=INTRA_ROUND_WORKERS,
+    )
+    by_cell = dict(zip(cells, summaries))
+
     for alpha in alphas:
-        for variant in ("one_two", "tree", "euclidean", "metric"):
-            summary = poa_experiment(
-                variant, n, alpha, instances=3, samples_per_instance=4, seed=42
-            )
+        for variant in VARIANTS:
+            summary = by_cell[(variant, alpha)]
             if variant == "tree":
                 construction = tree_star_lower_bound(n, alpha).measured_ratio
                 bound = metric_poa_upper(alpha)

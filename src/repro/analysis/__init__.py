@@ -6,6 +6,7 @@ from .experiments import (
     dynamics_convergence_experiment,
     poa_experiment,
     run_parallel,
+    spawn_seeds,
     sweep_alpha,
 )
 from .reporting import ExperimentRecord, ReproductionReport, build_construction_report
@@ -24,6 +25,7 @@ __all__ = [
     "network_statistics",
     "poa_experiment",
     "run_parallel",
+    "spawn_seeds",
     "sweep_alpha",
     "table1_summary",
     "weighted_diameter",

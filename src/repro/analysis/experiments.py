@@ -11,19 +11,32 @@ executes experiment callables across processes with
 :class:`concurrent.futures.ProcessPoolExecutor`; every experiment function
 is also usable serially (``workers=0``), which the test-suite relies on.
 
-Every sweep accepts an ``engine`` switch (``"incremental"`` by default,
-``"exact"`` as the slow oracle) selecting the distance engine the underlying
-best-response dynamics run on, and a ``schedule`` switch (``"sequential"``
-by default, ``"batched"`` to score each round of activations against a
-shared distance snapshot and re-validate only invalidated agents); see
-:mod:`repro.core.incremental` and :mod:`repro.core.dynamics`.  The engines
-compute identical best responses and the schedules follow identical
-trajectories — both switches trade nothing but time.
+Two levels of parallelism compose here.  *Instance-level*: independent
+``(callable, args)`` tasks across a :func:`run_parallel` process pool.
+*Intra-round*: every sweep accepts a ``workers`` switch threaded down to
+:func:`repro.core.dynamics.run_dynamics`, which fans the batched
+evaluations of a single dynamics run out to worker processes over
+shared-memory snapshots (:mod:`repro.core.parallel`).  When composing the
+two, pass the per-task worker count as ``workers_per_task`` to
+:func:`run_parallel` so the instance-level pool is capped at
+``cpu_count // workers_per_task`` and the machine is never oversubscribed.
+Per-instance seeds for parallel sweeps should come from
+:func:`spawn_seeds` (``numpy.random.SeedSequence.spawn``), which makes the
+streams independent and reproducible regardless of scheduling order.
+
+Every sweep also accepts an ``engine`` switch (``"incremental"`` by
+default, ``"exact"`` as the slow oracle) selecting the distance engine the
+underlying best-response dynamics run on, and a ``schedule`` switch
+(``"sequential"`` by default, ``"batched"`` to score each round of
+activations against a shared distance snapshot and re-validate only
+invalidated agents); see :mod:`repro.core.incremental` and
+:mod:`repro.core.dynamics`.  The engines compute identical best responses,
+the schedules follow identical trajectories and the worker counts produce
+bit-identical results — all three switches trade nothing but time.
 """
 
 from __future__ import annotations
 
-import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
@@ -32,6 +45,7 @@ import numpy as np
 
 from ..core.bounds import general_poa_upper, metric_poa_upper
 from ..core.dynamics import run_dynamics
+from ..core.parallel import default_workers
 from ..core.game import NetworkCreationGame
 from ..core.host_graph import HostGraph, ModelVariant
 from ..core.poa import estimate_poa
@@ -51,6 +65,7 @@ __all__ = [
     "poa_experiment",
     "sweep_alpha",
     "dynamics_convergence_experiment",
+    "spawn_seeds",
     "run_parallel",
 ]
 
@@ -124,6 +139,7 @@ def poa_experiment(
     max_candidates: int = 22,
     engine: str = "incremental",
     schedule: str = "sequential",
+    workers: int = 1,
 ) -> PoASummary:
     """Measure the empirical PoA of random instances of one variant.
 
@@ -131,8 +147,9 @@ def poa_experiment(
     the summary reports the maximum and mean over instances and whether the
     relevant closed-form upper bound was respected by every measurement.
     ``engine`` picks the dynamics distance engine (``"incremental"`` fast
-    path or ``"exact"`` oracle) and ``schedule`` the activation schedule
-    (``"sequential"`` or ``"batched"``).
+    path or ``"exact"`` oracle), ``schedule`` the activation schedule
+    (``"sequential"`` or ``"batched"``) and ``workers`` the intra-round
+    worker processes of the batched evaluations.
     """
     rng = np.random.default_rng(seed)
     ratios: list[float] = []
@@ -150,6 +167,7 @@ def poa_experiment(
             max_candidates=max_candidates,
             engine=engine,
             schedule=schedule,
+            workers=workers,
         )
         found += estimate.equilibria_found
         poa = estimate.price_of_anarchy
@@ -181,8 +199,15 @@ def sweep_alpha(
     seed: int = 0,
     engine: str = "incremental",
     schedule: str = "sequential",
+    workers: int = 1,
 ) -> list[PoASummary]:
-    """Run :func:`poa_experiment` for every alpha in a sweep."""
+    """Run :func:`poa_experiment` for every alpha in a sweep.
+
+    Per-alpha seeds are derived with :func:`spawn_seeds`, so the cells of
+    the sweep are statistically independent and may be distributed across a
+    :func:`run_parallel` pool without changing any result.
+    """
+    seeds = spawn_seeds(seed, len(alphas))
     return [
         poa_experiment(
             variant,
@@ -190,11 +215,12 @@ def sweep_alpha(
             float(alpha),
             instances=instances,
             samples_per_instance=samples_per_instance,
-            seed=seed + i,
+            seed=cell_seed,
             engine=engine,
             schedule=schedule,
+            workers=workers,
         )
-        for i, alpha in enumerate(alphas)
+        for alpha, cell_seed in zip(alphas, seeds)
     ]
 
 
@@ -210,6 +236,7 @@ def dynamics_convergence_experiment(
     seed: int = 0,
     engine: str = "incremental",
     schedule: str = "sequential",
+    workers: int = 1,
 ) -> DynamicsSummary:
     """Measure how often best-response dynamics converge on random instances."""
     rng = np.random.default_rng(seed)
@@ -234,6 +261,7 @@ def dynamics_convergence_experiment(
                 rng=rng,
                 engine=engine,  # type: ignore[arg-type]
                 schedule=schedule,  # type: ignore[arg-type]
+                workers=workers,
             )
             if result.converged:
                 converged += 1
@@ -253,22 +281,68 @@ def dynamics_convergence_experiment(
     )
 
 
+def spawn_seeds(seed: int, count: int) -> list[int]:
+    """Derive ``count`` independent child seeds from one root seed.
+
+    Uses :meth:`numpy.random.SeedSequence.spawn`, whose children carry
+    NumPy's documented statistical-independence guarantee (ad-hoc
+    ``seed + i`` derivation offers no such guarantee, and collides
+    outright when two sweeps use overlapping base-seed ranges).  Each
+    child is rendered as a full 128-bit integer — not a truncated word,
+    which would reintroduce birthday-bound collisions across large
+    sweeps — and ``numpy.random.default_rng`` consumes integers of any
+    size, so the guarantee survives the round-trip.  Each child is a pure
+    function of ``(seed, index)``, so a parallel sweep seeded this way is
+    reproducible regardless of how its tasks are scheduled across
+    processes.
+    """
+    parent = np.random.SeedSequence(int(seed))
+    return [
+        int.from_bytes(child.generate_state(4, dtype=np.uint32).tobytes(), "little")
+        for child in parent.spawn(int(count))
+    ]
+
+
 def run_parallel(
     tasks: Iterable[tuple[Callable, tuple]],
     *,
     workers: int | None = None,
+    workers_per_task: int = 1,
 ):
     """Execute ``(callable, args)`` tasks, optionally across processes.
 
     ``workers=0`` (or a single task) runs serially in-process; otherwise a
     :class:`ProcessPoolExecutor` with ``workers`` processes (default: CPU
     count capped at 8) is used.  Results are returned in task order.
+
+    ``workers_per_task`` declares how many *additional* processes each task
+    spawns internally — e.g. the intra-round ``workers=`` passed down to
+    :func:`repro.core.dynamics.run_dynamics` inside the task.  The
+    instance-level pool is capped at ``cpu_count // workers_per_task``
+    (at least 1) so composing the two levels of parallelism never
+    oversubscribes the machine.  Task seeds should be pre-derived with
+    :func:`spawn_seeds` and passed through ``args``, which keeps the sweep
+    reproducible no matter how tasks land on processes.
     """
+    if workers_per_task < 1:
+        raise ValueError("workers_per_task must be >= 1")
     task_list = list(tasks)
     if workers == 0 or len(task_list) <= 1:
         return [fn(*args) for fn, args in task_list]
+    # Cap by the CPUs actually available to this process (sched_getaffinity,
+    # i.e. cgroup/affinity aware) — the same count the intra-round evaluator
+    # sizes its pools by — not by the machine-wide os.cpu_count().
+    available = default_workers()
+    cap = max(1, available // workers_per_task)
+    explicit = workers is not None
     if workers is None:
-        workers = min(os.cpu_count() or 1, 8)
+        workers = min(available, 8)
+    workers = max(1, min(int(workers), cap))
+    if workers == 1 and not explicit:
+        # Nothing to gain from a single-process pool; an *explicit* request
+        # still runs in child processes below (callers may rely on process
+        # isolation), it is only narrowed to the capped worker count.
+        return [fn(*args) for fn, args in task_list]
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [pool.submit(fn, *args) for fn, args in task_list]
         return [f.result() for f in futures]

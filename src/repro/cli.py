@@ -16,10 +16,12 @@ writing any code:
 Every command accepts ``--seed`` for reproducibility.  The ``poa``,
 ``dynamics`` and ``simulate`` commands additionally accept ``--engine``
 to choose between the incremental distance engine (default, fast) and the
-exact from-scratch oracle, and ``--schedule`` to choose between sequential
+exact from-scratch oracle, ``--schedule`` to choose between sequential
 activation and the batched schedule (scored proposals are cached and
 replayed; only agents an applied move invalidated are re-scored — same
-trajectory, less work).
+trajectory, less work), and ``--workers`` to fan the batched evaluations
+out to worker processes over shared-memory snapshots (same trajectory
+again — parallelism trades nothing but time).
 """
 
 from __future__ import annotations
@@ -57,6 +59,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_poa.add_argument("--seed", type=int, default=0)
     _add_engine_flag(p_poa)
     _add_schedule_flag(p_poa)
+    _add_workers_flag(p_poa)
 
     p_dyn = sub.add_parser("dynamics", help="best-response dynamics convergence study")
     p_dyn.add_argument("--variant", default="euclidean",
@@ -68,6 +71,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_dyn.add_argument("--seed", type=int, default=0)
     _add_engine_flag(p_dyn)
     _add_schedule_flag(p_dyn)
+    _add_workers_flag(p_dyn)
 
     p_sim = sub.add_parser("simulate", help="play one random instance end to end")
     p_sim.add_argument("--variant", default="euclidean",
@@ -77,6 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--seed", type=int, default=0)
     _add_engine_flag(p_sim)
     _add_schedule_flag(p_sim)
+    _add_workers_flag(p_sim)
 
     return parser
 
@@ -112,6 +117,21 @@ def _add_schedule_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for batched proposal evaluation: 1 (default) "
+            "scores in-process, k > 1 fans each batch of proposals out to k "
+            "persistent workers over shared-memory distance snapshots — "
+            "bit-identical results for every worker count (requires "
+            "--engine incremental; pays off with --schedule batched)"
+        ),
+    )
+
+
 def _cmd_table1(args) -> int:
     from .analysis.table1 import format_table1, table1_summary
 
@@ -140,6 +160,7 @@ def _cmd_poa(args) -> int:
         seed=args.seed,
         engine=args.engine,
         schedule=args.schedule,
+        workers=args.workers,
     )
     print(
         f"variant={summary.variant} n={summary.n} alpha={summary.alpha}\n"
@@ -164,6 +185,7 @@ def _cmd_dynamics(args) -> int:
         seed=args.seed,
         engine=args.engine,
         schedule=args.schedule,
+        workers=args.workers,
     )
     print(
         f"variant={summary.variant} n={summary.n} alpha={summary.alpha}\n"
@@ -196,6 +218,7 @@ def _cmd_simulate(args) -> int:
         max_rounds=60,
         engine=args.engine,
         schedule=args.schedule,
+        workers=args.workers,
     )
     profile = result.final_profile
     stable = result.converged and is_nash_equilibrium(game, profile)
@@ -223,6 +246,13 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(
             "--schedule batched requires --engine incremental (the exact "
             "oracle keeps no residual matrices to re-validate proposals against)"
+        )
+    if getattr(args, "workers", 1) < 1:
+        parser.error("--workers must be >= 1")
+    if getattr(args, "workers", 1) > 1 and getattr(args, "engine", None) == "exact":
+        parser.error(
+            "--workers > 1 requires --engine incremental (the exact oracle "
+            "has no shared snapshot to evaluate against)"
         )
     handlers = {
         "table1": _cmd_table1,

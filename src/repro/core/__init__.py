@@ -8,6 +8,7 @@ The sub-modules are organised bottom-up:
 * :mod:`repro.core.game`           — the cost model (agent and social costs),
 * :mod:`repro.core.best_response`  — exact and greedy best responses,
 * :mod:`repro.core.incremental`    — cached-distance incremental BR engine,
+* :mod:`repro.core.parallel`       — multiprocess shared-memory evaluation,
 * :mod:`repro.core.equilibria`     — NE / GE / AE / β-approximate checks,
 * :mod:`repro.core.dynamics`       — response dynamics and cycle detection,
 * :mod:`repro.core.social_optimum` — exact / heuristic optima, Algorithm 1,
@@ -25,6 +26,7 @@ from .best_response import (
     best_response_incremental,
     best_single_move,
     greedy_response,
+    score_response,
 )
 from .bounds import (
     ae_to_ne_factor,
@@ -55,9 +57,11 @@ from .equilibria import (
 from .game import AgentCostBreakdown, NetworkCreationGame
 from .host_graph import HostGraph, MetricViolation, ModelVariant
 from .incremental import EngineStats, IncrementalEngine
+from .parallel import ParallelEvaluator, SharedSnapshot, default_workers
 from .shortest_paths import (
     CandidateEvaluator,
     DecrementalRepair,
+    SingleMoveScorer,
     decremental_distances,
     relax_through_edges,
 )
@@ -87,8 +91,11 @@ __all__ = [
     "ModelVariant",
     "NetworkCreationGame",
     "OptimumResult",
+    "ParallelEvaluator",
     "PoAEstimate",
+    "SharedSnapshot",
     "SingleMove",
+    "SingleMoveScorer",
     "SpannerResult",
     "StrategyProfile",
     "ae_to_ne_factor",
@@ -100,6 +107,7 @@ __all__ = [
     "best_response_incremental",
     "best_single_move",
     "decremental_distances",
+    "default_workers",
     "enumerate_nash_equilibria",
     "equilibrium_report",
     "estimate_poa",
@@ -123,6 +131,7 @@ __all__ = [
     "rd_pnorm_poa_lower_4node",
     "run_dynamics",
     "sample_equilibria",
+    "score_response",
     "social_optimum",
     "spanner_stretch",
     "tree_poa_tight",

@@ -53,12 +53,16 @@ amortizes across rounds by caching and re-validating the scored proposals.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Literal, Sequence
+from typing import Callable, Iterable, Literal, Sequence
 
 import numpy as np
 
 from .game import NetworkCreationGame
-from .shortest_paths import CandidateEvaluator, strategy_cost_from_residual
+from .shortest_paths import (
+    CandidateEvaluator,
+    SingleMoveScorer,
+    strategy_cost_from_residual,
+)
 from .strategy import StrategyProfile
 
 __all__ = [
@@ -66,6 +70,7 @@ __all__ = [
     "SingleMove",
     "residual_distances",
     "strategy_cost_given_residual",
+    "score_response",
     "batch_best_responses",
     "best_response_exact",
     "best_response_incremental",
@@ -76,7 +81,11 @@ __all__ = [
 
 _TOL = 1e-9
 _MAX_EXACT_CANDIDATES = 22
-_BATCH_BITS = 14  # enumerate subsets in batches of 2**_BATCH_BITS
+# Enumerate subsets in batches of 2**_BATCH_BITS.  The scan keeps the first
+# subset index attaining the minimum regardless of how batches are cut, so
+# this bounds peak memory (2**bits * m * n floats per batch) without
+# affecting results; 12 keeps a worker under ~120 MB even at m=18, n=200.
+_BATCH_BITS = 12
 
 
 @dataclass(frozen=True)
@@ -247,8 +256,17 @@ def best_response_incremental(
 
 
 # ----------------------------------------------------------------------
-# Greedy (single-move) responses
+# Pure scoring kernels
 # ----------------------------------------------------------------------
+# These functions are the single implementation of response scoring: they
+# depend only on plain arrays (a residual matrix, a host-weight row) and
+# scalars, never on game or profile objects.  The incremental engine calls
+# them with its cached residuals, and the parallel evaluator
+# (:mod:`repro.core.parallel`) calls them inside worker processes against
+# shared-memory views of the same matrices — which is what makes serial and
+# multiprocess evaluation bit-identical.
+
+
 def _gain(current_cost: float, new_cost: float) -> float:
     """Cost decrease of a move, treating an inf -> inf transition as no gain."""
     if np.isinf(current_cost) and np.isinf(new_cost):
@@ -256,6 +274,177 @@ def _gain(current_cost: float, new_cost: float) -> float:
     if np.isinf(current_cost):
         return float("inf")
     return current_cost - new_cost
+
+
+def _gains_vec(current_cost: float, costs: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_gain` against one current cost (never NaN)."""
+    costs = np.asarray(costs, dtype=float)
+    if np.isinf(current_cost):
+        return np.where(np.isinf(costs), 0.0, np.inf)
+    return current_cost - costs
+
+
+def _scan_single_moves(
+    scorer: SingleMoveScorer, moves: tuple[str, ...]
+) -> tuple[np.ndarray, Callable[[int], SingleMove]]:
+    """Flat cost vector of every requested single move, plus an index decoder.
+
+    The flat order is the historical scan order — adds by ascending target,
+    deletes by ascending current target, swaps by ``(old asc, new asc)`` —
+    so a first-maximum ``argmax`` breaks ties exactly like the old
+    Python-loop implementation.
+    """
+    adds = scorer.default_add_targets()
+    cur = scorer.current
+    k, m = len(cur), int(adds.size)
+    parts: list[np.ndarray] = []
+    offsets: list[tuple[str, int]] = []
+    pos = 0
+    if "add" in moves:
+        offsets.append(("add", pos))
+        parts.append(scorer.add_costs(adds))
+        pos += m
+    if "delete" in moves:
+        offsets.append(("delete", pos))
+        parts.append(scorer.delete_costs())
+        pos += k
+    if "swap" in moves:
+        offsets.append(("swap", pos))
+        parts.append(scorer.swap_costs(adds).ravel())
+        pos += k * m
+    costs = np.concatenate(parts) if parts else np.zeros(0)
+
+    def decode(idx: int) -> SingleMove:
+        for kind, start in reversed(offsets):
+            if idx >= start:
+                local = idx - start
+                if kind == "add":
+                    return SingleMove("add", target=int(adds[local]))
+                if kind == "delete":
+                    return SingleMove("delete", target=int(cur[local]))
+                i, j = divmod(local, m)
+                return SingleMove("swap", target=int(adds[j]), old_target=int(cur[i]))
+        raise IndexError(idx)  # pragma: no cover - decode is always in range
+
+    return costs, decode
+
+
+def _apply_single_move(current: set[int], move: SingleMove) -> set[int]:
+    if move.kind == "add":
+        return current | {move.target}
+    if move.kind == "delete":
+        return current - {move.target}
+    if move.kind == "swap":
+        return (current - {move.old_target}) | {move.target}
+    return current
+
+
+def _single_given(
+    d_rest: np.ndarray,
+    u: int,
+    edge_weights: np.ndarray,
+    alpha: float,
+    current,
+    *,
+    moves: tuple[str, ...] = ("add", "delete", "swap"),
+    tol: float = _TOL,
+) -> BestResponseResult:
+    """The best single add/delete/swap of ``u`` as a response, from raw arrays."""
+    current = {int(v) for v in current}
+    scorer = SingleMoveScorer(d_rest, u, edge_weights, alpha, current)
+    current_cost = scorer.current_cost
+    costs, decode = _scan_single_moves(scorer, moves)
+    strategy = frozenset(scorer.current)
+    cost = current_cost
+    if costs.size:
+        idx = int(np.argmax(_gains_vec(current_cost, costs)))
+        if _gain(current_cost, float(costs[idx])) > tol:
+            strategy = frozenset(_apply_single_move(current, decode(idx)))
+            cost = float(costs[idx])
+    return BestResponseResult(
+        agent=int(u),
+        strategy=strategy,
+        cost=float(cost),
+        current_cost=float(current_cost),
+        method="single",
+    )
+
+
+def _greedy_given(
+    d_rest: np.ndarray,
+    u: int,
+    edge_weights: np.ndarray,
+    alpha: float,
+    current,
+    *,
+    moves: tuple[str, ...] = ("add", "delete", "swap"),
+    max_iterations: int = 10_000,
+    tol: float = _TOL,
+) -> BestResponseResult:
+    """Iterated best single move of ``u`` (greedy local optimum), from raw arrays."""
+    current = {int(v) for v in current}
+    scorer = SingleMoveScorer(d_rest, u, edge_weights, alpha, current)
+    start_cost = scorer.current_cost
+    for _ in range(max_iterations):
+        costs, decode = _scan_single_moves(scorer, moves)
+        if not costs.size:
+            break
+        idx = int(np.argmax(_gains_vec(scorer.current_cost, costs)))
+        if _gain(scorer.current_cost, float(costs[idx])) <= tol:
+            break
+        current = _apply_single_move(current, decode(idx))
+        scorer = SingleMoveScorer(d_rest, u, edge_weights, alpha, current)
+    return BestResponseResult(
+        agent=int(u),
+        strategy=frozenset(scorer.current),
+        cost=float(scorer.current_cost),
+        current_cost=float(start_cost),
+        method="greedy",
+    )
+
+
+def score_response(
+    d_rest: np.ndarray,
+    u: int,
+    edge_weights: np.ndarray,
+    alpha: float,
+    current,
+    response: str,
+    *,
+    max_candidates: int = _MAX_EXACT_CANDIDATES,
+) -> BestResponseResult:
+    """Score one agent's response against a fixed residual matrix.
+
+    The array-only entry point behind :meth:`repro.core.incremental.
+    IncrementalEngine.respond` and the parallel evaluator's worker
+    processes: ``d_rest`` and ``edge_weights`` may be (shared-memory) views,
+    ``current`` is the agent's current strategy, ``response`` is ``"best"``,
+    ``"greedy"`` or ``"single"``.  No shortest-path computation happens
+    here — every candidate is scored by pure relaxation.
+    """
+    if response == "best":
+        evaluator = CandidateEvaluator(d_rest, u, edge_weights, alpha)
+        current_cost = strategy_cost_from_residual(
+            d_rest, u, edge_weights, alpha, current
+        )
+        best_set, best_cost = _scan_candidate_subsets(evaluator, max_candidates)
+        return BestResponseResult(
+            agent=int(u),
+            strategy=best_set,
+            cost=float(best_cost),
+            current_cost=float(current_cost),
+            method="incremental",
+        )
+    if response == "greedy":
+        return _greedy_given(d_rest, u, edge_weights, alpha, current)
+    if response == "single":
+        return _single_given(d_rest, u, edge_weights, alpha, current)
+    raise ValueError(f"unknown response kind {response!r}")
+
+
+# ----------------------------------------------------------------------
+# Greedy (single-move) responses
+# ----------------------------------------------------------------------
 
 
 def enumerate_single_moves(
@@ -270,36 +459,23 @@ def enumerate_single_moves(
 
     Gains are computed against a fixed residual network, so the whole
     enumeration needs at most one all-pairs shortest-path computation (none
-    when a cached ``d_rest`` is supplied).
+    when a cached ``d_rest`` is supplied), and all move costs come from one
+    stacked relaxation (:class:`~repro.core.shortest_paths.SingleMoveScorer`)
+    instead of a Python loop per move.  Moves are listed adds first
+    (ascending target), then deletes (ascending), then swaps (old
+    ascending, new ascending).
     """
     if d_rest is None:
         d_rest = residual_distances(game, profile, u)
-    current = set(profile.strategy(u))
-    current_cost = strategy_cost_given_residual(game, d_rest, u, current)
-    n = game.n
-    w_u = game.host.weights[u]
-    results: list[SingleMove] = []
-
-    if "add" in moves:
-        for v in range(n):
-            if v == u or v in current or not np.isfinite(w_u[v]):
-                continue
-            cost = strategy_cost_given_residual(game, d_rest, u, current | {v})
-            results.append(SingleMove("add", target=v, gain=_gain(current_cost, cost)))
-    if "delete" in moves:
-        for v in sorted(current):
-            cost = strategy_cost_given_residual(game, d_rest, u, current - {v})
-            results.append(SingleMove("delete", target=v, gain=_gain(current_cost, cost)))
-    if "swap" in moves:
-        for old in sorted(current):
-            for new in range(n):
-                if new == u or new in current or not np.isfinite(w_u[new]):
-                    continue
-                cost = strategy_cost_given_residual(game, d_rest, u, (current - {old}) | {new})
-                results.append(
-                    SingleMove("swap", target=new, old_target=old, gain=_gain(current_cost, cost))
-                )
-    return results
+    scorer = SingleMoveScorer(
+        d_rest, u, game.host.weights[u], game.alpha, profile.strategy(u)
+    )
+    costs, decode = _scan_single_moves(scorer, moves)
+    gains = _gains_vec(scorer.current_cost, costs)
+    return [
+        SingleMove(mv.kind, target=mv.target, old_target=mv.old_target, gain=float(g))
+        for mv, g in ((decode(i), gains[i]) for i in range(costs.size))
+    ]
 
 
 def best_single_move(
@@ -335,54 +511,19 @@ def greedy_response(
     The result is a strategy from which no single add/delete/swap improves —
     exactly the per-agent condition of a Greedy Equilibrium.  A cached
     residual matrix can be injected via ``d_rest`` (the whole local search
-    then runs without any shortest-path computation).
+    then runs without any shortest-path computation); every iteration scans
+    all moves through one vectorized stacked relaxation.
     """
     if d_rest is None:
         d_rest = residual_distances(game, profile, u)
-    current = set(profile.strategy(u))
-    current_cost = strategy_cost_given_residual(game, d_rest, u, current)
-    start_cost = current_cost
-    n = game.n
-    w_u = game.host.weights[u]
-
-    for _ in range(max_iterations):
-        best_gain = _TOL
-        best_next: set[int] | None = None
-        # adds
-        for v in range(n):
-            if v == u or v in current or not np.isfinite(w_u[v]):
-                continue
-            cost = strategy_cost_given_residual(game, d_rest, u, current | {v})
-            if current_cost - cost > best_gain:
-                best_gain = current_cost - cost
-                best_next = current | {v}
-        # deletes
-        for v in list(current):
-            cost = strategy_cost_given_residual(game, d_rest, u, current - {v})
-            if current_cost - cost > best_gain:
-                best_gain = current_cost - cost
-                best_next = current - {v}
-        # swaps
-        for old in list(current):
-            for new in range(n):
-                if new == u or new in current or not np.isfinite(w_u[new]):
-                    continue
-                cand = (current - {old}) | {new}
-                cost = strategy_cost_given_residual(game, d_rest, u, cand)
-                if current_cost - cost > best_gain:
-                    best_gain = current_cost - cost
-                    best_next = cand
-        if best_next is None:
-            break
-        current = best_next
-        current_cost = strategy_cost_given_residual(game, d_rest, u, current)
-
-    return BestResponseResult(
-        agent=u,
-        strategy=frozenset(current),
-        cost=float(current_cost),
-        current_cost=float(start_cost),
-        method="greedy",
+    return _greedy_given(
+        d_rest,
+        u,
+        game.host.weights[u],
+        game.alpha,
+        profile.strategy(u),
+        moves=moves,
+        max_iterations=max_iterations,
     )
 
 

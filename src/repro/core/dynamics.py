@@ -31,11 +31,24 @@ the sequential processes used to explore this empirically:
   *numerically identical* to a fresh computation, so the batched schedule
   follows the exact same trajectory — same moves applied at the same
   activations, same social costs, same final profile — as
-  ``schedule="sequential"`` and differs only in work: a round in which
-  ``d`` agents were invalidated costs ``d`` response computations instead
-  of ``n``.  Batching requires the incremental engine and is available
-  for round-robin, random and explicit activation orders (``max_gain``
-  re-scores every agent per step by definition).
+  ``schedule="sequential"``.  On a cache miss the schedule *prefills
+  ahead*: up to an adaptive speculation-window of still-uncached agents
+  due to activate later in the round are scored against the current
+  snapshot in one batch
+  (:meth:`repro.core.incremental.IncrementalEngine.respond_many`), and a
+  prefilled proposal is replayed at its activation exactly iff it survived
+  the row-level validation of every move applied in between — which is
+  also what makes the round's evaluations independent and hence
+  parallelizable: ``workers=k`` fans the batch out to ``k`` worker
+  processes over shared-memory snapshots (:mod:`repro.core.parallel`)
+  with bit-identical trajectories for every ``k``.  The window collapses
+  to lazy per-activation scoring while speculation keeps getting
+  invalidated and doubles towards full-round batches while it survives;
+  it evolves as a pure function of the trajectory, never of the worker
+  count.  Batching requires the
+  incremental engine and is available for round-robin, random and explicit
+  activation orders (``max_gain`` re-scores every agent per step by
+  definition, and ``workers`` parallelizes exactly that re-scoring).
   :func:`repro.core.best_response.batch_best_responses` exposes the
   underlying score-many-agents-against-one-state primitive directly.
 
@@ -79,6 +92,11 @@ __all__ = [
 ]
 
 _TOL = 1e-9
+
+# Batched-schedule speculation: initial prefill window, and how often a miss
+# at the collapsed window probes one agent ahead so the window can regrow.
+_PREFILL_WINDOW_INIT = 4
+_PREFILL_WINDOW_PROBE = 8
 
 ResponseKind = Literal["best", "greedy", "single"]
 OrderKind = Literal["round_robin", "random", "max_gain"]
@@ -148,34 +166,66 @@ class _ProposalCache:
         self.hits += 1
         return hit[0]
 
+    def has(self, u: int) -> bool:
+        """Membership test that does not touch the hit/miss counters."""
+        return u in self._proposals
+
     def store(self, u: int, result: BestResponseResult, d_rest: np.ndarray) -> None:
         self._proposals[u] = (result, d_rest)
 
     def on_move(
         self, mover: int, old_profile: StrategyProfile, new_profile: StrategyProfile
     ) -> None:
-        """Drop the proposals the move from ``old_profile`` invalidates."""
+        """Drop the proposals the move from ``old_profile`` invalidates.
+
+        Besides the *network-level* edge diff, the move can flip the
+        ownership **exclusivity** of a double-bought edge ``(mover, u)``:
+        when the mover adds or drops its copy while ``u`` keeps owning the
+        reverse edge, the created network is unchanged but ``u``'s
+        *residual* (the network without ``u``'s solely-owned edges) gains
+        or loses that edge.  Such flips are tested as per-agent edge events
+        against ``u``'s cached matrix with the same add/remove row tests.
+        """
         self._proposals.pop(mover, None)
-        old_row = old_profile.ownership[mover] | old_profile.ownership[:, mover]
-        new_row = new_profile.ownership[mover] | new_profile.ownership[:, mover]
+        old_own = old_profile.ownership
+        new_own = new_profile.ownership
+        old_row = old_own[mover] | old_own[:, mover]
+        new_row = new_own[mover] | new_own[:, mover]
         added = np.nonzero(new_row & ~old_row)[0]
         removed = np.nonzero(old_row & ~new_row)[0]
-        if added.size == 0 and removed.size == 0:
+        # Targets where only the mover's *copy* changed (the network edge
+        # survives because the target owns the reverse edge).
+        flipped = np.nonzero(
+            (old_own[mover] != new_own[mover]) & (old_row == new_row)
+        )[0]
+        if added.size == 0 and removed.size == 0 and flipped.size == 0:
             return
         w_row = self._weights[mover]
+        flipped_set = set(int(t) for t in flipped)
         for u in list(self._proposals):
             d_u = self._proposals[u][1]
             rows = self._agent_rows(u)
             to_mover = d_u[rows, mover]
+            add_events: tuple[int, ...] | np.ndarray = added
+            remove_events: tuple[int, ...] | np.ndarray = removed
+            if u in flipped_set and old_own[u, mover]:
+                if new_own[mover, u]:
+                    # The mover now co-owns (u, mover): it stops being
+                    # solely owned by u, so u's residual gains the edge.
+                    add_events = [*added, u]
+                else:
+                    # The mover dropped its copy: u is now the sole owner,
+                    # so u's residual loses the edge.
+                    remove_events = [*removed, u]
             dirty = False
-            for t in added:
+            for t in add_events:
                 w = w_row[t]
                 to_t = d_u[rows, t]
                 if np.any(to_mover + w < to_t) or np.any(to_t + w < to_mover):
                     dirty = True
                     break
             if not dirty:
-                for t in removed:
+                for t in remove_events:
                     w = w_row[t]
                     to_t = d_u[rows, t]
                     if np.any(np.isclose(to_mover + w, to_t, rtol=1e-9, atol=1e-9)) or np.any(
@@ -274,6 +324,7 @@ def run_dynamics(
     max_candidates: int = 22,
     engine: EngineKind = "incremental",
     schedule: ScheduleKind = "sequential",
+    workers: int = 1,
     tol: float = _TOL,
 ) -> DynamicsResult:
     """Run response dynamics from ``initial``.
@@ -312,6 +363,16 @@ def run_dynamics(
         schedule — see the module docstring.  Requires
         ``engine="incremental"`` and a round-robin, random or explicit
         activation order.
+    workers:
+        Worker-process count for the batched evaluations (the batched
+        schedule's round prefill and every ``max_gain`` step).  ``1``
+        (default) scores in-process; ``k > 1`` fans the batch out to ``k``
+        persistent worker processes over shared-memory snapshots
+        (:mod:`repro.core.parallel`).  The trajectory, the engine stats
+        and the proposal-cache counters are bit-identical for every
+        worker count; the sequential schedule scores one agent per
+        activation and gains nothing from ``workers``.  Requires
+        ``engine="incremental"``.
 
     Returns
     -------
@@ -325,6 +386,15 @@ def run_dynamics(
         raise ValueError(f"unknown engine {engine!r}")
     if schedule not in ("sequential", "batched"):
         raise ValueError(f"unknown schedule {schedule!r}")
+    workers = int(workers)
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if workers > 1 and engine != "incremental":
+        raise ValueError(
+            "workers > 1 requires engine='incremental': the exact oracle "
+            "recomputes from scratch per agent and has no shared snapshot "
+            "to evaluate against"
+        )
     if schedule == "batched":
         if engine != "incremental":
             raise ValueError(
@@ -338,23 +408,85 @@ def run_dynamics(
             )
     profile = initial
     n = game.n
-    inc = IncrementalEngine(game, initial) if engine == "incremental" else None
+    inc = (
+        IncrementalEngine(game, initial, workers=workers)
+        if engine == "incremental"
+        else None
+    )
     cache = _ProposalCache(game) if schedule == "batched" else None
 
     def respond(u: int):
         if inc is not None:
-            if cache is not None:
-                cached = cache.get(u)
-                if cached is not None:
-                    return cached
-                d_rest = inc.residual(u)
-                result = inc.respond(
-                    u, response, max_candidates=max_candidates, d_rest=d_rest
-                )
-                cache.store(u, result, d_rest)
-                return result
             return inc.respond(u, response, max_candidates=max_candidates)
         return _respond(game, profile, u, response, max_candidates)
+
+    # Adaptive speculation window of the batched schedule's round prefill.
+    # The window evolves as a pure function of the trajectory (hits, misses
+    # and which speculative proposals survived), never of the worker count,
+    # so every worker count performs the same residual computations and
+    # scoring calls in the same order.
+    prefill_window = _PREFILL_WINDOW_INIT
+    floor_misses = 0
+    speculated: set[int] = set()
+
+    def respond_batched(u: int, position: int, round_agents: Sequence[int]):
+        """Serve ``u`` from the proposal cache, prefilling ahead on a miss.
+
+        On a miss, up to ``prefill_window`` still-uncached agents due to
+        activate later in the round (``u`` first) are scored against the
+        current snapshot in one :meth:`IncrementalEngine.respond_many`
+        batch (parallel when the engine has workers).  A prefilled proposal
+        is replayed at its own activation only if it survives the row-level
+        validation of every move applied in between, so the trajectory is
+        identical to the lazy sequential-batched evaluation.
+
+        The window adapts to how speculation fares: a speculative proposal
+        that is invalidated before its activation collapses the window to 1
+        (move-heavy phases such as cold starts immediately fall back to
+        lazy PR2 behaviour and pay almost nothing for speculation — a
+        gentler geometric decay was measured to waste 2x the serial work
+        on mixed workloads for no wall-clock gain at any worker count),
+        one that survives doubles it (independent-evaluation phases such
+        as certification sweeps quickly reach full-round batches, the
+        parallel evaluator's bread and butter).  At the floor, every
+        ``_PREFILL_WINDOW_PROBE``-th miss speculates one agent ahead so
+        the window can recover once the dynamics stabilize.
+        """
+        nonlocal prefill_window, floor_misses
+        cached = cache.get(u)
+        if cached is not None:
+            if u in speculated:
+                speculated.discard(u)
+                prefill_window = min(n, prefill_window * 2)
+            return cached
+        limit = prefill_window
+        if u in speculated:
+            speculated.discard(u)
+            prefill_window = 1
+            limit = 1
+        if limit == 1:
+            floor_misses += 1
+            if floor_misses % _PREFILL_WINDOW_PROBE == 0:
+                limit = 2
+        else:
+            floor_misses = 0
+        pending: list[int] = []
+        queued: set[int] = set()
+        for v in round_agents[position:]:
+            v = int(v)
+            if v not in queued and not cache.has(v):
+                queued.add(v)
+                pending.append(v)
+                if len(pending) >= limit:
+                    break
+        d_rests = [inc.residual(v) for v in pending]
+        batch = inc.respond_many(
+            pending, response, max_candidates=max_candidates, d_rests=d_rests
+        )
+        for v, result, d_rest in zip(pending, batch, d_rests):
+            cache.store(v, result, d_rest)
+        speculated.update(pending[1:])
+        return batch[0]  # pending[0] is u: its lookup just missed
 
     def apply_move(u: int, strategy) -> StrategyProfile:
         if inc is not None:
@@ -372,68 +504,56 @@ def run_dynamics(
 
     seen: dict[bytes, int] = {}
     history: list[StrategyProfile] | None = [initial] if record_history else None
-    social_costs = [social_cost()]
     moves = 0
     steps = 0
     cycle_detected = False
     cycle_length: int | None = None
 
-    if detect_cycles:
-        seen[profile.canonical_key()] = 0
-
     explicit_order = None
     if not isinstance(order, str):
         explicit_order = [int(a) for a in order]
 
-    for round_idx in range(max_rounds):
-        improved_this_round = False
-        if explicit_order is not None:
-            agents = explicit_order
-        elif order == "round_robin":
-            agents = list(range(n))
-        elif order == "random":
-            agents = list(rng.permutation(n))
-        elif order == "max_gain":
-            agents = None  # handled below
-        else:
-            raise ValueError(f"unknown order {order!r}")
+    try:
+        social_costs = [social_cost()]
+        if detect_cycles:
+            seen[profile.canonical_key()] = 0
 
-        if order == "max_gain" and explicit_order is None:
-            # One round = n activations of the currently most-improving agent;
-            # every agent is scored against the same state, exactly the
-            # batch_best_responses primitive (inlined via respond).
-            for _ in range(n):
-                steps += 1
-                results = [respond(u) for u in range(n)]
-                best_agent, best_result = None, None
-                for u, result in enumerate(results):
-                    if result.improvement > tol and (
-                        best_result is None or result.improvement > best_result.improvement
-                    ):
-                        best_agent, best_result = u, result
-                if best_result is None:
-                    break
-                profile = apply_move(best_agent, best_result.strategy)
-                moves += 1
-                improved_this_round = True
-                social_costs.append(social_cost())
-                if record_history:
-                    history.append(profile)
-                if detect_cycles:
-                    key = profile.canonical_key()
-                    if key in seen:
-                        cycle_detected = True
-                        cycle_length = moves - seen[key]
+        for round_idx in range(max_rounds):
+            improved_this_round = False
+            if explicit_order is not None:
+                agents = explicit_order
+            elif order == "round_robin":
+                agents = list(range(n))
+            elif order == "random":
+                agents = list(rng.permutation(n))
+            elif order == "max_gain":
+                agents = None  # handled below
+            else:
+                raise ValueError(f"unknown order {order!r}")
+
+            if order == "max_gain" and explicit_order is None:
+                # One round = n activations of the currently most-improving
+                # agent; every agent is scored against the same state, exactly
+                # the batch_best_responses primitive (parallel when the engine
+                # has workers).
+                for _ in range(n):
+                    steps += 1
+                    if inc is not None:
+                        results = inc.respond_many(
+                            range(n), response, max_candidates=max_candidates
+                        )
+                    else:
+                        results = [respond(u) for u in range(n)]
+                    best_agent, best_result = None, None
+                    for u, result in enumerate(results):
+                        if result.improvement > tol and (
+                            best_result is None
+                            or result.improvement > best_result.improvement
+                        ):
+                            best_agent, best_result = u, result
+                    if best_result is None:
                         break
-                    seen[key] = moves
-            if cycle_detected:
-                break
-        else:
-            for u in agents:
-                steps += 1
-                result = respond(u)
-                if result.improvement > tol:
-                    profile = apply_move(u, result.strategy)
+                    profile = apply_move(best_agent, best_result.strategy)
                     moves += 1
                     improved_this_round = True
                     social_costs.append(social_cost())
@@ -446,37 +566,64 @@ def run_dynamics(
                             cycle_length = moves - seen[key]
                             break
                         seen[key] = moves
-            if cycle_detected:
-                break
+                if cycle_detected:
+                    break
+            else:
+                for position, u in enumerate(agents):
+                    steps += 1
+                    result = (
+                        respond_batched(u, position, agents)
+                        if cache is not None
+                        else respond(u)
+                    )
+                    if result.improvement > tol:
+                        profile = apply_move(u, result.strategy)
+                        moves += 1
+                        improved_this_round = True
+                        social_costs.append(social_cost())
+                        if record_history:
+                            history.append(profile)
+                        if detect_cycles:
+                            key = profile.canonical_key()
+                            if key in seen:
+                                cycle_detected = True
+                                cycle_length = moves - seen[key]
+                                break
+                            seen[key] = moves
+                if cycle_detected:
+                    break
 
-        if not improved_this_round:
-            return DynamicsResult(
-                converged=True,
-                steps=steps,
-                moves=moves,
-                cycle_detected=False,
-                cycle_length=None,
-                final_profile=profile,
-                social_costs=social_costs,
-                history=history,
-                engine_stats=inc.stats if inc is not None else None,
-                schedule_hits=cache.hits if cache is not None else 0,
-                schedule_misses=cache.misses if cache is not None else 0,
-            )
+            if not improved_this_round:
+                return DynamicsResult(
+                    converged=True,
+                    steps=steps,
+                    moves=moves,
+                    cycle_detected=False,
+                    cycle_length=None,
+                    final_profile=profile,
+                    social_costs=social_costs,
+                    history=history,
+                    engine_stats=inc.stats if inc is not None else None,
+                    schedule_hits=cache.hits if cache is not None else 0,
+                    schedule_misses=cache.misses if cache is not None else 0,
+                )
 
-    return DynamicsResult(
-        converged=False,
-        steps=steps,
-        moves=moves,
-        cycle_detected=cycle_detected,
-        cycle_length=cycle_length,
-        final_profile=profile,
-        social_costs=social_costs,
-        history=history,
-        engine_stats=inc.stats if inc is not None else None,
-        schedule_hits=cache.hits if cache is not None else 0,
-        schedule_misses=cache.misses if cache is not None else 0,
-    )
+        return DynamicsResult(
+            converged=False,
+            steps=steps,
+            moves=moves,
+            cycle_detected=cycle_detected,
+            cycle_length=cycle_length,
+            final_profile=profile,
+            social_costs=social_costs,
+            history=history,
+            engine_stats=inc.stats if inc is not None else None,
+            schedule_hits=cache.hits if cache is not None else 0,
+            schedule_misses=cache.misses if cache is not None else 0,
+        )
+    finally:
+        if inc is not None:
+            inc.close()
 
 
 def best_response_dynamics(

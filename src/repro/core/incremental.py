@@ -43,6 +43,14 @@ agent's current cost and one for the social cost after a move.
    The :attr:`IncrementalEngine.stats` counters record how often each path
    was taken.
 
+5. **Multiprocess batch scoring.**  Queries that score *many* agents
+   against one snapshot (:meth:`IncrementalEngine.respond_many` — the
+   ``max_gain`` step and the batched schedule's round prefill) can fan the
+   per-agent candidate scans out to a persistent worker pool
+   (:mod:`repro.core.parallel`) over shared-memory copies of the residual
+   matrices.  Residuals and stats stay in the owning process and workers
+   run the same pure kernel, so ``workers`` trades nothing but time.
+
 Per-operation complexity summary (``n`` agents, ``k`` candidate edges,
 ``a`` affected repair sources):
 
@@ -71,9 +79,8 @@ import numpy as np
 from .best_response import (
     BestResponseResult,
     best_response_incremental,
-    best_single_move,
     greedy_response,
-    strategy_cost_given_residual,
+    score_response,
 )
 from .game import NetworkCreationGame
 from .shortest_paths import decremental_distances, relax_source_row
@@ -119,9 +126,22 @@ class IncrementalEngine:
     the residual matrix from scratch instead (see
     :func:`repro.core.shortest_paths.decremental_distances`).  ``stats``
     exposes :class:`EngineStats` counters of the shortest-path work done.
+
+    ``workers`` enables multiprocess scoring of *batched* queries
+    (:meth:`respond_many`): with ``workers > 1`` the engine lazily spins up
+    a :class:`~repro.core.parallel.ParallelEvaluator` whose worker pool
+    scores agents against shared-memory copies of the residual matrices.
+    Residual computation (and hence every :class:`EngineStats` counter)
+    always happens in the owning process, and workers run the same pure
+    scoring kernel as the serial path, so results are bit-identical for
+    every worker count.  The engine is a context manager; :meth:`close`
+    tears the pool down (an ``atexit`` hook covers abandoned engines).
     """
 
-    __slots__ = ("_game", "_profile", "_distances", "_residuals", "_repair_threshold", "stats")
+    __slots__ = (
+        "_game", "_profile", "_distances", "_residuals", "_repair_threshold",
+        "_workers", "_evaluator", "stats",
+    )
 
     def __init__(
         self,
@@ -129,6 +149,7 @@ class IncrementalEngine:
         profile: StrategyProfile,
         *,
         repair_threshold: float = 0.5,
+        workers: int = 1,
     ) -> None:
         if profile.n != game.n:
             raise ValueError(
@@ -136,12 +157,16 @@ class IncrementalEngine:
             )
         if repair_threshold < 0:
             raise ValueError("repair_threshold must be non-negative")
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
         self._game = game
         self._profile = profile
         self._distances: np.ndarray | None = None
         # agent -> (residual key, residual distance matrix)
         self._residuals: dict[int, tuple[bytes, np.ndarray]] = {}
         self._repair_threshold = float(repair_threshold)
+        self._workers = int(workers)
+        self._evaluator = None
         self.stats = EngineStats()
 
     # ------------------------------------------------------------------
@@ -155,6 +180,23 @@ class IncrementalEngine:
     def profile(self) -> StrategyProfile:
         """The current strategy profile."""
         return self._profile
+
+    @property
+    def workers(self) -> int:
+        """Worker-process count used by :meth:`respond_many` (1 = serial)."""
+        return self._workers
+
+    def close(self) -> None:
+        """Tear down the parallel evaluator's pool and shared memory (idempotent)."""
+        evaluator, self._evaluator = self._evaluator, None
+        if evaluator is not None:
+            evaluator.close()
+
+    def __enter__(self) -> "IncrementalEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     @property
     def distances(self) -> np.ndarray:
@@ -258,21 +300,13 @@ class IncrementalEngine:
         """The best single add/delete/swap of ``u`` packaged as a response."""
         if d_rest is None:
             d_rest = self.residual(u)
-        current = self._profile.strategy(u)
-        current_cost = strategy_cost_given_residual(self._game, d_rest, u, current)
-        move = best_single_move(self._game, self._profile, u, d_rest=d_rest)
-        if move.kind == "none":
-            strategy = current
-            cost = current_cost
-        else:
-            strategy = frozenset(move.apply(self._profile, u).strategy(u))
-            cost = strategy_cost_given_residual(self._game, d_rest, u, strategy)
-        return BestResponseResult(
-            agent=u,
-            strategy=strategy,
-            cost=float(cost),
-            current_cost=float(current_cost),
-            method="single",
+        return score_response(
+            d_rest,
+            u,
+            self._game.host.weights[u],
+            self._game.alpha,
+            self._profile.strategy(u),
+            "single",
         )
 
     def respond(
@@ -291,6 +325,49 @@ class IncrementalEngine:
         if response == "single":
             return self.single_response(u, d_rest=d_rest)
         raise ValueError(f"unknown response kind {response!r}")
+
+    def respond_many(
+        self,
+        agents,
+        response: str = "best",
+        *,
+        max_candidates: int = 22,
+        d_rests: list[np.ndarray] | None = None,
+    ) -> list[BestResponseResult]:
+        """Responses of several agents against the current profile snapshot.
+
+        All agents are scored against the same state (no move is applied in
+        between).  Residual matrices are computed — or taken from ``d_rests``
+        when the caller already holds them — in the owning process in agent
+        order, so :attr:`stats` is independent of the worker count; with
+        ``workers > 1`` the scoring itself fans out to the parallel
+        evaluator's pool, whose workers run the same pure kernel against
+        shared-memory matrix copies and whose results are gathered in
+        submission order.  The returned list is therefore bit-identical
+        for every worker count.
+        """
+        agents = [int(u) for u in agents]
+        if d_rests is None:
+            d_rests = [self.residual(u) for u in agents]
+        elif len(d_rests) != len(agents):
+            raise ValueError("d_rests must match agents one to one")
+        if self._workers <= 1 or len(agents) < 2:
+            return [
+                self.respond(u, response, max_candidates=max_candidates, d_rest=dr)
+                for u, dr in zip(agents, d_rests)
+            ]
+        if self._evaluator is None:
+            from .parallel import ParallelEvaluator
+
+            self._evaluator = ParallelEvaluator.for_game(
+                self._game, workers=self._workers
+            )
+        tasks = [
+            (u, dr, self._profile.strategy(u)) for u, dr in zip(agents, d_rests)
+        ]
+        return self._evaluator.evaluate(
+            tasks, response, max_candidates=max_candidates
+        )
 
     # ------------------------------------------------------------------
     # Moves

@@ -1,0 +1,359 @@
+"""Multiprocess batched-proposal evaluation over shared-memory snapshots.
+
+Within one batched-dynamics round (and on every ``order="max_gain"`` step)
+many agents are scored against the *same* state snapshot: each evaluation
+is a pure function of the agent's residual distance matrix, the host-graph
+weight row and the agent's current strategy — completely independent of the
+other evaluations.  This module fans those evaluations out to a persistent
+pool of worker processes without ever pickling an ``(n, n)`` matrix:
+
+``SharedSnapshot``
+    The shared-memory encoding of one evaluation snapshot.  Two
+    :mod:`multiprocessing.shared_memory` segments are used: a *static*
+    segment holding the host-graph weight matrix (written once, valid for
+    the lifetime of the pool because host weights never change during a
+    dynamics run) and a *slot* segment holding up to ``slots`` residual
+    distance matrices of the current batch.  Workers attach by name at pool
+    start-up and build zero-copy NumPy views; per task only a slot index,
+    an agent id and a (tiny) strategy tuple cross the process boundary.
+
+``ParallelEvaluator``
+    The persistent worker pool.  It is created *lazily* on the first
+    evaluation, reused across rounds of a dynamics run, and torn down via
+    :meth:`ParallelEvaluator.close` (also a context manager, plus an
+    ``atexit`` safety net) so CLI runs and test-suites never leak worker
+    processes or shared-memory segments.  ``evaluate`` writes each distinct
+    residual matrix into a free slot (matrices shared by several agents —
+    e.g. the network distances of agents owning no solely-owned edges — are
+    written once), dispatches one task per agent and gathers results in
+    submission order.
+
+Determinism is the design constraint, not an afterthought: workers execute
+:func:`repro.core.best_response.score_response` — the exact same pure
+kernel the serial engine runs — against bit-identical matrix copies, and
+results are collected in submission order, so a parallel evaluation is
+indistinguishable from the serial one (the property tests in
+``tests/test_parallel_evaluator.py`` assert bit-identical trajectories for
+``workers in {1, 2, 4}``).
+
+Snapshot invariants:
+
+* the weights segment is written once, before the first task is dispatched,
+  and never mutated while the pool lives;
+* a slot is only rewritten after every task of the chunk that referenced it
+  has been gathered (dispatch is chunked at ``slots`` distinct matrices);
+* matrices are C-contiguous ``float64`` — the copy into the slot is an
+  exact bitwise copy, so worker-side arithmetic sees the same numbers.
+
+The start method defaults to ``fork`` where available (zero-cost worker
+start-up; the snapshot names travel via the initializer so ``spawn``
+platforms work identically, just with a slower pool start).
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing as mp
+import os
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import shared_memory
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .best_response import BestResponseResult, score_response
+
+__all__ = ["SharedSnapshot", "ParallelEvaluator", "default_workers"]
+
+_DEFAULT_SLOTS = 16
+
+
+def default_workers() -> int:
+    """Number of CPUs available to this process (the natural ``workers=``)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+class SharedSnapshot:
+    """Shared-memory buffers of one evaluation snapshot (weights + residual slots).
+
+    Create with :meth:`create` in the owning process, ship :meth:`meta`
+    through the pool initializer, and :meth:`attach` in each worker; both
+    sides expose the same zero-copy views ``weights`` (``(n, n)``) and
+    ``slot_matrices`` (``(slots, n, n)``).  :meth:`close` releases the
+    views and the segments — the owner also unlinks them.
+    """
+
+    __slots__ = ("n", "slots", "owner", "weights", "slot_matrices", "_segments")
+
+    def __init__(
+        self,
+        shm_weights: shared_memory.SharedMemory,
+        shm_slots: shared_memory.SharedMemory,
+        n: int,
+        slots: int,
+        *,
+        owner: bool,
+    ) -> None:
+        self.n = int(n)
+        self.slots = int(slots)
+        self.owner = bool(owner)
+        self._segments = (shm_weights, shm_slots)
+        self.weights = np.ndarray((n, n), dtype=np.float64, buffer=shm_weights.buf)
+        self.slot_matrices = np.ndarray(
+            (slots, n, n), dtype=np.float64, buffer=shm_slots.buf
+        )
+
+    @classmethod
+    def create(cls, weights: np.ndarray, slots: int) -> "SharedSnapshot":
+        """Allocate the segments and copy the (static) weight matrix in."""
+        w = np.ascontiguousarray(weights, dtype=np.float64)
+        if w.ndim != 2 or w.shape[0] != w.shape[1]:
+            raise ValueError(f"weights must be square, got shape {w.shape}")
+        if slots < 1:
+            raise ValueError("need at least one residual slot")
+        n = w.shape[0]
+        shm_w = shared_memory.SharedMemory(create=True, size=max(1, w.nbytes))
+        shm_s = shared_memory.SharedMemory(create=True, size=max(1, slots * n * n * 8))
+        snapshot = cls(shm_w, shm_s, n, slots, owner=True)
+        snapshot.weights[:] = w
+        return snapshot
+
+    def meta(self) -> dict:
+        """Picklable handle from which a worker re-attaches the snapshot."""
+        return {
+            "weights_name": self._segments[0].name,
+            "slots_name": self._segments[1].name,
+            "n": self.n,
+            "slots": self.slots,
+        }
+
+    @classmethod
+    def attach(cls, meta: dict) -> "SharedSnapshot":
+        """Attach to an existing snapshot from its :meth:`meta` handle.
+
+        Attaching re-registers the segment names with the POSIX resource
+        tracker, which is a set-level no-op here: both fork and spawn
+        children inherit the owning process's tracker (multiprocessing
+        ships the tracker fd in the spawn preparation data), so the
+        owner's final unlink still unregisters each name exactly once —
+        verified for both start methods by the lifecycle tests.  Windows
+        shared memory is reference-counted and untracked.
+        """
+        shm_w = shared_memory.SharedMemory(name=meta["weights_name"])
+        shm_s = shared_memory.SharedMemory(name=meta["slots_name"])
+        return cls(shm_w, shm_s, meta["n"], meta["slots"], owner=False)
+
+    def write_slot(self, slot: int, matrix: np.ndarray) -> None:
+        """Bitwise copy of an ``(n, n)`` residual matrix into a slot."""
+        self.slot_matrices[slot] = matrix
+
+    def close(self) -> None:
+        """Release the views and segments; the owner also unlinks them."""
+        # The NumPy views export the segments' buffers — drop them first or
+        # SharedMemory.close() raises BufferError.
+        self.weights = None  # type: ignore[assignment]
+        self.slot_matrices = None  # type: ignore[assignment]
+        segments, self._segments = self._segments, ()
+        for shm in segments:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - views dropped above
+                pass
+            if self.owner:
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(meta: dict, alpha: float) -> None:
+    """Pool initializer: attach the snapshot once per worker process."""
+    _WORKER_STATE["snapshot"] = SharedSnapshot.attach(meta)
+    _WORKER_STATE["alpha"] = float(alpha)
+
+
+def _score_task(task: tuple) -> BestResponseResult:
+    """Score one agent against a slot of the shared snapshot."""
+    u, slot, strategy, response, max_candidates = task
+    snapshot: SharedSnapshot = _WORKER_STATE["snapshot"]
+    d_rest = snapshot.slot_matrices[slot]
+    return score_response(
+        d_rest,
+        u,
+        snapshot.weights[u],
+        _WORKER_STATE["alpha"],
+        strategy,
+        response,
+        max_candidates=max_candidates,
+    )
+
+
+# ----------------------------------------------------------------------
+# Owner side
+# ----------------------------------------------------------------------
+class ParallelEvaluator:
+    """Persistent worker pool scoring proposals against a shared snapshot.
+
+    Parameters
+    ----------
+    weights:
+        Host-graph weight matrix (static for the evaluator's lifetime).
+    alpha:
+        Edge-price parameter of the game.
+    workers:
+        Worker-process count; ``None`` uses every CPU available to this
+        process.  ``workers=1`` is allowed but callers normally keep the
+        serial path for it (see ``IncrementalEngine.respond_many``).
+    slots:
+        Residual-matrix slots in the shared snapshot; a batch referencing
+        more *distinct* matrices than this is dispatched in chunks with a
+        gather barrier between them (slots are only rewritten after every
+        task reading them has returned).
+    start_method:
+        Explicit :mod:`multiprocessing` start method; default is ``fork``
+        where available, the platform default otherwise.
+
+    The pool and the shared-memory segments are created lazily on the first
+    :meth:`evaluate` call, reused until :meth:`close` (context-manager exit
+    or the ``atexit`` safety net), and can be re-created by evaluating
+    again after a close.
+    """
+
+    __slots__ = (
+        "_weights", "_alpha", "_workers", "_slots", "_start_method",
+        "_snapshot", "_pool",
+    )
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        alpha: float,
+        *,
+        workers: int | None = None,
+        slots: int = _DEFAULT_SLOTS,
+        start_method: str | None = None,
+    ) -> None:
+        self._weights = np.ascontiguousarray(weights, dtype=np.float64)
+        self._alpha = float(alpha)
+        self._workers = default_workers() if workers is None else int(workers)
+        if self._workers < 1:
+            raise ValueError("workers must be >= 1")
+        if slots < 1:
+            raise ValueError("slots must be >= 1")
+        self._slots = int(slots)
+        self._start_method = start_method
+        self._snapshot: SharedSnapshot | None = None
+        self._pool = None
+
+    @classmethod
+    def for_game(cls, game, **kwargs) -> "ParallelEvaluator":
+        """Evaluator for a :class:`~repro.core.game.NetworkCreationGame`."""
+        return cls(game.host.weights, game.alpha, **kwargs)
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    @property
+    def is_running(self) -> bool:
+        """True while the worker pool (and its shared memory) is alive."""
+        return self._pool is not None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> None:
+        if self._pool is not None:
+            return
+        method = self._start_method
+        if method is None and "fork" in mp.get_all_start_methods():
+            method = "fork"
+        ctx = mp.get_context(method)
+        self._snapshot = SharedSnapshot.create(self._weights, self._slots)
+        # ProcessPoolExecutor rather than mp.Pool: a worker dying mid-task
+        # (OOM kill, segfault) raises BrokenProcessPool from the pending
+        # futures instead of leaving the owner blocked forever on a result
+        # that will never arrive.
+        self._pool = ProcessPoolExecutor(
+            max_workers=self._workers,
+            mp_context=ctx,
+            initializer=_init_worker,
+            initargs=(self._snapshot.meta(), self._alpha),
+        )
+        atexit.register(self.close)
+
+    def close(self) -> None:
+        """Tear down the pool and unlink the shared-memory segments (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+            atexit.unregister(self.close)
+        snapshot, self._snapshot = self._snapshot, None
+        if snapshot is not None:
+            snapshot.close()
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        tasks: Iterable[tuple[int, np.ndarray, Sequence[int]]],
+        response: str = "best",
+        *,
+        max_candidates: int = 22,
+    ) -> list[BestResponseResult]:
+        """Score ``(agent, d_rest, strategy)`` tasks across the pool.
+
+        Each distinct residual matrix (by object identity — agents sharing
+        a matrix share a slot) is copied into shared memory exactly once
+        per chunk; results come back in submission order, so the output is
+        deterministic regardless of worker scheduling.
+        """
+        task_list = list(tasks)
+        if not task_list:
+            return []
+        self._ensure_pool()
+        assert self._snapshot is not None
+        results: list[BestResponseResult] = []
+        pos = 0
+        while pos < len(task_list):
+            slot_of: dict[int, int] = {}
+            chunk: list[tuple] = []
+            while pos < len(task_list):
+                u, d_rest, strategy = task_list[pos]
+                key = id(d_rest)
+                slot = slot_of.get(key)
+                if slot is None:
+                    if len(slot_of) >= self._slots:
+                        break  # chunk full: gather before reusing slots
+                    slot = len(slot_of)
+                    slot_of[key] = slot
+                    self._snapshot.write_slot(slot, d_rest)
+                chunk.append(
+                    (
+                        int(u),
+                        slot,
+                        tuple(int(v) for v in strategy),
+                        response,
+                        int(max_candidates),
+                    )
+                )
+                pos += 1
+            futures = [self._pool.submit(_score_task, task) for task in chunk]
+            results.extend(future.result() for future in futures)
+        return results

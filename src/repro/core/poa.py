@@ -116,15 +116,17 @@ def sample_equilibria(
     max_candidates: int = 22,
     engine: str = "incremental",
     schedule: str = "sequential",
+    workers: int = 1,
 ) -> list[StrategyProfile]:
     """Sample stable profiles by running response dynamics from varied seeds.
 
     ``verify`` selects the acceptance test for a converged profile:
     ``"nash"`` (exact NE check), ``"greedy"`` (GE check) or ``"none"``.
     ``engine`` selects the dynamics distance engine (``"incremental"`` or the
-    slow ``"exact"`` oracle) and ``schedule`` the activation schedule
-    (``"sequential"`` or ``"batched"``); both reach the same equilibria —
-    see :func:`repro.core.dynamics.run_dynamics`.
+    slow ``"exact"`` oracle), ``schedule`` the activation schedule
+    (``"sequential"`` or ``"batched"``) and ``workers`` the intra-round
+    worker-process count of the batched evaluations; all reach the same
+    equilibria — see :func:`repro.core.dynamics.run_dynamics`.
     """
     rng = np.random.default_rng(0) if rng is None else rng
     found: dict[bytes, StrategyProfile] = {}
@@ -139,6 +141,7 @@ def sample_equilibria(
             max_candidates=max_candidates,
             engine=engine,  # type: ignore[arg-type]
             schedule=schedule,  # type: ignore[arg-type]
+            workers=workers,
         )
         if not result.converged:
             continue
@@ -199,13 +202,15 @@ def estimate_poa(
     max_candidates: int = 22,
     engine: str = "incremental",
     schedule: str = "sequential",
+    workers: int = 1,
 ) -> PoAEstimate:
     """Empirical Price-of-Anarchy estimate for one instance.
 
     ``extra_equilibria`` lets callers inject known equilibria (e.g. the
     paper's constructions) so the estimate is at least as large as the
-    constructions imply.  ``engine`` and ``schedule`` select the distance
-    engine and activation schedule used for equilibrium sampling.
+    constructions imply.  ``engine``, ``schedule`` and ``workers`` select
+    the distance engine, the activation schedule and the intra-round
+    worker processes used for equilibrium sampling.
     """
     opt = social_optimum(game, method=optimum_method)
     equilibria = sample_equilibria(
@@ -217,6 +222,7 @@ def estimate_poa(
         max_candidates=max_candidates,
         engine=engine,
         schedule=schedule,
+        workers=workers,
     )
     for profile in extra_equilibria:
         equilibria.append(profile)

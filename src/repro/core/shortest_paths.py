@@ -46,6 +46,18 @@ primitives used by the fast best-response engine
     post-purchase distances follow from pure ``O(n)``-per-candidate
     relaxations — no per-candidate shortest-path recomputation at all.
 
+``SingleMoveScorer``
+    Batch-scores *all* single-edge moves (add / delete / swap) of one agent
+    through one stacked relaxation instead of per-candidate Python loops.
+    The distances of the current strategy are the row-wise minimum ``m1``
+    over the stacked matrix ``[d_rest(u, ·); w(u, c) + d_rest(c, ·)]`` of
+    the agent's bought rows; keeping the *second* minimum ``m2`` as well
+    makes every deletion (and hence every swap) a pure ``O(n)`` selection —
+    where row ``i`` attains ``m1`` its removal exposes ``m2``, everywhere
+    else ``m1`` survives.  All add/delete/swap costs then follow from a few
+    dense reductions, which is what makes single-move responses fast even
+    in the ``workers=1`` serial fallback of the parallel evaluator.
+
 ``decremental_distances``
     The *decremental* counterpart of ``relax_through_edges``: exact distances
     after **removing** edges incident to one vertex, by affected-vertex
@@ -88,6 +100,7 @@ __all__ = [
     "relax_source_row",
     "strategy_cost_from_residual",
     "CandidateEvaluator",
+    "SingleMoveScorer",
     "DecrementalRepair",
     "decremental_distances",
 ]
@@ -598,3 +611,166 @@ class CandidateEvaluator:
         if not finite.all():
             edge_costs = np.where(masks[..., ~finite].any(axis=-1), np.inf, edge_costs)
         return edge_costs + dist.sum(axis=-1)
+
+
+class SingleMoveScorer:
+    """Vectorized costs of every single-edge move of one agent.
+
+    Scores all adds, deletes and swaps of agent ``u`` against a fixed
+    residual matrix through one *stacked relaxation*: the distance row of
+    the current strategy ``S`` is the element-wise minimum ``m1`` of the
+    ``|S| + 1`` stacked rows ``d_rest(u, ·)`` and ``w(u, c) + d_rest(c, ·)``
+    for ``c in S``.  Keeping the second minimum ``m2`` of the stack as well
+    turns removals into ``O(n)`` selections — where the removed row attains
+    ``m1`` its deletion exposes ``m2``, everywhere else ``m1`` survives —
+    so the full add/delete/swap scan costs ``O((|S| + m) n)`` dense work
+    plus ``O(|S| m n)`` for the swap grid (chunked to bound memory) instead
+    of one Python-level relaxation per move.
+
+    The per-move *values* are numerically identical to scoring each move
+    with :func:`strategy_cost_from_residual` (minima and row sums are
+    computed over the same values in the same order); only the association
+    of the edge-cost sums may differ in the last ulp, which every consumer
+    compares under tolerances much larger than that.
+
+    Parameters
+    ----------
+    d_rest:
+        ``(n, n)`` residual shortest-path distances of the agent.
+    source:
+        The agent ``u`` whose moves are scored.
+    edge_weights:
+        ``(n,)`` host-graph weight row ``w(u, ·)``.
+    alpha:
+        Edge-price parameter of the game.
+    current:
+        The agent's current strategy (iterable of targets).  Targets with
+        infinite host weight are allowed (their cost is ``inf``, matching
+        the scalar oracle) so randomly seeded profiles score correctly.
+    """
+
+    __slots__ = (
+        "d_rest", "source", "alpha", "current", "add_targets",
+        "_w", "_base", "_reach_cur", "_m1", "_m2", "_del_rows",
+        "_cur_edge_sum", "_edge_sum_wo", "current_cost",
+    )
+
+    _SWAP_CHUNK = 1 << 21  # max floats materialized per swap-grid chunk
+
+    def __init__(
+        self,
+        d_rest: np.ndarray,
+        source: int,
+        edge_weights: np.ndarray,
+        alpha: float,
+        current: Iterable[int],
+    ) -> None:
+        d = _as_square_float(d_rest)
+        n = d.shape[0]
+        if not 0 <= source < n:
+            raise ValueError(f"source {source} out of range for n={n}")
+        w = np.asarray(edge_weights, dtype=float)
+        if w.shape != (n,):
+            raise ValueError(f"edge_weights must have shape ({n},), got {w.shape}")
+        cur = _sorted_targets(source, current)
+        self.d_rest = d
+        self.source = int(source)
+        self.alpha = float(alpha)
+        self._w = w
+        self.current = cur
+        base = d[source]
+        self._base = base
+        k = len(cur)
+        if k:
+            reach_cur = w[cur][:, None] + d[cur]  # (k, n)
+            stacked = np.vstack([base[None, :], reach_cur])
+            part = np.partition(stacked, 1, axis=0)
+            m1, m2 = part[0], part[1]
+            w_cur = w[cur]
+            cur_sum = float(w_cur.sum()) if np.all(np.isfinite(w_cur)) else float("inf")
+            sums_wo = np.empty(k)
+            for i in range(k):
+                rest = np.delete(w_cur, i)
+                sums_wo[i] = float(rest.sum()) if np.all(np.isfinite(rest)) else float("inf")
+        else:
+            reach_cur = np.zeros((0, n))
+            m1 = base
+            m2 = np.full(n, np.inf)
+            cur_sum = 0.0
+            sums_wo = np.zeros(0)
+        self._reach_cur = reach_cur
+        self._m1 = m1
+        self._m2 = m2
+        self._del_rows: np.ndarray | None = None
+        self._cur_edge_sum = cur_sum
+        self._edge_sum_wo = sums_wo
+        self.current_cost = self._cost_of(cur_sum, float(m1.sum()))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _cost_of(self, edge_sum, dist_sum):
+        """``alpha * edge_sum + dist_sum`` with ``alpha * inf`` guarded to ``inf``."""
+        edge_sum = np.asarray(edge_sum, dtype=float)
+        finite = np.isfinite(edge_sum)
+        cost = np.where(
+            finite, self.alpha * np.where(finite, edge_sum, 0.0) + dist_sum, np.inf
+        )
+        return float(cost) if cost.ndim == 0 else cost
+
+    def _delete_rows(self) -> np.ndarray:
+        """``(k, n)`` distance rows after deleting each current target."""
+        if self._del_rows is None:
+            self._del_rows = np.where(
+                self._reach_cur == self._m1[None, :], self._m2[None, :], self._m1[None, :]
+            )
+        return self._del_rows
+
+    def default_add_targets(self) -> np.ndarray:
+        """Every finite-weight non-current target — the standard add/swap pool."""
+        mask = np.isfinite(self._w)
+        mask[self.source] = False
+        mask[self.current] = False
+        return np.flatnonzero(mask).astype(int)
+
+    # ------------------------------------------------------------------
+    # Move costs
+    # ------------------------------------------------------------------
+    def add_costs(self, targets: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Costs of ``current | {t}`` for each add target ``t``."""
+        t = np.asarray(targets, dtype=int)
+        if t.size == 0:
+            return np.zeros(0)
+        reach_t = self._w[t][:, None] + self.d_rest[t]  # (m, n)
+        dist = np.minimum(self._m1[None, :], reach_t).sum(axis=1)
+        return self._cost_of(self._cur_edge_sum + self._w[t], dist)
+
+    def delete_costs(self) -> np.ndarray:
+        """Costs of ``current - {c}`` for each current target, in sorted order."""
+        if not self.current:
+            return np.zeros(0)
+        dist = self._delete_rows().sum(axis=1)
+        return self._cost_of(self._edge_sum_wo, dist)
+
+    def swap_costs(self, targets: Sequence[int] | np.ndarray) -> np.ndarray:
+        """``(k, m)`` costs of ``(current - {c_i}) | {t_j}`` for every swap.
+
+        The ``(k, m, n)`` relaxation grid is materialized in chunks of at
+        most ``_SWAP_CHUNK`` floats to keep memory bounded on dense
+        profiles.
+        """
+        t = np.asarray(targets, dtype=int)
+        k = len(self.current)
+        if k == 0 or t.size == 0:
+            return np.zeros((k, t.size))
+        n = self.d_rest.shape[0]
+        del_rows = self._delete_rows()
+        reach_t = self._w[t][:, None] + self.d_rest[t]  # (m, n)
+        dist = np.empty((k, t.size))
+        chunk = max(1, self._SWAP_CHUNK // max(1, k * n))
+        for start in range(0, t.size, chunk):
+            stop = min(start + chunk, t.size)
+            block = np.minimum(del_rows[:, None, :], reach_t[None, start:stop, :])
+            dist[:, start:stop] = block.sum(axis=2)
+        edge = self._edge_sum_wo[:, None] + self._w[t][None, :]
+        return self._cost_of(edge, dist)

@@ -1,0 +1,307 @@
+"""Parallel-evaluation contracts: determinism, shared memory, lifecycle.
+
+Three guarantees of the multiprocess evaluation subsystem
+(:mod:`repro.core.parallel`) are enforced here:
+
+* **worker-count invariance** — ``workers in {1, 2, 4}`` produce
+  bit-identical :class:`~repro.core.dynamics.DynamicsResult` trajectories
+  (moves, steps, social costs, final profile, proposal-cache counters) and
+  identical :class:`~repro.core.incremental.EngineStats` across every model
+  variant of the paper and both activation schedules, because residuals are
+  computed in the owning process and workers run the same pure scoring
+  kernel against bitwise matrix copies;
+
+* **shared-memory snapshot round-trip** — the
+  :class:`~repro.core.parallel.SharedSnapshot` encoding preserves matrices
+  (including ``inf`` non-edges) bit-exactly between create/attach views,
+  and segments are unlinked on close;
+
+* **pool lifecycle** — the worker pool is created lazily, reused across
+  evaluations, and torn down by ``close()`` / context-manager exit without
+  leaking worker processes or shared-memory segments (the regression tests
+  for CLI runs and pytest sessions).
+
+A regression test also pins the proposal-cache fix for double-bought
+edges: a mover toggling its copy of a co-owned edge changes no network
+edge but does change the co-owner's residual, which must invalidate the
+co-owner's cached proposal.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import zlib
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    IncrementalEngine,
+    NetworkCreationGame,
+    ParallelEvaluator,
+    SharedSnapshot,
+    StrategyProfile,
+    run_dynamics,
+)
+from repro.core.host_graph import HostGraph
+from repro.metrics.generators import (
+    random_euclidean_host,
+    random_general_host,
+    random_metric_host,
+    random_one_infinity_host,
+    random_one_two_host,
+    random_tree_host,
+    unit_host,
+)
+
+VARIANTS = {
+    "ncg": lambda n, rng: unit_host(n),
+    "one_two": lambda n, rng: random_one_two_host(n, rng=rng),
+    "one_infinity": lambda n, rng: random_one_infinity_host(n, rng=rng),
+    "tree": lambda n, rng: random_tree_host(n, rng=rng),
+    "euclidean": lambda n, rng: random_euclidean_host(n, rng=rng),
+    "metric": lambda n, rng: random_metric_host(n, rng=rng),
+    "general": lambda n, rng: random_general_host(n, rng=rng),
+}
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _random_profile(n: int, rng: np.random.Generator, density: float = 0.35) -> StrategyProfile:
+    owns = rng.random((n, n)) < density
+    np.fill_diagonal(owns, False)
+    return StrategyProfile(owns, copy=False, validate=False)
+
+
+def _random_game(variant: str, n: int, rng: np.random.Generator) -> NetworkCreationGame:
+    host = VARIANTS[variant](n, rng)
+    return NetworkCreationGame(host, float(rng.uniform(0.2, 3.0)))
+
+
+def _assert_identical_runs(results) -> None:
+    """Bit-identical trajectories and engine stats across all runs."""
+    base = results[0]
+    for other in results[1:]:
+        assert other.converged == base.converged
+        assert other.steps == base.steps
+        assert other.moves == base.moves
+        assert other.cycle_detected == base.cycle_detected
+        assert other.cycle_length == base.cycle_length
+        assert other.final_profile == base.final_profile
+        assert other.social_costs == base.social_costs  # exact float equality
+        assert other.schedule_hits == base.schedule_hits
+        assert other.schedule_misses == base.schedule_misses
+        assert other.engine_stats == base.engine_stats
+
+
+# ----------------------------------------------------------------------
+# Worker-count invariance
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_workers_produce_identical_dynamics(variant, property_budget):
+    """workers in {1, 2, 4} follow bit-identical trajectories on both schedules."""
+    rng = np.random.default_rng(zlib.crc32(f"workers-{variant}".encode()) % 2**32)
+    trials = max(1, property_budget // 4)
+    for trial in range(trials):
+        n = int(rng.integers(4, 10))
+        game = _random_game(variant, n, rng)
+        start = _random_profile(n, rng, density=float(rng.uniform(0.1, 0.5)))
+        response = ("best", "greedy", "single")[trial % 3]
+        order = ("round_robin", "random")[trial % 2]
+        for schedule in ("sequential", "batched"):
+            runs = [
+                run_dynamics(
+                    game,
+                    start,
+                    response=response,
+                    order=order,
+                    max_rounds=12,
+                    rng=7,
+                    schedule=schedule,
+                    workers=workers,
+                )
+                for workers in WORKER_COUNTS
+            ]
+            _assert_identical_runs(runs)
+
+
+def test_max_gain_workers_identical():
+    """max_gain re-scores everyone per step — exactly what workers parallelize."""
+    rng = np.random.default_rng(5)
+    game = _random_game("euclidean", 8, rng)
+    start = _random_profile(8, rng)
+    runs = [
+        run_dynamics(
+            game, start, order="max_gain", max_rounds=8, workers=workers
+        )
+        for workers in (1, 2)
+    ]
+    _assert_identical_runs(runs)
+
+
+def test_respond_many_matches_respond():
+    """Parallel respond_many equals fresh per-agent serial scoring bit-exactly."""
+    rng = np.random.default_rng(17)
+    for response in ("best", "greedy", "single"):
+        n = 7
+        game = _random_game("general", n, rng)
+        profile = _random_profile(n, rng)
+        with IncrementalEngine(game, profile, workers=2) as parallel_engine:
+            batch = parallel_engine.respond_many(range(n), response)
+        serial_engine = IncrementalEngine(game, profile)
+        for u, result in enumerate(batch):
+            expected = serial_engine.respond(u, response)
+            assert result.agent == expected.agent
+            assert result.strategy == expected.strategy
+            assert result.cost == expected.cost
+            assert result.current_cost == expected.current_cost
+            assert result.method == expected.method
+
+
+def test_workers_validation():
+    game = _random_game("metric", 5, np.random.default_rng(0))
+    start = StrategyProfile.empty(5)
+    with pytest.raises(ValueError, match="workers"):
+        run_dynamics(game, start, workers=0)
+    with pytest.raises(ValueError, match="incremental"):
+        run_dynamics(game, start, engine="exact", workers=2)
+    with pytest.raises(ValueError, match="workers"):
+        IncrementalEngine(game, start, workers=0)
+    with pytest.raises(ValueError, match="workers"):
+        ParallelEvaluator.for_game(game, workers=0)
+
+
+# ----------------------------------------------------------------------
+# Shared-memory snapshot round-trip
+# ----------------------------------------------------------------------
+def test_snapshot_roundtrip():
+    """Create/attach views see bit-identical matrices, and close() unlinks."""
+    rng = np.random.default_rng(3)
+    n = 9
+    weights = rng.uniform(0.5, 2.0, (n, n))
+    weights[rng.random((n, n)) < 0.3] = np.inf  # inf non-edges must survive
+    np.fill_diagonal(weights, 0.0)
+    owner = SharedSnapshot.create(weights, slots=2)
+    names = owner.meta()
+    attached = SharedSnapshot.attach(names)
+    assert np.array_equal(attached.weights, weights)  # inf-exact comparison
+    residual = rng.uniform(0.0, 5.0, (n, n))
+    residual[0, 1] = np.inf
+    owner.write_slot(1, residual)
+    assert np.array_equal(attached.slot_matrices[1], residual)
+    assert attached.slot_matrices[1].tobytes() == residual.tobytes()
+    attached.close()
+    owner.close()
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=names["weights_name"])
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=names["slots_name"])
+
+
+# ----------------------------------------------------------------------
+# Pool lifecycle
+# ----------------------------------------------------------------------
+def _no_pool_children() -> bool:
+    """No live worker processes remain (shutdown joins them synchronously)."""
+    return mp.active_children() == []
+
+
+def test_pool_lifecycle_lazy_reuse_teardown():
+    """Pool appears on first use, is reused, and close() reaps it and the shm."""
+    rng = np.random.default_rng(11)
+    game = _random_game("euclidean", 6, rng)
+    profile = _random_profile(6, rng)
+    engine = IncrementalEngine(game, profile)
+    tasks = [(u, engine.residual(u), profile.strategy(u)) for u in range(6)]
+
+    evaluator = ParallelEvaluator.for_game(game, workers=2)
+    assert not evaluator.is_running  # lazy: nothing started yet
+    evaluator.evaluate(tasks, "single")
+    assert evaluator.is_running
+    pool_before = evaluator._pool
+    names = evaluator._snapshot.meta()
+    evaluator.evaluate(tasks, "single")
+    assert evaluator._pool is pool_before  # reused, not re-created
+    evaluator.close()
+    assert not evaluator.is_running
+    assert _no_pool_children()
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=names["weights_name"])
+    evaluator.close()  # idempotent
+
+
+def test_spawn_start_method_parity_and_cleanup():
+    """The spawn start method yields the same results and clean teardown.
+
+    Spawn children inherit the owner's resource tracker (the fd ships in
+    the spawn preparation data), so attach-side registration stays a
+    set-level no-op and close() unlinks each segment exactly once.
+    """
+    rng = np.random.default_rng(29)
+    game = _random_game("euclidean", 6, rng)
+    profile = _random_profile(6, rng)
+    engine = IncrementalEngine(game, profile)
+    tasks = [(u, engine.residual(u), profile.strategy(u)) for u in range(6)]
+    with ParallelEvaluator.for_game(game, workers=2, start_method="spawn") as evaluator:
+        batch = evaluator.evaluate(tasks, "single")
+        names = evaluator._snapshot.meta()
+    serial = [engine.respond(u, "single") for u in range(6)]
+    assert batch == serial
+    assert _no_pool_children()
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=names["weights_name"])
+
+
+def test_engine_context_manager_reaps_pool():
+    rng = np.random.default_rng(13)
+    game = _random_game("metric", 6, rng)
+    profile = _random_profile(6, rng)
+    with IncrementalEngine(game, profile, workers=2) as engine:
+        engine.respond_many(range(6), "single")
+    assert _no_pool_children()
+
+
+def test_run_dynamics_never_leaks_workers():
+    """A parallel dynamics run (converged or not) leaves no worker behind."""
+    rng = np.random.default_rng(19)
+    game = _random_game("euclidean", 8, rng)
+    start = _random_profile(8, rng)
+    run_dynamics(game, start, schedule="batched", workers=2, max_rounds=6)
+    assert _no_pool_children()
+
+
+# ----------------------------------------------------------------------
+# Proposal-cache regression: double-bought edges
+# ----------------------------------------------------------------------
+def test_double_owned_edge_drop_invalidates_co_owner():
+    """Dropping one copy of a double-bought edge must re-score the co-owner.
+
+    Agents 0 and 2 both buy the edge {0, 2}.  When agent 0 drops its copy
+    the created network keeps the edge (agent 2 still buys it), so no
+    network-level diff exists — but agent 2 is now the *sole* owner, its
+    residual loses the edge, and its cached proposal (scored while the
+    edge was co-owned) is stale.  The batched schedule must therefore
+    follow the sequential trajectory exactly.
+    """
+    weights = np.array(
+        [
+            [0.0, 0.604, 0.677],
+            [0.604, 0.0, 0.808],
+            [0.677, 0.808, 0.0],
+        ]
+    )
+    game = NetworkCreationGame(HostGraph(weights), 2.198)
+    start = StrategyProfile.from_sets(3, [{2}, {0}, {0, 1}])
+    order = [0, 2, 1, 0, 2, 1]
+    seq = run_dynamics(
+        game, start, response="single", order=order, max_rounds=10,
+        schedule="sequential",
+    )
+    bat = run_dynamics(
+        game, start, response="single", order=order, max_rounds=10,
+        schedule="batched",
+    )
+    assert seq.final_profile == bat.final_profile
+    assert seq.moves == bat.moves
+    assert seq.social_costs == bat.social_costs

@@ -13,24 +13,29 @@ The measured random-instance ratios are typically far below the worst case,
 while the constructions track their closed forms exactly — the same picture
 the paper paints analytically.
 
-The sweep demonstrates the composition of the two parallelism levels: the
-independent ``(variant, alpha)`` cells are distributed across a
+The sweep demonstrates the composition of the two parallelism levels,
+driven by one :class:`repro.SimulationConfig`: the independent
+``(variant, alpha)`` cells are distributed across a
 :func:`repro.analysis.run_parallel` process pool with per-cell seeds
-derived via :func:`repro.analysis.spawn_seeds`, while each cell may also
-fan its own batched evaluations out to intra-round workers (pass
-``workers_per_task`` accordingly so the machine is not oversubscribed).
+derived via :func:`repro.analysis.spawn_seeds`, while each cell runs its
+instances through game sessions that share the config's intra-round
+workers (``run_parallel(config=...)`` derives ``workers_per_task`` from
+``config.workers`` so the machine is not oversubscribed).
 
 Run with ``python examples/price_of_anarchy_sweep.py`` (takes ~a minute).
 """
 
 from __future__ import annotations
 
+from repro import SimulationConfig
 from repro.analysis import poa_experiment, run_parallel, spawn_seeds
 from repro.constructions import cross_polytope_lower_bound, tree_star_lower_bound
 from repro.core.bounds import metric_poa_upper, one_two_poa_upper
 
 VARIANTS = ("one_two", "tree", "euclidean", "metric")
-INTRA_ROUND_WORKERS = 1  # workers= handed to each cell's dynamics
+# One config drives every cell: raise workers= to fan each cell's batched
+# evaluations out intra-round (run_parallel caps its own pool to match).
+CONFIG = SimulationConfig(max_rounds=60, workers=1)
 
 
 def _cell(variant: str, n: int, alpha: float, seed: int):
@@ -41,7 +46,7 @@ def _cell(variant: str, n: int, alpha: float, seed: int):
         instances=3,
         samples_per_instance=4,
         seed=seed,
-        workers=INTRA_ROUND_WORKERS,
+        config=CONFIG,
     )
 
 
@@ -61,7 +66,7 @@ def main() -> None:
             (_cell, (variant, n, alpha, seed))
             for (variant, alpha), seed in zip(cells, seeds)
         ],
-        workers_per_task=INTRA_ROUND_WORKERS,
+        config=CONFIG,
     )
     by_cell = dict(zip(cells, summaries))
 

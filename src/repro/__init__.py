@@ -25,18 +25,22 @@ True
 """
 
 from .core import (
+    GameSession,
     HostGraph,
     ModelVariant,
     NetworkCreationGame,
+    SimulationConfig,
     StrategyProfile,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "GameSession",
     "HostGraph",
     "ModelVariant",
     "NetworkCreationGame",
+    "SimulationConfig",
     "StrategyProfile",
     "__version__",
 ]

@@ -24,15 +24,18 @@ Per-instance seeds for parallel sweeps should come from
 :func:`spawn_seeds` (``numpy.random.SeedSequence.spawn``), which makes the
 streams independent and reproducible regardless of scheduling order.
 
-Every sweep also accepts an ``engine`` switch (``"incremental"`` by
-default, ``"exact"`` as the slow oracle) selecting the distance engine the
-underlying best-response dynamics run on, and a ``schedule`` switch
-(``"sequential"`` by default, ``"batched"`` to score each round of
-activations against a shared distance snapshot and re-validate only
-invalidated agents); see :mod:`repro.core.incremental` and
-:mod:`repro.core.dynamics`.  The engines compute identical best responses,
-the schedules follow identical trajectories and the worker counts produce
-bit-identical results — all three switches trade nothing but time.
+Every sweep is configured by a
+:class:`~repro.core.session.SimulationConfig` — passed whole as
+``config=`` or assembled from the legacy ``engine``/``schedule``/
+``workers`` keywords, which override the config's fields — and executes
+its per-instance dynamics runs through one
+:class:`~repro.core.session.GameSession` per instance, so the runs of an
+instance share a single incremental engine and (for ``workers > 1``) a
+single worker pool instead of paying pool start-up per run.  The engines
+compute identical best responses, the schedules follow identical
+trajectories and the worker counts produce bit-identical results — all
+three switches trade nothing but time; see :mod:`repro.core.session`,
+:mod:`repro.core.incremental` and :mod:`repro.core.dynamics`.
 """
 
 from __future__ import annotations
@@ -44,11 +47,10 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from ..core.bounds import general_poa_upper, metric_poa_upper
-from ..core.dynamics import run_dynamics
 from ..core.parallel import default_workers
 from ..core.game import NetworkCreationGame
 from ..core.host_graph import HostGraph, ModelVariant
-from ..core.poa import estimate_poa
+from ..core.session import GameSession, SimulationConfig, spawn_seeds
 from ..core.strategy import StrategyProfile
 from ..metrics.generators import (
     random_euclidean_host,
@@ -128,6 +130,16 @@ def _upper_bound_for(host: HostGraph, alpha: float) -> float:
     return general_poa_upper(alpha)
 
 
+# Historical round budget of the convergence study (sampling sweeps resolve
+# their 60-round budget inside GameSession.sample_equilibria/poa).
+_CONVERGENCE_MAX_ROUNDS = 40
+
+
+def _resolve_seed(seed: int | None, cfg: SimulationConfig) -> int:
+    """An explicit ``seed`` wins; otherwise the config's seed policy."""
+    return int(seed) if seed is not None else cfg.root_seed()
+
+
 def poa_experiment(
     variant: str,
     n: int,
@@ -135,23 +147,34 @@ def poa_experiment(
     *,
     instances: int = 5,
     samples_per_instance: int = 6,
-    seed: int = 0,
-    max_candidates: int = 22,
-    engine: str = "incremental",
-    schedule: str = "sequential",
-    workers: int = 1,
+    seed: int | None = None,
+    max_candidates: int | None = None,
+    engine: str | None = None,
+    schedule: str | None = None,
+    workers: int | None = None,
+    config: SimulationConfig | None = None,
 ) -> PoASummary:
     """Measure the empirical PoA of random instances of one variant.
 
     Each instance contributes the worst ratio over all sampled equilibria;
     the summary reports the maximum and mean over instances and whether the
     relevant closed-form upper bound was respected by every measurement.
-    ``engine`` picks the dynamics distance engine (``"incremental"`` fast
-    path or ``"exact"`` oracle), ``schedule`` the activation schedule
-    (``"sequential"`` or ``"batched"``) and ``workers`` the intra-round
-    worker processes of the batched evaluations.
+    The dynamics machinery is configured by ``config`` (a
+    :class:`~repro.core.session.SimulationConfig`; the legacy ``engine``/
+    ``schedule``/``workers``/``max_candidates`` keywords override its
+    fields) and every instance runs through one
+    :class:`~repro.core.session.GameSession`, so all
+    ``samples_per_instance`` dynamics runs of an instance share a single
+    engine and worker pool.
     """
-    rng = np.random.default_rng(seed)
+    cfg = SimulationConfig.merged(
+        config,
+        max_candidates=max_candidates,
+        engine=engine,
+        schedule=schedule,
+        workers=workers,
+    )
+    rng = np.random.default_rng(_resolve_seed(seed, cfg))
     ratios: list[float] = []
     found = 0
     bound_ok = True
@@ -160,15 +183,8 @@ def poa_experiment(
         host = host_factory(variant, n, rng)
         game = NetworkCreationGame(host, alpha)
         bound_val = _upper_bound_for(host, alpha)
-        estimate = estimate_poa(
-            game,
-            num_samples=samples_per_instance,
-            rng=rng,
-            max_candidates=max_candidates,
-            engine=engine,
-            schedule=schedule,
-            workers=workers,
-        )
+        with GameSession(game, cfg) as session:
+            estimate = session.poa(num_samples=samples_per_instance, rng=rng)
         found += estimate.equilibria_found
         poa = estimate.price_of_anarchy
         if np.isnan(poa):
@@ -196,18 +212,23 @@ def sweep_alpha(
     *,
     instances: int = 3,
     samples_per_instance: int = 4,
-    seed: int = 0,
-    engine: str = "incremental",
-    schedule: str = "sequential",
-    workers: int = 1,
+    seed: int | None = None,
+    engine: str | None = None,
+    schedule: str | None = None,
+    workers: int | None = None,
+    config: SimulationConfig | None = None,
 ) -> list[PoASummary]:
     """Run :func:`poa_experiment` for every alpha in a sweep.
 
-    Per-alpha seeds are derived with :func:`spawn_seeds`, so the cells of
-    the sweep are statistically independent and may be distributed across a
+    Per-alpha seeds are derived from the root seed (``seed``, or the
+    config's seed policy) with :func:`spawn_seeds`, so the cells of the
+    sweep are statistically independent and may be distributed across a
     :func:`run_parallel` pool without changing any result.
     """
-    seeds = spawn_seeds(seed, len(alphas))
+    cfg = SimulationConfig.merged(
+        config, engine=engine, schedule=schedule, workers=workers
+    )
+    seeds = spawn_seeds(_resolve_seed(seed, cfg), len(alphas))
     return [
         poa_experiment(
             variant,
@@ -216,9 +237,7 @@ def sweep_alpha(
             instances=instances,
             samples_per_instance=samples_per_instance,
             seed=cell_seed,
-            engine=engine,
-            schedule=schedule,
-            workers=workers,
+            config=cfg,
         )
         for alpha, cell_seed in zip(alphas, seeds)
     ]
@@ -231,15 +250,31 @@ def dynamics_convergence_experiment(
     *,
     instances: int = 5,
     runs_per_instance: int = 4,
-    max_rounds: int = 40,
-    response: str = "best",
-    seed: int = 0,
-    engine: str = "incremental",
-    schedule: str = "sequential",
-    workers: int = 1,
+    max_rounds: int | None = None,
+    response: str | None = None,
+    seed: int | None = None,
+    engine: str | None = None,
+    schedule: str | None = None,
+    workers: int | None = None,
+    config: SimulationConfig | None = None,
 ) -> DynamicsSummary:
-    """Measure how often best-response dynamics converge on random instances."""
-    rng = np.random.default_rng(seed)
+    """Measure how often best-response dynamics converge on random instances.
+
+    Configured like :func:`poa_experiment`; all ``runs_per_instance`` runs
+    of an instance share one :class:`~repro.core.session.GameSession` (and
+    hence one worker pool).
+    """
+    cfg = SimulationConfig.merged(
+        config,
+        max_rounds=max_rounds,
+        response=response,
+        engine=engine,
+        schedule=schedule,
+        workers=workers,
+    )
+    if cfg.max_rounds is None:
+        cfg = cfg.replace(max_rounds=_CONVERGENCE_MAX_ROUNDS)
+    rng = np.random.default_rng(_resolve_seed(seed, cfg))
     converged = 0
     cycling = 0
     total_runs = 0
@@ -247,27 +282,18 @@ def dynamics_convergence_experiment(
     for _ in range(instances):
         host = host_factory(variant, n, rng)
         game = NetworkCreationGame(host, alpha)
-        for _ in range(runs_per_instance):
-            total_runs += 1
-            density = rng.uniform(0.1, 0.5)
-            owns = np.triu(rng.random((n, n)) < density, k=1)
-            start = StrategyProfile(owns, copy=False, validate=False)
-            result = run_dynamics(
-                game,
-                start,
-                response=response,  # type: ignore[arg-type]
-                order="round_robin",
-                max_rounds=max_rounds,
-                rng=rng,
-                engine=engine,  # type: ignore[arg-type]
-                schedule=schedule,  # type: ignore[arg-type]
-                workers=workers,
-            )
-            if result.converged:
-                converged += 1
-                moves.append(result.moves)
-            if result.cycle_detected:
-                cycling += 1
+        with GameSession(game, cfg) as session:
+            for _ in range(runs_per_instance):
+                total_runs += 1
+                density = rng.uniform(0.1, 0.5)
+                owns = np.triu(rng.random((n, n)) < density, k=1)
+                start = StrategyProfile(owns, copy=False, validate=False)
+                result = session.run(start, rng=rng)
+                if result.converged:
+                    converged += 1
+                    moves.append(result.moves)
+                if result.cycle_detected:
+                    cycling += 1
     return DynamicsSummary(
         variant=variant,
         n=n,
@@ -281,33 +307,12 @@ def dynamics_convergence_experiment(
     )
 
 
-def spawn_seeds(seed: int, count: int) -> list[int]:
-    """Derive ``count`` independent child seeds from one root seed.
-
-    Uses :meth:`numpy.random.SeedSequence.spawn`, whose children carry
-    NumPy's documented statistical-independence guarantee (ad-hoc
-    ``seed + i`` derivation offers no such guarantee, and collides
-    outright when two sweeps use overlapping base-seed ranges).  Each
-    child is rendered as a full 128-bit integer — not a truncated word,
-    which would reintroduce birthday-bound collisions across large
-    sweeps — and ``numpy.random.default_rng`` consumes integers of any
-    size, so the guarantee survives the round-trip.  Each child is a pure
-    function of ``(seed, index)``, so a parallel sweep seeded this way is
-    reproducible regardless of how its tasks are scheduled across
-    processes.
-    """
-    parent = np.random.SeedSequence(int(seed))
-    return [
-        int.from_bytes(child.generate_state(4, dtype=np.uint32).tobytes(), "little")
-        for child in parent.spawn(int(count))
-    ]
-
-
 def run_parallel(
     tasks: Iterable[tuple[Callable, tuple]],
     *,
     workers: int | None = None,
-    workers_per_task: int = 1,
+    workers_per_task: int | None = None,
+    config: SimulationConfig | None = None,
 ):
     """Execute ``(callable, args)`` tasks, optionally across processes.
 
@@ -317,13 +322,18 @@ def run_parallel(
 
     ``workers_per_task`` declares how many *additional* processes each task
     spawns internally — e.g. the intra-round ``workers=`` passed down to
-    :func:`repro.core.dynamics.run_dynamics` inside the task.  The
+    :func:`repro.core.dynamics.run_dynamics` inside the task.  When the
+    tasks run under a :class:`~repro.core.session.SimulationConfig`, pass
+    it as ``config`` and ``workers_per_task`` is derived from
+    ``config.workers`` (an explicit ``workers_per_task`` still wins).  The
     instance-level pool is capped at ``cpu_count // workers_per_task``
     (at least 1) so composing the two levels of parallelism never
     oversubscribes the machine.  Task seeds should be pre-derived with
     :func:`spawn_seeds` and passed through ``args``, which keeps the sweep
     reproducible no matter how tasks land on processes.
     """
+    if workers_per_task is None:
+        workers_per_task = config.workers if config is not None else 1
     if workers_per_task < 1:
         raise ValueError("workers_per_task must be >= 1")
     task_list = list(tasks)

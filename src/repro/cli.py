@@ -11,27 +11,44 @@ writing any code:
 * ``dynamics``      — measure best-response-dynamics convergence on random
   instances;
 * ``simulate``      — play one game instance end to end (optimum, dynamics,
-  equilibrium certification) and print the outcome.
+  equilibrium certification) and print the outcome;
+* ``config dump``   — print the resolved simulation config as JSON.
 
 Every command accepts ``--seed`` for reproducibility.  The ``poa``,
-``dynamics`` and ``simulate`` commands additionally accept ``--engine``
-to choose between the incremental distance engine (default, fast) and the
-exact from-scratch oracle, ``--schedule`` to choose between sequential
-activation and the batched schedule (scored proposals are cached and
-replayed; only agents an applied move invalidated are re-scored — same
-trajectory, less work), and ``--workers`` to fan the batched evaluations
-out to worker processes over shared-memory snapshots (same trajectory
-again — parallelism trades nothing but time).
+``dynamics`` and ``simulate`` commands are driven by a
+:class:`repro.core.session.SimulationConfig`: pass ``--config path.json``
+to load one (the JSON layout of
+:meth:`~repro.core.session.SimulationConfig.to_dict`) and/or the individual
+flags — ``--engine`` (incremental distance engine vs. exact from-scratch
+oracle), ``--schedule`` (sequential vs. batched proposal-caching
+activation), ``--workers`` (shared-memory worker processes for the batched
+evaluations) and ``--seed`` — which override the file.  ``repro config
+dump`` prints the config the same flags resolve to, so a flag combination
+can be frozen into a reusable JSON file:
+
+.. code-block:: console
+
+   $ python -m repro.cli config dump --schedule batched --workers 4 > fast.json
+   $ python -m repro.cli poa --variant euclidean --n 40 --config fast.json
+
+``max_rounds`` is ``null`` unless set explicitly, which every entry point
+resolves to its historical budget (``poa`` sampling and ``simulate`` 60,
+the ``dynamics`` study 40) — so freezing flags into a file never silently
+changes a round budget.  All configurations compute identical game
+quantities — engine, schedule and workers trade nothing but time (see
+:mod:`repro.core.session`).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-
-import numpy as np
+from pathlib import Path
 
 __all__ = ["main", "build_parser"]
+
+_VARIANTS = ["ncg", "one_two", "tree", "euclidean", "metric", "general"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,46 +67,61 @@ def build_parser() -> argparse.ArgumentParser:
     p_cons.add_argument("--gadget-size", type=int, default=8)
 
     p_poa = sub.add_parser("poa", help="empirical PoA on random instances")
-    p_poa.add_argument("--variant", default="euclidean",
-                       choices=["ncg", "one_two", "tree", "euclidean", "metric", "general"])
+    p_poa.add_argument("--variant", default="euclidean", choices=_VARIANTS)
     p_poa.add_argument("--n", type=int, default=6)
     p_poa.add_argument("--alpha", type=float, default=1.0)
     p_poa.add_argument("--instances", type=int, default=3)
     p_poa.add_argument("--samples", type=int, default=4)
-    p_poa.add_argument("--seed", type=int, default=0)
-    _add_engine_flag(p_poa)
-    _add_schedule_flag(p_poa)
-    _add_workers_flag(p_poa)
+    _add_config_flags(p_poa)
 
     p_dyn = sub.add_parser("dynamics", help="best-response dynamics convergence study")
-    p_dyn.add_argument("--variant", default="euclidean",
-                       choices=["ncg", "one_two", "tree", "euclidean", "metric", "general"])
+    p_dyn.add_argument("--variant", default="euclidean", choices=_VARIANTS)
     p_dyn.add_argument("--n", type=int, default=6)
     p_dyn.add_argument("--alpha", type=float, default=1.0)
     p_dyn.add_argument("--instances", type=int, default=3)
     p_dyn.add_argument("--runs", type=int, default=3)
-    p_dyn.add_argument("--seed", type=int, default=0)
-    _add_engine_flag(p_dyn)
-    _add_schedule_flag(p_dyn)
-    _add_workers_flag(p_dyn)
+    _add_config_flags(p_dyn)
 
     p_sim = sub.add_parser("simulate", help="play one random instance end to end")
-    p_sim.add_argument("--variant", default="euclidean",
-                       choices=["ncg", "one_two", "tree", "euclidean", "metric", "general"])
+    p_sim.add_argument("--variant", default="euclidean", choices=_VARIANTS)
     p_sim.add_argument("--n", type=int, default=7)
     p_sim.add_argument("--alpha", type=float, default=1.5)
-    p_sim.add_argument("--seed", type=int, default=0)
-    _add_engine_flag(p_sim)
-    _add_schedule_flag(p_sim)
-    _add_workers_flag(p_sim)
+    _add_config_flags(p_sim)
+
+    p_cfg = sub.add_parser("config", help="inspect simulation configurations")
+    cfg_sub = p_cfg.add_subparsers(dest="action", required=True)
+    p_dump = cfg_sub.add_parser(
+        "dump",
+        help="print the resolved SimulationConfig as JSON "
+        "(config file merged with explicit flags)",
+    )
+    _add_config_flags(p_dump, full=True)
 
     return parser
 
 
-def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
+def _add_config_flags(parser: argparse.ArgumentParser, *, full: bool = False) -> None:
+    """The SimulationConfig surface shared by poa/dynamics/simulate/config-dump.
+
+    Flag defaults are ``None`` (= "not given"): resolution starts from the
+    ``--config`` file when present — the defaults of
+    :class:`repro.core.session.SimulationConfig` otherwise — and explicit
+    flags override it.  ``full`` additionally exposes the fields only
+    ``config dump`` needs to freeze (response kind, activation order,
+    budgets, repair threshold).
+    """
+    parser.add_argument(
+        "--config",
+        metavar="PATH",
+        default=None,
+        help=(
+            "JSON file holding a SimulationConfig (the layout printed by "
+            "'repro config dump'); explicit flags override its fields"
+        ),
+    )
     parser.add_argument(
         "--engine",
-        default="incremental",
+        default=None,
         choices=["incremental", "exact"],
         help=(
             "distance engine for best-response dynamics: 'incremental' "
@@ -99,12 +131,9 @@ def _add_engine_flag(parser: argparse.ArgumentParser) -> None:
             "cross-validation oracle — both engines play identical responses)"
         ),
     )
-
-
-def _add_schedule_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--schedule",
-        default="sequential",
+        default=None,
         choices=["sequential", "batched"],
         help=(
             "activation schedule for response dynamics: 'sequential' "
@@ -115,20 +144,85 @@ def _add_schedule_flag(parser: argparse.ArgumentParser) -> None:
             "incremental)"
         ),
     )
-
-
-def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers",
         type=int,
-        default=1,
+        default=None,
         help=(
             "worker processes for batched proposal evaluation: 1 (default) "
             "scores in-process, k > 1 fans each batch of proposals out to k "
             "persistent workers over shared-memory distance snapshots — "
             "bit-identical results for every worker count (requires "
-            "--engine incremental; pays off with --schedule batched)"
+            "--engine incremental; pays off with --schedule batched).  "
+            "Sweeps share one worker pool per instance via GameSession"
         ),
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="root seed of the run (default: the config file's seed, else 0)",
+    )
+    if full:
+        parser.add_argument(
+            "--response", default=None, choices=["best", "greedy", "single"]
+        )
+        parser.add_argument(
+            "--order", default=None, choices=["round_robin", "random", "max_gain"]
+        )
+        parser.add_argument("--max-rounds", dest="max_rounds", type=int, default=None)
+        parser.add_argument(
+            "--max-candidates", dest="max_candidates", type=int, default=None
+        )
+        parser.add_argument(
+            "--repair-threshold",
+            dest="repair_threshold",
+            type=float,
+            default=None,
+        )
+
+
+_CONFIG_FIELDS = (
+    "engine",
+    "schedule",
+    "workers",
+    "seed",
+    "response",
+    "order",
+    "max_rounds",
+    "max_candidates",
+    "repair_threshold",
+)
+
+
+def resolve_config(args: argparse.Namespace):
+    """The :class:`SimulationConfig` a parsed command line resolves to.
+
+    Precedence (lowest to highest): ``SimulationConfig`` field defaults,
+    the ``--config`` JSON file, explicit flags — identically for every
+    command, so ``config dump`` prints exactly what the experiment
+    commands would resolve.  An unset ``max_rounds`` stays ``None`` and is
+    resolved to the entry point's historical budget downstream (sampling
+    60, convergence study 40, simulate 60, plain runs 100).  Raises
+    :class:`ValueError` for unreadable/invalid files and invalid field
+    combinations — callers inside :func:`main` turn that into
+    ``parser.error``.
+    """
+    from .core.session import SimulationConfig
+
+    path = getattr(args, "config", None)
+    if path is not None:
+        try:
+            data = json.loads(Path(path).read_text())
+        except OSError as exc:
+            raise ValueError(f"cannot read --config {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"--config {path} is not valid JSON: {exc}") from exc
+        base = SimulationConfig.from_dict(data)
+    else:
+        base = SimulationConfig()
+    return SimulationConfig.merged(
+        base, **{field: getattr(args, field, None) for field in _CONFIG_FIELDS}
     )
 
 
@@ -157,10 +251,7 @@ def _cmd_poa(args) -> int:
         args.alpha,
         instances=args.instances,
         samples_per_instance=args.samples,
-        seed=args.seed,
-        engine=args.engine,
-        schedule=args.schedule,
-        workers=args.workers,
+        config=args.sim_config,
     )
     print(
         f"variant={summary.variant} n={summary.n} alpha={summary.alpha}\n"
@@ -182,10 +273,7 @@ def _cmd_dynamics(args) -> int:
         args.alpha,
         instances=args.instances,
         runs_per_instance=args.runs,
-        seed=args.seed,
-        engine=args.engine,
-        schedule=args.schedule,
-        workers=args.workers,
+        config=args.sim_config,
     )
     print(
         f"variant={summary.variant} n={summary.n} alpha={summary.alpha}\n"
@@ -201,25 +289,22 @@ def _cmd_dynamics(args) -> int:
 def _cmd_simulate(args) -> int:
     from .analysis.experiments import host_factory
     from .core.bounds import general_poa_upper, metric_poa_upper
-    from .core.dynamics import best_response_dynamics
     from .core.equilibria import is_nash_equilibrium
     from .core.game import NetworkCreationGame
     from .core.host_graph import ModelVariant
+    from .core.session import GameSession
     from .core.social_optimum import social_optimum
     from .core.strategy import StrategyProfile
 
-    rng = np.random.default_rng(args.seed)
+    cfg = args.sim_config
+    if cfg.max_rounds is None:  # simulate's historical round budget
+        cfg = cfg.replace(max_rounds=60)
+    rng = cfg.rng()
     host = host_factory(args.variant, args.n, rng)
     game = NetworkCreationGame(host, args.alpha)
     opt = social_optimum(game)
-    result = best_response_dynamics(
-        game,
-        StrategyProfile.empty(args.n),
-        max_rounds=60,
-        engine=args.engine,
-        schedule=args.schedule,
-        workers=args.workers,
-    )
+    with GameSession(game, cfg) as session:
+        result = session.run(StrategyProfile.empty(args.n))
     profile = result.final_profile
     stable = result.converged and is_nash_equilibrium(game, profile)
     ratio = game.social_cost(profile) / opt.cost if opt.cost > 0 else float("nan")
@@ -239,27 +324,26 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_config(args) -> int:
+    print(json.dumps(args.sim_config.to_dict(), indent=2))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if getattr(args, "schedule", None) == "batched" and getattr(args, "engine", None) == "exact":
-        parser.error(
-            "--schedule batched requires --engine incremental (the exact "
-            "oracle keeps no residual matrices to re-validate proposals against)"
-        )
-    if getattr(args, "workers", 1) < 1:
-        parser.error("--workers must be >= 1")
-    if getattr(args, "workers", 1) > 1 and getattr(args, "engine", None) == "exact":
-        parser.error(
-            "--workers > 1 requires --engine incremental (the exact oracle "
-            "has no shared snapshot to evaluate against)"
-        )
+    if hasattr(args, "engine"):  # the SimulationConfig-driven commands
+        try:
+            args.sim_config = resolve_config(args)
+        except ValueError as exc:
+            parser.error(str(exc))
     handlers = {
         "table1": _cmd_table1,
         "constructions": _cmd_constructions,
         "poa": _cmd_poa,
         "dynamics": _cmd_dynamics,
         "simulate": _cmd_simulate,
+        "config": _cmd_config,
     }
     return handlers[args.command](args)
 

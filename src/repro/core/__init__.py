@@ -14,7 +14,8 @@ The sub-modules are organised bottom-up:
 * :mod:`repro.core.social_optimum` — exact / heuristic optima, Algorithm 1,
 * :mod:`repro.core.spanner`        — k-spanners (Lemmas 1, 2, Theorem 5),
 * :mod:`repro.core.poa`            — Price-of-Anarchy estimation,
-* :mod:`repro.core.bounds`         — closed-form bounds of Table 1.
+* :mod:`repro.core.bounds`         — closed-form bounds of Table 1,
+* :mod:`repro.core.session`        — simulation config + game sessions.
 """
 
 from .best_response import (
@@ -66,6 +67,7 @@ from .shortest_paths import (
     relax_through_edges,
 )
 from .poa import PoAEstimate, enumerate_nash_equilibria, estimate_poa, sample_equilibria
+from .session import GameSession, SessionStats, SimulationConfig, spawn_seeds
 from .social_optimum import (
     OptimumResult,
     algorithm1_one_two,
@@ -85,6 +87,7 @@ __all__ = [
     "DynamicsResult",
     "EngineStats",
     "EquilibriumReport",
+    "GameSession",
     "HostGraph",
     "IncrementalEngine",
     "MetricViolation",
@@ -93,7 +96,9 @@ __all__ = [
     "OptimumResult",
     "ParallelEvaluator",
     "PoAEstimate",
+    "SessionStats",
     "SharedSnapshot",
+    "SimulationConfig",
     "SingleMove",
     "SingleMoveScorer",
     "SpannerResult",
@@ -134,6 +139,7 @@ __all__ = [
     "score_response",
     "social_optimum",
     "spanner_stretch",
+    "spawn_seeds",
     "tree_poa_tight",
     "verify_best_response_cycle",
 ]

@@ -173,6 +173,18 @@ class _ProposalCache:
     def store(self, u: int, result: BestResponseResult, d_rest: np.ndarray) -> None:
         self._proposals[u] = (result, d_rest)
 
+    def clear(self) -> None:
+        """Drop all proposals and reset the counters (for reuse across runs).
+
+        A :class:`~repro.core.session.GameSession` owns one cache and clears
+        it between runs: proposals are tied to the run's evolving profile,
+        but the row-index table depends only on the static host weights and
+        survives.
+        """
+        self._proposals.clear()
+        self.hits = 0
+        self.misses = 0
+
     def on_move(
         self, mover: int, old_profile: StrategyProfile, new_profile: StrategyProfile
     ) -> None:
@@ -315,19 +327,33 @@ def run_dynamics(
     game: NetworkCreationGame,
     initial: StrategyProfile,
     *,
-    response: ResponseKind = "best",
-    order: OrderKind | Sequence[int] = "round_robin",
-    max_rounds: int = 100,
+    response: ResponseKind | None = None,
+    order: OrderKind | Sequence[int] | None = None,
+    max_rounds: int | None = None,
     rng: np.random.Generator | int | None = None,
     record_history: bool = False,
     detect_cycles: bool = True,
-    max_candidates: int = 22,
-    engine: EngineKind = "incremental",
-    schedule: ScheduleKind = "sequential",
-    workers: int = 1,
+    max_candidates: int | None = None,
+    engine: EngineKind | None = None,
+    schedule: ScheduleKind | None = None,
+    workers: int | None = None,
+    repair_threshold: float | None = None,
     tol: float = _TOL,
+    config: "SimulationConfig | None" = None,
+    session: "GameSession | None" = None,
 ) -> DynamicsResult:
     """Run response dynamics from ``initial``.
+
+    The run is configured by a
+    :class:`~repro.core.session.SimulationConfig` — passed as ``config``,
+    taken from ``session``, or assembled from the individual keyword
+    arguments below (the historical surface, kept as a shim: every keyword
+    maps to the config field of the same name and, when given explicitly,
+    overrides it).  Without a ``session`` the call opens a one-shot
+    :class:`~repro.core.session.GameSession`, so it builds and tears down
+    its own engine and (for ``workers > 1``) worker pool; with a
+    ``session`` the run reuses the session's engine and pool and closes
+    neither.  Prefer a session when running many times on one game.
 
     Parameters
     ----------
@@ -345,8 +371,10 @@ def run_dynamics(
         passes over the sequence).
     rng:
         Randomness for ``order="random"``: a :class:`numpy.random.Generator`
-        or an integer seed.  ``None`` uses the fixed seed 0, so two runs with
-        the same arguments always produce identical trajectories.
+        or an integer seed.  ``None`` uses the config's seed policy
+        (:meth:`~repro.core.session.SimulationConfig.rng`, fixed seed 0 by
+        default), so two runs with the same arguments always produce
+        identical trajectories.
     engine:
         ``"incremental"`` (default) runs on the cached-distance engine —
         residual matrices are reused across sweeps, repaired decrementally
@@ -373,6 +401,18 @@ def run_dynamics(
         worker count; the sequential schedule scores one agent per
         activation and gains nothing from ``workers``.  Requires
         ``engine="incremental"``.
+    repair_threshold:
+        Decremental-repair frontier bound of the incremental engine (see
+        :class:`~repro.core.incremental.IncrementalEngine`).
+    config:
+        A :class:`~repro.core.session.SimulationConfig` providing the
+        defaults for this run; explicit keyword arguments override its
+        fields.  Mutually exclusive with ``session``.
+    session:
+        An open :class:`~repro.core.session.GameSession` to run through;
+        its engine and worker pool are reused (and left open).  The
+        session-scoped fields (``engine``, ``workers``,
+        ``repair_threshold``) cannot be overridden per run.
 
     Returns
     -------
@@ -380,40 +420,68 @@ def run_dynamics(
         Convergence flag, number of improving moves made, cycle information
         and the trajectory of social costs.
     """
-    if rng is None or isinstance(rng, (int, np.integer)):
-        rng = np.random.default_rng(0 if rng is None else int(rng))
-    if engine not in ("exact", "incremental"):
-        raise ValueError(f"unknown engine {engine!r}")
-    if schedule not in ("sequential", "batched"):
-        raise ValueError(f"unknown schedule {schedule!r}")
-    workers = int(workers)
-    if workers < 1:
-        raise ValueError("workers must be >= 1")
-    if workers > 1 and engine != "incremental":
-        raise ValueError(
-            "workers > 1 requires engine='incremental': the exact oracle "
-            "recomputes from scratch per agent and has no shared snapshot "
-            "to evaluate against"
+    from .session import GameSession, SimulationConfig, check_session_call
+
+    overrides = {
+        key: value
+        for key, value in {
+            "response": response,
+            "order": order,
+            "max_rounds": max_rounds,
+            "max_candidates": max_candidates,
+            "engine": engine,
+            "schedule": schedule,
+            "workers": workers,
+            "repair_threshold": repair_threshold,
+        }.items()
+        if value is not None
+    }
+    if session is not None:
+        check_session_call(session, game, config)
+        return session.run(
+            initial,
+            rng=rng,
+            record_history=record_history,
+            detect_cycles=detect_cycles,
+            tol=tol,
+            **overrides,
         )
-    if schedule == "batched":
-        if engine != "incremental":
-            raise ValueError(
-                "schedule='batched' requires engine='incremental': the exact "
-                "oracle keeps no residual matrices to re-validate proposals against"
-            )
-        if isinstance(order, str) and order == "max_gain":
-            raise ValueError(
-                "schedule='batched' does not support order='max_gain' "
-                "(max-gain activation already re-scores every agent per step)"
-            )
+    cfg = SimulationConfig.merged(config, **overrides)
+    with GameSession(game, cfg) as one_shot:
+        return one_shot.run(
+            initial,
+            rng=rng,
+            record_history=record_history,
+            detect_cycles=detect_cycles,
+            tol=tol,
+        )
+
+
+def _run_session_loop(
+    game: NetworkCreationGame,
+    initial: StrategyProfile,
+    *,
+    cfg,
+    inc: IncrementalEngine | None,
+    cache: _ProposalCache | None,
+    rng: np.random.Generator,
+    record_history: bool,
+    detect_cycles: bool,
+    tol: float,
+) -> DynamicsResult:
+    """The activation loop, driven by a validated config and injected state.
+
+    ``inc`` and ``cache`` are owned by the caller — a
+    :class:`~repro.core.session.GameSession` hands in its long-lived engine
+    and proposal cache — so the loop never closes or clears anything it did
+    not create (the ROADMAP-flagged pool-churn fix: engines and evaluators
+    built by a session survive across its runs).
+    """
     profile = initial
     n = game.n
-    inc = (
-        IncrementalEngine(game, initial, workers=workers)
-        if engine == "incremental"
-        else None
-    )
-    cache = _ProposalCache(game) if schedule == "batched" else None
+    response = cfg.response
+    order = cfg.order
+    max_candidates = cfg.max_candidates
 
     def respond(u: int):
         if inc is not None:
@@ -513,47 +581,70 @@ def run_dynamics(
     if not isinstance(order, str):
         explicit_order = [int(a) for a in order]
 
-    try:
-        social_costs = [social_cost()]
-        if detect_cycles:
-            seen[profile.canonical_key()] = 0
+    social_costs = [social_cost()]
+    if detect_cycles:
+        seen[profile.canonical_key()] = 0
 
-        for round_idx in range(max_rounds):
-            improved_this_round = False
-            if explicit_order is not None:
-                agents = explicit_order
-            elif order == "round_robin":
-                agents = list(range(n))
-            elif order == "random":
-                agents = list(rng.permutation(n))
-            elif order == "max_gain":
-                agents = None  # handled below
-            else:
-                raise ValueError(f"unknown order {order!r}")
+    for round_idx in range(cfg.max_rounds):
+        improved_this_round = False
+        if explicit_order is not None:
+            agents = explicit_order
+        elif order == "round_robin":
+            agents = list(range(n))
+        elif order == "random":
+            agents = list(rng.permutation(n))
+        elif order == "max_gain":
+            agents = None  # handled below
+        else:
+            raise ValueError(f"unknown order {order!r}")
 
-            if order == "max_gain" and explicit_order is None:
-                # One round = n activations of the currently most-improving
-                # agent; every agent is scored against the same state, exactly
-                # the batch_best_responses primitive (parallel when the engine
-                # has workers).
-                for _ in range(n):
-                    steps += 1
-                    if inc is not None:
-                        results = inc.respond_many(
-                            range(n), response, max_candidates=max_candidates
-                        )
-                    else:
-                        results = [respond(u) for u in range(n)]
-                    best_agent, best_result = None, None
-                    for u, result in enumerate(results):
-                        if result.improvement > tol and (
-                            best_result is None
-                            or result.improvement > best_result.improvement
-                        ):
-                            best_agent, best_result = u, result
-                    if best_result is None:
+        if order == "max_gain" and explicit_order is None:
+            # One round = n activations of the currently most-improving
+            # agent; every agent is scored against the same state, exactly
+            # the batch_best_responses primitive (parallel when the engine
+            # has workers).
+            for _ in range(n):
+                steps += 1
+                if inc is not None:
+                    results = inc.respond_many(
+                        range(n), response, max_candidates=max_candidates
+                    )
+                else:
+                    results = [respond(u) for u in range(n)]
+                best_agent, best_result = None, None
+                for u, result in enumerate(results):
+                    if result.improvement > tol and (
+                        best_result is None
+                        or result.improvement > best_result.improvement
+                    ):
+                        best_agent, best_result = u, result
+                if best_result is None:
+                    break
+                profile = apply_move(best_agent, best_result.strategy)
+                moves += 1
+                improved_this_round = True
+                social_costs.append(social_cost())
+                if record_history:
+                    history.append(profile)
+                if detect_cycles:
+                    key = profile.canonical_key()
+                    if key in seen:
+                        cycle_detected = True
+                        cycle_length = moves - seen[key]
                         break
-                    profile = apply_move(best_agent, best_result.strategy)
+                    seen[key] = moves
+            if cycle_detected:
+                break
+        else:
+            for position, u in enumerate(agents):
+                steps += 1
+                result = (
+                    respond_batched(u, position, agents)
+                    if cache is not None
+                    else respond(u)
+                )
+                if result.improvement > tol:
+                    profile = apply_move(u, result.strategy)
                     moves += 1
                     improved_this_round = True
                     social_costs.append(social_cost())
@@ -566,64 +657,37 @@ def run_dynamics(
                             cycle_length = moves - seen[key]
                             break
                         seen[key] = moves
-                if cycle_detected:
-                    break
-            else:
-                for position, u in enumerate(agents):
-                    steps += 1
-                    result = (
-                        respond_batched(u, position, agents)
-                        if cache is not None
-                        else respond(u)
-                    )
-                    if result.improvement > tol:
-                        profile = apply_move(u, result.strategy)
-                        moves += 1
-                        improved_this_round = True
-                        social_costs.append(social_cost())
-                        if record_history:
-                            history.append(profile)
-                        if detect_cycles:
-                            key = profile.canonical_key()
-                            if key in seen:
-                                cycle_detected = True
-                                cycle_length = moves - seen[key]
-                                break
-                            seen[key] = moves
-                if cycle_detected:
-                    break
+            if cycle_detected:
+                break
 
-            if not improved_this_round:
-                return DynamicsResult(
-                    converged=True,
-                    steps=steps,
-                    moves=moves,
-                    cycle_detected=False,
-                    cycle_length=None,
-                    final_profile=profile,
-                    social_costs=social_costs,
-                    history=history,
-                    engine_stats=inc.stats if inc is not None else None,
-                    schedule_hits=cache.hits if cache is not None else 0,
-                    schedule_misses=cache.misses if cache is not None else 0,
-                )
+        if not improved_this_round:
+            return DynamicsResult(
+                converged=True,
+                steps=steps,
+                moves=moves,
+                cycle_detected=False,
+                cycle_length=None,
+                final_profile=profile,
+                social_costs=social_costs,
+                history=history,
+                engine_stats=inc.stats if inc is not None else None,
+                schedule_hits=cache.hits if cache is not None else 0,
+                schedule_misses=cache.misses if cache is not None else 0,
+            )
 
-        return DynamicsResult(
-            converged=False,
-            steps=steps,
-            moves=moves,
-            cycle_detected=cycle_detected,
-            cycle_length=cycle_length,
-            final_profile=profile,
-            social_costs=social_costs,
-            history=history,
-            engine_stats=inc.stats if inc is not None else None,
-            schedule_hits=cache.hits if cache is not None else 0,
-            schedule_misses=cache.misses if cache is not None else 0,
-        )
-    finally:
-        if inc is not None:
-            inc.close()
+    return DynamicsResult(
+        converged=False,
+        steps=steps,
+        moves=moves,
+        cycle_detected=cycle_detected,
+        cycle_length=cycle_length,
+        final_profile=profile,
+        social_costs=social_costs,
+        history=history,
+        engine_stats=inc.stats if inc is not None else None,
+        schedule_hits=cache.hits if cache is not None else 0,
+        schedule_misses=cache.misses if cache is not None else 0,
+    )
 
 
 def best_response_dynamics(

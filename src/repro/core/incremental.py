@@ -136,11 +136,20 @@ class IncrementalEngine:
     scoring kernel as the serial path, so results are bit-identical for
     every worker count.  The engine is a context manager; :meth:`close`
     tears the pool down (an ``atexit`` hook covers abandoned engines).
+
+    Alternatively, a caller that manages pool lifetime itself — a
+    :class:`~repro.core.session.GameSession` sharing one pool across many
+    runs — can inject an ``evaluator``; the engine then uses (but does
+    **not** own) it: :meth:`close` leaves injected evaluators running, so
+    per-run engine teardown can never destroy a session's shared pool.
+    :meth:`reset` re-points the engine at a new profile with fresh caches
+    and stats while keeping the evaluator, which is what makes session runs
+    bit-identical to one-shot engines.
     """
 
     __slots__ = (
         "_game", "_profile", "_distances", "_residuals", "_repair_threshold",
-        "_workers", "_evaluator", "stats",
+        "_workers", "_evaluator", "_owns_evaluator", "stats",
     )
 
     def __init__(
@@ -150,6 +159,7 @@ class IncrementalEngine:
         *,
         repair_threshold: float = 0.5,
         workers: int = 1,
+        evaluator: "ParallelEvaluator | None" = None,
     ) -> None:
         if profile.n != game.n:
             raise ValueError(
@@ -165,8 +175,15 @@ class IncrementalEngine:
         # agent -> (residual key, residual distance matrix)
         self._residuals: dict[int, tuple[bytes, np.ndarray]] = {}
         self._repair_threshold = float(repair_threshold)
-        self._workers = int(workers)
-        self._evaluator = None
+        if evaluator is not None:
+            # Injected (session-owned) pool: use it, never tear it down.
+            self._workers = int(evaluator.workers)
+            self._evaluator = evaluator
+            self._owns_evaluator = False
+        else:
+            self._workers = int(workers)
+            self._evaluator = None
+            self._owns_evaluator = True
         self.stats = EngineStats()
 
     # ------------------------------------------------------------------
@@ -187,10 +204,33 @@ class IncrementalEngine:
         return self._workers
 
     def close(self) -> None:
-        """Tear down the parallel evaluator's pool and shared memory (idempotent)."""
+        """Tear down the evaluator pool the engine itself created (idempotent).
+
+        Injected evaluators are detached but left running: their owner (a
+        :class:`~repro.core.session.GameSession`) closes them.
+        """
         evaluator, self._evaluator = self._evaluator, None
-        if evaluator is not None:
+        if evaluator is not None and self._owns_evaluator:
             evaluator.close()
+
+    def reset(self, profile: StrategyProfile) -> None:
+        """Re-point the engine at ``profile`` with fresh caches and stats.
+
+        Drops the cached distance matrix, every residual matrix and the
+        :class:`EngineStats` counters (the old stats object is *replaced*,
+        not mutated, so results that captured it stay intact), while the
+        evaluator — and hence its worker pool — survives.  A session calls
+        this between runs so each run does exactly the shortest-path work a
+        one-shot engine would.
+        """
+        if profile.n != self._game.n:
+            raise ValueError(
+                f"profile is over {profile.n} agents but the game has {self._game.n}"
+            )
+        self._profile = profile
+        self._distances = None
+        self._residuals.clear()
+        self.stats = EngineStats()
 
     def __enter__(self) -> "IncrementalEngine":
         return self
@@ -362,6 +402,7 @@ class IncrementalEngine:
             self._evaluator = ParallelEvaluator.for_game(
                 self._game, workers=self._workers
             )
+            self._owns_evaluator = True
         tasks = [
             (u, dr, self._profile.strategy(u)) for u, dr in zip(agents, d_rests)
         ]

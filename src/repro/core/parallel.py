@@ -226,11 +226,17 @@ class ParallelEvaluator:
     :meth:`evaluate` call, reused until :meth:`close` (context-manager exit
     or the ``atexit`` safety net), and can be re-created by evaluating
     again after a close.
+
+    ``pools_started`` counts the worker-pool launches this evaluator
+    performed (0 until the first :meth:`evaluate`; above 1 only when the
+    evaluator is revived after a :meth:`close`).  Session-reuse tests and
+    benchmarks assert on it to prove that a sweep sharing one evaluator
+    paid pool start-up exactly once.
     """
 
     __slots__ = (
         "_weights", "_alpha", "_workers", "_slots", "_start_method",
-        "_snapshot", "_pool",
+        "_snapshot", "_pool", "pools_started",
     )
 
     def __init__(
@@ -253,6 +259,7 @@ class ParallelEvaluator:
         self._start_method = start_method
         self._snapshot: SharedSnapshot | None = None
         self._pool = None
+        self.pools_started = 0
 
     @classmethod
     def for_game(cls, game, **kwargs) -> "ParallelEvaluator":
@@ -289,6 +296,7 @@ class ParallelEvaluator:
             initializer=_init_worker,
             initargs=(self._snapshot.meta(), self._alpha),
         )
+        self.pools_started += 1
         atexit.register(self.close)
 
     def close(self) -> None:

@@ -26,8 +26,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from .dynamics import run_dynamics
-from .equilibria import is_greedy_equilibrium, is_nash_equilibrium
+from .equilibria import is_nash_equilibrium
 from .game import NetworkCreationGame
 from .social_optimum import OptimumResult, social_optimum
 from .strategy import StrategyProfile
@@ -105,58 +104,87 @@ def _initial_profiles(
     return profiles
 
 
+def _sampling_config(
+    config, *, max_rounds, response, max_candidates, engine, schedule, workers
+):
+    """Resolve a sampling config from legacy kwarg overrides.
+
+    An unset ``max_rounds`` stays ``None`` here; the session's sampling
+    entry points resolve it to the historical 60-round budget.
+    """
+    from .session import SimulationConfig
+
+    return SimulationConfig.merged(
+        config,
+        max_rounds=max_rounds,
+        response=response,
+        max_candidates=max_candidates,
+        engine=engine,
+        schedule=schedule,
+        workers=workers,
+    )
+
+
 def sample_equilibria(
     game: NetworkCreationGame,
     *,
     num_samples: int = 10,
-    max_rounds: int = 60,
-    response: str = "best",
+    max_rounds: int | None = None,
+    response: str | None = None,
     verify: str = "nash",
-    rng: np.random.Generator | None = None,
-    max_candidates: int = 22,
-    engine: str = "incremental",
-    schedule: str = "sequential",
-    workers: int = 1,
+    rng: np.random.Generator | int | None = None,
+    max_candidates: int | None = None,
+    engine: str | None = None,
+    schedule: str | None = None,
+    workers: int | None = None,
+    config=None,
+    session=None,
 ) -> list[StrategyProfile]:
     """Sample stable profiles by running response dynamics from varied seeds.
 
     ``verify`` selects the acceptance test for a converged profile:
     ``"nash"`` (exact NE check), ``"greedy"`` (GE check) or ``"none"``.
-    ``engine`` selects the dynamics distance engine (``"incremental"`` or the
-    slow ``"exact"`` oracle), ``schedule`` the activation schedule
-    (``"sequential"`` or ``"batched"``) and ``workers`` the intra-round
-    worker-process count of the batched evaluations; all reach the same
-    equilibria — see :func:`repro.core.dynamics.run_dynamics`.
+    The run machinery is configured by a
+    :class:`~repro.core.session.SimulationConfig` (``config``, or the
+    individual legacy keywords, which override it) and executed through a
+    :class:`~repro.core.session.GameSession` — an injected open ``session``
+    or a one-shot one — so the whole sweep shares a single engine and
+    worker pool; every configuration reaches the same equilibria — see
+    :meth:`repro.core.session.GameSession.sample_equilibria`.
     """
-    rng = np.random.default_rng(0) if rng is None else rng
-    found: dict[bytes, StrategyProfile] = {}
-    for seed_profile in _initial_profiles(game, num_samples, rng):
-        result = run_dynamics(
-            game,
-            seed_profile,
-            response=response,  # type: ignore[arg-type]
-            order="round_robin",
-            max_rounds=max_rounds,
+    if session is not None:
+        from .session import check_session_call
+
+        check_session_call(session, game, config)
+        # engine/schedule/workers are forwarded too: schedule is a per-run
+        # override, and a session-scoped mismatch (engine, workers) raises
+        # instead of silently sampling under a different configuration.
+        return session.sample_equilibria(
+            num_samples=num_samples,
+            verify=verify,
             rng=rng,
+            max_rounds=max_rounds,
+            response=response,
             max_candidates=max_candidates,
-            engine=engine,  # type: ignore[arg-type]
-            schedule=schedule,  # type: ignore[arg-type]
+            engine=engine,
+            schedule=schedule,
             workers=workers,
         )
-        if not result.converged:
-            continue
-        profile = result.final_profile
-        if verify == "nash":
-            ok = is_nash_equilibrium(game, profile, max_candidates=max_candidates)
-        elif verify == "greedy":
-            ok = is_greedy_equilibrium(game, profile)
-        elif verify == "none":
-            ok = True
-        else:
-            raise ValueError(f"unknown verify mode {verify!r}")
-        if ok:
-            found[profile.canonical_key()] = profile
-    return list(found.values())
+    from .session import GameSession
+
+    cfg = _sampling_config(
+        config,
+        max_rounds=max_rounds,
+        response=response,
+        max_candidates=max_candidates,
+        engine=engine,
+        schedule=schedule,
+        workers=workers,
+    )
+    with GameSession(game, cfg) as one_shot:
+        return one_shot.sample_equilibria(
+            num_samples=num_samples, verify=verify, rng=rng
+        )
 
 
 def enumerate_nash_equilibria(
@@ -194,53 +222,60 @@ def estimate_poa(
     game: NetworkCreationGame,
     *,
     num_samples: int = 10,
-    response: str = "best",
+    response: str | None = None,
     verify: str = "nash",
     optimum_method: str = "auto",
     extra_equilibria: Iterable[StrategyProfile] = (),
-    rng: np.random.Generator | None = None,
-    max_candidates: int = 22,
-    engine: str = "incremental",
-    schedule: str = "sequential",
-    workers: int = 1,
+    rng: np.random.Generator | int | None = None,
+    max_candidates: int | None = None,
+    engine: str | None = None,
+    schedule: str | None = None,
+    workers: int | None = None,
+    config=None,
+    session=None,
 ) -> PoAEstimate:
     """Empirical Price-of-Anarchy estimate for one instance.
 
     ``extra_equilibria`` lets callers inject known equilibria (e.g. the
     paper's constructions) so the estimate is at least as large as the
-    constructions imply.  ``engine``, ``schedule`` and ``workers`` select
-    the distance engine, the activation schedule and the intra-round
-    worker processes used for equilibrium sampling.
+    constructions imply.  The estimate runs through a
+    :class:`~repro.core.session.GameSession` (an injected open ``session``
+    or a one-shot built from ``config``/the legacy keywords), so all
+    sampling runs share one engine and worker pool — see
+    :meth:`repro.core.session.GameSession.poa`.
     """
-    opt = social_optimum(game, method=optimum_method)
-    equilibria = sample_equilibria(
-        game,
-        num_samples=num_samples,
+    if session is not None:
+        from .session import check_session_call
+
+        check_session_call(session, game, config)
+        return session.poa(
+            num_samples=num_samples,
+            verify=verify,
+            optimum_method=optimum_method,
+            extra_equilibria=extra_equilibria,
+            rng=rng,
+            response=response,
+            max_candidates=max_candidates,
+            engine=engine,
+            schedule=schedule,
+            workers=workers,
+        )
+    from .session import GameSession
+
+    cfg = _sampling_config(
+        config,
+        max_rounds=None,
         response=response,
-        verify=verify,
-        rng=rng,
         max_candidates=max_candidates,
         engine=engine,
         schedule=schedule,
         workers=workers,
     )
-    for profile in extra_equilibria:
-        equilibria.append(profile)
-    worst: StrategyProfile | None = None
-    worst_cost = -np.inf
-    best_cost = np.inf
-    for eq in equilibria:
-        cost = game.social_cost(eq)
-        if cost > worst_cost:
-            worst_cost = cost
-            worst = eq
-        best_cost = min(best_cost, cost)
-    return PoAEstimate(
-        optimum=opt,
-        worst_equilibrium=worst,
-        worst_equilibrium_cost=float(worst_cost) if worst is not None else float("nan"),
-        best_equilibrium_cost=float(best_cost) if equilibria else float("nan"),
-        equilibria_found=len(equilibria),
-        equilibrium_kind=verify,
-        samples=num_samples,
-    )
+    with GameSession(game, cfg) as one_shot:
+        return one_shot.poa(
+            num_samples=num_samples,
+            verify=verify,
+            optimum_method=optimum_method,
+            extra_equilibria=extra_equilibria,
+            rng=rng,
+        )

@@ -1,0 +1,663 @@
+"""Simulation configuration and the session that owns engines, caches and pools.
+
+Three PRs of growth threaded ``engine=``, ``schedule=``, ``workers=`` and
+friends as parallel keyword arguments through every entry point, and every
+call of :func:`repro.core.dynamics.run_dynamics` built — and tore down — its
+own :class:`~repro.core.incremental.IncrementalEngine` and (with
+``workers > 1``) its own :class:`~repro.core.parallel.ParallelEvaluator`
+worker pool.  For sweeps that run dynamics dozens of times on one instance
+(equilibrium sampling, PoA estimation) the pool start-up dominates at small
+``n``.  This module gives the simulation surface one composable home:
+
+``SimulationConfig``
+    A frozen dataclass bundling every knob of a dynamics run — distance
+    ``engine``, activation ``schedule``, ``workers``, ``repair_threshold``,
+    ``response`` kind, activation ``order``, ``max_rounds``,
+    ``max_candidates`` and the ``seed`` policy.  It validates the same
+    cross-field rules the old keyword plumbing enforced (``__post_init__``),
+    supports functional update (:meth:`SimulationConfig.replace`) and
+    round-trips through plain dicts (:meth:`SimulationConfig.to_dict` /
+    :meth:`SimulationConfig.from_dict`) so the CLI can load it from JSON.
+    The seed policy lives here too: :meth:`SimulationConfig.rng` derives the
+    default per-run generator and :meth:`SimulationConfig.spawn_seeds`
+    derives independent child seeds (:class:`numpy.random.SeedSequence`),
+    so every entry point draws randomness the same way.
+
+``GameSession``
+    A context manager scoped to ``(game, config)`` that lazily builds and
+    **owns** the incremental engine, the batched schedule's proposal cache
+    and — the point of the exercise — a *single* shared
+    :class:`~repro.core.parallel.ParallelEvaluator`, reused across every
+    run of the session.  ``run``, ``sample_equilibria`` and ``poa`` are the
+    session-native equivalents of :func:`repro.core.dynamics.run_dynamics`,
+    :func:`repro.core.poa.sample_equilibria` and
+    :func:`repro.core.poa.estimate_poa`; :meth:`GameSession.stats` reports
+    how many engines/evaluators the session actually created (exactly one
+    each, however many runs are made) plus cumulative engine counters.
+
+The legacy keyword entry points still work: they are now thin shims that
+open a one-shot session, so their lifecycle is unchanged (everything a call
+creates, the call closes) while session users amortize the pool across all
+runs of an instance.  A run through a session is *bit-identical* — same
+trajectory, same :class:`~repro.core.incremental.EngineStats` — to the same
+run through the legacy keywords, because the session resets (never reuses)
+engine state between runs; only the worker pool survives.  The session is
+also where a future multi-host transport plugs in: a remote evaluator
+implementing the ``ParallelEvaluator`` protocol can be handed to the
+per-run engines without touching any entry point.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .dynamics import _TOL, DynamicsResult, _ProposalCache, _run_session_loop
+from .equilibria import is_greedy_equilibrium, is_nash_equilibrium
+from .game import NetworkCreationGame
+from .incremental import EngineStats, IncrementalEngine
+from .parallel import ParallelEvaluator
+from .poa import PoAEstimate, _initial_profiles
+from .social_optimum import social_optimum
+from .strategy import StrategyProfile
+
+__all__ = ["SimulationConfig", "GameSession", "SessionStats", "spawn_seeds"]
+
+
+def check_session_call(session: "GameSession", game, config) -> None:
+    """Validate a legacy entry point's ``(game, config, session)`` combination.
+
+    The one guard shared by every ``session=``-accepting shim
+    (:func:`repro.core.dynamics.run_dynamics`,
+    :func:`repro.core.poa.sample_equilibria`,
+    :func:`repro.core.poa.estimate_poa`).
+    """
+    if config is not None:
+        raise ValueError("pass either config or session, not both")
+    if session.game is not game:
+        raise ValueError(
+            "session is scoped to a different game: a GameSession's engine "
+            "and caches are bound to the game it was opened on"
+        )
+
+_ENGINES = ("exact", "incremental")
+_SCHEDULES = ("sequential", "batched")
+_RESPONSES = ("best", "greedy", "single")
+_ORDERS = ("round_robin", "random", "max_gain")
+
+# Config fields a session cannot change per run: they shape the owned
+# engine and worker pool, so changing them needs a fresh session.  A
+# per-run "override" that equals the session's value is accepted (no-op).
+_SESSION_SCOPED = ("engine", "workers", "repair_threshold")
+
+# Entry-point round budgets applied when ``max_rounds`` is None ("not
+# configured"): plain dynamics runs keep run_dynamics' historical 100,
+# equilibrium sampling its historical 60.  (The convergence study in
+# :mod:`repro.analysis.experiments` and the CLI's ``simulate`` resolve
+# their own historical budgets, 40 and 60, against the same None.)
+MAX_ROUNDS_RUN = 100
+MAX_ROUNDS_SAMPLING = 60
+
+
+def spawn_seeds(seed: int, count: int) -> list[int]:
+    """Derive ``count`` independent child seeds from one root seed.
+
+    Uses :meth:`numpy.random.SeedSequence.spawn`, whose children carry
+    NumPy's documented statistical-independence guarantee (ad-hoc
+    ``seed + i`` derivation offers no such guarantee, and collides outright
+    when two sweeps use overlapping base-seed ranges).  Each child is
+    rendered as a full 128-bit integer — not a truncated word, which would
+    reintroduce birthday-bound collisions across large sweeps — and
+    ``numpy.random.default_rng`` consumes integers of any size, so the
+    guarantee survives the round-trip.  Each child is a pure function of
+    ``(seed, index)``, so a parallel sweep seeded this way is reproducible
+    regardless of how its tasks are scheduled across processes.
+    """
+    parent = np.random.SeedSequence(int(seed))
+    return [
+        int.from_bytes(child.generate_state(4, dtype=np.uint32).tobytes(), "little")
+        for child in parent.spawn(int(count))
+    ]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Every knob of a dynamics run, validated and serializable.
+
+    Field defaults equal the historical defaults of
+    :func:`repro.core.dynamics.run_dynamics`, so ``SimulationConfig()``
+    reproduces a bare ``run_dynamics(game, initial)`` call exactly.
+
+    ``order`` is one of the named activation orders (``"round_robin"``,
+    ``"random"``, ``"max_gain"``) or an explicit activation sequence, which
+    is normalized to a tuple of ints so configs stay hashable and
+    equality-comparable.  ``max_rounds=None`` (the default) means "the
+    entry point's historical budget" — 100 for a plain dynamics run, 60
+    for equilibrium sampling, 40 for the convergence study — so one config
+    serves every entry point without silently changing any budget; set an
+    integer to pin the budget everywhere the config is used.  ``seed`` is
+    the root of the config's seed policy:
+    :meth:`rng` builds the default per-run generator from it and
+    :meth:`spawn_seeds` derives independent child seeds for sweep cells;
+    ``seed=None`` means "the fixed default stream" (seed 0 — never OS
+    entropy, so two equal configs always replay identical trajectories).
+    """
+
+    engine: str = "incremental"
+    schedule: str = "sequential"
+    workers: int = 1
+    repair_threshold: float = 0.5
+    response: str = "best"
+    order: str | tuple[int, ...] = "round_robin"
+    max_rounds: int | None = None
+    max_candidates: int = 22
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if self.engine not in _ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}")
+        if self.schedule not in _SCHEDULES:
+            raise ValueError(f"unknown schedule {self.schedule!r}")
+        if self.response not in _RESPONSES:
+            raise ValueError(f"unknown response kind {self.response!r}")
+        # Coercion failures (e.g. {"workers": null} or {"order": 5} in a JSON
+        # config file) must surface as ValueError — the error type callers
+        # like the CLI catch — never as a raw TypeError traceback.
+        try:
+            if isinstance(self.order, str):
+                if self.order not in _ORDERS:
+                    raise ValueError(f"unknown order {self.order!r}")
+            else:
+                object.__setattr__(self, "order", tuple(int(a) for a in self.order))
+            object.__setattr__(self, "workers", int(self.workers))
+            object.__setattr__(self, "repair_threshold", float(self.repair_threshold))
+            if self.max_rounds is not None:
+                object.__setattr__(self, "max_rounds", int(self.max_rounds))
+            object.__setattr__(self, "max_candidates", int(self.max_candidates))
+            if self.seed is not None:
+                object.__setattr__(self, "seed", int(self.seed))
+        except TypeError as exc:
+            raise ValueError(f"invalid SimulationConfig field value: {exc}") from exc
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.repair_threshold < 0:
+            raise ValueError("repair_threshold must be non-negative")
+        if self.max_rounds is not None and self.max_rounds < 0:
+            raise ValueError("max_rounds must be non-negative")
+        if self.max_candidates < 1:
+            raise ValueError("max_candidates must be >= 1")
+        if self.workers > 1 and self.engine != "incremental":
+            raise ValueError(
+                "workers > 1 requires engine='incremental': the exact oracle "
+                "recomputes from scratch per agent and has no shared snapshot "
+                "to evaluate against"
+            )
+        if self.schedule == "batched":
+            if self.engine != "incremental":
+                raise ValueError(
+                    "schedule='batched' requires engine='incremental': the "
+                    "exact oracle keeps no residual matrices to re-validate "
+                    "proposals against"
+                )
+            if self.order == "max_gain":
+                raise ValueError(
+                    "schedule='batched' does not support order='max_gain' "
+                    "(max-gain activation already re-scores every agent per step)"
+                )
+
+    # ------------------------------------------------------------------
+    # Functional update and serialization
+    # ------------------------------------------------------------------
+    @classmethod
+    def merged(
+        cls,
+        config: "SimulationConfig | None",
+        **overrides: Any,
+    ) -> "SimulationConfig":
+        """The one override-merge policy of every legacy entry point.
+
+        ``config`` (field defaults when ``None``) is updated with the
+        ``overrides`` whose value is not ``None`` — ``None`` means "not
+        given", so explicitly passed keywords always win.
+        """
+        cfg = config if config is not None else cls()
+        return cfg.replace(
+            **{key: value for key, value in overrides.items() if value is not None}
+        )
+
+    def replace(self, **changes: Any) -> "SimulationConfig":
+        """A new validated config with ``changes`` applied (the original is untouched)."""
+        if not changes:
+            return self
+        unknown = set(changes) - {f.name for f in dataclasses.fields(self)}
+        if unknown:
+            raise ValueError(
+                f"unknown SimulationConfig field(s): {sorted(unknown)}"
+            )
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON-safe dict; inverse of :meth:`from_dict`."""
+        data = dataclasses.asdict(self)
+        if not isinstance(self.order, str):
+            data["order"] = list(self.order)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SimulationConfig":
+        """Build a validated config from a dict (e.g. parsed from JSON).
+
+        Unknown keys are rejected so a typo in a config file fails loudly
+        instead of silently falling back to a default.
+        """
+        if not isinstance(data, Mapping):
+            raise ValueError(
+                f"config must be a mapping of field names, got {type(data).__name__}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown SimulationConfig field(s): {sorted(unknown)}")
+        return cls(**dict(data))
+
+    def resolved_max_rounds(self, default: int) -> int:
+        """The effective round budget: the entry point's ``default`` when unset."""
+        return default if self.max_rounds is None else self.max_rounds
+
+    # ------------------------------------------------------------------
+    # Seed policy
+    # ------------------------------------------------------------------
+    def root_seed(self) -> int:
+        """The effective root seed: ``seed``, with ``None`` meaning the fixed stream 0."""
+        return 0 if self.seed is None else self.seed
+
+    def rng(self) -> np.random.Generator:
+        """The config's default per-run generator (fixed seed, never OS entropy)."""
+        return np.random.default_rng(self.root_seed())
+
+    def spawn_seeds(self, count: int) -> list[int]:
+        """``count`` independent child seeds of the config's root seed (see :func:`spawn_seeds`)."""
+        return spawn_seeds(self.root_seed(), count)
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """What a :class:`GameSession` built and did over its lifetime.
+
+    ``engines_created``/``evaluators_created`` count actual constructions —
+    a session reuses both across runs, so they stay at (at most) 1 however
+    many runs are made, which is exactly what the pool-amortization tests
+    assert.  ``evaluator_pools_started`` counts worker-pool launches of the
+    shared evaluator (lazy: 0 until a batch is actually dispatched) and
+    ``engine_stats`` accumulates the per-run
+    :class:`~repro.core.incremental.EngineStats` counters.
+    """
+
+    runs: int
+    engines_created: int
+    evaluators_created: int
+    evaluator_pools_started: int
+    evaluator_running: bool
+    engine_stats: EngineStats
+    schedule_hits: int
+    schedule_misses: int
+
+
+class GameSession:
+    """Context manager owning the simulation machinery for one ``(game, config)``.
+
+    The session lazily builds the
+    :class:`~repro.core.incremental.IncrementalEngine` (reset — never
+    rebuilt — between runs), the batched schedule's proposal cache and, for
+    ``config.workers > 1``, a single shared
+    :class:`~repro.core.parallel.ParallelEvaluator` injected into the
+    engine, so every run of the session reuses one worker pool.
+    :meth:`close` (or context-manager exit) tears all of it down; engines
+    never close an evaluator they did not create, so nothing a session owns
+    is destroyed by the runs inside it.
+
+    Per-run keyword overrides may change ``response``, ``order``,
+    ``schedule``, ``max_rounds``, ``max_candidates`` and ``seed``;
+    ``engine``, ``workers`` and ``repair_threshold`` are fixed for the
+    session's lifetime because the owned engine and pool are shaped by them
+    (open a new session — or :meth:`SimulationConfig.replace` the config —
+    to change those).
+    """
+
+    def __init__(
+        self,
+        game: NetworkCreationGame,
+        config: SimulationConfig | None = None,
+        **overrides: Any,
+    ) -> None:
+        config = SimulationConfig() if config is None else config
+        self._game = game
+        self._config = config.replace(**overrides)
+        self._engine: IncrementalEngine | None = None
+        self._evaluator: ParallelEvaluator | None = None
+        self._cache: _ProposalCache | None = None
+        self._closed = False
+        self._runs = 0
+        self._engines_created = 0
+        self._evaluators_created = 0
+        self._pools_started = 0  # snapshot surviving close() of the evaluator
+        self._cum_stats = EngineStats()
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    # State and lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def game(self) -> NetworkCreationGame:
+        return self._game
+
+    @property
+    def config(self) -> SimulationConfig:
+        return self._config
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Tear down the owned engine, proposal cache and worker pool (idempotent)."""
+        self._closed = True
+        engine, self._engine = self._engine, None
+        if engine is not None:
+            engine.close()  # no-op on the shared evaluator: the engine does not own it
+        evaluator, self._evaluator = self._evaluator, None
+        if evaluator is not None:
+            self._pools_started = evaluator.pools_started
+            evaluator.close()
+        self._cache = None
+
+    def __enter__(self) -> "GameSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else f"runs={self._runs}"
+        return f"GameSession(n={self._game.n}, {state}, config={self._config!r})"
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("GameSession is closed; open a new session")
+
+    # ------------------------------------------------------------------
+    # Owned resources
+    # ------------------------------------------------------------------
+    def _shared_evaluator(self) -> ParallelEvaluator | None:
+        """The session's single worker-pool evaluator (created once, lazily)."""
+        if self._config.workers <= 1 or self._config.engine != "incremental":
+            return None
+        if self._evaluator is None:
+            self._evaluator = ParallelEvaluator.for_game(
+                self._game, workers=self._config.workers
+            )
+            self._evaluators_created += 1
+        return self._evaluator
+
+    def _engine_for(self, initial: StrategyProfile) -> IncrementalEngine | None:
+        """The owned incremental engine, pointed at ``initial``.
+
+        The engine object is created once and *reset* for every later run —
+        distance caches, residuals and stats start fresh (runs stay
+        bit-identical to one-shot engines) while the injected evaluator's
+        worker pool survives.
+        """
+        if self._config.engine != "incremental":
+            return None
+        if self._engine is None:
+            self._engine = IncrementalEngine(
+                self._game,
+                initial,
+                repair_threshold=self._config.repair_threshold,
+                workers=self._config.workers,
+                evaluator=self._shared_evaluator(),
+            )
+            self._engines_created += 1
+        else:
+            self._engine.reset(initial)
+        return self._engine
+
+    def _cache_for(self, cfg: SimulationConfig) -> _ProposalCache | None:
+        if cfg.schedule != "batched":
+            return None
+        if self._cache is None:
+            self._cache = _ProposalCache(self._game)
+        else:
+            # Proposals are tied to the run's evolving profile: cleared per
+            # run (the row-index table survives; it depends only on the
+            # static host weights).
+            self._cache.clear()
+        return self._cache
+
+    def _run_config(self, overrides: Mapping[str, Any]) -> SimulationConfig:
+        if not overrides:
+            return self._config
+        cfg = self._config.replace(**overrides)
+        changed = [
+            name
+            for name in _SESSION_SCOPED
+            if getattr(cfg, name) != getattr(self._config, name)
+        ]
+        if changed:
+            raise ValueError(
+                f"cannot override {changed} per run: the session owns the "
+                "engine and worker pool they shape; use "
+                "SimulationConfig.replace() and open a new GameSession"
+            )
+        return cfg
+
+    @staticmethod
+    def _coerce_rng(
+        rng: np.random.Generator | int | None, cfg: SimulationConfig
+    ) -> np.random.Generator:
+        if rng is None:
+            return cfg.rng()
+        if isinstance(rng, (int, np.integer)):
+            return np.random.default_rng(int(rng))
+        return rng
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        initial: StrategyProfile,
+        *,
+        rng: np.random.Generator | int | None = None,
+        record_history: bool = False,
+        detect_cycles: bool = True,
+        tol: float = _TOL,
+        **overrides: Any,
+    ) -> DynamicsResult:
+        """Run response dynamics from ``initial`` through the session.
+
+        Equivalent to :func:`repro.core.dynamics.run_dynamics` with the
+        session's config, except that the engine and worker pool are the
+        session-owned ones.  ``rng`` defaults to the config's seed policy
+        (:meth:`SimulationConfig.rng`); ``overrides`` are per-run config
+        overrides (see the class docstring for which fields are allowed).
+        """
+        self._ensure_open()
+        cfg = self._run_config(overrides)
+        if cfg.max_rounds is None:
+            cfg = cfg.replace(max_rounds=MAX_ROUNDS_RUN)
+        generator = self._coerce_rng(rng, cfg)
+        engine = self._engine_for(initial)
+        cache = self._cache_for(cfg)
+        result = _run_session_loop(
+            self._game,
+            initial,
+            cfg=cfg,
+            inc=engine,
+            cache=cache,
+            rng=generator,
+            record_history=record_history,
+            detect_cycles=detect_cycles,
+            tol=tol,
+        )
+        self._runs += 1
+        if result.engine_stats is not None:
+            for f in dataclasses.fields(EngineStats):
+                setattr(
+                    self._cum_stats,
+                    f.name,
+                    getattr(self._cum_stats, f.name)
+                    + getattr(result.engine_stats, f.name),
+                )
+        self._hits += result.schedule_hits
+        self._misses += result.schedule_misses
+        return result
+
+    def sample_equilibria(
+        self,
+        *,
+        num_samples: int = 10,
+        verify: str = "nash",
+        rng: np.random.Generator | int | None = None,
+        max_rounds: int | None = None,
+        response: str | None = None,
+        max_candidates: int | None = None,
+        engine: str | None = None,
+        schedule: str | None = None,
+        workers: int | None = None,
+    ) -> list[StrategyProfile]:
+        """Sample stable profiles by running dynamics from varied seed profiles.
+
+        The session-native equivalent of
+        :func:`repro.core.poa.sample_equilibria`: every run shares the
+        session's engine and worker pool, so a sweep through one session
+        creates exactly one :class:`~repro.core.parallel.ParallelEvaluator`
+        however many starting profiles it explores.  Activation order is
+        always round-robin (matching the sampling methodology); ``verify``
+        selects the acceptance test (``"nash"``, ``"greedy"`` or
+        ``"none"``) applied to converged profiles.  The remaining keywords
+        are per-run config overrides; session-scoped fields (``engine``,
+        ``workers``) raise unless they match the session's config, they
+        are never silently ignored.
+        """
+        self._ensure_open()
+        if verify not in ("nash", "greedy", "none"):
+            raise ValueError(f"unknown verify mode {verify!r}")
+        overrides: dict[str, Any] = {"order": "round_robin"}
+        overrides.update(
+            {
+                key: value
+                for key, value in {
+                    "max_rounds": max_rounds,
+                    "response": response,
+                    "max_candidates": max_candidates,
+                    "engine": engine,
+                    "schedule": schedule,
+                    "workers": workers,
+                }.items()
+                if value is not None
+            }
+        )
+        if max_rounds is None and self._config.max_rounds is None:
+            overrides["max_rounds"] = MAX_ROUNDS_SAMPLING
+        cfg = self._run_config(overrides)
+        generator = self._coerce_rng(rng, cfg)
+        found: dict[bytes, StrategyProfile] = {}
+        for seed_profile in _initial_profiles(self._game, num_samples, generator):
+            result = self.run(seed_profile, rng=generator, **overrides)
+            if not result.converged:
+                continue
+            profile = result.final_profile
+            if verify == "nash":
+                ok = is_nash_equilibrium(
+                    self._game, profile, max_candidates=cfg.max_candidates
+                )
+            elif verify == "greedy":
+                ok = is_greedy_equilibrium(self._game, profile)
+            else:
+                ok = True
+            if ok:
+                found[profile.canonical_key()] = profile
+        return list(found.values())
+
+    def poa(
+        self,
+        *,
+        num_samples: int = 10,
+        verify: str = "nash",
+        optimum_method: str = "auto",
+        extra_equilibria: Iterable[StrategyProfile] = (),
+        rng: np.random.Generator | int | None = None,
+        max_rounds: int | None = None,
+        response: str | None = None,
+        max_candidates: int | None = None,
+        engine: str | None = None,
+        schedule: str | None = None,
+        workers: int | None = None,
+    ) -> PoAEstimate:
+        """Empirical Price-of-Anarchy estimate through the session.
+
+        The session-native equivalent of
+        :func:`repro.core.poa.estimate_poa`: the social optimum is computed
+        once, equilibria are sampled via :meth:`sample_equilibria` (sharing
+        the session's pool) and ``extra_equilibria`` — e.g. the paper's
+        constructions — are folded into the worst/best-cost aggregation.
+        """
+        self._ensure_open()
+        opt = social_optimum(self._game, method=optimum_method)
+        equilibria = self.sample_equilibria(
+            num_samples=num_samples,
+            verify=verify,
+            rng=rng,
+            max_rounds=max_rounds,
+            response=response,
+            max_candidates=max_candidates,
+            engine=engine,
+            schedule=schedule,
+            workers=workers,
+        )
+        equilibria.extend(extra_equilibria)
+        worst: StrategyProfile | None = None
+        worst_cost = -np.inf
+        best_cost = np.inf
+        for eq in equilibria:
+            cost = self._game.social_cost(eq)
+            if cost > worst_cost:
+                worst_cost = cost
+                worst = eq
+            best_cost = min(best_cost, cost)
+        return PoAEstimate(
+            optimum=opt,
+            worst_equilibrium=worst,
+            worst_equilibrium_cost=float(worst_cost) if worst is not None else float("nan"),
+            best_equilibrium_cost=float(best_cost) if equilibria else float("nan"),
+            equilibria_found=len(equilibria),
+            equilibrium_kind=verify,
+            samples=num_samples,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> SessionStats:
+        """Construction counts and cumulative engine counters (see :class:`SessionStats`)."""
+        return SessionStats(
+            runs=self._runs,
+            engines_created=self._engines_created,
+            evaluators_created=self._evaluators_created,
+            evaluator_pools_started=(
+                self._evaluator.pools_started
+                if self._evaluator is not None
+                else self._pools_started
+            ),
+            evaluator_running=(
+                self._evaluator.is_running if self._evaluator is not None else False
+            ),
+            engine_stats=dataclasses.replace(self._cum_stats),
+            schedule_hits=self._hits,
+            schedule_misses=self._misses,
+        )

@@ -1,0 +1,618 @@
+"""SimulationConfig + GameSession contracts.
+
+Four guarantees of the session layer (:mod:`repro.core.session`) are
+enforced here:
+
+* **config round-trip and validation** — ``SimulationConfig`` rejects the
+  same invalid field combinations the keyword surface always rejected, and
+  ``from_dict(to_dict(c)) == c`` holds for every valid config (explicit
+  activation orders included);
+
+* **shim equivalence** — the legacy keyword entry points
+  (:func:`repro.core.dynamics.run_dynamics`,
+  :func:`repro.core.poa.sample_equilibria`,
+  :func:`repro.analysis.experiments.poa_experiment`) produce bit-identical
+  trajectories *and* :class:`~repro.core.incremental.EngineStats` versus
+  the explicit session/config path, across every model variant, both
+  schedules and ``workers in {1, 2}``;
+
+* **pool amortization** — an equilibrium-sampling sweep through one
+  session creates exactly one
+  :class:`~repro.core.parallel.ParallelEvaluator` and starts its worker
+  pool at most once, however many dynamics runs the sweep makes;
+
+* **ownership/lifecycle** — a run only ever closes engines and evaluators
+  it created itself: session-injected evaluators survive
+  ``run_dynamics(session=...)`` calls and die with the session, never with
+  a run (the ROADMAP-flagged pool-churn leak regression).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EngineStats,
+    GameSession,
+    IncrementalEngine,
+    NetworkCreationGame,
+    ParallelEvaluator,
+    SimulationConfig,
+    StrategyProfile,
+    estimate_poa,
+    run_dynamics,
+    sample_equilibria,
+)
+from repro.core import session as session_module
+from repro.metrics.generators import (
+    random_euclidean_host,
+    random_general_host,
+    random_metric_host,
+    random_one_infinity_host,
+    random_one_two_host,
+    random_tree_host,
+    unit_host,
+)
+
+VARIANTS = {
+    "ncg": lambda n, rng: unit_host(n),
+    "one_two": lambda n, rng: random_one_two_host(n, rng=rng),
+    "one_infinity": lambda n, rng: random_one_infinity_host(n, rng=rng),
+    "tree": lambda n, rng: random_tree_host(n, rng=rng),
+    "euclidean": lambda n, rng: random_euclidean_host(n, rng=rng),
+    "metric": lambda n, rng: random_metric_host(n, rng=rng),
+    "general": lambda n, rng: random_general_host(n, rng=rng),
+}
+
+
+def _random_profile(n: int, rng: np.random.Generator, density: float = 0.35) -> StrategyProfile:
+    owns = rng.random((n, n)) < density
+    np.fill_diagonal(owns, False)
+    return StrategyProfile(owns, copy=False, validate=False)
+
+
+def _random_game(variant: str, n: int, rng: np.random.Generator) -> NetworkCreationGame:
+    host = VARIANTS[variant](n, rng)
+    return NetworkCreationGame(host, float(rng.uniform(0.2, 3.0)))
+
+
+def _assert_identical(a, b) -> None:
+    """Bit-identical DynamicsResults: trajectory, stats and cache counters."""
+    assert a.converged == b.converged
+    assert a.moves == b.moves
+    assert a.steps == b.steps
+    assert a.final_profile == b.final_profile
+    assert a.social_costs == b.social_costs  # exact float equality
+    assert a.engine_stats == b.engine_stats
+    assert a.schedule_hits == b.schedule_hits
+    assert a.schedule_misses == b.schedule_misses
+
+
+# ----------------------------------------------------------------------
+# SimulationConfig: validation, replace, dict round-trip
+# ----------------------------------------------------------------------
+class TestSimulationConfig:
+    def test_defaults_match_legacy_run_dynamics_surface(self):
+        cfg = SimulationConfig()
+        assert cfg.engine == "incremental"
+        assert cfg.schedule == "sequential"
+        assert cfg.workers == 1
+        assert cfg.response == "best"
+        assert cfg.order == "round_robin"
+        assert cfg.max_rounds is None  # = each entry point's historical budget
+        assert cfg.resolved_max_rounds(100) == 100
+        assert cfg.replace(max_rounds=7).resolved_max_rounds(100) == 7
+        assert cfg.max_candidates == 22
+        assert cfg.repair_threshold == 0.5
+        assert cfg.seed == 0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {},
+            {"engine": "exact"},
+            {"schedule": "batched", "workers": 4},
+            {"order": (2, 0, 1, 0), "response": "greedy"},
+            {"order": "random", "seed": 123, "max_rounds": 7},
+            {"seed": None, "repair_threshold": 0.0, "max_candidates": 5},
+            {"response": "single", "workers": 2, "schedule": "batched"},
+        ],
+    )
+    def test_dict_round_trip(self, kwargs):
+        cfg = SimulationConfig(**kwargs)
+        data = cfg.to_dict()
+        assert json.loads(json.dumps(data)) == data  # JSON-safe
+        assert SimulationConfig.from_dict(data) == cfg
+
+    def test_explicit_order_normalized_to_tuple(self):
+        cfg = SimulationConfig(order=[3, 1, 2])
+        assert cfg.order == (3, 1, 2)
+        assert cfg == SimulationConfig(order=np.array([3, 1, 2]))
+        assert cfg.to_dict()["order"] == [3, 1, 2]
+
+    def test_replace_validates_and_preserves(self):
+        cfg = SimulationConfig()
+        batched = cfg.replace(schedule="batched", workers=2)
+        assert batched.workers == 2 and cfg.workers == 1
+        assert cfg.replace() is cfg
+        with pytest.raises(ValueError, match="unknown SimulationConfig field"):
+            cfg.replace(worker=2)
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            ({"engine": "bogus"}, "unknown engine"),
+            ({"schedule": "bulk"}, "unknown schedule"),
+            ({"response": "bogus"}, "unknown response"),
+            ({"order": "bogus"}, "unknown order"),
+            ({"workers": 0}, "workers"),
+            ({"repair_threshold": -1.0}, "repair_threshold"),
+            ({"max_rounds": -1}, "max_rounds"),
+            ({"max_candidates": 0}, "max_candidates"),
+            ({"engine": "exact", "workers": 2}, "incremental"),
+            ({"engine": "exact", "schedule": "batched"}, "incremental"),
+            ({"schedule": "batched", "order": "max_gain"}, "max_gain"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(ValueError, match=match):
+            SimulationConfig(**kwargs)
+
+    def test_from_dict_rejects_unknown_keys_and_non_mappings(self):
+        with pytest.raises(ValueError, match="worker"):
+            SimulationConfig.from_dict({"worker": 2})
+        with pytest.raises(ValueError, match="mapping"):
+            SimulationConfig.from_dict([("workers", 2)])
+
+    @pytest.mark.parametrize(
+        "data", [{"workers": None}, {"order": 5}, {"max_rounds": "many"}]
+    )
+    def test_wrong_typed_values_raise_value_error_not_type_error(self, data):
+        """Hand-edited JSON configs must fail as ValueError (what the CLI catches)."""
+        with pytest.raises(ValueError):
+            SimulationConfig.from_dict(data)
+
+    def test_merged_precedence(self):
+        # None overrides mean "not given"; explicit keywords always win
+        assert SimulationConfig.merged(None).max_rounds is None
+        assert SimulationConfig.merged(SimulationConfig(max_rounds=60)).max_rounds == 60
+        assert SimulationConfig.merged(
+            SimulationConfig(max_rounds=60), max_rounds=7
+        ).max_rounds == 7
+        assert SimulationConfig.merged(None, workers=None).workers == 1
+
+    def test_seed_policy(self):
+        a = SimulationConfig(seed=9).rng().random(4)
+        assert np.array_equal(a, np.random.default_rng(9).random(4))
+        # seed=None means the fixed default stream, not OS entropy
+        assert np.array_equal(
+            SimulationConfig(seed=None).rng().random(4),
+            SimulationConfig(seed=0).rng().random(4),
+        )
+        assert SimulationConfig(seed=5).spawn_seeds(3) == session_module.spawn_seeds(5, 3)
+        assert len(set(SimulationConfig().spawn_seeds(8))) == 8
+
+
+# ----------------------------------------------------------------------
+# Deprecation-shim equivalence: legacy kwargs == session path, bit for bit
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_legacy_kwargs_match_session_path(variant, property_budget):
+    """run_dynamics(kwargs) == GameSession.run for all variants/schedules/workers."""
+    rng = np.random.default_rng(zlib.crc32(f"session-{variant}".encode()) % 2**32)
+    trials = max(1, property_budget // 4)
+    for trial in range(trials):
+        n = int(rng.integers(4, 9))
+        game = _random_game(variant, n, rng)
+        start = _random_profile(n, rng, density=float(rng.uniform(0.1, 0.5)))
+        response = ("best", "greedy", "single")[trial % 3]
+        order = ("round_robin", "random")[trial % 2]
+        workers = (1, 2)[trial % 2]
+        for schedule in ("sequential", "batched"):
+            legacy = run_dynamics(
+                game,
+                start,
+                response=response,
+                order=order,
+                max_rounds=10,
+                rng=7,
+                schedule=schedule,
+                workers=workers,
+            )
+            cfg = SimulationConfig(
+                response=response,
+                order=order,
+                max_rounds=10,
+                schedule=schedule,
+                workers=workers,
+                seed=7,
+            )
+            with GameSession(game, cfg) as session:
+                via_session = session.run(start)
+                via_config = run_dynamics(game, start, rng=7, session=session)
+            _assert_identical(legacy, via_session)
+            _assert_identical(legacy, via_config)
+
+
+def test_sample_equilibria_legacy_matches_session():
+    rng_seed = 0
+    game = _random_game("euclidean", 7, np.random.default_rng(23))
+    for workers in (1, 2):
+        legacy = sample_equilibria(
+            game,
+            num_samples=3,
+            rng=np.random.default_rng(rng_seed),
+            schedule="batched",
+            workers=workers,
+        )
+        cfg = SimulationConfig(max_rounds=60, schedule="batched", workers=workers)
+        with GameSession(game, cfg) as session:
+            via_session = session.sample_equilibria(
+                num_samples=3, rng=np.random.default_rng(rng_seed)
+            )
+            via_kwarg = sample_equilibria(
+                game, num_samples=3, rng=np.random.default_rng(rng_seed), session=session
+            )
+        assert [p.canonical_key() for p in legacy] == [
+            p.canonical_key() for p in via_session
+        ]
+        assert [p.canonical_key() for p in legacy] == [
+            p.canonical_key() for p in via_kwarg
+        ]
+
+
+def test_poa_experiment_legacy_matches_config_path():
+    from repro.analysis.experiments import poa_experiment
+
+    legacy = poa_experiment(
+        "euclidean", 5, 1.0, instances=2, samples_per_instance=2, seed=3, workers=2
+    )
+    cfg = SimulationConfig(max_rounds=60, workers=2, seed=3)
+    via_config = poa_experiment(
+        "euclidean", 5, 1.0, instances=2, samples_per_instance=2, config=cfg
+    )
+    assert legacy == via_config
+
+
+def test_estimate_poa_legacy_matches_session():
+    game = _random_game("metric", 6, np.random.default_rng(31))
+    legacy = estimate_poa(game, num_samples=3, rng=np.random.default_rng(0))
+    with GameSession(game, SimulationConfig(max_rounds=60)) as session:
+        via_session = session.poa(num_samples=3, rng=np.random.default_rng(0))
+    assert legacy.worst_equilibrium_cost == via_session.worst_equilibrium_cost
+    assert legacy.best_equilibrium_cost == via_session.best_equilibrium_cost
+    assert legacy.equilibria_found == via_session.equilibria_found
+    assert legacy.optimum.cost == via_session.optimum.cost
+
+
+def test_config_and_session_are_mutually_exclusive():
+    game = _random_game("euclidean", 5, np.random.default_rng(1))
+    start = StrategyProfile.empty(5)
+    with GameSession(game) as session:
+        with pytest.raises(ValueError, match="not both"):
+            run_dynamics(game, start, config=SimulationConfig(), session=session)
+        with pytest.raises(ValueError, match="not both"):
+            sample_equilibria(game, config=SimulationConfig(), session=session)
+
+
+def test_session_bound_to_a_different_game_is_rejected():
+    """session= must never silently compute on the session's own game."""
+    game1 = _random_game("euclidean", 5, np.random.default_rng(2))
+    game2 = _random_game("euclidean", 5, np.random.default_rng(3))
+    with GameSession(game1) as session:
+        for call in (
+            lambda: run_dynamics(game2, StrategyProfile.empty(5), session=session),
+            lambda: sample_equilibria(game2, num_samples=1, session=session),
+            lambda: estimate_poa(game2, num_samples=1, session=session),
+        ):
+            with pytest.raises(ValueError, match="different game"):
+                call()
+
+
+# ----------------------------------------------------------------------
+# Pool amortization: one evaluator per session, shared across runs
+# ----------------------------------------------------------------------
+def test_sampling_sweep_creates_exactly_one_evaluator():
+    game = _random_game("euclidean", 8, np.random.default_rng(41))
+    cfg = SimulationConfig(max_rounds=60, schedule="batched", workers=2)
+    with GameSession(game, cfg) as session:
+        equilibria = session.sample_equilibria(num_samples=4)
+        stats = session.stats()
+        assert stats.runs >= 8  # structural seeds + random seeds
+        assert stats.engines_created == 1
+        assert stats.evaluators_created == 1
+        assert stats.evaluator_pools_started <= 1  # lazy, started at most once
+        assert stats.evaluator_running or stats.evaluator_pools_started == 0
+        # The same pool keeps serving runs after the sweep.
+        session.run(StrategyProfile.empty(8))
+        assert session.stats().evaluators_created == 1
+    assert equilibria  # the sweep did find equilibria
+    closed_stats = session.stats()
+    assert not closed_stats.evaluator_running
+    # close() snapshots the pool counter: post-exit inspection still sees it.
+    assert closed_stats.evaluator_pools_started == stats.evaluator_pools_started
+
+
+def test_session_engine_is_reset_not_rebuilt():
+    game = _random_game("tree", 6, np.random.default_rng(5))
+    start = _random_profile(6, np.random.default_rng(6))
+    with GameSession(game, SimulationConfig(max_rounds=15)) as session:
+        first = session.run(start)
+        second = session.run(start)
+        stats = session.stats()
+    # Same work per run: reset wipes caches, so runs are independent...
+    assert first.engine_stats == second.engine_stats
+    _assert_identical(first, second)
+    # ...but the engine object is built once and the counters accumulate.
+    assert stats.engines_created == 1
+    assert stats.runs == 2
+    assert stats.engine_stats.move_updates == 2 * first.engine_stats.move_updates
+
+
+def test_engine_reset_keeps_evaluator_and_replaces_stats():
+    game = _random_game("euclidean", 6, np.random.default_rng(8))
+    profile = _random_profile(6, np.random.default_rng(9))
+    with ParallelEvaluator.for_game(game, workers=2) as evaluator:
+        engine = IncrementalEngine(game, profile, evaluator=evaluator)
+        assert engine.workers == 2
+        engine.respond_many(range(6), "single")
+        old_stats = engine.stats
+        assert evaluator.pools_started == 1
+        engine.reset(profile)
+        assert engine.stats is not old_stats and engine.stats == EngineStats()
+        engine.respond_many(range(6), "single")
+        assert evaluator.pools_started == 1  # pool survived the reset
+        with pytest.raises(ValueError, match="agents"):
+            engine.reset(StrategyProfile.empty(7))
+
+
+# ----------------------------------------------------------------------
+# Ownership / lifecycle (the ROADMAP pool-churn leak regression)
+# ----------------------------------------------------------------------
+def test_run_never_closes_session_injected_evaluator():
+    """A run through a session must leave the session's pool running."""
+    game = _random_game("euclidean", 7, np.random.default_rng(51))
+    start = _random_profile(7, np.random.default_rng(52))
+    cfg = SimulationConfig(schedule="batched", workers=2, max_rounds=8)
+    session = GameSession(game, cfg)
+    try:
+        run_dynamics(game, start, session=session)
+        stats = session.stats()
+        assert stats.evaluators_created == 1
+        assert stats.evaluator_running  # the run did not tear the pool down
+        run_dynamics(game, start, session=session)
+        assert session.stats().evaluator_pools_started == 1  # started once, ever
+    finally:
+        session.close()
+    assert not session.stats().evaluator_running
+    assert mp.active_children() == []  # close() reaped the workers
+
+
+def test_one_shot_run_still_cleans_up_after_itself():
+    """Without a session, run_dynamics owns — and closes — what it creates."""
+    game = _random_game("euclidean", 7, np.random.default_rng(53))
+    start = _random_profile(7, np.random.default_rng(54))
+    run_dynamics(game, start, schedule="batched", workers=2, max_rounds=6)
+    assert mp.active_children() == []
+
+
+def test_engine_close_spares_injected_evaluator():
+    game = _random_game("metric", 5, np.random.default_rng(55))
+    profile = _random_profile(5, np.random.default_rng(56))
+    with ParallelEvaluator.for_game(game, workers=2) as evaluator:
+        engine = IncrementalEngine(game, profile, evaluator=evaluator)
+        engine.respond_many(range(5), "single")
+        assert evaluator.is_running
+        engine.close()
+        assert evaluator.is_running  # not owned by the engine
+    assert not evaluator.is_running  # the owner's context manager closed it
+
+
+def test_closed_session_refuses_work_and_close_is_idempotent():
+    game = _random_game("tree", 5, np.random.default_rng(57))
+    session = GameSession(game)
+    session.close()
+    session.close()
+    assert session.closed
+    for call in (
+        lambda: session.run(StrategyProfile.empty(5)),
+        lambda: session.sample_equilibria(num_samples=1),
+        lambda: session.poa(num_samples=1),
+    ):
+        with pytest.raises(RuntimeError, match="closed"):
+            call()
+
+
+def test_session_scoped_fields_cannot_change_per_run():
+    game = _random_game("euclidean", 5, np.random.default_rng(58))
+    start = StrategyProfile.empty(5)
+    with GameSession(game) as session:
+        for field, value in (
+            ("engine", "exact"),
+            ("workers", 2),
+            ("repair_threshold", 0.1),
+        ):
+            with pytest.raises(ValueError, match=field):
+                session.run(start, **{field: value})
+        # a "change" to the value the session already has is a no-op
+        session.run(start, workers=1, engine="incremental", max_rounds=3)
+        # run-scoped overrides are fine and still validated
+        session.run(start, schedule="batched", max_rounds=3)
+        with pytest.raises(ValueError, match="max_gain"):
+            session.run(start, schedule="batched", order="max_gain")
+
+
+def test_session_kwargs_on_shims_are_honored_not_dropped():
+    """sample_equilibria/estimate_poa with session= must not ignore legacy kwargs."""
+    game = _random_game("euclidean", 6, np.random.default_rng(60))
+    with GameSession(game, SimulationConfig(max_rounds=60)) as session:
+        # session-scoped mismatch raises instead of silently running differently
+        with pytest.raises(ValueError, match="engine"):
+            sample_equilibria(game, num_samples=1, session=session, engine="exact")
+        with pytest.raises(ValueError, match="workers"):
+            estimate_poa(game, num_samples=1, session=session, workers=2)
+        # schedule is a per-run override: honored, and trajectory-equivalent
+        batched = sample_equilibria(
+            game, num_samples=2, rng=np.random.default_rng(0),
+            session=session, schedule="batched",
+        )
+        assert session.stats().schedule_hits + session.stats().schedule_misses > 0
+    sequential = sample_equilibria(
+        game, num_samples=2, rng=np.random.default_rng(0), max_rounds=60
+    )
+    assert [p.canonical_key() for p in batched] == [
+        p.canonical_key() for p in sequential
+    ]
+
+
+def test_entry_points_resolve_historical_round_budgets(monkeypatch):
+    """max_rounds=None resolves per entry point: run 100, sampling 60, study 40."""
+    from repro.analysis.experiments import dynamics_convergence_experiment
+
+    seen: list[int] = []
+    real_loop = session_module._run_session_loop
+
+    def spy(game, initial, *, cfg, **kwargs):
+        seen.append(cfg.max_rounds)
+        return real_loop(game, initial, cfg=cfg, **kwargs)
+
+    monkeypatch.setattr(session_module, "_run_session_loop", spy)
+    game = _random_game("euclidean", 5, np.random.default_rng(61))
+    with GameSession(game) as session:
+        session.run(StrategyProfile.empty(5))
+        assert seen[-1] == 100
+        session.sample_equilibria(num_samples=1)
+        assert set(seen[1:]) == {60}
+        session.run(StrategyProfile.empty(5), max_rounds=7)
+        assert seen[-1] == 7
+    # pinned in the session config: used by every entry point
+    with GameSession(game, SimulationConfig(max_rounds=12)) as session:
+        session.run(StrategyProfile.empty(5))
+        session.sample_equilibria(num_samples=1)
+        assert set(seen[-2:]) == {12}
+    seen.clear()
+    dynamics_convergence_experiment(
+        "euclidean", 5, 1.0, instances=1, runs_per_instance=1, seed=0
+    )
+    assert seen == [40]
+
+
+def test_convergence_experiment_honors_config_order(monkeypatch):
+    """A config's activation order must not be silently forced to round_robin."""
+    from repro.analysis.experiments import dynamics_convergence_experiment
+
+    seen: list[object] = []
+    real_loop = session_module._run_session_loop
+
+    def spy(game, initial, *, cfg, **kwargs):
+        seen.append(cfg.order)
+        return real_loop(game, initial, cfg=cfg, **kwargs)
+
+    monkeypatch.setattr(session_module, "_run_session_loop", spy)
+    dynamics_convergence_experiment(
+        "euclidean", 5, 1.0, instances=1, runs_per_instance=1, seed=0,
+        config=SimulationConfig(order="random"),
+    )
+    assert seen == ["random"]
+
+
+def test_session_rejects_unknown_verify_mode():
+    game = _random_game("euclidean", 4, np.random.default_rng(59))
+    with GameSession(game) as session:
+        with pytest.raises(ValueError, match="verify"):
+            session.sample_equilibria(num_samples=1, verify="bogus")
+
+
+# ----------------------------------------------------------------------
+# CLI: --config files and `repro config dump`
+# ----------------------------------------------------------------------
+class TestCLIConfig:
+    def test_config_dump_round_trips(self, capsys):
+        from repro.cli import main
+
+        assert main(["config", "dump", "--schedule", "batched", "--workers", "3",
+                     "--seed", "11", "--max-rounds", "50"]) == 0
+        dumped = json.loads(capsys.readouterr().out)
+        cfg = SimulationConfig.from_dict(dumped)
+        assert cfg == SimulationConfig(
+            schedule="batched", workers=3, seed=11, max_rounds=50
+        )
+
+    def test_config_file_drives_poa_and_flags_override(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "cfg.json"
+        path.write_text(json.dumps(
+            SimulationConfig(schedule="batched", workers=2, seed=3).to_dict()
+        ))
+        args = ["poa", "--variant", "euclidean", "--n", "5", "--alpha", "1.0",
+                "--instances", "1", "--samples", "2", "--config", str(path)]
+        assert main(args + ["--workers", "1"]) == 0
+        overridden = capsys.readouterr().out
+        assert main(args) == 0
+        from_file = capsys.readouterr().out
+        # workers trades nothing but time: identical report either way
+        assert overridden == from_file
+        assert "bound respected  : True" in from_file
+
+    def test_cli_resolution_is_command_uniform(self, tmp_path):
+        """config dump freezes exactly what every command resolves to."""
+        from repro.cli import build_parser, resolve_config
+
+        parser = build_parser()
+        for argv in (["poa"], ["dynamics"], ["simulate"], ["config", "dump"]):
+            # max_rounds stays unset; entry points apply their own budget
+            assert resolve_config(parser.parse_args(argv)) == SimulationConfig()
+        path = tmp_path / "cfg.json"
+        path.write_text(json.dumps(SimulationConfig(max_rounds=200).to_dict()))
+        for argv in (["poa"], ["dynamics"], ["simulate"], ["config", "dump"]):
+            args = parser.parse_args(argv + ["--config", str(path)])
+            assert resolve_config(args).max_rounds == 200
+
+    def test_config_dump_reads_back_its_own_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "cfg.json"
+        assert main(["config", "dump", "--engine", "exact", "--seed", "5"]) == 0
+        path.write_text(capsys.readouterr().out)
+        assert main(["config", "dump", "--config", str(path)]) == 0
+        assert SimulationConfig.from_dict(
+            json.loads(capsys.readouterr().out)
+        ) == SimulationConfig(engine="exact", seed=5)
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["poa", "--config", "/definitely/not/here.json"],
+            ["dynamics", "--workers", "0"],
+            ["simulate", "--engine", "exact", "--schedule", "batched"],
+            ["config", "dump", "--engine", "exact", "--workers", "2"],
+        ],
+    )
+    def test_invalid_configs_exit_with_usage_error(self, argv, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+
+    def test_config_file_with_unknown_field_is_rejected(self, tmp_path):
+        from repro.cli import main
+
+        path = tmp_path / "bad.json"
+        path.write_text('{"worker": 2}')
+        with pytest.raises(SystemExit):
+            main(["poa", "--config", str(path)])
+        path.write_text("not json")
+        with pytest.raises(SystemExit):
+            main(["poa", "--config", str(path)])
+        # wrong-typed values exit cleanly too (no raw TypeError traceback)
+        path.write_text('{"workers": null}')
+        with pytest.raises(SystemExit) as excinfo:
+            main(["poa", "--config", str(path)])
+        assert excinfo.value.code == 2

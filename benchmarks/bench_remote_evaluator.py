@@ -1,0 +1,262 @@
+"""Local vs. remote (socket) evaluator backend on the mesh certification workload.
+
+The remote backend (``backend="remote"`` in
+:class:`~repro.core.session.SimulationConfig`) ships the batched
+schedule's evaluations to ``repro worker serve`` processes over TCP
+sockets (:mod:`repro.core.remote`): the static weight matrix crosses each
+connection once, per-batch residual matrices travel as length-prefixed
+raw ``float64`` buffers, and results are gathered in submission order.
+This benchmark replays the headline workload of
+``bench_parallel_dynamics.py`` — equilibrium *certification* on a
+degree-9 geometric mesh, where one cold-cache batched round scores every
+agent against one snapshot with substantial per-agent candidate-scan work
+— on two backends:
+
+* **serial baseline** — ``workers=1``, everything in-process;
+* **remote** — two worker-server processes on localhost sockets, driven
+  through one :class:`~repro.core.session.GameSession` so the whole sweep
+  opens exactly one connection set (asserted via ``SessionStats``).
+
+The identity contract is asserted **always**: byte-identical converged
+social costs, trajectories and engine stats between the backends (workers
+execute the same pure kernel; costs cross the wire via ``float.hex``).
+The throughput comparison is always reported; the speedup assertion
+additionally requires >= 2 available CPUs (per the container note: on a
+single-CPU machine two localhost workers cannot beat the serial path) and
+``BENCH_SKIP_SPEEDUP_ASSERT`` unset.
+
+Run directly (``python benchmarks/bench_remote_evaluator.py``) for a
+plain-text report plus ``BENCH_remote_evaluator.json``, or through
+pytest-benchmark like the other benchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GameSession,
+    NetworkCreationGame,
+    SimulationConfig,
+    StrategyProfile,
+    default_workers,
+)
+from repro.core.host_graph import HostGraph
+from repro.core.remote import local_workers
+
+N = 60
+ALPHA = 3.0
+MESH_DEGREE = 9
+REMOTE_WORKERS = 2
+CERT_REPS = 3  # timed certification replays per backend
+MAX_ROUNDS = 40
+SEED = 0  # seed 5's mesh hits a genuine BR cycle (no FIP) — seed 0 converges
+SPEEDUP_TARGET = 1.1
+
+
+def mesh_host(n: int, seed: int = SEED) -> HostGraph:
+    """A degree-bounded geometric mesh (kNN graph, symmetrized)."""
+    rng = np.random.default_rng(seed)
+    pts = rng.random((n, 2)) * np.sqrt(n)
+    diff = pts[:, None, :] - pts[None, :, :]
+    d = np.sqrt((diff**2).sum(-1))
+    order = np.argsort(d, axis=1)
+    allowed = np.zeros((n, n), dtype=bool)
+    for u in range(n):
+        allowed[u, order[u, 1 : MESH_DEGREE + 1]] = True
+    allowed |= allowed.T
+    w = np.where(allowed, d, np.inf)
+    np.fill_diagonal(w, 0.0)
+    return HostGraph(w)
+
+
+def spanning_tree_profile(host: HostGraph) -> StrategyProfile:
+    """A BFS spanning tree over the finite host edges, owned by the parents."""
+    n = host.n
+    finite = np.isfinite(host.weights) & ~np.eye(n, dtype=bool)
+    owns = np.zeros((n, n), dtype=bool)
+    seen = {0}
+    queue = deque([0])
+    while queue:
+        u = queue.popleft()
+        for v in np.nonzero(finite[u])[0]:
+            if int(v) not in seen:
+                seen.add(int(v))
+                owns[u, v] = True
+                queue.append(int(v))
+    assert len(seen) == n, "mesh host is not connected"
+    return StrategyProfile(owns, copy=False, validate=False)
+
+
+def _config(**overrides) -> SimulationConfig:
+    return SimulationConfig(
+        schedule="batched", max_rounds=MAX_ROUNDS, seed=SEED, **overrides
+    )
+
+
+def converged_start(game: NetworkCreationGame) -> StrategyProfile:
+    """Converge the mesh once (untimed) — certification replays start here."""
+    with GameSession(game, _config()) as session:
+        result = session.run(spanning_tree_profile(game.host))
+    assert result.converged, "setup dynamics did not converge"
+    return result.final_profile
+
+
+def certification_sweep(game, start, config) -> tuple[float, list, object]:
+    """Time ``CERT_REPS`` cold-cache certification runs through one session."""
+    with GameSession(game, config) as session:
+        t0 = time.perf_counter()
+        results = [session.run(start) for _ in range(CERT_REPS)]
+        elapsed = time.perf_counter() - t0
+        stats = session.stats()
+    return elapsed, results, stats
+
+
+def compare_backends(endpoints) -> dict:
+    game = NetworkCreationGame(mesh_host(N), ALPHA)
+    start = converged_start(game)
+    serial_s, serial_results, _ = certification_sweep(game, start, _config())
+    remote_s, remote_results, remote_stats = certification_sweep(
+        game, start, _config(backend="remote", endpoints=tuple(endpoints))
+    )
+    identical = all(
+        a.converged and b.converged
+        and a.moves == b.moves
+        and a.final_profile == b.final_profile
+        and a.social_costs == b.social_costs  # exact float equality
+        and a.engine_stats == b.engine_stats
+        for a, b in zip(serial_results, remote_results)
+    )
+    return {
+        "serial_s": serial_s,
+        "remote_s": remote_s,
+        "speedup": serial_s / remote_s if remote_s > 0 else float("nan"),
+        "identical": identical,
+        "converged_cost": serial_results[0].final_social_cost,
+        "remote_cost": remote_results[0].final_social_cost,
+        "runs": CERT_REPS,
+        "evaluators_created": remote_stats.evaluators_created,
+        "connection_sets": remote_stats.evaluator_pools_started,
+    }
+
+
+def _report_rows(stats, cpus):
+    return [
+        ("certification runs", "-", stats["runs"]),
+        ("serial backend [s]", "-", stats["serial_s"]),
+        (f"remote backend [s] ({REMOTE_WORKERS} workers)", "-", stats["remote_s"]),
+        ("speedup (remote)", f">= {SPEEDUP_TARGET} with >= 2 CPUs", stats["speedup"]),
+        ("byte-identical runs", "always", stats["identical"]),
+        ("converged cost (serial)", "-", stats["converged_cost"]),
+        ("converged cost (remote)", "= serial", stats["remote_cost"]),
+        ("connection sets per session", 1, stats["connection_sets"]),
+        ("available CPUs", "-", cpus),
+    ]
+
+
+def _speedup_asserted(cpus: int) -> bool:
+    """Timing is asserted only with >= 2 CPUs and outside smoke jobs."""
+    return cpus >= 2 and os.environ.get("BENCH_SKIP_SPEEDUP_ASSERT", "") != "1"
+
+
+def _check(stats, cpus) -> None:
+    assert stats["identical"], "remote backend diverged from the serial engine"
+    assert stats["remote_cost"] == stats["converged_cost"]  # byte-identical
+    assert stats["evaluators_created"] == 1
+    assert stats["connection_sets"] == 1
+    if _speedup_asserted(cpus):
+        assert stats["speedup"] >= SPEEDUP_TARGET, (
+            f"remote backend speedup {stats['speedup']:.2f}x below "
+            f"{SPEEDUP_TARGET}x with {cpus} CPUs"
+        )
+
+
+@pytest.mark.benchmark(group="remote-evaluator")
+def test_remote_backend_matches_and_scales(benchmark, paper_report):
+    with local_workers(REMOTE_WORKERS) as endpoints:
+        stats = benchmark.pedantic(
+            lambda: compare_backends(endpoints), rounds=1, iterations=1
+        )
+    cpus = default_workers()
+    paper_report(
+        f"Local vs. remote evaluator backend — mesh certification (n={N})",
+        _report_rows(stats, cpus),
+        n=N,
+        seed=SEED,
+        alpha=ALPHA,
+        remote_workers=REMOTE_WORKERS,
+        cpus=cpus,
+        serial_s=stats["serial_s"],
+        remote_s=stats["remote_s"],
+        speedup=stats["speedup"],
+    )
+    _check(stats, cpus)
+    if not _speedup_asserted(cpus):
+        pytest.skip(
+            f"speedup assertion skipped ({cpus} CPUs available, "
+            f"BENCH_SKIP_SPEEDUP_ASSERT={os.environ.get('BENCH_SKIP_SPEEDUP_ASSERT', '')!r}); "
+            "identity and single-connection-set checks passed"
+        )
+
+
+def main() -> int:
+    from conftest import _jsonable, write_bench_json
+
+    cpus = default_workers()
+    with local_workers(REMOTE_WORKERS) as endpoints:
+        stats = compare_backends(endpoints)
+    print(
+        f"geometric mesh host (degree {MESH_DEGREE}) n={N}, alpha={ALPHA}, "
+        f"batched certification x{CERT_REPS}, remote workers={REMOTE_WORKERS}, "
+        f"{cpus} CPUs"
+    )
+    print(
+        f"  serial {stats['serial_s']:6.2f}s   remote {stats['remote_s']:6.2f}s   "
+        f"speedup {stats['speedup']:.2f}x   identical={stats['identical']}   "
+        f"connection sets={stats['connection_sets']}"
+    )
+    entries = [
+        {
+            "title": f"Local vs. remote evaluator backend — mesh certification (n={N})",
+            "rows": [
+                {"label": lbl, "paper": _jsonable(paper), "measured": _jsonable(measured)}
+                for lbl, paper, measured in _report_rows(stats, cpus)
+            ],
+            "meta": _jsonable(
+                {
+                    "n": N,
+                    "seed": SEED,
+                    "alpha": ALPHA,
+                    "remote_workers": REMOTE_WORKERS,
+                    "cpus": cpus,
+                    "serial_s": stats["serial_s"],
+                    "remote_s": stats["remote_s"],
+                    "speedup": stats["speedup"],
+                }
+            ),
+        }
+    ]
+    path = write_bench_json("bench_remote_evaluator", entries)
+    print(f"wrote {path}")
+    try:
+        _check(stats, cpus)
+    except AssertionError as exc:
+        print(f"FAILED: {exc}")
+        return 1
+    if not _speedup_asserted(cpus):
+        print(
+            "speedup not asserted "
+            f"({cpus} CPUs, BENCH_SKIP_SPEEDUP_ASSERT="
+            f"{os.environ.get('BENCH_SKIP_SPEEDUP_ASSERT', '')!r}); "
+            "identity checks passed"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

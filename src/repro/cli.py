@@ -12,7 +12,10 @@ writing any code:
   instances;
 * ``simulate``      — play one game instance end to end (optimum, dynamics,
   equilibrium certification) and print the outcome;
-* ``config dump``   — print the resolved simulation config as JSON.
+* ``config dump``   — print the resolved simulation config as JSON;
+* ``worker serve``  — run a remote-evaluator worker server
+  (:mod:`repro.core.remote`) that experiment commands on any machine can
+  score batches against via ``--backend remote --endpoint host:port``.
 
 Every command accepts ``--seed`` for reproducibility.  The ``poa``,
 ``dynamics`` and ``simulate`` commands are driven by a
@@ -22,7 +25,8 @@ to load one (the JSON layout of
 flags — ``--engine`` (incremental distance engine vs. exact from-scratch
 oracle), ``--schedule`` (sequential vs. batched proposal-caching
 activation), ``--workers`` (shared-memory worker processes for the batched
-evaluations) and ``--seed`` — which override the file.  ``repro config
+evaluations), ``--backend``/``--endpoint`` (local shared-memory evaluation
+vs. remote worker servers) and ``--seed`` — which override the file.  ``repro config
 dump`` prints the config the same flags resolve to, so a flag combination
 can be frozen into a reusable JSON file:
 
@@ -97,6 +101,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_config_flags(p_dump, full=True)
 
+    p_worker = sub.add_parser(
+        "worker", help="remote-evaluator worker servers (repro.core.remote)"
+    )
+    worker_sub = p_worker.add_subparsers(dest="action", required=True)
+    p_serve = worker_sub.add_parser(
+        "serve",
+        help="serve best-response scoring over a TCP socket; experiment "
+        "commands connect with --backend remote --endpoint host:port",
+    )
+    p_serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default 127.0.0.1; use 0.0.0.0 for multi-host)",
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="port to bind (default 0 = OS-assigned; the bound endpoint is "
+        "printed as the first output line)",
+    )
+
     return parser
 
 
@@ -158,12 +184,45 @@ def _add_config_flags(parser: argparse.ArgumentParser, *, full: bool = False) ->
         ),
     )
     parser.add_argument(
+        "--backend",
+        default=None,
+        choices=["local", "remote"],
+        help=(
+            "evaluator backend for the batched evaluations: 'local' "
+            "(default) scores in-process or on a shared-memory worker pool "
+            "(--workers); 'remote' fans batches out over sockets to "
+            "'repro worker serve' processes listed via --endpoint — "
+            "bit-identical trajectories either way"
+        ),
+    )
+    parser.add_argument(
+        "--endpoint",
+        dest="endpoints",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "address of a running 'repro worker serve' process; repeat the "
+            "flag for multiple workers (requires --backend remote)"
+        ),
+    )
+    parser.add_argument(
         "--seed",
         type=int,
         default=None,
         help="root seed of the run (default: the config file's seed, else 0)",
     )
     if full:
+        parser.add_argument(
+            "--buffering",
+            default=None,
+            choices=["single", "double"],
+            help=(
+                "snapshot buffering of the local shared-memory pool: "
+                "'single' (default) or 'double' (overlap the next chunk's "
+                "snapshot writes with scoring; identical results)"
+            ),
+        )
         parser.add_argument(
             "--response", default=None, choices=["best", "greedy", "single"]
         )
@@ -187,6 +246,9 @@ _CONFIG_FIELDS = (
     "schedule",
     "workers",
     "seed",
+    "backend",
+    "endpoints",
+    "buffering",
     "response",
     "order",
     "max_rounds",
@@ -329,6 +391,13 @@ def _cmd_config(args) -> int:
     return 0
 
 
+def _cmd_worker(args) -> int:
+    from .core.remote import serve
+
+    serve(args.host, args.port)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -344,6 +413,7 @@ def main(argv: list[str] | None = None) -> int:
         "dynamics": _cmd_dynamics,
         "simulate": _cmd_simulate,
         "config": _cmd_config,
+        "worker": _cmd_worker,
     }
     return handlers[args.command](args)
 

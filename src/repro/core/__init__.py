@@ -8,7 +8,8 @@ The sub-modules are organised bottom-up:
 * :mod:`repro.core.game`           — the cost model (agent and social costs),
 * :mod:`repro.core.best_response`  — exact and greedy best responses,
 * :mod:`repro.core.incremental`    — cached-distance incremental BR engine,
-* :mod:`repro.core.parallel`       — multiprocess shared-memory evaluation,
+* :mod:`repro.core.parallel`       — evaluator backends, shared-memory pool,
+* :mod:`repro.core.remote`         — socket-based remote evaluator backend,
 * :mod:`repro.core.equilibria`     — NE / GE / AE / β-approximate checks,
 * :mod:`repro.core.dynamics`       — response dynamics and cycle detection,
 * :mod:`repro.core.social_optimum` — exact / heuristic optima, Algorithm 1,
@@ -58,7 +59,14 @@ from .equilibria import (
 from .game import AgentCostBreakdown, NetworkCreationGame
 from .host_graph import HostGraph, MetricViolation, ModelVariant
 from .incremental import EngineStats, IncrementalEngine
-from .parallel import ParallelEvaluator, SharedSnapshot, default_workers
+from .parallel import (
+    EvaluatorBackend,
+    EvaluatorStats,
+    ParallelEvaluator,
+    SharedSnapshot,
+    default_workers,
+)
+from .remote import RemoteEvaluator, WorkerServer
 from .shortest_paths import (
     CandidateEvaluator,
     DecrementalRepair,
@@ -87,6 +95,8 @@ __all__ = [
     "DynamicsResult",
     "EngineStats",
     "EquilibriumReport",
+    "EvaluatorBackend",
+    "EvaluatorStats",
     "GameSession",
     "HostGraph",
     "IncrementalEngine",
@@ -96,6 +106,7 @@ __all__ = [
     "OptimumResult",
     "ParallelEvaluator",
     "PoAEstimate",
+    "RemoteEvaluator",
     "SessionStats",
     "SharedSnapshot",
     "SimulationConfig",
@@ -103,6 +114,7 @@ __all__ = [
     "SingleMoveScorer",
     "SpannerResult",
     "StrategyProfile",
+    "WorkerServer",
     "ae_to_ne_factor",
     "algorithm1_one_two",
     "batch_best_responses",

@@ -400,7 +400,11 @@ def run_dynamics(
         and the proposal-cache counters are bit-identical for every
         worker count; the sequential schedule scores one agent per
         activation and gains nothing from ``workers``.  Requires
-        ``engine="incremental"``.
+        ``engine="incremental"``.  The batched evaluations can also run on
+        a *remote* backend — set ``config.backend="remote"`` with
+        ``config.endpoints`` pointing at ``repro worker serve`` processes
+        (see :mod:`repro.core.remote`); trajectories stay bit-identical to
+        every local configuration.
     repair_threshold:
         Decremental-repair frontier bound of the incremental engine (see
         :class:`~repro.core.incremental.IncrementalEngine`).

@@ -139,11 +139,16 @@ class IncrementalEngine:
 
     Alternatively, a caller that manages pool lifetime itself — a
     :class:`~repro.core.session.GameSession` sharing one pool across many
-    runs — can inject an ``evaluator``; the engine then uses (but does
-    **not** own) it: :meth:`close` leaves injected evaluators running, so
-    per-run engine teardown can never destroy a session's shared pool.
-    :meth:`reset` re-points the engine at a new profile with fresh caches
-    and stats while keeping the evaluator, which is what makes session runs
+    runs — can inject an ``evaluator``: any
+    :class:`~repro.core.parallel.EvaluatorBackend`, i.e. a shared-memory
+    :class:`~repro.core.parallel.ParallelEvaluator` or a socket-connected
+    :class:`~repro.core.remote.RemoteEvaluator`.  The engine then uses
+    (but does **not** own) it: :meth:`close` leaves injected evaluators
+    running, so per-run engine teardown can never destroy a session's
+    shared pool, and an injected backend is dispatched to whatever its
+    fan-out degree (even a single remote endpoint).  :meth:`reset`
+    re-points the engine at a new profile with fresh caches and stats
+    while keeping the evaluator, which is what makes session runs
     bit-identical to one-shot engines.
     """
 
@@ -159,7 +164,7 @@ class IncrementalEngine:
         *,
         repair_threshold: float = 0.5,
         workers: int = 1,
-        evaluator: "ParallelEvaluator | None" = None,
+        evaluator: "EvaluatorBackend | None" = None,
     ) -> None:
         if profile.n != game.n:
             raise ValueError(
@@ -391,7 +396,11 @@ class IncrementalEngine:
             d_rests = [self.residual(u) for u in agents]
         elif len(d_rests) != len(agents):
             raise ValueError("d_rests must match agents one to one")
-        if self._workers <= 1 or len(agents) < 2:
+        # An injected evaluator is used whatever its fan-out degree (a
+        # remote backend is worth dispatching to even with one endpoint);
+        # a pool is only worth *creating* for workers > 1.
+        use_backend = self._evaluator is not None or self._workers > 1
+        if not use_backend or len(agents) < 2:
             return [
                 self.respond(u, response, max_candidates=max_candidates, d_rest=dr)
                 for u, dr in zip(agents, d_rests)

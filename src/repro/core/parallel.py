@@ -4,18 +4,31 @@ Within one batched-dynamics round (and on every ``order="max_gain"`` step)
 many agents are scored against the *same* state snapshot: each evaluation
 is a pure function of the agent's residual distance matrix, the host-graph
 weight row and the agent's current strategy — completely independent of the
-other evaluations.  This module fans those evaluations out to a persistent
-pool of worker processes without ever pickling an ``(n, n)`` matrix:
+other evaluations.  This module defines the evaluator *protocol* behind
+which that fan-out is pluggable, plus the shared-memory implementation:
+
+``EvaluatorBackend``
+    The protocol every evaluator backend implements:
+    ``evaluate(tasks, response, max_candidates=) -> [BestResponseResult]``
+    over ``(agent, d_rest, strategy)`` tasks, ``close()``, plus the
+    ``workers``/``is_running``/``pools_started``/``stats`` introspection
+    surface.  :class:`ParallelEvaluator` (this module) fans out to worker
+    processes on one machine over shared memory;
+    :class:`repro.core.remote.RemoteEvaluator` fans out to worker
+    *servers* over sockets.  Both are drop-in engine injections — see the
+    ownership rules below.
 
 ``SharedSnapshot``
     The shared-memory encoding of one evaluation snapshot.  Two
     :mod:`multiprocessing.shared_memory` segments are used: a *static*
     segment holding the host-graph weight matrix (written once, valid for
     the lifetime of the pool because host weights never change during a
-    dynamics run) and a *slot* segment holding up to ``slots`` residual
-    distance matrices of the current batch.  Workers attach by name at pool
-    start-up and build zero-copy NumPy views; per task only a slot index,
-    an agent id and a (tiny) strategy tuple cross the process boundary.
+    dynamics run) and a *slot* segment holding the residual distance
+    matrices of the in-flight batch — ``slots`` matrices per *bank*, with
+    one bank under ``buffering="single"`` and two under
+    ``buffering="double"``.  Workers attach by name at pool start-up and
+    build zero-copy NumPy views; per task only a slot index, an agent id
+    and a (tiny) strategy tuple cross the process boundary.
 
 ``ParallelEvaluator``
     The persistent worker pool.  It is created *lazily* on the first
@@ -26,24 +39,40 @@ pool of worker processes without ever pickling an ``(n, n)`` matrix:
     residual matrix into a free slot (matrices shared by several agents —
     e.g. the network distances of agents owning no solely-owned edges — are
     written once), dispatches one task per agent and gathers results in
-    submission order.
+    submission order.  With ``buffering="double"`` the snapshot writes of
+    the *next* chunk overlap the workers still scoring the current one
+    (the ROADMAP "slot pressure" item): chunks alternate between two slot
+    banks and at most one chunk per bank is in flight, so no slot is ever
+    rewritten under a pending task.
 
 Determinism is the design constraint, not an afterthought: workers execute
 :func:`repro.core.best_response.score_response` — the exact same pure
 kernel the serial engine runs — against bit-identical matrix copies, and
 results are collected in submission order, so a parallel evaluation is
-indistinguishable from the serial one (the property tests in
-``tests/test_parallel_evaluator.py`` assert bit-identical trajectories for
-``workers in {1, 2, 4}``).
+indistinguishable from the serial one for every worker count *and* either
+buffering mode (the property tests in ``tests/test_parallel_evaluator.py``
+assert bit-identical trajectories for ``workers in {1, 2, 4}`` times
+``buffering in {"single", "double"}``).
 
 Snapshot invariants:
 
 * the weights segment is written once, before the first task is dispatched,
   and never mutated while the pool lives;
 * a slot is only rewritten after every task of the chunk that referenced it
-  has been gathered (dispatch is chunked at ``slots`` distinct matrices);
+  has been gathered (dispatch is chunked at ``slots`` distinct matrices per
+  bank; single buffering gathers a chunk before writing the next, double
+  buffering writes the next chunk into the *other* bank and gathers a
+  bank's chunk before that bank is reused);
 * matrices are C-contiguous ``float64`` — the copy into the slot is an
   exact bitwise copy, so worker-side arithmetic sees the same numbers.
+
+Ownership rules (shared with :mod:`repro.core.remote`): whoever *creates*
+an evaluator closes it, and nobody else.  An
+:class:`~repro.core.incremental.IncrementalEngine` that lazily built its
+own evaluator tears it down in ``close()``; an engine that received an
+*injected* evaluator (from a :class:`~repro.core.session.GameSession`
+sharing one pool across runs) detaches it on ``close()`` and leaves it
+running — per-run engine teardown must never churn a session's pool.
 
 The start method defaults to ``fork`` where available (zero-cost worker
 start-up; the snapshot names travel via the initializer so ``spawn``
@@ -55,17 +84,98 @@ from __future__ import annotations
 import atexit
 import multiprocessing as mp
 import os
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Iterable, Sequence
+from typing import Iterable, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
 from .best_response import BestResponseResult, score_response
 
-__all__ = ["SharedSnapshot", "ParallelEvaluator", "default_workers"]
+__all__ = [
+    "EvaluatorBackend",
+    "EvaluatorStats",
+    "SharedSnapshot",
+    "ParallelEvaluator",
+    "default_workers",
+]
 
 _DEFAULT_SLOTS = 16
+_BUFFERING_MODES = ("single", "double")
+
+
+@dataclass(frozen=True)
+class EvaluatorStats:
+    """What an evaluator backend did over its lifetime.
+
+    ``pools_started`` counts worker-pool launches (local backend) or
+    connection-set establishments (remote backend) — 0 until the first
+    ``evaluate``, above 1 only when the evaluator was revived after a
+    ``close``.  ``batches``/``tasks`` count ``evaluate`` calls and the
+    tasks they carried; the ``bytes_*`` counters are nonzero only for the
+    socket transport (shared-memory traffic is not byte-accounted).
+    """
+
+    backend: str
+    batches: int
+    tasks: int
+    pools_started: int
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+
+@runtime_checkable
+class EvaluatorBackend(Protocol):
+    """Protocol of a pluggable batch evaluator.
+
+    Implementations score ``(agent, d_rest, strategy)`` tasks with the pure
+    :func:`repro.core.best_response.score_response` kernel against
+    bit-identical copies of the caller's matrices and return the results in
+    **submission order** — the invariant that keeps every backend's
+    trajectories indistinguishable from the serial engine.  The residual
+    matrices and all :class:`~repro.core.incremental.EngineStats`
+    accounting stay in the calling process; a backend only ever sees the
+    finished snapshot.  Known implementations:
+    :class:`ParallelEvaluator` (shared-memory worker processes) and
+    :class:`repro.core.remote.RemoteEvaluator` (socket-connected worker
+    servers).
+    """
+
+    pools_started: int
+    """Pool launches / connection-set establishments (0 until the first
+    ``evaluate``); :class:`~repro.core.session.SessionStats` reads this to
+    prove a sweep paid start-up exactly once."""
+
+    @property
+    def workers(self) -> int:
+        """Degree of fan-out (worker processes or connected endpoints)."""
+        ...
+
+    @property
+    def is_running(self) -> bool:
+        """True while the pool / connection set is alive."""
+        ...
+
+    @property
+    def stats(self) -> EvaluatorStats:
+        """Lifetime counters (see :class:`EvaluatorStats`)."""
+        ...
+
+    def evaluate(
+        self,
+        tasks: Iterable[tuple[int, np.ndarray, Sequence[int]]],
+        response: str = "best",
+        *,
+        max_candidates: int = 22,
+    ) -> list[BestResponseResult]:
+        """Score the tasks; results in submission order."""
+        ...
+
+    def close(self) -> None:
+        """Release the backend's resources (idempotent)."""
+        ...
 
 
 def default_workers() -> int:
@@ -214,10 +324,17 @@ class ParallelEvaluator:
         process.  ``workers=1`` is allowed but callers normally keep the
         serial path for it (see ``IncrementalEngine.respond_many``).
     slots:
-        Residual-matrix slots in the shared snapshot; a batch referencing
-        more *distinct* matrices than this is dispatched in chunks with a
-        gather barrier between them (slots are only rewritten after every
-        task reading them has returned).
+        Residual-matrix slots per bank of the shared snapshot; a batch
+        referencing more *distinct* matrices than this is dispatched in
+        chunks (slots are only rewritten after every task reading them has
+        returned).
+    buffering:
+        ``"single"`` (default) gathers each chunk before writing the next
+        one's matrices; ``"double"`` allocates a second slot bank and
+        writes the next chunk's snapshot while the workers are still
+        scoring the current one, keeping at most one chunk per bank in
+        flight.  Results are bit-identical either way — buffering trades
+        nothing but memory (one extra slot bank) for overlap.
     start_method:
         Explicit :mod:`multiprocessing` start method; default is ``fork``
         where available, the platform default otherwise.
@@ -235,8 +352,8 @@ class ParallelEvaluator:
     """
 
     __slots__ = (
-        "_weights", "_alpha", "_workers", "_slots", "_start_method",
-        "_snapshot", "_pool", "pools_started",
+        "_weights", "_alpha", "_workers", "_slots", "_banks", "_start_method",
+        "_snapshot", "_pool", "pools_started", "_batches", "_tasks",
     )
 
     def __init__(
@@ -246,6 +363,7 @@ class ParallelEvaluator:
         *,
         workers: int | None = None,
         slots: int = _DEFAULT_SLOTS,
+        buffering: str = "single",
         start_method: str | None = None,
     ) -> None:
         self._weights = np.ascontiguousarray(weights, dtype=np.float64)
@@ -255,11 +373,18 @@ class ParallelEvaluator:
             raise ValueError("workers must be >= 1")
         if slots < 1:
             raise ValueError("slots must be >= 1")
+        if buffering not in _BUFFERING_MODES:
+            raise ValueError(
+                f"unknown buffering {buffering!r} (expected one of {_BUFFERING_MODES})"
+            )
         self._slots = int(slots)
+        self._banks = 2 if buffering == "double" else 1
         self._start_method = start_method
         self._snapshot: SharedSnapshot | None = None
         self._pool = None
         self.pools_started = 0
+        self._batches = 0
+        self._tasks = 0
 
     @classmethod
     def for_game(cls, game, **kwargs) -> "ParallelEvaluator":
@@ -275,6 +400,21 @@ class ParallelEvaluator:
         """True while the worker pool (and its shared memory) is alive."""
         return self._pool is not None
 
+    @property
+    def buffering(self) -> str:
+        """``"single"`` or ``"double"`` snapshot buffering (see the class docs)."""
+        return "double" if self._banks == 2 else "single"
+
+    @property
+    def stats(self) -> EvaluatorStats:
+        """Lifetime counters of this backend (see :class:`EvaluatorStats`)."""
+        return EvaluatorStats(
+            backend="local",
+            batches=self._batches,
+            tasks=self._tasks,
+            pools_started=self.pools_started,
+        )
+
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
@@ -285,7 +425,7 @@ class ParallelEvaluator:
         if method is None and "fork" in mp.get_all_start_methods():
             method = "fork"
         ctx = mp.get_context(method)
-        self._snapshot = SharedSnapshot.create(self._weights, self._slots)
+        self._snapshot = SharedSnapshot.create(self._weights, self._slots * self._banks)
         # ProcessPoolExecutor rather than mp.Pool: a worker dying mid-task
         # (OOM kill, segfault) raises BrokenProcessPool from the pending
         # futures instead of leaving the owner blocked forever on a result
@@ -330,16 +470,25 @@ class ParallelEvaluator:
         Each distinct residual matrix (by object identity — agents sharing
         a matrix share a slot) is copied into shared memory exactly once
         per chunk; results come back in submission order, so the output is
-        deterministic regardless of worker scheduling.
+        deterministic regardless of worker scheduling.  Under
+        ``buffering="double"`` consecutive chunks go to alternating slot
+        banks and one chunk may stay in flight while the next one's
+        matrices are written — a bank is always fully gathered before it
+        is written again.
         """
         task_list = list(tasks)
         if not task_list:
             return []
         self._ensure_pool()
         assert self._snapshot is not None
+        self._batches += 1
+        self._tasks += len(task_list)
         results: list[BestResponseResult] = []
+        in_flight: deque[list] = deque()
         pos = 0
+        bank = 0
         while pos < len(task_list):
+            base = bank * self._slots
             slot_of: dict[int, int] = {}
             chunk: list[tuple] = []
             while pos < len(task_list):
@@ -348,8 +497,8 @@ class ParallelEvaluator:
                 slot = slot_of.get(key)
                 if slot is None:
                     if len(slot_of) >= self._slots:
-                        break  # chunk full: gather before reusing slots
-                    slot = len(slot_of)
+                        break  # chunk full: the bank has no free slot left
+                    slot = base + len(slot_of)
                     slot_of[key] = slot
                     self._snapshot.write_slot(slot, d_rest)
                 chunk.append(
@@ -362,6 +511,10 @@ class ParallelEvaluator:
                     )
                 )
                 pos += 1
-            futures = [self._pool.submit(_score_task, task) for task in chunk]
-            results.extend(future.result() for future in futures)
+            in_flight.append([self._pool.submit(_score_task, task) for task in chunk])
+            if len(in_flight) >= self._banks:
+                results.extend(future.result() for future in in_flight.popleft())
+            bank = (bank + 1) % self._banks
+        while in_flight:
+            results.extend(future.result() for future in in_flight.popleft())
         return results

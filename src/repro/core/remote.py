@@ -1,0 +1,626 @@
+"""Socket-based remote evaluator backend: multi-host batched-proposal fan-out.
+
+The shared-memory evaluator (:mod:`repro.core.parallel`) is bounded by one
+machine.  Its snapshot protocol — a static weights segment written once
+plus per-batch residual matrices — is transport-agnostic, and this module
+ships it over TCP sockets instead:
+
+``repro worker serve`` / :class:`WorkerServer`
+    A worker *server*: it listens on ``host:port``, accepts any number of
+    evaluator connections (one thread each) and, per connection, receives
+    the static weights exactly once (the ``hello``), then scores batches of
+    tasks with :func:`repro.core.best_response.score_response` — the same
+    pure kernel the serial engine and the shared-memory workers run — and
+    streams the results back.  A server holds no game state beyond what its
+    connections sent it, so one server can serve many games and many
+    sessions over its lifetime.
+
+``RemoteEvaluator``
+    The client side, implementing the
+    :class:`~repro.core.parallel.EvaluatorBackend` protocol so it drops
+    into :class:`~repro.core.incremental.IncrementalEngine` /
+    :class:`~repro.core.session.GameSession` exactly like a
+    :class:`~repro.core.parallel.ParallelEvaluator`.  Connections are
+    opened lazily on the first ``evaluate`` (one per configured endpoint;
+    ``pools_started`` counts connection-set establishments, mirroring the
+    local pool counter so :class:`~repro.core.session.SessionStats`
+    instrumentation works unchanged).  Each batch is split into contiguous
+    shards, one per endpoint, each distinct residual matrix is shipped at
+    most once per shard, and results are gathered shard by shard — i.e. in
+    **submission order**, so trajectories are bit-identical to the serial
+    engine and to every other backend (asserted by
+    ``tests/test_remote_evaluator.py``).
+
+Wire format (version ``1``): every frame is an 8-byte big-endian length
+prefix followed by that many payload bytes.  A *message* is one JSON header
+frame optionally followed by raw-buffer frames it announces — matrices
+travel as raw C-order ``float64`` bytes, **never pickled**:
+
+* client → server ``hello``: ``{"kind": "hello", "protocol": 1, "n": n,
+  "alpha": alpha}`` + 1 raw frame holding the ``(n, n)`` weight matrix
+  (shipped once per connection; host weights are static for a game);
+* server → client ``ready``: ``{"kind": "ready", "pid": ...}``;
+* client → server ``batch``: ``{"kind": "batch", "response": ...,
+  "max_candidates": ..., "matrices": k, "tasks": [[agent, matrix_index,
+  [strategy...]], ...]}`` + ``k`` raw ``(n, n)`` residual-matrix frames;
+* server → client ``results``: ``{"kind": "results", "results": [[agent,
+  [strategy...], cost_hex, current_cost_hex, method], ...]}`` — costs are
+  serialized with :meth:`float.hex`, which round-trips every ``float``
+  (including ``inf``) bit-exactly, so remote results compare equal to
+  serial ones under exact float equality;
+* client → server ``bye``: ``{"kind": "bye"}`` ends the connection; a
+  server-side failure answers ``{"kind": "error", "message": ...}``
+  instead of results.
+
+Ownership rules are the same as for the local backend: whoever creates a
+:class:`RemoteEvaluator` closes it (a session-injected evaluator survives
+every per-run engine teardown), and closing the evaluator closes its
+*connections* only — the worker servers keep serving.
+
+:func:`spawn_local_worker` / :func:`local_workers` start worker servers as
+local child processes on OS-assigned ports; they exist for the tests, the
+benchmarks and single-machine smoke runs — production workers run
+``python -m repro.cli worker serve`` wherever the instances should be
+scored.
+"""
+
+from __future__ import annotations
+
+import atexit
+import contextlib
+import json
+import multiprocessing as mp
+import os
+import socket
+import struct
+import threading
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .best_response import BestResponseResult, score_response
+from .parallel import EvaluatorStats
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "RemoteEvaluatorError",
+    "RemoteEvaluator",
+    "WorkerServer",
+    "serve",
+    "spawn_local_worker",
+    "local_workers",
+]
+
+PROTOCOL_VERSION = 1
+
+_LEN = struct.Struct("!Q")
+# A frame can at most hold one dense (n, n) float64 matrix; 1 GiB bounds
+# n around 11_000 and, more importantly, turns a corrupted/foreign length
+# prefix into an immediate protocol error instead of an endless recv.
+_MAX_FRAME = 1 << 30
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+class RemoteEvaluatorError(RuntimeError):
+    """Protocol violation, worker-side failure or unexpected disconnect."""
+
+
+def _send_frame(sock: socket.socket, payload) -> int:
+    """Send one length-prefixed frame; returns the bytes put on the wire."""
+    view = memoryview(payload)
+    sock.sendall(_LEN.pack(view.nbytes))
+    sock.sendall(view)
+    return _LEN.size + view.nbytes
+
+
+def _recv_exact(sock: socket.socket, size: int) -> bytes | None:
+    """Receive exactly ``size`` bytes; ``None`` on clean EOF before any byte."""
+    chunks: list[bytes] = []
+    remaining = size
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if not chunks:
+                return None
+            raise RemoteEvaluatorError(
+                f"connection closed mid-frame ({size - remaining}/{size} bytes)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock: socket.socket) -> bytes | None:
+    """Receive one frame; ``None`` on clean EOF at a frame boundary."""
+    header = _recv_exact(sock, _LEN.size)
+    if header is None:
+        return None
+    (size,) = _LEN.unpack(header)
+    if size > _MAX_FRAME:
+        raise RemoteEvaluatorError(f"oversized frame announced ({size} bytes)")
+    if size == 0:
+        return b""
+    payload = _recv_exact(sock, size)
+    if payload is None:
+        raise RemoteEvaluatorError("connection closed after a frame header")
+    return payload
+
+
+def _send_json(sock: socket.socket, obj: dict) -> int:
+    return _send_frame(sock, json.dumps(obj, separators=(",", ":")).encode())
+
+
+def _recv_json(sock: socket.socket) -> dict | None:
+    frame = _recv_frame(sock)
+    if frame is None:
+        return None
+    try:
+        header = json.loads(frame.decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise RemoteEvaluatorError(f"malformed header frame: {exc}") from exc
+    if not isinstance(header, dict):
+        raise RemoteEvaluatorError(f"header must be an object, got {type(header).__name__}")
+    return header
+
+
+# ----------------------------------------------------------------------
+# Result serialization (bit-exact)
+# ----------------------------------------------------------------------
+def _pack_result(result: BestResponseResult) -> list:
+    return [
+        int(result.agent),
+        sorted(int(v) for v in result.strategy),
+        float(result.cost).hex(),
+        float(result.current_cost).hex(),
+        str(result.method),
+    ]
+
+
+def _unpack_result(data: Sequence) -> BestResponseResult:
+    agent, strategy, cost_hex, current_hex, method = data
+    return BestResponseResult(
+        agent=int(agent),
+        strategy=frozenset(int(v) for v in strategy),
+        cost=float.fromhex(cost_hex),
+        current_cost=float.fromhex(current_hex),
+        method=str(method),
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _handle_connection(conn: socket.socket) -> None:
+    """Serve one evaluator connection: hello, then batches until bye/EOF."""
+    try:
+        hello = _recv_json(conn)
+        if hello is None:
+            return  # probed and dropped (health checks, port scans)
+        if hello.get("kind") != "hello":
+            raise RemoteEvaluatorError(f"expected hello, got {hello.get('kind')!r}")
+        if hello.get("protocol") != PROTOCOL_VERSION:
+            raise RemoteEvaluatorError(
+                f"protocol mismatch: server speaks {PROTOCOL_VERSION}, "
+                f"client sent {hello.get('protocol')!r}"
+            )
+        n = int(hello["n"])
+        alpha = float(hello["alpha"])
+        raw = _recv_frame(conn)
+        if raw is None or len(raw) != n * n * 8:
+            raise RemoteEvaluatorError("weights frame missing or mis-sized")
+        # The static segment of the snapshot protocol: received once per
+        # connection, read for every batch.  frombuffer views are read-only,
+        # which is exactly right — scoring never writes its inputs.
+        weights = np.frombuffer(raw, dtype=np.float64).reshape(n, n)
+        _send_json(conn, {"kind": "ready", "pid": os.getpid()})
+        while True:
+            header = _recv_json(conn)
+            if header is None or header.get("kind") == "bye":
+                return
+            if header.get("kind") != "batch":
+                raise RemoteEvaluatorError(
+                    f"expected batch, got {header.get('kind')!r}"
+                )
+            matrices: list[np.ndarray] = []
+            for _ in range(int(header["matrices"])):
+                frame = _recv_frame(conn)
+                if frame is None or len(frame) != n * n * 8:
+                    raise RemoteEvaluatorError("residual frame missing or mis-sized")
+                matrices.append(np.frombuffer(frame, dtype=np.float64).reshape(n, n))
+            response = str(header["response"])
+            max_candidates = int(header["max_candidates"])
+            results = []
+            for agent, matrix_index, strategy in header["tasks"]:
+                result = score_response(
+                    matrices[int(matrix_index)],
+                    int(agent),
+                    weights[int(agent)],
+                    alpha,
+                    tuple(int(v) for v in strategy),
+                    response,
+                    max_candidates=max_candidates,
+                )
+                results.append(_pack_result(result))
+            _send_json(conn, {"kind": "results", "results": results})
+    except Exception as exc:  # noqa: BLE001 - reported to the client, connection dropped
+        with contextlib.suppress(OSError):
+            _send_json(conn, {"kind": "error", "message": f"{type(exc).__name__}: {exc}"})
+    finally:
+        with contextlib.suppress(OSError):
+            conn.close()
+
+
+class WorkerServer:
+    """A scoring server: accepts evaluator connections, one thread each.
+
+    Binds immediately (``port=0`` lets the OS pick — read it back from
+    :attr:`port`); :meth:`serve_forever` blocks in the accept loop until
+    :meth:`shutdown` closes the listening socket.  Connection threads are
+    daemons: an in-flight batch never blocks process exit.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *, backlog: int = 16) -> None:
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(backlog)
+        self.host, self.port = self._sock.getsockname()[:2]
+
+    @property
+    def endpoint(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        while True:
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                return  # listening socket closed by shutdown()
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            threading.Thread(
+                target=_handle_connection, args=(conn,), daemon=True
+            ).start()
+
+    def shutdown(self) -> None:
+        with contextlib.suppress(OSError):
+            self._sock.close()
+
+
+def serve(host: str = "127.0.0.1", port: int = 0) -> None:
+    """Run a worker server until interrupted (the ``repro worker serve`` entry).
+
+    Prints the bound endpoint as the first output line so launchers that
+    requested ``port=0`` can parse the OS-assigned port.
+    """
+    server = WorkerServer(host, port)
+    print(f"repro worker listening on {server.endpoint}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive teardown
+        pass
+    finally:
+        server.shutdown()
+
+
+def _worker_process_main(host: str, pipe) -> None:  # pragma: no cover - child process
+    server = WorkerServer(host, 0)
+    pipe.send(server.port)
+    pipe.close()
+    server.serve_forever()
+
+
+def spawn_local_worker(
+    host: str = "127.0.0.1", *, start_method: str | None = None
+) -> tuple[mp.process.BaseProcess, str]:
+    """Start a worker server in a child process; returns ``(process, endpoint)``.
+
+    The child binds an OS-assigned port and reports it through a pipe, so
+    the returned endpoint is immediately connectable — no sleep-and-retry
+    races.  Terminate the process to stop the worker.
+    """
+    if start_method is None and "fork" in mp.get_all_start_methods():
+        start_method = "fork"
+    ctx = mp.get_context(start_method)
+    parent, child = ctx.Pipe()
+    process = ctx.Process(
+        target=_worker_process_main, args=(host, child), daemon=True
+    )
+    process.start()
+    child.close()
+    port = parent.recv()
+    parent.close()
+    return process, f"{host}:{port}"
+
+
+@contextlib.contextmanager
+def local_workers(count: int, host: str = "127.0.0.1") -> Iterator[list[str]]:
+    """``count`` local worker-server processes, terminated on exit."""
+    processes: list[mp.process.BaseProcess] = []
+    endpoints: list[str] = []
+    try:
+        for _ in range(count):
+            process, endpoint = spawn_local_worker(host)
+            processes.append(process)
+            endpoints.append(endpoint)
+        yield endpoints
+    finally:
+        for process in processes:
+            process.terminate()
+        for process in processes:
+            process.join(timeout=10)
+
+
+# ----------------------------------------------------------------------
+# Client side
+# ----------------------------------------------------------------------
+def parse_endpoint(endpoint: str) -> tuple[str, int]:
+    """Split ``"host:port"`` (raising :class:`ValueError` on anything else)."""
+    host, sep, port = str(endpoint).rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ValueError(
+            f"invalid endpoint {endpoint!r}: expected 'host:port' with a numeric port"
+        )
+    return host, int(port)
+
+
+class RemoteEvaluator:
+    """Socket-connected evaluator backend over one or more worker servers.
+
+    Parameters
+    ----------
+    weights:
+        Host-graph weight matrix — shipped once per connection (the static
+        segment of the snapshot protocol).
+    alpha:
+        Edge-price parameter of the game.
+    endpoints:
+        ``"host:port"`` worker-server addresses; one connection per
+        endpoint, batches are sharded across them contiguously.
+    connect_timeout:
+        Seconds to wait for each TCP connect + handshake.
+
+    Connections open lazily on the first :meth:`evaluate`, are reused for
+    every later batch and are closed by :meth:`close` (context-manager
+    exit, plus an ``atexit`` safety net); ``pools_started`` counts
+    connection-set establishments — the exact counter
+    :class:`~repro.core.session.SessionStats` asserts on to prove a sweep
+    opened one connection set per session.  Scoring happens server-side
+    with the same pure kernel as everywhere else and results are gathered
+    in submission order, so trajectories are bit-identical to the serial
+    engine for any endpoint count.
+    """
+
+    __slots__ = (
+        "_weights", "_alpha", "_endpoints", "_connect_timeout", "_socks",
+        "pools_started", "_batches", "_tasks", "_bytes_sent", "_bytes_received",
+    )
+
+    def __init__(
+        self,
+        weights: np.ndarray,
+        alpha: float,
+        *,
+        endpoints: Sequence[str],
+        connect_timeout: float = 10.0,
+    ) -> None:
+        self._weights = np.ascontiguousarray(weights, dtype=np.float64)
+        if self._weights.ndim != 2 or self._weights.shape[0] != self._weights.shape[1]:
+            raise ValueError(f"weights must be square, got shape {self._weights.shape}")
+        self._alpha = float(alpha)
+        parsed = tuple(str(e) for e in endpoints)
+        if not parsed:
+            raise ValueError("need at least one worker endpoint")
+        for endpoint in parsed:
+            parse_endpoint(endpoint)  # fail fast on malformed addresses
+        self._endpoints = parsed
+        self._connect_timeout = float(connect_timeout)
+        self._socks: list[socket.socket] | None = None
+        self.pools_started = 0
+        self._batches = 0
+        self._tasks = 0
+        self._bytes_sent = 0
+        self._bytes_received = 0
+
+    @classmethod
+    def for_game(cls, game, **kwargs) -> "RemoteEvaluator":
+        """Evaluator for a :class:`~repro.core.game.NetworkCreationGame`."""
+        return cls(game.host.weights, game.alpha, **kwargs)
+
+    @property
+    def workers(self) -> int:
+        """Fan-out degree: the number of configured worker endpoints."""
+        return len(self._endpoints)
+
+    @property
+    def endpoints(self) -> tuple[str, ...]:
+        return self._endpoints
+
+    @property
+    def is_running(self) -> bool:
+        """True while the connection set is open."""
+        return self._socks is not None
+
+    @property
+    def stats(self) -> EvaluatorStats:
+        """Lifetime counters of this backend (see :class:`EvaluatorStats`)."""
+        return EvaluatorStats(
+            backend="remote",
+            batches=self._batches,
+            tasks=self._tasks,
+            pools_started=self.pools_started,
+            bytes_sent=self._bytes_sent,
+            bytes_received=self._bytes_received,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _connect(self) -> list[socket.socket]:
+        if self._socks is not None:
+            return self._socks
+        n = self._weights.shape[0]
+        hello = {
+            "kind": "hello",
+            "protocol": PROTOCOL_VERSION,
+            "n": n,
+            "alpha": self._alpha,
+        }
+        socks: list[socket.socket] = []
+        try:
+            for endpoint in self._endpoints:
+                host, port = parse_endpoint(endpoint)
+                sock = socket.create_connection(
+                    (host, port), timeout=self._connect_timeout
+                )
+                socks.append(sock)
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                self._bytes_sent += _send_json(sock, hello)
+                self._bytes_sent += _send_frame(sock, self._weights)
+                reply = _recv_json(sock)
+                if reply is None or reply.get("kind") != "ready":
+                    raise RemoteEvaluatorError(
+                        f"worker {endpoint} did not become ready: {reply!r}"
+                    )
+                sock.settimeout(None)  # batches may legitimately take long
+        except BaseException:
+            for sock in socks:
+                with contextlib.suppress(OSError):
+                    sock.close()
+            raise
+        self._socks = socks
+        self.pools_started += 1
+        atexit.register(self.close)
+        return socks
+
+    def close(self) -> None:
+        """Close the connections (idempotent); the worker servers keep running."""
+        socks, self._socks = self._socks, None
+        if socks is None:
+            return
+        atexit.unregister(self.close)
+        for sock in socks:
+            with contextlib.suppress(OSError, RemoteEvaluatorError):
+                _send_json(sock, {"kind": "bye"})
+            with contextlib.suppress(OSError):
+                sock.close()
+
+    def __enter__(self) -> "RemoteEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        tasks: Iterable[tuple[int, np.ndarray, Sequence[int]]],
+        response: str = "best",
+        *,
+        max_candidates: int = 22,
+    ) -> list[BestResponseResult]:
+        """Score ``(agent, d_rest, strategy)`` tasks across the worker servers.
+
+        The batch is split into contiguous shards (one per endpoint, sizes
+        differing by at most one); every shard ships each of its distinct
+        residual matrices once, all shards are sent before any reply is
+        read (endpoint ``k`` scores while shard ``k+1`` is in transit) and
+        results are concatenated shard by shard — submission order, so the
+        output is independent of the endpoint count.
+        """
+        task_list = list(tasks)
+        if not task_list:
+            return []
+        socks = self._connect()
+        shards = self._shard(len(task_list), len(socks))
+        self._batches += 1
+        self._tasks += len(task_list)
+        try:
+            return self._evaluate_on(
+                socks, shards, task_list, response, max_candidates
+            )
+        except BaseException:
+            # A failure mid-batch leaves the connection set desynchronized
+            # (half-sent batches, unread replies that the *next* batch would
+            # otherwise read as its own results) — drop it so a caller that
+            # survives the error reconnects cleanly on the next evaluate.
+            self.close()
+            raise
+
+    def _evaluate_on(
+        self,
+        socks: list[socket.socket],
+        shards: list[tuple[int, int]],
+        task_list: list,
+        response: str,
+        max_candidates: int,
+    ) -> list[BestResponseResult]:
+        for sock, (start, stop) in zip(socks, shards):
+            if start == stop:
+                continue
+            matrices: list[np.ndarray] = []
+            index_of: dict[int, int] = {}
+            wire_tasks: list[list] = []
+            for agent, d_rest, strategy in task_list[start:stop]:
+                key = id(d_rest)
+                matrix_index = index_of.get(key)
+                if matrix_index is None:
+                    matrix_index = len(matrices)
+                    index_of[key] = matrix_index
+                    matrices.append(np.ascontiguousarray(d_rest, dtype=np.float64))
+                wire_tasks.append(
+                    [int(agent), matrix_index, [int(v) for v in strategy]]
+                )
+            header = {
+                "kind": "batch",
+                "response": str(response),
+                "max_candidates": int(max_candidates),
+                "matrices": len(matrices),
+                "tasks": wire_tasks,
+            }
+            self._bytes_sent += _send_json(sock, header)
+            for matrix in matrices:
+                self._bytes_sent += _send_frame(sock, matrix)
+        results: list[BestResponseResult] = []
+        for sock, (start, stop) in zip(socks, shards):
+            if start == stop:
+                continue
+            reply = self._recv_counted(sock)
+            if reply is None:
+                raise RemoteEvaluatorError("worker disconnected before replying")
+            if reply.get("kind") == "error":
+                raise RemoteEvaluatorError(f"worker failed: {reply.get('message')}")
+            if reply.get("kind") != "results":
+                raise RemoteEvaluatorError(
+                    f"expected results, got {reply.get('kind')!r}"
+                )
+            shard_results = [_unpack_result(item) for item in reply["results"]]
+            if len(shard_results) != stop - start:
+                raise RemoteEvaluatorError(
+                    f"worker returned {len(shard_results)} results "
+                    f"for {stop - start} tasks"
+                )
+            results.extend(shard_results)
+        return results
+
+    def _recv_counted(self, sock: socket.socket) -> dict | None:
+        frame = _recv_frame(sock)
+        if frame is None:
+            return None
+        self._bytes_received += _LEN.size + len(frame)
+        try:
+            return json.loads(frame.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RemoteEvaluatorError(f"malformed reply frame: {exc}") from exc
+
+    @staticmethod
+    def _shard(total: int, parts: int) -> list[tuple[int, int]]:
+        """Contiguous near-even ``(start, stop)`` shards of ``range(total)``."""
+        base, extra = divmod(total, parts)
+        bounds = [0]
+        for index in range(parts):
+            bounds.append(bounds[-1] + base + (1 if index < extra else 0))
+        return list(zip(bounds[:-1], bounds[1:]))

@@ -42,9 +42,25 @@ runs of an instance.  A run through a session is *bit-identical* — same
 trajectory, same :class:`~repro.core.incremental.EngineStats` — to the same
 run through the legacy keywords, because the session resets (never reuses)
 engine state between runs; only the worker pool survives.  The session is
-also where a future multi-host transport plugs in: a remote evaluator
-implementing the ``ParallelEvaluator`` protocol can be handed to the
-per-run engines without touching any entry point.
+also the backend plug-in point: ``config.backend`` selects the evaluator
+implementation injected into every per-run engine — ``"local"`` (a
+:class:`~repro.core.parallel.ParallelEvaluator` worker pool when
+``workers > 1``) or ``"remote"`` (a
+:class:`~repro.core.remote.RemoteEvaluator` over ``config.endpoints``
+worker servers) — without touching any entry point.
+
+Ownership rules (the invariants every layer must preserve):
+
+1. **Whoever creates an engine or evaluator closes it — and nobody
+   else.**  A one-shot entry point builds its own session and cleans up on
+   return; a run through an explicit session closes nothing.
+2. **Engines only close evaluators they created.**  A session-injected
+   evaluator (local pool or remote connection set) survives
+   :meth:`~repro.core.incremental.IncrementalEngine.close`; per-run engine
+   teardown must never churn the session's pool.
+3. **Sessions reset — never rebuild — engine state between runs**, so a
+   session run is bit-identical (trajectory *and* stats) to a one-shot
+   run; only pool/connection start-up is amortized.
 """
 
 from __future__ import annotations
@@ -59,7 +75,7 @@ from .dynamics import _TOL, DynamicsResult, _ProposalCache, _run_session_loop
 from .equilibria import is_greedy_equilibrium, is_nash_equilibrium
 from .game import NetworkCreationGame
 from .incremental import EngineStats, IncrementalEngine
-from .parallel import ParallelEvaluator
+from .parallel import EvaluatorBackend, ParallelEvaluator
 from .poa import PoAEstimate, _initial_profiles
 from .social_optimum import social_optimum
 from .strategy import StrategyProfile
@@ -87,11 +103,20 @@ _ENGINES = ("exact", "incremental")
 _SCHEDULES = ("sequential", "batched")
 _RESPONSES = ("best", "greedy", "single")
 _ORDERS = ("round_robin", "random", "max_gain")
+_BACKENDS = ("local", "remote")
+_BUFFERINGS = ("single", "double")
 
 # Config fields a session cannot change per run: they shape the owned
 # engine and worker pool, so changing them needs a fresh session.  A
 # per-run "override" that equals the session's value is accepted (no-op).
-_SESSION_SCOPED = ("engine", "workers", "repair_threshold")
+_SESSION_SCOPED = (
+    "engine",
+    "workers",
+    "repair_threshold",
+    "backend",
+    "endpoints",
+    "buffering",
+)
 
 # Entry-point round budgets applied when ``max_rounds`` is None ("not
 # configured"): plain dynamics runs keep run_dynamics' historical 100,
@@ -144,6 +169,15 @@ class SimulationConfig:
     :meth:`spawn_seeds` derives independent child seeds for sweep cells;
     ``seed=None`` means "the fixed default stream" (seed 0 — never OS
     entropy, so two equal configs always replay identical trajectories).
+
+    ``backend`` selects the batch-evaluator implementation: ``"local"``
+    (default) scores in-process, or — with ``workers > 1`` — on a
+    shared-memory worker pool whose snapshot ``buffering`` is ``"single"``
+    or ``"double"`` (double-buffered slot banks overlap snapshot writes
+    with scoring); ``"remote"`` scores on ``endpoints`` — ``"host:port"``
+    addresses of running ``repro worker serve`` processes — over sockets.
+    All backends replay bit-identical trajectories; they trade nothing but
+    time and placement.
     """
 
     engine: str = "incremental"
@@ -155,6 +189,9 @@ class SimulationConfig:
     max_rounds: int | None = None
     max_candidates: int = 22
     seed: int | None = 0
+    backend: str = "local"
+    endpoints: tuple[str, ...] = ()
+    buffering: str = "single"
 
     def __post_init__(self) -> None:
         if self.engine not in _ENGINES:
@@ -163,6 +200,10 @@ class SimulationConfig:
             raise ValueError(f"unknown schedule {self.schedule!r}")
         if self.response not in _RESPONSES:
             raise ValueError(f"unknown response kind {self.response!r}")
+        if self.backend not in _BACKENDS:
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.buffering not in _BUFFERINGS:
+            raise ValueError(f"unknown buffering {self.buffering!r}")
         # Coercion failures (e.g. {"workers": null} or {"order": 5} in a JSON
         # config file) must surface as ValueError — the error type callers
         # like the CLI catch — never as a raw TypeError traceback.
@@ -179,8 +220,18 @@ class SimulationConfig:
             object.__setattr__(self, "max_candidates", int(self.max_candidates))
             if self.seed is not None:
                 object.__setattr__(self, "seed", int(self.seed))
+            endpoints = self.endpoints
+            if isinstance(endpoints, str):  # a lone "host:port" is accepted
+                endpoints = (endpoints,)
+            object.__setattr__(
+                self, "endpoints", tuple(str(e) for e in endpoints)
+            )
         except TypeError as exc:
             raise ValueError(f"invalid SimulationConfig field value: {exc}") from exc
+        from .remote import parse_endpoint
+
+        for endpoint in self.endpoints:
+            parse_endpoint(endpoint)  # ValueError on anything but host:port
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
         if self.repair_threshold < 0:
@@ -194,6 +245,34 @@ class SimulationConfig:
                 "workers > 1 requires engine='incremental': the exact oracle "
                 "recomputes from scratch per agent and has no shared snapshot "
                 "to evaluate against"
+            )
+        if self.backend == "remote":
+            if not self.endpoints:
+                raise ValueError(
+                    "backend='remote' requires endpoints: list the "
+                    "'host:port' addresses of running 'repro worker serve' "
+                    "processes"
+                )
+            if self.engine != "incremental":
+                raise ValueError(
+                    "backend='remote' requires engine='incremental': only "
+                    "the incremental engine produces the residual snapshots "
+                    "the workers score against"
+                )
+            if self.workers != 1:
+                raise ValueError(
+                    "backend='remote' fans out to the endpoint workers; "
+                    "'workers' sizes the local shared-memory pool and must "
+                    "stay 1 under the remote backend"
+                )
+            if self.buffering != "single":
+                raise ValueError(
+                    "buffering='double' banks the local shared-memory "
+                    "snapshot slots and does not apply to backend='remote'"
+                )
+        elif self.endpoints:
+            raise ValueError(
+                "endpoints are only meaningful with backend='remote'"
             )
         if self.schedule == "batched":
             if self.engine != "incremental":
@@ -244,6 +323,7 @@ class SimulationConfig:
         data = dataclasses.asdict(self)
         if not isinstance(self.order, str):
             data["order"] = list(self.order)
+        data["endpoints"] = list(self.endpoints)
         return data
 
     @classmethod
@@ -311,20 +391,25 @@ class GameSession:
 
     The session lazily builds the
     :class:`~repro.core.incremental.IncrementalEngine` (reset — never
-    rebuilt — between runs), the batched schedule's proposal cache and, for
-    ``config.workers > 1``, a single shared
-    :class:`~repro.core.parallel.ParallelEvaluator` injected into the
-    engine, so every run of the session reuses one worker pool.
-    :meth:`close` (or context-manager exit) tears all of it down; engines
-    never close an evaluator they did not create, so nothing a session owns
-    is destroyed by the runs inside it.
+    rebuilt — between runs), the batched schedule's proposal cache and a
+    single shared evaluator backend injected into the engine — a
+    :class:`~repro.core.parallel.ParallelEvaluator` worker pool for
+    ``config.backend="local"`` with ``workers > 1``, a
+    :class:`~repro.core.remote.RemoteEvaluator` connection set for
+    ``config.backend="remote"`` — so every run of the session reuses one
+    pool (or one connection set: ``SessionStats.evaluator_pools_started``
+    stays at 1 however many runs a sweep makes).  :meth:`close` (or
+    context-manager exit) tears all of it down; engines never close an
+    evaluator they did not create, so nothing a session owns is destroyed
+    by the runs inside it.
 
     Per-run keyword overrides may change ``response``, ``order``,
     ``schedule``, ``max_rounds``, ``max_candidates`` and ``seed``;
-    ``engine``, ``workers`` and ``repair_threshold`` are fixed for the
-    session's lifetime because the owned engine and pool are shaped by them
-    (open a new session — or :meth:`SimulationConfig.replace` the config —
-    to change those).
+    ``engine``, ``workers``, ``repair_threshold``, ``backend``,
+    ``endpoints`` and ``buffering`` are fixed for the session's lifetime
+    because the owned engine and evaluator are shaped by them (open a new
+    session — or :meth:`SimulationConfig.replace` the config — to change
+    those).
     """
 
     def __init__(
@@ -337,7 +422,7 @@ class GameSession:
         self._game = game
         self._config = config.replace(**overrides)
         self._engine: IncrementalEngine | None = None
-        self._evaluator: ParallelEvaluator | None = None
+        self._evaluator: EvaluatorBackend | None = None
         self._cache: _ProposalCache | None = None
         self._closed = False
         self._runs = 0
@@ -392,14 +477,32 @@ class GameSession:
     # ------------------------------------------------------------------
     # Owned resources
     # ------------------------------------------------------------------
-    def _shared_evaluator(self) -> ParallelEvaluator | None:
-        """The session's single worker-pool evaluator (created once, lazily)."""
-        if self._config.workers <= 1 or self._config.engine != "incremental":
+    def _shared_evaluator(self) -> "EvaluatorBackend | None":
+        """The session's single shared evaluator backend (created once, lazily).
+
+        ``backend="local"`` with ``workers > 1`` builds a shared-memory
+        :class:`~repro.core.parallel.ParallelEvaluator`;
+        ``backend="remote"`` builds a
+        :class:`~repro.core.remote.RemoteEvaluator` over the config's
+        endpoints (its connection set is the session's "pool" — opened
+        lazily, exactly once, shared by every run).
+        """
+        cfg = self._config
+        if cfg.engine != "incremental":
+            return None
+        if cfg.backend != "remote" and cfg.workers <= 1:
             return None
         if self._evaluator is None:
-            self._evaluator = ParallelEvaluator.for_game(
-                self._game, workers=self._config.workers
-            )
+            if cfg.backend == "remote":
+                from .remote import RemoteEvaluator
+
+                self._evaluator = RemoteEvaluator.for_game(
+                    self._game, endpoints=cfg.endpoints
+                )
+            else:
+                self._evaluator = ParallelEvaluator.for_game(
+                    self._game, workers=cfg.workers, buffering=cfg.buffering
+                )
             self._evaluators_created += 1
         return self._evaluator
 

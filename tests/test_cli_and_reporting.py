@@ -100,3 +100,53 @@ class TestCLI:
         out = capsys.readouterr().out
         assert code == 0
         assert "convergence rate" in out
+
+
+class TestBackendFlags:
+    def test_config_dump_includes_backend_fields(self, capsys):
+        import json
+
+        code = main(
+            ["config", "dump", "--schedule", "batched", "--backend", "remote",
+             "--endpoint", "127.0.0.1:7601", "--endpoint", "127.0.0.1:7602"]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["backend"] == "remote"
+        assert data["endpoints"] == ["127.0.0.1:7601", "127.0.0.1:7602"]
+        assert data["buffering"] == "single"
+
+    def test_config_dump_buffering_flag(self, capsys):
+        import json
+
+        code = main(["config", "dump", "--workers", "2", "--buffering", "double"])
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["buffering"] == "double"
+
+    def test_remote_backend_without_endpoint_is_a_parse_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["poa", "--variant", "euclidean", "--n", "5", "--backend", "remote"])
+        assert "requires endpoints" in capsys.readouterr().err
+
+    def test_worker_serve_parser(self):
+        args = build_parser().parse_args(
+            ["worker", "serve", "--host", "0.0.0.0", "--port", "7601"]
+        )
+        assert args.command == "worker"
+        assert args.action == "serve"
+        assert (args.host, args.port) == ("0.0.0.0", 7601)
+
+    def test_simulate_remote_backend_matches_local_output(self, capsys):
+        """--backend remote must print the exact same report as the default."""
+        from repro.core.remote import local_workers
+
+        base = ["simulate", "--variant", "metric", "--n", "6", "--alpha", "1.2",
+                "--seed", "2", "--schedule", "batched"]
+        assert main(base) == 0
+        local_out = capsys.readouterr().out
+        with local_workers(2) as endpoints:
+            remote = base + ["--backend", "remote"]
+            for endpoint in endpoints:
+                remote += ["--endpoint", endpoint]
+            assert main(remote) == 0
+        assert capsys.readouterr().out == local_out

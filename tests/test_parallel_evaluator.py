@@ -173,6 +173,65 @@ def test_workers_validation():
 
 
 # ----------------------------------------------------------------------
+# Double-buffered snapshots
+# ----------------------------------------------------------------------
+def test_double_buffering_identical_dynamics():
+    """buffering in {single, double} x workers in {1, 2, 4}: one trajectory."""
+    from repro.core import SimulationConfig
+
+    rng = np.random.default_rng(37)
+    game = _random_game("euclidean", 8, rng)
+    start = _random_profile(8, rng)
+    runs = [
+        run_dynamics(
+            game,
+            start,
+            rng=7,
+            config=SimulationConfig(
+                schedule="batched", workers=workers, buffering=buffering,
+                max_rounds=10,
+            ),
+        )
+        for workers in WORKER_COUNTS
+        for buffering in ("single", "double")
+    ]
+    _assert_identical_runs(runs)
+
+
+def test_double_buffering_under_slot_pressure():
+    """Chunked dispatch (more distinct matrices than slots) stays bit-exact.
+
+    With ``slots=2`` and seven distinct residual matrices the batch spans
+    four chunks, so double buffering actually overlaps banks — and a bank
+    must never be rewritten before its previous chunk is gathered, which
+    the equality against the serial engine would expose immediately.
+    """
+    rng = np.random.default_rng(53)
+    n = 7
+    game = _random_game("general", n, rng)
+    profile = _random_profile(n, rng, density=0.6)
+    engine = IncrementalEngine(game, profile)
+    # force distinct matrix objects per agent (copies break identity sharing)
+    tasks = [(u, engine.residual(u).copy(), profile.strategy(u)) for u in range(n)]
+    serial = [engine.respond(u, "best", d_rest=tasks[u][1]) for u in range(n)]
+    for buffering in ("single", "double"):
+        with ParallelEvaluator.for_game(
+            game, workers=2, slots=2, buffering=buffering
+        ) as evaluator:
+            assert evaluator.buffering == buffering
+            assert evaluator.evaluate(tasks, "best") == serial
+            stats = evaluator.stats
+            assert stats.backend == "local"
+            assert stats.batches == 1 and stats.tasks == n
+
+
+def test_buffering_validation():
+    game = _random_game("metric", 5, np.random.default_rng(0))
+    with pytest.raises(ValueError, match="buffering"):
+        ParallelEvaluator.for_game(game, workers=2, buffering="triple")
+
+
+# ----------------------------------------------------------------------
 # Shared-memory snapshot round-trip
 # ----------------------------------------------------------------------
 def test_snapshot_roundtrip():

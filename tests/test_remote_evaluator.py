@@ -1,0 +1,289 @@
+"""Remote-backend contracts: wire exactness, determinism, connection lifecycle.
+
+The socket transport (:mod:`repro.core.remote`) must be *indistinguishable*
+from the serial engine and from the shared-memory backend — the guarantees
+pinned here:
+
+* **backend invariance** — dynamics through ``backend="remote"`` (1 and 2
+  localhost worker processes) follow bit-identical trajectories, engine
+  stats and proposal-cache counters to ``workers=1`` serial runs, across
+  every model variant of the paper, both activation schedules and the
+  ``max_gain`` order, because workers run the same pure scoring kernel on
+  matrices that cross the wire as raw bytes and results round-trip through
+  ``float.hex`` exactly;
+
+* **connection lifecycle** — connections open lazily on the first
+  evaluate, one connection set per evaluator (``pools_started``), a
+  ``GameSession`` sweep opens exactly one set however many runs it makes
+  (``SessionStats``), ``close()`` is idempotent and a closed evaluator
+  reconnects on demand while the worker servers keep serving;
+
+* **wire format** — length-prefixed framing round-trips matrices
+  (including ``inf`` non-edges) bit-exactly, protocol violations surface
+  as :class:`~repro.core.remote.RemoteEvaluatorError` rather than hangs,
+  and malformed endpoints are rejected at config-validation time.
+"""
+
+from __future__ import annotations
+
+import socket
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GameSession,
+    IncrementalEngine,
+    NetworkCreationGame,
+    SimulationConfig,
+    StrategyProfile,
+    run_dynamics,
+)
+from repro.core.remote import (
+    PROTOCOL_VERSION,
+    RemoteEvaluator,
+    RemoteEvaluatorError,
+    WorkerServer,
+    _pack_result,
+    _recv_json,
+    _send_json,
+    _unpack_result,
+    local_workers,
+    parse_endpoint,
+)
+from test_parallel_evaluator import (
+    VARIANTS,
+    _assert_identical_runs,
+    _random_game,
+    _random_profile,
+)
+
+
+@pytest.fixture(scope="module")
+def endpoints():
+    """Two localhost worker-server processes shared by the whole module."""
+    with local_workers(2) as eps:
+        yield eps
+
+
+def _remote_config(eps, **kwargs) -> SimulationConfig:
+    return SimulationConfig(backend="remote", endpoints=tuple(eps), **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Backend invariance
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_remote_backend_matches_serial_dynamics(variant, endpoints, property_budget):
+    """Remote runs (1 and 2 endpoints) are bit-identical to serial runs."""
+    rng = np.random.default_rng(zlib.crc32(f"remote-{variant}".encode()) % 2**32)
+    trials = max(1, property_budget // 6)
+    for trial in range(trials):
+        n = int(rng.integers(4, 9))
+        game = _random_game(variant, n, rng)
+        start = _random_profile(n, rng, density=float(rng.uniform(0.1, 0.5)))
+        response = ("best", "greedy", "single")[trial % 3]
+        order = ("round_robin", "random")[trial % 2]
+        for schedule in ("sequential", "batched"):
+            serial = run_dynamics(
+                game, start, response=response, order=order,
+                max_rounds=10, rng=7, schedule=schedule, workers=1,
+            )
+            remotes = [
+                run_dynamics(
+                    game, start, rng=7,
+                    config=_remote_config(
+                        eps, response=response, order=order,
+                        max_rounds=10, schedule=schedule,
+                    ),
+                )
+                for eps in (endpoints[:1], endpoints)
+            ]
+            _assert_identical_runs([serial, *remotes])
+
+
+def test_remote_max_gain_matches_serial(endpoints):
+    """max_gain re-scores everyone per step — all of it shipped to the workers."""
+    rng = np.random.default_rng(23)
+    game = _random_game("euclidean", 8, rng)
+    start = _random_profile(8, rng)
+    serial = run_dynamics(game, start, order="max_gain", max_rounds=6)
+    remote = run_dynamics(
+        game, start, config=_remote_config(endpoints, order="max_gain", max_rounds=6)
+    )
+    _assert_identical_runs([serial, remote])
+
+
+def test_remote_evaluate_matches_engine_respond(endpoints):
+    """RemoteEvaluator.evaluate equals per-agent serial scoring bit-exactly."""
+    rng = np.random.default_rng(31)
+    for response in ("best", "greedy", "single"):
+        n = 7
+        game = _random_game("general", n, rng)
+        profile = _random_profile(n, rng)
+        engine = IncrementalEngine(game, profile)
+        tasks = [(u, engine.residual(u), profile.strategy(u)) for u in range(n)]
+        with RemoteEvaluator.for_game(game, endpoints=endpoints) as evaluator:
+            batch = evaluator.evaluate(tasks, response)
+        assert batch == [engine.respond(u, response) for u in range(n)]
+
+
+# ----------------------------------------------------------------------
+# Connection lifecycle
+# ----------------------------------------------------------------------
+def test_session_sweep_opens_one_connection_set(endpoints):
+    """However many runs a sweep makes, the session connects exactly once."""
+    rng = np.random.default_rng(3)
+    game = _random_game("euclidean", 7, rng)
+    session = GameSession(game, _remote_config(endpoints, schedule="batched"))
+    with session:
+        session.sample_equilibria(num_samples=5)
+        stats = session.stats()
+        assert stats.runs >= 5  # structured seed profiles add extra runs
+        assert stats.engines_created == 1
+        assert stats.evaluators_created == 1
+        assert stats.evaluator_pools_started == 1  # one connection set, ever
+        assert stats.evaluator_running
+    closed = session.stats()
+    assert not closed.evaluator_running
+    assert closed.evaluator_pools_started == 1
+
+
+def test_lazy_connect_reuse_and_reconnect(endpoints):
+    """Connections appear on first use, are reused, and close() is idempotent."""
+    rng = np.random.default_rng(41)
+    game = _random_game("metric", 6, rng)
+    profile = _random_profile(6, rng)
+    engine = IncrementalEngine(game, profile)
+    tasks = [(u, engine.residual(u), profile.strategy(u)) for u in range(6)]
+    evaluator = RemoteEvaluator.for_game(game, endpoints=endpoints)
+    assert not evaluator.is_running  # lazy: nothing connected yet
+    assert evaluator.workers == 2
+    first = evaluator.evaluate(tasks, "single")
+    assert evaluator.is_running
+    assert evaluator.pools_started == 1
+    assert evaluator.evaluate(tasks, "single") == first  # connections reused
+    assert evaluator.pools_started == 1
+    evaluator.close()
+    assert not evaluator.is_running
+    evaluator.close()  # idempotent
+    # the servers outlive the client: a closed evaluator reconnects on demand
+    assert evaluator.evaluate(tasks, "single") == first
+    assert evaluator.pools_started == 2
+    stats = evaluator.stats
+    assert stats.backend == "remote"
+    assert stats.batches == 3 and stats.tasks == 18
+    assert stats.bytes_sent > 0 and stats.bytes_received > 0
+    evaluator.close()
+
+
+def test_engine_close_spares_injected_remote_evaluator(endpoints):
+    """Ownership rule: engines only close evaluators they created."""
+    rng = np.random.default_rng(43)
+    game = _random_game("euclidean", 6, rng)
+    profile = _random_profile(6, rng)
+    with RemoteEvaluator.for_game(game, endpoints=endpoints) as evaluator:
+        engine = IncrementalEngine(game, profile, evaluator=evaluator)
+        engine.respond_many(range(6), "single")
+        assert evaluator.is_running
+        engine.close()
+        assert evaluator.is_running  # injected: the engine must not close it
+        assert evaluator.pools_started == 1
+
+
+def test_connect_failure_raises_not_hangs():
+    game = _random_game("euclidean", 5, np.random.default_rng(0))
+    evaluator = RemoteEvaluator.for_game(
+        game, endpoints=["127.0.0.1:1"], connect_timeout=2.0
+    )
+    profile = _random_profile(5, np.random.default_rng(0))
+    engine = IncrementalEngine(game, profile)
+    tasks = [(u, engine.residual(u), profile.strategy(u)) for u in range(5)]
+    with pytest.raises(OSError):
+        evaluator.evaluate(tasks, "single")
+    assert not evaluator.is_running
+    assert evaluator.pools_started == 0
+
+
+# ----------------------------------------------------------------------
+# Wire format
+# ----------------------------------------------------------------------
+def test_result_serialization_is_bit_exact():
+    from repro.core.best_response import BestResponseResult
+
+    for cost, current in [
+        (1.0 / 3.0, 2.0 / 7.0),
+        (float("inf"), 1e-300),
+        (0.1 + 0.2, 0.3),  # the classic: unequal floats must stay unequal
+    ]:
+        result = BestResponseResult(
+            agent=3, strategy=frozenset({1, 4}), cost=cost,
+            current_cost=current, method="incremental",
+        )
+        assert _unpack_result(_pack_result(result)) == result
+
+
+def test_handshake_rejects_protocol_mismatch():
+    server = WorkerServer()
+    import threading
+
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        with socket.create_connection((server.host, server.port), timeout=5) as sock:
+            _send_json(
+                sock,
+                {"kind": "hello", "protocol": PROTOCOL_VERSION + 1, "n": 2, "alpha": 1.0},
+            )
+            sock.sendall(b"\x00" * 8 + b"")  # empty weights frame
+            reply = _recv_json(sock)
+            assert reply["kind"] == "error"
+            assert "protocol mismatch" in reply["message"]
+    finally:
+        server.shutdown()
+
+
+def test_worker_error_propagates_to_client(endpoints):
+    """A bad response kind fails server-side and raises client-side."""
+    rng = np.random.default_rng(47)
+    game = _random_game("euclidean", 5, rng)
+    profile = _random_profile(5, rng)
+    engine = IncrementalEngine(game, profile)
+    tasks = [(u, engine.residual(u), profile.strategy(u)) for u in range(5)]
+    with RemoteEvaluator.for_game(game, endpoints=endpoints[:1]) as evaluator:
+        with pytest.raises(RemoteEvaluatorError, match="worker failed"):
+            evaluator.evaluate(tasks, "bogus-response-kind")
+
+
+def test_failed_batch_invalidates_the_connection_set(endpoints):
+    """A mid-batch failure must drop the (desynchronized) connections.
+
+    If the connection set survived a failed batch, unread replies from the
+    trailing sockets would be read as the *next* batch's results and
+    silently attributed to the wrong tasks.  Instead the evaluator closes
+    the set on any evaluate failure; a caller that catches the error gets
+    a clean reconnect — and correct results — on the next call.
+    """
+    rng = np.random.default_rng(59)
+    game = _random_game("euclidean", 6, rng)
+    profile = _random_profile(6, rng)
+    engine = IncrementalEngine(game, profile)
+    tasks = [(u, engine.residual(u), profile.strategy(u)) for u in range(6)]
+    serial = [engine.respond(u, "single") for u in range(6)]
+    with RemoteEvaluator.for_game(game, endpoints=endpoints) as evaluator:
+        assert evaluator.evaluate(tasks, "single") == serial
+        with pytest.raises(RemoteEvaluatorError):
+            evaluator.evaluate(tasks, "bogus-response-kind")
+        assert not evaluator.is_running  # desynced set dropped, not reused
+        assert evaluator.evaluate(tasks, "single") == serial  # clean reconnect
+        assert evaluator.pools_started == 2
+
+
+def test_parse_endpoint():
+    assert parse_endpoint("example.org:8471") == ("example.org", 8471)
+    for bad in ("nocolon", ":90", "host:", "host:abc"):
+        with pytest.raises(ValueError, match="invalid endpoint"):
+            parse_endpoint(bad)
+    with pytest.raises(ValueError, match="endpoint"):
+        RemoteEvaluator(np.zeros((3, 3)), 1.0, endpoints=[])

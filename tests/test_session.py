@@ -121,6 +121,8 @@ class TestSimulationConfig:
             {"order": "random", "seed": 123, "max_rounds": 7},
             {"seed": None, "repair_threshold": 0.0, "max_candidates": 5},
             {"response": "single", "workers": 2, "schedule": "batched"},
+            {"backend": "remote", "endpoints": ("a:1", "b:2")},
+            {"workers": 2, "buffering": "double"},
         ],
     )
     def test_dict_round_trip(self, kwargs):
@@ -134,6 +136,15 @@ class TestSimulationConfig:
         assert cfg.order == (3, 1, 2)
         assert cfg == SimulationConfig(order=np.array([3, 1, 2]))
         assert cfg.to_dict()["order"] == [3, 1, 2]
+
+    def test_endpoints_normalized_to_tuple(self):
+        cfg = SimulationConfig(backend="remote", endpoints=["a:1", "b:2"])
+        assert cfg.endpoints == ("a:1", "b:2")
+        # a lone "host:port" string is one endpoint, not five characters
+        assert SimulationConfig(
+            backend="remote", endpoints="a:1"
+        ).endpoints == ("a:1",)
+        assert cfg.to_dict()["endpoints"] == ["a:1", "b:2"]
 
     def test_replace_validates_and_preserves(self):
         cfg = SimulationConfig()
@@ -157,6 +168,28 @@ class TestSimulationConfig:
             ({"engine": "exact", "workers": 2}, "incremental"),
             ({"engine": "exact", "schedule": "batched"}, "incremental"),
             ({"schedule": "batched", "order": "max_gain"}, "max_gain"),
+            ({"backend": "bogus"}, "unknown backend"),
+            ({"buffering": "triple"}, "unknown buffering"),
+            ({"backend": "remote"}, "requires endpoints"),
+            (
+                {"backend": "remote", "endpoints": ("h:1",), "engine": "exact"},
+                "incremental",
+            ),
+            (
+                {"backend": "remote", "endpoints": ("h:1",), "workers": 2},
+                "workers",
+            ),
+            (
+                {
+                    "backend": "remote",
+                    "endpoints": ("h:1",),
+                    "buffering": "double",
+                },
+                "buffering",
+            ),
+            ({"endpoints": ("h:1",)}, "backend='remote'"),
+            ({"backend": "remote", "endpoints": ("nocolon",)}, "invalid endpoint"),
+            ({"backend": "remote", "endpoints": ("h:port",)}, "invalid endpoint"),
         ],
     )
     def test_validation(self, kwargs, match):

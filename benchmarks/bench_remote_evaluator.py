@@ -25,6 +25,13 @@ additionally requires >= 2 available CPUs (per the container note: on a
 single-CPU machine two localhost workers cannot beat the serial path) and
 ``BENCH_SKIP_SPEEDUP_ASSERT`` unset.
 
+A **fleet-resilience phase** then replays the sweep against a fresh
+two-worker fleet whose first worker is SIGKILLed mid-sweep: shard retry
+must carry the remaining runs on the survivor with — again — byte-identical
+results (scoring tasks are pure, so redistribution cannot change a
+trajectory), and the session's ``EvaluatorStats`` must show the failure
+and re-dispatch counters. Identity under chaos is asserted always.
+
 Run directly (``python benchmarks/bench_remote_evaluator.py``) for a
 plain-text report plus ``BENCH_remote_evaluator.json``, or through
 pytest-benchmark like the other benchmarks.
@@ -47,7 +54,7 @@ from repro.core import (
     default_workers,
 )
 from repro.core.host_graph import HostGraph
-from repro.core.remote import local_workers
+from repro.core.remote import _reap_processes, local_workers, spawn_local_worker
 
 N = 60
 ALPHA = 3.0
@@ -117,14 +124,8 @@ def certification_sweep(game, start, config) -> tuple[float, list, object]:
     return elapsed, results, stats
 
 
-def compare_backends(endpoints) -> dict:
-    game = NetworkCreationGame(mesh_host(N), ALPHA)
-    start = converged_start(game)
-    serial_s, serial_results, _ = certification_sweep(game, start, _config())
-    remote_s, remote_results, remote_stats = certification_sweep(
-        game, start, _config(backend="remote", endpoints=tuple(endpoints))
-    )
-    identical = all(
+def _runs_identical(serial_results, remote_results) -> bool:
+    return all(
         a.converged and b.converged
         and a.moves == b.moves
         and a.final_profile == b.final_profile
@@ -132,16 +133,62 @@ def compare_backends(endpoints) -> dict:
         and a.engine_stats == b.engine_stats
         for a, b in zip(serial_results, remote_results)
     )
+
+
+def fleet_resilience(game, start, serial_results) -> dict:
+    """SIGKILL one of two workers mid-sweep; the sweep must finish unchanged.
+
+    The victim dies between run 1 and run 2 of the certification sweep, so
+    run 2's first batch hits a dead endpoint: its shard re-dispatches to
+    the survivor, and every remaining run rides one live worker — with
+    byte-identical results throughout.
+    """
+    victim, victim_ep = spawn_local_worker()
+    survivor, survivor_ep = spawn_local_worker()
+    try:
+        config = _config(
+            backend="remote",
+            endpoints=(victim_ep, survivor_ep),
+            batch_timeout=60.0,
+            max_retries=3,
+        )
+        with GameSession(game, config) as session:
+            results = [session.run(start)]
+            victim.kill()
+            victim.join()
+            results += [session.run(start) for _ in range(CERT_REPS - 1)]
+            stats = session.stats()
+    finally:
+        _reap_processes([victim, survivor], timeout=10.0)
+    fleet = stats.evaluator_stats
+    return {
+        "identical": _runs_identical(serial_results, results),
+        "failures": fleet.failures,
+        "retries": fleet.retries,
+        "endpoints_alive": fleet.endpoints_alive,
+        "connection_sets": stats.evaluator_pools_started,
+    }
+
+
+def compare_backends(endpoints) -> dict:
+    game = NetworkCreationGame(mesh_host(N), ALPHA)
+    start = converged_start(game)
+    serial_s, serial_results, _ = certification_sweep(game, start, _config())
+    remote_s, remote_results, remote_stats = certification_sweep(
+        game, start, _config(backend="remote", endpoints=tuple(endpoints))
+    )
+    chaos = fleet_resilience(game, start, serial_results)
     return {
         "serial_s": serial_s,
         "remote_s": remote_s,
         "speedup": serial_s / remote_s if remote_s > 0 else float("nan"),
-        "identical": identical,
+        "identical": _runs_identical(serial_results, remote_results),
         "converged_cost": serial_results[0].final_social_cost,
         "remote_cost": remote_results[0].final_social_cost,
         "runs": CERT_REPS,
         "evaluators_created": remote_stats.evaluators_created,
         "connection_sets": remote_stats.evaluator_pools_started,
+        **{f"chaos_{key}": value for key, value in chaos.items()},
     }
 
 
@@ -155,6 +202,11 @@ def _report_rows(stats, cpus):
         ("converged cost (serial)", "-", stats["converged_cost"]),
         ("converged cost (remote)", "= serial", stats["remote_cost"]),
         ("connection sets per session", 1, stats["connection_sets"]),
+        ("chaos: byte-identical after worker SIGKILL", "always", stats["chaos_identical"]),
+        ("chaos: endpoint failures noticed", ">= 1", stats["chaos_failures"]),
+        ("chaos: shard re-dispatches", ">= 1", stats["chaos_retries"]),
+        ("chaos: endpoints alive after the kill", 1, stats["chaos_endpoints_alive"]),
+        ("chaos: connection sets per session", 1, stats["chaos_connection_sets"]),
         ("available CPUs", "-", cpus),
     ]
 
@@ -169,6 +221,12 @@ def _check(stats, cpus) -> None:
     assert stats["remote_cost"] == stats["converged_cost"]  # byte-identical
     assert stats["evaluators_created"] == 1
     assert stats["connection_sets"] == 1
+    assert stats["chaos_identical"], (
+        "sweep diverged from the serial engine after a mid-sweep worker kill"
+    )
+    assert stats["chaos_failures"] >= 1 and stats["chaos_retries"] >= 1
+    assert stats["chaos_endpoints_alive"] == 1
+    assert stats["chaos_connection_sets"] == 1  # the set never fully died
     if _speedup_asserted(cpus):
         assert stats["speedup"] >= SPEEDUP_TARGET, (
             f"remote backend speedup {stats['speedup']:.2f}x below "
@@ -219,6 +277,11 @@ def main() -> int:
         f"  serial {stats['serial_s']:6.2f}s   remote {stats['remote_s']:6.2f}s   "
         f"speedup {stats['speedup']:.2f}x   identical={stats['identical']}   "
         f"connection sets={stats['connection_sets']}"
+    )
+    print(
+        f"  chaos: identical={stats['chaos_identical']}   "
+        f"failures={stats['chaos_failures']}   retries={stats['chaos_retries']}   "
+        f"alive={stats['chaos_endpoints_alive']}/2"
     )
     entries = [
         {

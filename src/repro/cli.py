@@ -26,7 +26,9 @@ flags — ``--engine`` (incremental distance engine vs. exact from-scratch
 oracle), ``--schedule`` (sequential vs. batched proposal-caching
 activation), ``--workers`` (shared-memory worker processes for the batched
 evaluations), ``--backend``/``--endpoint`` (local shared-memory evaluation
-vs. remote worker servers) and ``--seed`` — which override the file.  ``repro config
+vs. remote worker servers), ``--batch-timeout``/``--max-retries`` (the
+remote fleet's hung-worker deadline and shard-retry budget) and ``--seed``
+— which override the file.  ``repro config
 dump`` prints the config the same flags resolve to, so a flag combination
 can be frozen into a reusable JSON file:
 
@@ -207,6 +209,31 @@ def _add_config_flags(parser: argparse.ArgumentParser, *, full: bool = False) ->
         ),
     )
     parser.add_argument(
+        "--batch-timeout",
+        dest="batch_timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-socket-operation inactivity deadline for remote batches: a "
+            "worker that produces no bytes for this long is dropped and its "
+            "shard re-dispatched to surviving endpoints (default 120; "
+            "requires --backend remote)"
+        ),
+    )
+    parser.add_argument(
+        "--max-retries",
+        dest="max_retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "shard re-dispatch rounds allowed per remote batch after "
+            "endpoint failures before the batch fails (default 2; requires "
+            "--backend remote)"
+        ),
+    )
+    parser.add_argument(
         "--seed",
         type=int,
         default=None,
@@ -249,6 +276,8 @@ _CONFIG_FIELDS = (
     "backend",
     "endpoints",
     "buffering",
+    "batch_timeout",
+    "max_retries",
     "response",
     "order",
     "max_rounds",

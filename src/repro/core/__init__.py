@@ -66,7 +66,7 @@ from .parallel import (
     SharedSnapshot,
     default_workers,
 )
-from .remote import RemoteEvaluator, WorkerServer
+from .remote import EndpointSet, RemoteEvaluator, RemoteEvaluatorError, WorkerServer
 from .shortest_paths import (
     CandidateEvaluator,
     DecrementalRepair,
@@ -93,6 +93,7 @@ __all__ = [
     "CycleCheckResult",
     "DecrementalRepair",
     "DynamicsResult",
+    "EndpointSet",
     "EngineStats",
     "EquilibriumReport",
     "EvaluatorBackend",
@@ -107,6 +108,7 @@ __all__ = [
     "ParallelEvaluator",
     "PoAEstimate",
     "RemoteEvaluator",
+    "RemoteEvaluatorError",
     "SessionStats",
     "SharedSnapshot",
     "SimulationConfig",

@@ -116,6 +116,16 @@ class EvaluatorStats:
     ``close``.  ``batches``/``tasks`` count ``evaluate`` calls and the
     tasks they carried; the ``bytes_*`` counters are nonzero only for the
     socket transport (shared-memory traffic is not byte-accounted).
+
+    The fleet-health fields describe the remote backend's endpoints and
+    stay at their defaults for the local backend (whose workers share the
+    client's fate — there is no partial failure to count): ``failures``
+    counts endpoint drops and failed (re)connect attempts, ``retries``
+    counts shard re-dispatches after a mid-batch endpoint failure,
+    ``reconnects`` counts endpoints that rejoined after having been
+    connected before, and ``endpoints_alive``/``endpoints_total`` snapshot
+    the fleet at stats time; ``endpoint_failures``/``endpoint_retries``
+    break the first two down per ``"host:port"`` address.
     """
 
     backend: str
@@ -124,6 +134,13 @@ class EvaluatorStats:
     pools_started: int
     bytes_sent: int = 0
     bytes_received: int = 0
+    failures: int = 0
+    retries: int = 0
+    reconnects: int = 0
+    endpoints_alive: int = 0
+    endpoints_total: int = 0
+    endpoint_failures: tuple[tuple[str, int], ...] = ()
+    endpoint_retries: tuple[tuple[str, int], ...] = ()
 
 
 @runtime_checkable

@@ -1,4 +1,4 @@
-"""Socket-based remote evaluator backend: multi-host batched-proposal fan-out.
+"""Socket-based remote evaluator backend: fault-tolerant multi-host fan-out.
 
 The shared-memory evaluator (:mod:`repro.core.parallel`) is bounded by one
 machine.  Its snapshot protocol — a static weights segment written once
@@ -15,28 +15,50 @@ ships it over TCP sockets instead:
     connections sent it, so one server can serve many games and many
     sessions over its lifetime.
 
-``RemoteEvaluator``
+``RemoteEvaluator`` / :class:`EndpointSet`
     The client side, implementing the
     :class:`~repro.core.parallel.EvaluatorBackend` protocol so it drops
     into :class:`~repro.core.incremental.IncrementalEngine` /
     :class:`~repro.core.session.GameSession` exactly like a
-    :class:`~repro.core.parallel.ParallelEvaluator`.  Connections are
-    opened lazily on the first ``evaluate`` (one per configured endpoint;
-    ``pools_started`` counts connection-set establishments, mirroring the
-    local pool counter so :class:`~repro.core.session.SessionStats`
-    instrumentation works unchanged).  Each batch is split into contiguous
-    shards, one per endpoint, each distinct residual matrix is shipped at
-    most once per shard, and results are gathered shard by shard — i.e. in
-    **submission order**, so trajectories are bit-identical to the serial
-    engine and to every other backend (asserted by
-    ``tests/test_remote_evaluator.py``).
+    :class:`~repro.core.parallel.ParallelEvaluator`.  Endpoints live in an
+    :class:`EndpointSet` that tracks per-endpoint connection state and
+    failure/retry counters and supports :meth:`RemoteEvaluator.add_endpoint`
+    / :meth:`RemoteEvaluator.remove_endpoint` between batches — the fleet
+    is elastic, not a static list.  Connections open lazily on the first
+    ``evaluate`` (``pools_started`` counts set establishments — transitions
+    from "no live connection" to "some" — mirroring the local pool counter
+    so :class:`~repro.core.session.SessionStats` instrumentation works
+    unchanged).  Each batch is split into contiguous shards (one per live
+    endpoint, empty shards are never shipped), each distinct residual
+    matrix is shipped at most once per shard, and results are gathered
+    shard by shard — i.e. in **submission order**, so trajectories are
+    bit-identical to the serial engine and to every other backend.
 
-Wire format (version ``1``): every frame is an 8-byte big-endian length
+Failure semantics (the point of this fleet being *production-grade*; see
+``docs/architecture.md`` for the full state machine):
+
+* **deadlines** — after the handshake every socket runs with
+  ``settimeout(batch_timeout)``, so a hung worker surfaces as an endpoint
+  failure within the deadline instead of blocking ``recv`` forever;
+* **shard retry** — an endpoint that fails mid-batch (connection error,
+  timeout, protocol violation or a worker-side ``error`` reply) has only
+  *its* connection dropped; its shard is re-dispatched to the surviving
+  endpoints (up to ``max_retries`` re-dispatch rounds per batch).  Scoring
+  tasks are pure and results cross the wire bit-exactly, so redistribution
+  cannot change the trajectory.  A batch fails — with
+  :class:`RemoteEvaluatorError` — only when *every* endpoint is dead or the
+  retry budget is exhausted;
+* **lazy rejoin** — a failed endpoint is re-connected (full handshake) at
+  the start of the *next* batch, so a restarted worker rejoins the fleet
+  without poisoning the sweep; the ``ping`` protocol verb backs the
+  :meth:`RemoteEvaluator.check_endpoints` health check.
+
+Wire format (version ``2``): every frame is an 8-byte big-endian length
 prefix followed by that many payload bytes.  A *message* is one JSON header
 frame optionally followed by raw-buffer frames it announces — matrices
 travel as raw C-order ``float64`` bytes, **never pickled**:
 
-* client → server ``hello``: ``{"kind": "hello", "protocol": 1, "n": n,
+* client → server ``hello``: ``{"kind": "hello", "protocol": 2, "n": n,
   "alpha": alpha}`` + 1 raw frame holding the ``(n, n)`` weight matrix
   (shipped once per connection; host weights are static for a game);
 * server → client ``ready``: ``{"kind": "ready", "pid": ...}``;
@@ -46,8 +68,12 @@ travel as raw C-order ``float64`` bytes, **never pickled**:
 * server → client ``results``: ``{"kind": "results", "results": [[agent,
   [strategy...], cost_hex, current_cost_hex, method], ...]}`` — costs are
   serialized with :meth:`float.hex`, which round-trips every ``float``
-  (including ``inf``) bit-exactly, so remote results compare equal to
-  serial ones under exact float equality;
+  (including ``inf``) bit-exactly, so remote results equal serial ones
+  under exact float equality;
+* client → server ``ping``: ``{"kind": "ping"}`` — answered with
+  ``{"kind": "pong", "pid": ...}``; accepted both *before* the hello (a
+  ping-only probe needs no weights) and between batches (liveness check on
+  an established connection);
 * client → server ``bye``: ``{"kind": "bye"}`` ends the connection; a
   server-side failure answers ``{"kind": "error", "message": ...}``
   instead of results.
@@ -58,10 +84,10 @@ every per-run engine teardown), and closing the evaluator closes its
 *connections* only — the worker servers keep serving.
 
 :func:`spawn_local_worker` / :func:`local_workers` start worker servers as
-local child processes on OS-assigned ports; they exist for the tests, the
-benchmarks and single-machine smoke runs — production workers run
-``python -m repro.cli worker serve`` wherever the instances should be
-scored.
+local child processes on OS-assigned (or caller-pinned) ports; they exist
+for the tests, the benchmarks and single-machine smoke runs — production
+workers run ``python -m repro.cli worker serve`` wherever the instances
+should be scored.
 """
 
 from __future__ import annotations
@@ -85,19 +111,31 @@ __all__ = [
     "PROTOCOL_VERSION",
     "RemoteEvaluatorError",
     "RemoteEvaluator",
+    "EndpointSet",
     "WorkerServer",
     "serve",
     "spawn_local_worker",
     "local_workers",
 ]
 
-PROTOCOL_VERSION = 1
+# Version 2 added the ping/pong health-check verb (accepted pre-hello and
+# between batches); client and server versions must match exactly.
+PROTOCOL_VERSION = 2
 
 _LEN = struct.Struct("!Q")
 # A frame can at most hold one dense (n, n) float64 matrix; 1 GiB bounds
 # n around 11_000 and, more importantly, turns a corrupted/foreign length
 # prefix into an immediate protocol error instead of an endless recv.
 _MAX_FRAME = 1 << 30
+
+# Inactivity deadline (seconds) applied to every socket operation of a
+# batch exchange once the handshake is done.  A worker that produces no
+# bytes for this long is treated as failed and its shard is re-dispatched.
+DEFAULT_BATCH_TIMEOUT = 120.0
+# Re-dispatch rounds allowed per batch before the batch fails.  Each round
+# requires at least one endpoint failure (which removes that endpoint from
+# the round's fan-out), so rounds are also bounded by the endpoint count.
+DEFAULT_MAX_RETRIES = 2
 
 
 # ----------------------------------------------------------------------
@@ -192,11 +230,20 @@ def _unpack_result(data: Sequence) -> BestResponseResult:
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
+def _pong(conn: socket.socket) -> None:
+    _send_json(conn, {"kind": "pong", "pid": os.getpid(), "protocol": PROTOCOL_VERSION})
+
+
 def _handle_connection(conn: socket.socket) -> None:
-    """Serve one evaluator connection: hello, then batches until bye/EOF."""
+    """Serve one evaluator connection: (pings,) hello, then batches until bye/EOF."""
     try:
+        # Ping-only probes (health checks) need no hello: answer any number
+        # of pings, then expect the hello (or a bye / clean EOF).
         hello = _recv_json(conn)
-        if hello is None:
+        while hello is not None and hello.get("kind") == "ping":
+            _pong(conn)
+            hello = _recv_json(conn)
+        if hello is None or hello.get("kind") == "bye":
             return  # probed and dropped (health checks, port scans)
         if hello.get("kind") != "hello":
             raise RemoteEvaluatorError(f"expected hello, got {hello.get('kind')!r}")
@@ -219,6 +266,9 @@ def _handle_connection(conn: socket.socket) -> None:
             header = _recv_json(conn)
             if header is None or header.get("kind") == "bye":
                 return
+            if header.get("kind") == "ping":  # liveness check between batches
+                _pong(conn)
+                continue
             if header.get("kind") != "batch":
                 raise RemoteEvaluatorError(
                     f"expected batch, got {header.get('kind')!r}"
@@ -304,39 +354,64 @@ def serve(host: str = "127.0.0.1", port: int = 0) -> None:
         server.shutdown()
 
 
-def _worker_process_main(host: str, pipe) -> None:  # pragma: no cover - child process
-    server = WorkerServer(host, 0)
+def _worker_process_main(host: str, port: int, pipe) -> None:  # pragma: no cover - child process
+    server = WorkerServer(host, port)
     pipe.send(server.port)
     pipe.close()
     server.serve_forever()
 
 
 def spawn_local_worker(
-    host: str = "127.0.0.1", *, start_method: str | None = None
+    host: str = "127.0.0.1", *, port: int = 0, start_method: str | None = None
 ) -> tuple[mp.process.BaseProcess, str]:
     """Start a worker server in a child process; returns ``(process, endpoint)``.
 
-    The child binds an OS-assigned port and reports it through a pipe, so
-    the returned endpoint is immediately connectable — no sleep-and-retry
-    races.  Terminate the process to stop the worker.
+    The child binds ``port`` (default 0 = OS-assigned — pin it to restart a
+    worker on a known endpoint, e.g. in rejoin tests) and reports the bound
+    port through a pipe, so the returned endpoint is immediately
+    connectable — no sleep-and-retry races.  Terminate the process to stop
+    the worker.
     """
     if start_method is None and "fork" in mp.get_all_start_methods():
         start_method = "fork"
     ctx = mp.get_context(start_method)
     parent, child = ctx.Pipe()
     process = ctx.Process(
-        target=_worker_process_main, args=(host, child), daemon=True
+        target=_worker_process_main, args=(host, int(port), child), daemon=True
     )
     process.start()
     child.close()
-    port = parent.recv()
+    bound_port = parent.recv()
     parent.close()
-    return process, f"{host}:{port}"
+    return process, f"{host}:{bound_port}"
+
+
+def _reap_processes(
+    processes: Sequence[mp.process.BaseProcess], *, timeout: float = 10.0
+) -> None:
+    """Terminate worker processes, escalating to ``kill`` — never leaks a child.
+
+    ``terminate`` (SIGTERM) is polite but advisory: a child that ignores or
+    blocks the signal would survive a plain ``join(timeout)`` and leak.
+    Survivors are ``kill``-ed (SIGKILL, uncatchable) and joined again.
+    """
+    for process in processes:
+        with contextlib.suppress(ValueError):  # already closed handles
+            process.terminate()
+    for process in processes:
+        process.join(timeout=timeout)
+    stubborn = [process for process in processes if process.is_alive()]
+    for process in stubborn:
+        process.kill()
+    for process in stubborn:
+        process.join(timeout=timeout)
 
 
 @contextlib.contextmanager
-def local_workers(count: int, host: str = "127.0.0.1") -> Iterator[list[str]]:
-    """``count`` local worker-server processes, terminated on exit."""
+def local_workers(
+    count: int, host: str = "127.0.0.1", *, reap_timeout: float = 10.0
+) -> Iterator[list[str]]:
+    """``count`` local worker-server processes, reliably reaped on exit."""
     processes: list[mp.process.BaseProcess] = []
     endpoints: list[str] = []
     try:
@@ -346,10 +421,7 @@ def local_workers(count: int, host: str = "127.0.0.1") -> Iterator[list[str]]:
             endpoints.append(endpoint)
         yield endpoints
     finally:
-        for process in processes:
-            process.terminate()
-        for process in processes:
-            process.join(timeout=10)
+        _reap_processes(processes, timeout=reap_timeout)
 
 
 # ----------------------------------------------------------------------
@@ -365,8 +437,74 @@ def parse_endpoint(endpoint: str) -> tuple[str, int]:
     return host, int(port)
 
 
+class _Endpoint:
+    """One worker endpoint: its address, connection state and counters."""
+
+    __slots__ = ("address", "sock", "failures", "retries", "ever_connected", "last_error")
+
+    def __init__(self, address: str) -> None:
+        self.address = address
+        self.sock: socket.socket | None = None
+        self.failures = 0  # connection drops + failed (re)connect attempts
+        self.retries = 0  # re-dispatched shards this endpoint picked up
+        self.ever_connected = False
+        self.last_error: str | None = None
+
+
+class EndpointSet:
+    """Insertion-ordered, health-tracked set of worker endpoints.
+
+    The mutable fleet membership behind :class:`RemoteEvaluator`: entries
+    keep their connection state and per-endpoint failure/retry counters,
+    and :meth:`add` / :meth:`pop` change membership *between* batches
+    (``evaluate`` is synchronous, so any moment outside it is between
+    batches).  Iteration order is insertion order — sharding is
+    deterministic for a fixed membership, and results are independent of
+    membership anyway (submission-order gather).
+    """
+
+    def __init__(self, endpoints: Iterable[str] = ()) -> None:
+        self._entries: dict[str, _Endpoint] = {}
+        for endpoint in endpoints:
+            self.add(endpoint)
+
+    def add(self, endpoint: str) -> _Endpoint:
+        """Add ``"host:port"`` (validated); rejects duplicates."""
+        address = str(endpoint)
+        parse_endpoint(address)  # fail fast on malformed addresses
+        if address in self._entries:
+            raise ValueError(f"duplicate endpoint {address!r}")
+        entry = _Endpoint(address)
+        self._entries[address] = entry
+        return entry
+
+    def pop(self, endpoint: str) -> _Endpoint:
+        """Remove and return an entry (caller closes its connection)."""
+        entry = self._entries.pop(str(endpoint), None)
+        if entry is None:
+            raise ValueError(f"unknown endpoint {endpoint!r}")
+        return entry
+
+    def live(self) -> "list[_Endpoint]":
+        """Entries with an open connection, in insertion order."""
+        return [entry for entry in self._entries.values() if entry.sock is not None]
+
+    @property
+    def addresses(self) -> tuple[str, ...]:
+        return tuple(self._entries)
+
+    def __iter__(self) -> Iterator[_Endpoint]:
+        return iter(list(self._entries.values()))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, endpoint: object) -> bool:
+        return str(endpoint) in self._entries
+
+
 class RemoteEvaluator:
-    """Socket-connected evaluator backend over one or more worker servers.
+    """Socket-connected evaluator backend over a fleet of worker servers.
 
     Parameters
     ----------
@@ -377,24 +515,45 @@ class RemoteEvaluator:
         Edge-price parameter of the game.
     endpoints:
         ``"host:port"`` worker-server addresses; one connection per
-        endpoint, batches are sharded across them contiguously.
+        endpoint, batches are sharded across the live ones.
     connect_timeout:
-        Seconds to wait for each TCP connect + handshake.
+        Seconds to wait for each TCP connect + handshake (and for
+        :meth:`check_endpoints` probes).
+    batch_timeout:
+        Per-socket-operation inactivity deadline (seconds) during a batch
+        exchange.  A worker that produces no bytes for this long is treated
+        as failed — its shard is re-dispatched — instead of blocking the
+        client forever.  ``None`` disables the deadline.
+    max_retries:
+        Re-dispatch rounds allowed per batch.  Every round requires at
+        least one endpoint failure (the failed endpoint leaves the fan-out),
+        so rounds are also bounded by the endpoint count; ``0`` makes any
+        endpoint failure fail the batch.
 
-    Connections open lazily on the first :meth:`evaluate`, are reused for
-    every later batch and are closed by :meth:`close` (context-manager
-    exit, plus an ``atexit`` safety net); ``pools_started`` counts
-    connection-set establishments — the exact counter
-    :class:`~repro.core.session.SessionStats` asserts on to prove a sweep
-    opened one connection set per session.  Scoring happens server-side
-    with the same pure kernel as everywhere else and results are gathered
-    in submission order, so trajectories are bit-identical to the serial
-    engine for any endpoint count.
+    Connections open lazily on the first :meth:`evaluate` and are reused
+    for every later batch.  An endpoint that fails mid-batch is dropped
+    alone — the batch continues on the survivors — and is lazily
+    re-connected at the start of the next batch, so a restarted worker
+    rejoins the fleet automatically (``stats.reconnects``); the batch only
+    fails when every endpoint is dead or ``max_retries`` is exhausted.
+    :meth:`add_endpoint` / :meth:`remove_endpoint` grow and shrink the
+    fleet between batches, and :meth:`check_endpoints` health-checks it
+    with the ``ping`` protocol verb.  ``pools_started`` counts connection-
+    set establishments (live connections going from none to some) — the
+    exact counter :class:`~repro.core.session.SessionStats` asserts on to
+    prove a sweep opened one connection set; per-endpoint lazy rejoins
+    while the set stays up do not count.  Scoring happens server-side with
+    the same pure kernel as everywhere else and results are gathered in
+    submission order, so trajectories are bit-identical to the serial
+    engine for any endpoint count — and for any redistribution of shards
+    across failures.
     """
 
     __slots__ = (
-        "_weights", "_alpha", "_endpoints", "_connect_timeout", "_socks",
-        "pools_started", "_batches", "_tasks", "_bytes_sent", "_bytes_received",
+        "_weights", "_alpha", "_endpoints", "_connect_timeout", "_batch_timeout",
+        "_max_retries", "pools_started", "_batches", "_tasks", "_bytes_sent",
+        "_bytes_received", "_failures", "_retries", "_reconnects",
+        "_atexit_registered",
     )
 
     def __init__(
@@ -404,24 +563,32 @@ class RemoteEvaluator:
         *,
         endpoints: Sequence[str],
         connect_timeout: float = 10.0,
+        batch_timeout: float | None = DEFAULT_BATCH_TIMEOUT,
+        max_retries: int = DEFAULT_MAX_RETRIES,
     ) -> None:
         self._weights = np.ascontiguousarray(weights, dtype=np.float64)
         if self._weights.ndim != 2 or self._weights.shape[0] != self._weights.shape[1]:
             raise ValueError(f"weights must be square, got shape {self._weights.shape}")
         self._alpha = float(alpha)
-        parsed = tuple(str(e) for e in endpoints)
-        if not parsed:
+        if not endpoints:
             raise ValueError("need at least one worker endpoint")
-        for endpoint in parsed:
-            parse_endpoint(endpoint)  # fail fast on malformed addresses
-        self._endpoints = parsed
+        self._endpoints = EndpointSet(str(e) for e in endpoints)
         self._connect_timeout = float(connect_timeout)
-        self._socks: list[socket.socket] | None = None
+        self._batch_timeout = None if batch_timeout is None else float(batch_timeout)
+        if self._batch_timeout is not None and self._batch_timeout <= 0:
+            raise ValueError("batch_timeout must be positive (or None for no deadline)")
+        self._max_retries = int(max_retries)
+        if self._max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
         self.pools_started = 0
         self._batches = 0
         self._tasks = 0
         self._bytes_sent = 0
         self._bytes_received = 0
+        self._failures = 0
+        self._retries = 0
+        self._reconnects = 0
+        self._atexit_registered = False
 
     @classmethod
     def for_game(cls, game, **kwargs) -> "RemoteEvaluator":
@@ -435,16 +602,17 @@ class RemoteEvaluator:
 
     @property
     def endpoints(self) -> tuple[str, ...]:
-        return self._endpoints
+        return self._endpoints.addresses
 
     @property
     def is_running(self) -> bool:
-        """True while the connection set is open."""
-        return self._socks is not None
+        """True while at least one endpoint connection is open."""
+        return bool(self._endpoints.live())
 
     @property
     def stats(self) -> EvaluatorStats:
-        """Lifetime counters of this backend (see :class:`EvaluatorStats`)."""
+        """Lifetime counters plus fleet health (see :class:`EvaluatorStats`)."""
+        entries = list(self._endpoints)
         return EvaluatorStats(
             backend="remote",
             batches=self._batches,
@@ -452,59 +620,165 @@ class RemoteEvaluator:
             pools_started=self.pools_started,
             bytes_sent=self._bytes_sent,
             bytes_received=self._bytes_received,
+            failures=self._failures,
+            retries=self._retries,
+            reconnects=self._reconnects,
+            endpoints_total=len(entries),
+            endpoints_alive=sum(1 for e in entries if e.sock is not None),
+            endpoint_failures=tuple((e.address, e.failures) for e in entries),
+            endpoint_retries=tuple((e.address, e.retries) for e in entries),
         )
+
+    # ------------------------------------------------------------------
+    # Fleet membership and health
+    # ------------------------------------------------------------------
+    def add_endpoint(self, endpoint: str) -> None:
+        """Add a worker endpoint to the fleet; it joins on the next batch."""
+        self._endpoints.add(endpoint)
+
+    def remove_endpoint(self, endpoint: str) -> None:
+        """Remove an endpoint between batches, closing its connection politely."""
+        if len(self._endpoints) == 1 and endpoint in self._endpoints:
+            raise ValueError(
+                "cannot remove the last endpoint: an evaluator needs at least one"
+            )
+        self._disconnect(self._endpoints.pop(endpoint))
+
+    def check_endpoints(self) -> dict[str, bool]:
+        """Health-check every endpoint with the ``ping`` protocol verb.
+
+        Connected endpoints are pinged over their established connection (a
+        failure drops that connection, like a failed batch would); down
+        endpoints are probed with a short-lived ping-only connection — no
+        hello, so the probe costs no weights transfer.  Returns address →
+        healthy; never raises for an unhealthy endpoint.
+        """
+        return {entry.address: self._ping(entry) for entry in self._endpoints}
+
+    def _ping(self, entry: _Endpoint) -> bool:
+        if entry.sock is not None:
+            try:
+                self._bytes_sent += _send_json(entry.sock, {"kind": "ping"})
+                reply = self._recv_counted(entry.sock)
+                if reply is None or reply.get("kind") != "pong":
+                    raise RemoteEvaluatorError(f"expected pong, got {reply!r}")
+            except (OSError, RemoteEvaluatorError) as exc:
+                self._drop(entry, exc)
+                return False
+            return True
+        try:
+            host, port = parse_endpoint(entry.address)
+            with socket.create_connection(
+                (host, port), timeout=self._connect_timeout
+            ) as sock:
+                _send_json(sock, {"kind": "ping"})
+                reply = _recv_json(sock)
+                if reply is None or reply.get("kind") != "pong":
+                    return False
+                with contextlib.suppress(OSError):
+                    _send_json(sock, {"kind": "bye"})
+            return True
+        except (OSError, RemoteEvaluatorError):
+            return False
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def _connect(self) -> list[socket.socket]:
-        if self._socks is not None:
-            return self._socks
-        n = self._weights.shape[0]
-        hello = {
-            "kind": "hello",
-            "protocol": PROTOCOL_VERSION,
-            "n": n,
-            "alpha": self._alpha,
-        }
-        socks: list[socket.socket] = []
+    def _handshake(self, entry: _Endpoint) -> None:
+        """Connect one endpoint: hello + weights, await ready, arm the deadline."""
+        host, port = parse_endpoint(entry.address)
+        sock = socket.create_connection((host, port), timeout=self._connect_timeout)
         try:
-            for endpoint in self._endpoints:
-                host, port = parse_endpoint(endpoint)
-                sock = socket.create_connection(
-                    (host, port), timeout=self._connect_timeout
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            hello = {
+                "kind": "hello",
+                "protocol": PROTOCOL_VERSION,
+                "n": self._weights.shape[0],
+                "alpha": self._alpha,
+            }
+            sent = _send_json(sock, hello)
+            sent += _send_frame(sock, self._weights)
+            reply = _recv_json(sock)
+            if reply is None or reply.get("kind") != "ready":
+                raise RemoteEvaluatorError(
+                    f"worker {entry.address} did not become ready: {reply!r}"
                 )
-                socks.append(sock)
-                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-                self._bytes_sent += _send_json(sock, hello)
-                self._bytes_sent += _send_frame(sock, self._weights)
-                reply = _recv_json(sock)
-                if reply is None or reply.get("kind") != "ready":
-                    raise RemoteEvaluatorError(
-                        f"worker {endpoint} did not become ready: {reply!r}"
-                    )
-                sock.settimeout(None)  # batches may legitimately take long
+            # Batches may legitimately take long, but a *hung* worker must
+            # not block the client forever: every later socket operation
+            # runs under the batch deadline.
+            sock.settimeout(self._batch_timeout)
         except BaseException:
-            for sock in socks:
-                with contextlib.suppress(OSError):
-                    sock.close()
-            raise
-        self._socks = socks
-        self.pools_started += 1
-        atexit.register(self.close)
-        return socks
-
-    def close(self) -> None:
-        """Close the connections (idempotent); the worker servers keep running."""
-        socks, self._socks = self._socks, None
-        if socks is None:
-            return
-        atexit.unregister(self.close)
-        for sock in socks:
-            with contextlib.suppress(OSError, RemoteEvaluatorError):
-                _send_json(sock, {"kind": "bye"})
             with contextlib.suppress(OSError):
                 sock.close()
+            raise
+        self._bytes_sent += sent
+        entry.sock = sock
+        entry.ever_connected = True
+        entry.last_error = None
+
+    def _ensure_connections(self) -> list[_Endpoint]:
+        """Live endpoints for the next batch, lazily (re)connecting down ones.
+
+        Raises when no endpoint can be connected at all — preserving the
+        underlying :class:`OSError` when every endpoint refused, so a
+        misconfigured fleet fails with the real error, not a wrapper.
+        """
+        if not len(self._endpoints):
+            raise RemoteEvaluatorError("no endpoints configured")
+        had_live = bool(self._endpoints.live())
+        last_error: Exception | None = None
+        for entry in self._endpoints:
+            if entry.sock is not None:
+                continue
+            rejoining = entry.ever_connected
+            try:
+                self._handshake(entry)
+            except (OSError, RemoteEvaluatorError) as exc:
+                last_error = exc
+                entry.failures += 1
+                entry.last_error = f"{type(exc).__name__}: {exc}"
+                self._failures += 1
+            else:
+                if rejoining:
+                    self._reconnects += 1
+        live = self._endpoints.live()
+        if not live:
+            assert last_error is not None
+            raise last_error
+        if not had_live:
+            self.pools_started += 1
+            if not self._atexit_registered:
+                # Registered once per evaluator lifetime: reconnect cycles
+                # (set revivals *and* per-endpoint rejoins) must not stack
+                # duplicate registrations.
+                atexit.register(self.close)
+                self._atexit_registered = True
+        return live
+
+    def _drop(self, entry: _Endpoint, exc: BaseException) -> None:
+        """Drop one failed endpoint's connection (no bye — it is desynchronized)."""
+        entry.failures += 1
+        entry.last_error = f"{type(exc).__name__}: {exc}"
+        self._failures += 1
+        sock, entry.sock = entry.sock, None
+        if sock is not None:
+            with contextlib.suppress(OSError):
+                sock.close()
+
+    def _disconnect(self, entry: _Endpoint) -> None:
+        """Close one synchronized endpoint connection politely (bye, then close)."""
+        sock, entry.sock = entry.sock, None
+        if sock is None:
+            return
+        with contextlib.suppress(OSError, RemoteEvaluatorError):
+            _send_json(sock, {"kind": "bye"})
+        with contextlib.suppress(OSError):
+            sock.close()
+
+    def close(self) -> None:
+        """Close every connection (idempotent); the worker servers keep running."""
+        for entry in self._endpoints:
+            self._disconnect(entry)
 
     def __enter__(self) -> "RemoteEvaluator":
         return self
@@ -522,89 +796,159 @@ class RemoteEvaluator:
         *,
         max_candidates: int = 22,
     ) -> list[BestResponseResult]:
-        """Score ``(agent, d_rest, strategy)`` tasks across the worker servers.
+        """Score ``(agent, d_rest, strategy)`` tasks across the worker fleet.
 
-        The batch is split into contiguous shards (one per endpoint, sizes
-        differing by at most one); every shard ships each of its distinct
-        residual matrices once, all shards are sent before any reply is
-        read (endpoint ``k`` scores while shard ``k+1`` is in transit) and
-        results are concatenated shard by shard — submission order, so the
-        output is independent of the endpoint count.
+        The batch is split into contiguous shards over the live endpoints
+        (sizes differing by at most one; with fewer tasks than endpoints
+        the surplus endpoints receive nothing — not even a header).  Every
+        shard ships each of its distinct residual matrices once, all shards
+        are sent before any reply is read (endpoint ``k`` scores while
+        shard ``k+1`` is in transit) and results are reassembled in
+        **submission order** — so the output is independent of the endpoint
+        count *and* of any mid-batch redistribution: a shard whose endpoint
+        fails is re-dispatched to the survivors and its results land at the
+        same indices.
         """
         task_list = list(tasks)
         if not task_list:
             return []
-        socks = self._connect()
-        shards = self._shard(len(task_list), len(socks))
+        live = self._ensure_connections()
         self._batches += 1
         self._tasks += len(task_list)
         try:
-            return self._evaluate_on(
-                socks, shards, task_list, response, max_candidates
+            return self._evaluate_with_retry(
+                live, task_list, response, max_candidates
             )
+        except RemoteEvaluatorError:
+            # Controlled failure: every endpoint involved was individually
+            # dropped at the moment it failed, and every survivor finished
+            # its shard exchange — the remaining connections sit at a clean
+            # message boundary and stay usable for the next batch.
+            raise
         except BaseException:
-            # A failure mid-batch leaves the connection set desynchronized
-            # (half-sent batches, unread replies that the *next* batch would
-            # otherwise read as its own results) — drop it so a caller that
-            # survives the error reconnects cleanly on the next evaluate.
+            # Uncontrolled failure (caller interrupt, serializer bug):
+            # connections may hold half-sent batches or unread replies that
+            # the *next* batch would read as its own results — drop the set
+            # so a surviving caller reconnects cleanly.
             self.close()
             raise
 
-    def _evaluate_on(
+    def _evaluate_with_retry(
         self,
-        socks: list[socket.socket],
-        shards: list[tuple[int, int]],
+        live: list[_Endpoint],
         task_list: list,
         response: str,
         max_candidates: int,
     ) -> list[BestResponseResult]:
-        for sock, (start, stop) in zip(socks, shards):
-            if start == stop:
-                continue
-            matrices: list[np.ndarray] = []
-            index_of: dict[int, int] = {}
-            wire_tasks: list[list] = []
-            for agent, d_rest, strategy in task_list[start:stop]:
-                key = id(d_rest)
-                matrix_index = index_of.get(key)
-                if matrix_index is None:
-                    matrix_index = len(matrices)
-                    index_of[key] = matrix_index
-                    matrices.append(np.ascontiguousarray(d_rest, dtype=np.float64))
-                wire_tasks.append(
-                    [int(agent), matrix_index, [int(v) for v in strategy]]
-                )
-            header = {
-                "kind": "batch",
-                "response": str(response),
-                "max_candidates": int(max_candidates),
-                "matrices": len(matrices),
-                "tasks": wire_tasks,
-            }
-            self._bytes_sent += _send_json(sock, header)
-            for matrix in matrices:
-                self._bytes_sent += _send_frame(sock, matrix)
-        results: list[BestResponseResult] = []
-        for sock, (start, stop) in zip(socks, shards):
-            if start == stop:
-                continue
-            reply = self._recv_counted(sock)
-            if reply is None:
-                raise RemoteEvaluatorError("worker disconnected before replying")
-            if reply.get("kind") == "error":
-                raise RemoteEvaluatorError(f"worker failed: {reply.get('message')}")
-            if reply.get("kind") != "results":
+        results: list[BestResponseResult | None] = [None] * len(task_list)
+        pending = list(range(len(task_list)))
+        redispatches = 0
+        last_error: Exception | None = None
+        while True:
+            shards = self._shard(len(pending), len(live))
+            sent: list[tuple[_Endpoint, list[int]]] = []
+            for entry, (start, stop) in zip(live, shards):
+                indices = pending[start:stop]
+                if redispatches:
+                    entry.retries += 1
+                    self._retries += 1
+                try:
+                    self._send_shard(
+                        entry,
+                        [task_list[i] for i in indices],
+                        response,
+                        max_candidates,
+                    )
+                except OSError as exc:
+                    last_error = exc
+                    self._drop(entry, exc)
+                else:
+                    sent.append((entry, indices))
+            gathered: set[int] = set()
+            for entry, indices in sent:
+                try:
+                    shard_results = self._recv_shard(entry, len(indices))
+                except (OSError, RemoteEvaluatorError) as exc:
+                    last_error = exc
+                    self._drop(entry, exc)
+                else:
+                    for index, result in zip(indices, shard_results):
+                        results[index] = result
+                    gathered.update(indices)
+            if gathered:
+                pending = [i for i in pending if i not in gathered]
+            if not pending:
+                return results  # type: ignore[return-value]
+            live = self._endpoints.live()
+            if not live:
                 raise RemoteEvaluatorError(
-                    f"expected results, got {reply.get('kind')!r}"
-                )
+                    f"batch failed: all {len(self._endpoints)} endpoint(s) are "
+                    f"down (last error: {last_error})"
+                ) from last_error
+            redispatches += 1
+            if redispatches > self._max_retries:
+                raise RemoteEvaluatorError(
+                    f"batch failed: {len(pending)} task(s) still unscored "
+                    f"after {self._max_retries} shard re-dispatch(es) "
+                    f"(last error: {last_error})"
+                ) from last_error
+
+    def _send_shard(
+        self,
+        entry: _Endpoint,
+        shard_tasks: list,
+        response: str,
+        max_candidates: int,
+    ) -> None:
+        matrices: list[np.ndarray] = []
+        index_of: dict[int, int] = {}
+        wire_tasks: list[list] = []
+        for agent, d_rest, strategy in shard_tasks:
+            key = id(d_rest)
+            matrix_index = index_of.get(key)
+            if matrix_index is None:
+                matrix_index = len(matrices)
+                index_of[key] = matrix_index
+                matrices.append(np.ascontiguousarray(d_rest, dtype=np.float64))
+            wire_tasks.append(
+                [int(agent), matrix_index, [int(v) for v in strategy]]
+            )
+        header = {
+            "kind": "batch",
+            "response": str(response),
+            "max_candidates": int(max_candidates),
+            "matrices": len(matrices),
+            "tasks": wire_tasks,
+        }
+        sent = _send_json(entry.sock, header)
+        for matrix in matrices:
+            sent += _send_frame(entry.sock, matrix)
+        self._bytes_sent += sent
+
+    def _recv_shard(self, entry: _Endpoint, count: int) -> list[BestResponseResult]:
+        reply = self._recv_counted(entry.sock)
+        if reply is None:
+            raise RemoteEvaluatorError(
+                f"worker {entry.address} disconnected before replying"
+            )
+        if reply.get("kind") == "error":
+            raise RemoteEvaluatorError(f"worker failed: {reply.get('message')}")
+        if reply.get("kind") != "results":
+            raise RemoteEvaluatorError(
+                f"expected results, got {reply.get('kind')!r}"
+            )
+        try:
             shard_results = [_unpack_result(item) for item in reply["results"]]
-            if len(shard_results) != stop - start:
-                raise RemoteEvaluatorError(
-                    f"worker returned {len(shard_results)} results "
-                    f"for {stop - start} tasks"
-                )
-            results.extend(shard_results)
-        return results
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RemoteEvaluatorError(
+                f"worker {entry.address} returned malformed results: {exc}"
+            ) from exc
+        if len(shard_results) != count:
+            raise RemoteEvaluatorError(
+                f"worker {entry.address} returned {len(shard_results)} results "
+                f"for {count} tasks"
+            )
+        return shard_results
 
     def _recv_counted(self, sock: socket.socket) -> dict | None:
         frame = _recv_frame(sock)
@@ -612,13 +956,27 @@ class RemoteEvaluator:
             return None
         self._bytes_received += _LEN.size + len(frame)
         try:
-            return json.loads(frame.decode())
+            reply = json.loads(frame.decode())
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise RemoteEvaluatorError(f"malformed reply frame: {exc}") from exc
+        if not isinstance(reply, dict):
+            raise RemoteEvaluatorError(
+                f"reply must be an object, got {type(reply).__name__}"
+            )
+        return reply
 
     @staticmethod
     def _shard(total: int, parts: int) -> list[tuple[int, int]]:
-        """Contiguous near-even ``(start, stop)`` shards of ``range(total)``."""
+        """Contiguous near-even **non-empty** ``(start, stop)`` shards.
+
+        With more parts than tasks the surplus parts get no shard at all —
+        an idle endpoint receives no batch header (and owes no reply), so
+        ``tasks < endpoints`` and ``tasks == 0`` never put a connection in
+        a half-spoken state.
+        """
+        if total <= 0:
+            return []
+        parts = min(int(parts), total)
         base, extra = divmod(total, parts)
         bounds = [0]
         for index in range(parts):

@@ -75,7 +75,7 @@ from .dynamics import _TOL, DynamicsResult, _ProposalCache, _run_session_loop
 from .equilibria import is_greedy_equilibrium, is_nash_equilibrium
 from .game import NetworkCreationGame
 from .incremental import EngineStats, IncrementalEngine
-from .parallel import EvaluatorBackend, ParallelEvaluator
+from .parallel import EvaluatorBackend, EvaluatorStats, ParallelEvaluator
 from .poa import PoAEstimate, _initial_profiles
 from .social_optimum import social_optimum
 from .strategy import StrategyProfile
@@ -116,6 +116,8 @@ _SESSION_SCOPED = (
     "backend",
     "endpoints",
     "buffering",
+    "batch_timeout",
+    "max_retries",
 )
 
 # Entry-point round budgets applied when ``max_rounds`` is None ("not
@@ -178,6 +180,17 @@ class SimulationConfig:
     addresses of running ``repro worker serve`` processes — over sockets.
     All backends replay bit-identical trajectories; they trade nothing but
     time and placement.
+
+    ``batch_timeout`` and ``max_retries`` tune the remote fleet's failure
+    handling (see :class:`~repro.core.remote.RemoteEvaluator`):
+    ``batch_timeout`` is the per-socket-operation inactivity deadline in
+    seconds that turns a hung worker into a recoverable endpoint failure,
+    and ``max_retries`` bounds the shard re-dispatch rounds per batch after
+    mid-batch endpoint failures.  Both default to ``None`` — "the backend's
+    default" (120 s and 2) — and are only meaningful with
+    ``backend="remote"``.  Because failed shards re-run the same pure tasks
+    and results are gathered in submission order, retries never change a
+    trajectory — only whether the sweep survives a dying worker.
     """
 
     engine: str = "incremental"
@@ -192,6 +205,8 @@ class SimulationConfig:
     backend: str = "local"
     endpoints: tuple[str, ...] = ()
     buffering: str = "single"
+    batch_timeout: float | None = None
+    max_retries: int | None = None
 
     def __post_init__(self) -> None:
         if self.engine not in _ENGINES:
@@ -220,6 +235,10 @@ class SimulationConfig:
             object.__setattr__(self, "max_candidates", int(self.max_candidates))
             if self.seed is not None:
                 object.__setattr__(self, "seed", int(self.seed))
+            if self.batch_timeout is not None:
+                object.__setattr__(self, "batch_timeout", float(self.batch_timeout))
+            if self.max_retries is not None:
+                object.__setattr__(self, "max_retries", int(self.max_retries))
             endpoints = self.endpoints
             if isinstance(endpoints, str):  # a lone "host:port" is accepted
                 endpoints = (endpoints,)
@@ -273,6 +292,20 @@ class SimulationConfig:
         elif self.endpoints:
             raise ValueError(
                 "endpoints are only meaningful with backend='remote'"
+            )
+        if self.batch_timeout is not None and self.batch_timeout <= 0:
+            raise ValueError(
+                "batch_timeout must be positive: it is the per-socket-"
+                "operation inactivity deadline in seconds"
+            )
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backend != "remote" and (
+            self.batch_timeout is not None or self.max_retries is not None
+        ):
+            raise ValueError(
+                "batch_timeout/max_retries tune the remote fleet's failure "
+                "handling and are only meaningful with backend='remote'"
             )
         if self.schedule == "batched":
             if self.engine != "incremental":
@@ -374,6 +407,13 @@ class SessionStats:
     shared evaluator (lazy: 0 until a batch is actually dispatched) and
     ``engine_stats`` accumulates the per-run
     :class:`~repro.core.incremental.EngineStats` counters.
+
+    ``evaluator_stats`` is the shared evaluator's own
+    :class:`~repro.core.parallel.EvaluatorStats` — for the remote backend
+    that includes fleet health: endpoints alive/total and the
+    failure/retry/reconnect counters.  It is ``None`` until an evaluator
+    exists, and :meth:`GameSession.close` snapshots it, so fleet health
+    survives session teardown.
     """
 
     runs: int
@@ -384,6 +424,7 @@ class SessionStats:
     engine_stats: EngineStats
     schedule_hits: int
     schedule_misses: int
+    evaluator_stats: "EvaluatorStats | None" = None
 
 
 class GameSession:
@@ -406,7 +447,8 @@ class GameSession:
     Per-run keyword overrides may change ``response``, ``order``,
     ``schedule``, ``max_rounds``, ``max_candidates`` and ``seed``;
     ``engine``, ``workers``, ``repair_threshold``, ``backend``,
-    ``endpoints`` and ``buffering`` are fixed for the session's lifetime
+    ``endpoints``, ``buffering``, ``batch_timeout`` and ``max_retries``
+    are fixed for the session's lifetime
     because the owned engine and evaluator are shaped by them (open a new
     session — or :meth:`SimulationConfig.replace` the config — to change
     those).
@@ -429,6 +471,7 @@ class GameSession:
         self._engines_created = 0
         self._evaluators_created = 0
         self._pools_started = 0  # snapshot surviving close() of the evaluator
+        self._final_evaluator_stats: EvaluatorStats | None = None
         self._cum_stats = EngineStats()
         self._hits = 0
         self._misses = 0
@@ -448,6 +491,18 @@ class GameSession:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def evaluator(self) -> "EvaluatorBackend | None":
+        """The session's shared evaluator, if one exists yet (else ``None``).
+
+        Exposed for fleet management on the remote backend —
+        :meth:`~repro.core.remote.RemoteEvaluator.add_endpoint` /
+        :meth:`~repro.core.remote.RemoteEvaluator.remove_endpoint` between
+        runs, :meth:`~repro.core.remote.RemoteEvaluator.check_endpoints`
+        health checks.  The session owns it: do **not** ``close()`` it.
+        """
+        return self._evaluator
+
     def close(self) -> None:
         """Tear down the owned engine, proposal cache and worker pool (idempotent)."""
         self._closed = True
@@ -457,6 +512,7 @@ class GameSession:
         evaluator, self._evaluator = self._evaluator, None
         if evaluator is not None:
             self._pools_started = evaluator.pools_started
+            self._final_evaluator_stats = evaluator.stats
             evaluator.close()
         self._cache = None
 
@@ -496,8 +552,15 @@ class GameSession:
             if cfg.backend == "remote":
                 from .remote import RemoteEvaluator
 
+                # None means "the backend's default": only pin what the
+                # config actually set, so backend defaults stay in one place.
+                fleet_kwargs: dict[str, Any] = {}
+                if cfg.batch_timeout is not None:
+                    fleet_kwargs["batch_timeout"] = cfg.batch_timeout
+                if cfg.max_retries is not None:
+                    fleet_kwargs["max_retries"] = cfg.max_retries
                 self._evaluator = RemoteEvaluator.for_game(
-                    self._game, endpoints=cfg.endpoints
+                    self._game, endpoints=cfg.endpoints, **fleet_kwargs
                 )
             else:
                 self._evaluator = ParallelEvaluator.for_game(
@@ -763,4 +826,9 @@ class GameSession:
             engine_stats=dataclasses.replace(self._cum_stats),
             schedule_hits=self._hits,
             schedule_misses=self._misses,
+            evaluator_stats=(
+                self._evaluator.stats
+                if self._evaluator is not None
+                else self._final_evaluator_stats
+            ),
         )

@@ -61,6 +61,10 @@ def test_architecture_doc_names_the_evaluation_stack():
         "SharedSnapshot",
         "GameSession",
         "bit-identical",
+        "Failure semantics",
+        "EndpointSet",
+        "batch_timeout",
+        "max_retries",
     ):
         assert term in doc, f"docs/architecture.md does not mention {term}"
 

@@ -21,12 +21,25 @@ pinned here:
 * **wire format** — length-prefixed framing round-trips matrices
   (including ``inf`` non-edges) bit-exactly, protocol violations surface
   as :class:`~repro.core.remote.RemoteEvaluatorError` rather than hangs,
-  and malformed endpoints are rejected at config-validation time.
+  and malformed endpoints are rejected at config-validation time;
+
+* **failure semantics** — a worker killed mid-sweep costs its shard a
+  re-dispatch, never a bit of the trajectory (chaos tests across every
+  variant); a *hung* worker trips ``batch_timeout`` instead of blocking
+  forever; a restarted worker rejoins on the next batch; endpoints can be
+  added/removed between batches; and the worker child processes are
+  reliably reaped even when they ignore ``SIGTERM``.
 """
 
 from __future__ import annotations
 
+import atexit
+import contextlib
+import multiprocessing as mp
+import signal
 import socket
+import threading
+import time
 import zlib
 
 import numpy as np
@@ -42,15 +55,19 @@ from repro.core import (
 )
 from repro.core.remote import (
     PROTOCOL_VERSION,
+    EndpointSet,
     RemoteEvaluator,
     RemoteEvaluatorError,
     WorkerServer,
     _pack_result,
+    _reap_processes,
+    _recv_frame,
     _recv_json,
     _send_json,
     _unpack_result,
     local_workers,
     parse_endpoint,
+    spawn_local_worker,
 )
 from test_parallel_evaluator import (
     VARIANTS,
@@ -257,13 +274,14 @@ def test_worker_error_propagates_to_client(endpoints):
 
 
 def test_failed_batch_invalidates_the_connection_set(endpoints):
-    """A mid-batch failure must drop the (desynchronized) connections.
+    """A batch that kills every endpoint leaves no stale connection behind.
 
-    If the connection set survived a failed batch, unread replies from the
-    trailing sockets would be read as the *next* batch's results and
-    silently attributed to the wrong tasks.  Instead the evaluator closes
-    the set on any evaluate failure; a caller that catches the error gets
-    a clean reconnect — and correct results — on the next call.
+    A worker-side failure drops that endpoint's (desynchronized)
+    connection at the moment it fails; when the failure hits *every*
+    endpoint — here both workers reject the bogus response kind — the
+    whole set ends up down and the batch raises.  A caller that catches
+    the error gets a clean lazy reconnect — and correct results — on the
+    next call, counted as a second connection-set establishment.
     """
     rng = np.random.default_rng(59)
     game = _random_game("euclidean", 6, rng)
@@ -287,3 +305,369 @@ def test_parse_endpoint():
             parse_endpoint(bad)
     with pytest.raises(ValueError, match="endpoint"):
         RemoteEvaluator(np.zeros((3, 3)), 1.0, endpoints=[])
+
+
+# ----------------------------------------------------------------------
+# Failure semantics: chaos, timeouts, rejoin, fleet management
+# ----------------------------------------------------------------------
+def _engine_tasks(game, profile):
+    engine = IncrementalEngine(game, profile)
+    n = game.n
+    return engine, [
+        (u, engine.residual(u), profile.strategy(u)) for u in range(n)
+    ]
+
+
+@pytest.mark.parametrize("variant", sorted(VARIANTS))
+def test_chaos_worker_killed_mid_sweep_is_bit_identical(variant):
+    """SIGKILL one of two workers mid-sweep: the sweep completes unchanged.
+
+    The acceptance centerpiece: scoring tasks are pure and results are
+    gathered in submission order, so a failed endpoint's shard re-runs on
+    the survivor without perturbing a single bit of the trajectory — for
+    every model variant and both activation schedules.  The retry path is
+    driven by the batched schedule (the sequential schedule scores
+    serially in-process); the stats must show the failure and the shard
+    re-dispatch.
+    """
+    rng = np.random.default_rng(zlib.crc32(f"chaos-{variant}".encode()) % 2**32)
+    n = int(rng.integers(5, 8))
+    game = _random_game(variant, n, rng)
+    start = _random_profile(n, rng, density=0.35)
+    schedules = ("sequential", "batched")
+    serial = {
+        schedule: run_dynamics(
+            game, start, max_rounds=8, rng=7, schedule=schedule, workers=1
+        )
+        for schedule in schedules
+    }
+    victim, victim_ep = spawn_local_worker()
+    survivor, survivor_ep = spawn_local_worker()
+    try:
+        config = SimulationConfig(
+            backend="remote",
+            endpoints=(victim_ep, survivor_ep),
+            batch_timeout=30.0,
+            max_retries=2,
+            max_rounds=8,
+        )
+        with GameSession(game, config) as session:
+            before = {
+                s: session.run(start, rng=7, schedule=s) for s in schedules
+            }
+            victim.kill()
+            victim.join()
+            after = {
+                s: session.run(start, rng=7, schedule=s) for s in schedules
+            }
+            stats = session.stats()
+        for schedule in schedules:
+            _assert_identical_runs(
+                [serial[schedule], before[schedule], after[schedule]]
+            )
+        fleet = stats.evaluator_stats
+        assert fleet is not None and fleet.backend == "remote"
+        assert fleet.failures >= 1  # the dead victim was noticed...
+        assert fleet.retries >= 1  # ...and its shard re-dispatched
+        assert fleet.endpoints_total == 2 and fleet.endpoints_alive == 1
+        assert dict(fleet.endpoint_failures)[victim_ep] >= 1
+        assert stats.evaluator_pools_started == 1  # the set never fully died
+    finally:
+        _reap_processes([victim, survivor], timeout=5.0)
+
+
+class _HungWorker:
+    """A worker that handshakes correctly, then never answers a batch.
+
+    Simulates the failure mode the batch deadline exists for: a wedged —
+    not dead — worker process whose socket stays open while it produces
+    no bytes.  Without ``batch_timeout`` the client would block in
+    ``recv`` forever.
+    """
+
+    def __init__(self) -> None:
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(4)
+        host, port = self._sock.getsockname()[:2]
+        self.endpoint = f"{host}:{port}"
+        threading.Thread(target=self._accept_loop, daemon=True).start()
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve, args=(conn,), daemon=True
+            ).start()
+
+    @staticmethod
+    def _serve(conn: socket.socket) -> None:
+        with contextlib.suppress(Exception):
+            _recv_json(conn)  # hello
+            _recv_frame(conn)  # weights
+            _send_json(conn, {"kind": "ready", "pid": 0})
+            while _recv_frame(conn) is not None:
+                pass  # swallow batches, never reply
+
+    def shutdown(self) -> None:
+        with contextlib.suppress(OSError):
+            self._sock.close()
+
+
+def test_hung_worker_raises_within_batch_timeout():
+    """A wedged worker trips the deadline instead of hanging the client."""
+    rng = np.random.default_rng(61)
+    game = _random_game("euclidean", 5, rng)
+    profile = _random_profile(5, rng)
+    _engine, tasks = _engine_tasks(game, profile)
+    hung = _HungWorker()
+    try:
+        evaluator = RemoteEvaluator.for_game(
+            game, endpoints=[hung.endpoint], batch_timeout=1.0, max_retries=2
+        )
+        started = time.monotonic()
+        with pytest.raises(RemoteEvaluatorError, match="down"):
+            evaluator.evaluate(tasks, "single")
+        assert time.monotonic() - started < 10.0  # deadline, not a hang
+        assert not evaluator.is_running
+        evaluator.close()
+    finally:
+        hung.shutdown()
+
+
+def test_hung_worker_shard_redispatches_to_survivor(endpoints):
+    """With a healthy peer, a hung worker costs a retry — not the batch."""
+    rng = np.random.default_rng(67)
+    game = _random_game("metric", 6, rng)
+    profile = _random_profile(6, rng)
+    engine, tasks = _engine_tasks(game, profile)
+    serial = [engine.respond(u, "single") for u in range(6)]
+    hung = _HungWorker()
+    try:
+        with RemoteEvaluator.for_game(
+            game,
+            endpoints=[hung.endpoint, endpoints[0]],
+            batch_timeout=1.0,
+            max_retries=2,
+        ) as evaluator:
+            assert evaluator.evaluate(tasks, "single") == serial
+            stats = evaluator.stats
+            assert stats.failures >= 1 and stats.retries >= 1
+            assert dict(stats.endpoint_failures)[hung.endpoint] >= 1
+            assert dict(stats.endpoint_retries)[endpoints[0]] >= 1
+            assert stats.endpoints_alive == 1
+    finally:
+        hung.shutdown()
+
+
+def test_restarted_worker_rejoins_on_next_batch():
+    """A worker restarted on its old endpoint rejoins the fleet lazily."""
+    rng = np.random.default_rng(71)
+    game = _random_game("euclidean", 6, rng)
+    profile = _random_profile(6, rng)
+    _engine, tasks = _engine_tasks(game, profile)
+    victim, victim_ep = spawn_local_worker()
+    survivor, survivor_ep = spawn_local_worker()
+    restarted = None
+    try:
+        evaluator = RemoteEvaluator.for_game(
+            game,
+            endpoints=[victim_ep, survivor_ep],
+            batch_timeout=10.0,
+            max_retries=2,
+        )
+        first = evaluator.evaluate(tasks, "single")
+        victim.kill()
+        victim.join()
+        # The survivor carries the batch; the set itself never went down.
+        assert evaluator.evaluate(tasks, "single") == first
+        assert evaluator.pools_started == 1
+        assert evaluator.stats.endpoints_alive == 1
+        restarted, _ep = spawn_local_worker(port=parse_endpoint(victim_ep)[1])
+        assert evaluator.evaluate(tasks, "single") == first
+        stats = evaluator.stats
+        assert stats.endpoints_alive == 2  # the restart rejoined...
+        assert stats.reconnects >= 1  # ...counted as a reconnect...
+        assert evaluator.pools_started == 1  # ...not as a new connection set
+        evaluator.close()
+    finally:
+        _reap_processes(
+            [p for p in (victim, survivor, restarted) if p is not None],
+            timeout=5.0,
+        )
+
+
+def test_check_endpoints_pings_the_fleet(endpoints):
+    """Health checks report per-endpoint liveness without raising."""
+    rng = np.random.default_rng(73)
+    game = _random_game("euclidean", 5, rng)
+    profile = _random_profile(5, rng)
+    _engine, tasks = _engine_tasks(game, profile)
+    evaluator = RemoteEvaluator.for_game(
+        game, endpoints=[endpoints[0], "127.0.0.1:1"], connect_timeout=2.0
+    )
+    # Probe path: nothing connected yet — pings use short-lived
+    # connections (no hello, no weights) and establish nothing.
+    health = evaluator.check_endpoints()
+    assert health == {endpoints[0]: True, "127.0.0.1:1": False}
+    assert not evaluator.is_running and evaluator.pools_started == 0
+    # Connected path: pings ride the established connection.
+    evaluator.evaluate(tasks, "single")
+    assert evaluator.check_endpoints()[endpoints[0]] is True
+    assert evaluator.pools_started == 1
+    evaluator.close()
+
+
+def test_add_and_remove_endpoints_between_batches(endpoints):
+    """The fleet is elastic: membership changes between batches, results don't."""
+    rng = np.random.default_rng(79)
+    game = _random_game("one_two", 6, rng)
+    profile = _random_profile(6, rng)
+    _engine, tasks = _engine_tasks(game, profile)
+    evaluator = RemoteEvaluator.for_game(game, endpoints=endpoints[:1])
+    first = evaluator.evaluate(tasks, "single")
+    evaluator.add_endpoint(endpoints[1])  # joins on the next batch
+    assert evaluator.workers == 2
+    assert evaluator.evaluate(tasks, "single") == first
+    assert evaluator.stats.endpoints_alive == 2
+    evaluator.remove_endpoint(endpoints[0])
+    assert evaluator.workers == 1
+    assert evaluator.evaluate(tasks, "single") == first
+    with pytest.raises(ValueError, match="last endpoint"):
+        evaluator.remove_endpoint(endpoints[1])
+    with pytest.raises(ValueError, match="duplicate"):
+        evaluator.add_endpoint(endpoints[1])
+    with pytest.raises(ValueError, match="unknown"):
+        evaluator.remove_endpoint("127.0.0.1:2")
+    with pytest.raises(ValueError, match="invalid endpoint"):
+        evaluator.add_endpoint("not-an-endpoint")
+    evaluator.close()
+
+
+def test_endpoint_set_is_ordered_and_validating():
+    fleet = EndpointSet(["a:1", "b:2"])
+    assert fleet.addresses == ("a:1", "b:2")
+    assert len(fleet) == 2 and "a:1" in fleet and "c:3" not in fleet
+    fleet.add("c:3")
+    assert fleet.addresses == ("a:1", "b:2", "c:3")
+    assert fleet.pop("b:2").address == "b:2"
+    assert fleet.addresses == ("a:1", "c:3")
+    assert fleet.live() == []  # nothing was ever connected
+
+
+def test_atexit_safety_net_registers_once_per_evaluator(
+    endpoints, monkeypatch
+):
+    """Reconnect cycles must not stack duplicate atexit registrations."""
+    rng = np.random.default_rng(83)
+    game = _random_game("euclidean", 5, rng)
+    profile = _random_profile(5, rng)
+    _engine, tasks = _engine_tasks(game, profile)
+    registered = []
+    real_register = atexit.register
+    monkeypatch.setattr(
+        atexit,
+        "register",
+        lambda func, *a, **kw: (registered.append(func), real_register(func, *a, **kw))[1],
+    )
+    evaluator = RemoteEvaluator.for_game(game, endpoints=endpoints)
+    first = evaluator.evaluate(tasks, "single")
+    evaluator.close()
+    assert evaluator.evaluate(tasks, "single") == first  # set revived
+    assert evaluator.pools_started == 2
+    evaluator.close()
+    ours = [f for f in registered if getattr(f, "__self__", None) is evaluator]
+    assert len(ours) == 1  # registered on first connect, never again
+
+
+# ----------------------------------------------------------------------
+# Sharding edge cases and worker-process lifecycle
+# ----------------------------------------------------------------------
+def test_shard_never_produces_empty_spans():
+    shard = RemoteEvaluator._shard
+    assert shard(7, 3) == [(0, 3), (3, 5), (5, 7)]
+    assert shard(6, 2) == [(0, 3), (3, 6)]
+    assert shard(3, 5) == [(0, 1), (1, 2), (2, 3)]  # tasks < endpoints
+    assert shard(1, 4) == [(0, 1)]
+    assert shard(0, 3) == []  # tasks == 0
+    for total in range(1, 12):
+        for parts in range(1, 12):
+            spans = shard(total, parts)
+            assert all(start < stop for start, stop in spans)
+            assert [s for s, _ in spans[1:]] == [e for _, e in spans[:-1]]
+            assert spans[0][0] == 0 and spans[-1][1] == total
+
+
+def test_fewer_tasks_than_endpoints_keeps_idle_workers_synchronized(endpoints):
+    """A 1-task batch on 2 endpoints ships nothing to the idle worker."""
+    rng = np.random.default_rng(89)
+    game = _random_game("tree", 6, rng)
+    profile = _random_profile(6, rng)
+    engine, tasks = _engine_tasks(game, profile)
+    serial = [engine.respond(u, "single") for u in range(6)]
+    with RemoteEvaluator.for_game(game, endpoints=endpoints) as evaluator:
+        assert evaluator.evaluate(tasks[:1], "single") == serial[:1]
+        # The idle endpoint received no header (and owes no reply): the
+        # next full-width batch must still line up frame for frame.
+        assert evaluator.evaluate(tasks, "single") == serial
+
+
+def test_empty_batch_is_a_noop():
+    """Zero tasks: no connection attempt, no counters, no results."""
+    game = _random_game("euclidean", 4, np.random.default_rng(97))
+    evaluator = RemoteEvaluator.for_game(
+        game, endpoints=["127.0.0.1:1"]  # unconnectable: proves no connect
+    )
+    assert evaluator.evaluate([], "single") == []
+    assert not evaluator.is_running
+    assert evaluator.stats.batches == 0 and evaluator.pools_started == 0
+
+
+def _ignore_sigterm_and_sleep(ready) -> None:  # pragma: no cover - child process
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    ready.send(True)
+    ready.close()
+    while True:
+        time.sleep(0.1)
+
+
+def _stubborn_child() -> mp.process.BaseProcess:
+    method = "fork" if "fork" in mp.get_all_start_methods() else None
+    ctx = mp.get_context(method)
+    parent, child = ctx.Pipe()
+    process = ctx.Process(
+        target=_ignore_sigterm_and_sleep, args=(child,), daemon=True
+    )
+    process.start()
+    child.close()
+    assert parent.recv() is True  # SIGTERM handler installed: race-free
+    parent.close()
+    return process
+
+
+def test_reap_processes_escalates_to_kill():
+    """A worker that ignores SIGTERM is SIGKILLed, not leaked."""
+    process = _stubborn_child()
+    started = time.monotonic()
+    _reap_processes([process], timeout=1.0)
+    assert not process.is_alive()
+    assert time.monotonic() - started < 8.0
+
+
+def test_local_workers_reaps_stubborn_worker(monkeypatch):
+    """The regression: local_workers() used to join() and hope."""
+    from repro.core import remote as remote_module
+
+    process = _stubborn_child()
+    monkeypatch.setattr(
+        remote_module,
+        "spawn_local_worker",
+        lambda host="127.0.0.1", **kwargs: (process, "127.0.0.1:1"),
+    )
+    with local_workers(1, reap_timeout=1.0):
+        assert process.is_alive()
+    assert not process.is_alive()

@@ -123,6 +123,12 @@ class TestSimulationConfig:
             {"response": "single", "workers": 2, "schedule": "batched"},
             {"backend": "remote", "endpoints": ("a:1", "b:2")},
             {"workers": 2, "buffering": "double"},
+            {
+                "backend": "remote",
+                "endpoints": ("a:1",),
+                "batch_timeout": 30.0,
+                "max_retries": 0,
+            },
         ],
     )
     def test_dict_round_trip(self, kwargs):
@@ -190,11 +196,30 @@ class TestSimulationConfig:
             ({"endpoints": ("h:1",)}, "backend='remote'"),
             ({"backend": "remote", "endpoints": ("nocolon",)}, "invalid endpoint"),
             ({"backend": "remote", "endpoints": ("h:port",)}, "invalid endpoint"),
+            ({"batch_timeout": 30.0}, "backend='remote'"),
+            ({"max_retries": 2}, "backend='remote'"),
+            (
+                {"backend": "remote", "endpoints": ("h:1",), "batch_timeout": 0},
+                "batch_timeout must be positive",
+            ),
+            (
+                {"backend": "remote", "endpoints": ("h:1",), "max_retries": -1},
+                "max_retries must be non-negative",
+            ),
         ],
     )
     def test_validation(self, kwargs, match):
         with pytest.raises(ValueError, match=match):
             SimulationConfig(**kwargs)
+
+    def test_fleet_fields_are_coerced_and_default_to_backend_defaults(self):
+        cfg = SimulationConfig(
+            backend="remote", endpoints=("h:1",), batch_timeout="30", max_retries="3"
+        )
+        assert cfg.batch_timeout == 30.0 and cfg.max_retries == 3
+        # None = "the backend's default", valid for any backend
+        assert SimulationConfig().batch_timeout is None
+        assert SimulationConfig().max_retries is None
 
     def test_from_dict_rejects_unknown_keys_and_non_mappings(self):
         with pytest.raises(ValueError, match="worker"):

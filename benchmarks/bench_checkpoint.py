@@ -1,0 +1,231 @@
+"""Checkpoint save/load overhead and resume identity.
+
+Round-boundary checkpointing (``core/checkpoint.py``) exists so that
+multi-hour sweeps survive crashes and preemption — which only pays off if
+(a) writing checkpoints is cheap next to the dynamics rounds they
+protect, and (b) a resumed run really is the straight-through run.  This
+benchmark measures both on one mid-size instance:
+
+* **overhead** — wall time of a run checkpointing at *every* round
+  boundary vs. the identical plain run (the worst-case checkpoint
+  cadence; real sweeps use ``checkpoint_every`` ≥ 1), plus the per-file
+  ``save_checkpoint``/``load_checkpoint`` latency and file size;
+* **identity** — the checkpointing run must be bit-identical to the
+  plain run (writing only *reads* state), and a resume from every written
+  boundary must reproduce the straight-through trajectory, social costs
+  and :class:`~repro.core.incremental.EngineStats` exactly (asserted
+  always).
+
+The overhead ratio is asserted below :data:`OVERHEAD_LIMIT` unless
+``BENCH_SKIP_SPEEDUP_ASSERT=1`` (smoke jobs on noisy shared runners);
+the identity checks are always enforced.  Run directly
+(``python benchmarks/bench_checkpoint.py``) for a plain-text report plus
+``BENCH_checkpoint.json``, or through pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GameSession,
+    NetworkCreationGame,
+    SimulationConfig,
+    StrategyProfile,
+    load_checkpoint,
+    resume_dynamics,
+    save_checkpoint,
+)
+from bench_session_reuse import mesh_host
+
+N = 28
+ALPHA = 1.8
+SEED = 9
+START_SEED = 1  # this start takes ~5 rounds: several boundaries to protect
+MAX_ROUNDS = 40
+OVERHEAD_LIMIT = 1.25  # every-boundary checkpointing may cost at most +25%
+
+CONFIG = SimulationConfig(schedule="batched", max_rounds=MAX_ROUNDS, seed=SEED)
+
+
+def instance() -> tuple[NetworkCreationGame, StrategyProfile]:
+    rng = np.random.default_rng(START_SEED)
+    game = NetworkCreationGame(mesh_host(N), ALPHA)
+    finite = np.isfinite(game.host.weights) & ~np.eye(N, dtype=bool)
+    owns = np.triu(rng.random((N, N)) < 0.25, k=1) & finite
+    return game, StrategyProfile(owns, copy=False, validate=False)
+
+
+def _identical(a, b) -> bool:
+    return (
+        a.converged == b.converged
+        and a.moves == b.moves
+        and a.steps == b.steps
+        and a.final_profile == b.final_profile
+        and a.social_costs == b.social_costs  # exact float equality
+        and a.engine_stats == b.engine_stats
+    )
+
+
+def run_comparison(workdir: Path) -> dict:
+    game, start = instance()
+    template = str(workdir / "ckpt-{round}.bin")
+
+    t0 = time.perf_counter()
+    with GameSession(game, CONFIG) as session:
+        plain = session.run(start)
+    plain_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    with GameSession(game, CONFIG.replace(checkpoint_path=template)) as session:
+        checkpointing = session.run(start)
+    checkpointing_s = time.perf_counter() - t0
+
+    boundaries = sorted(
+        workdir.glob("ckpt-*.bin"), key=lambda p: int(p.stem.split("-")[1])
+    )
+    resumes_identical = all(
+        _identical(plain, resume_dynamics(
+            str(path), checkpoint_every=None, checkpoint_path=None
+        ))
+        for path in boundaries
+    )
+
+    # Per-file primitive latency, re-saving/re-loading the last boundary.
+    last = load_checkpoint(boundaries[-1])
+    scratch = workdir / "scratch.bin"
+    t0 = time.perf_counter()
+    for _ in range(10):
+        save_checkpoint(last, scratch)
+    save_ms = (time.perf_counter() - t0) / 10 * 1e3
+    t0 = time.perf_counter()
+    for _ in range(10):
+        load_checkpoint(scratch)
+    load_ms = (time.perf_counter() - t0) / 10 * 1e3
+
+    return {
+        "plain_s": plain_s,
+        "checkpointing_s": checkpointing_s,
+        "overhead": checkpointing_s / plain_s if plain_s > 0 else float("nan"),
+        "boundaries": len(boundaries),
+        "file_kb": scratch.stat().st_size / 1024,
+        "save_ms": save_ms,
+        "load_ms": load_ms,
+        "run_identical": _identical(plain, checkpointing),
+        "resumes_identical": resumes_identical,
+    }
+
+
+def _report_rows(stats):
+    return [
+        ("plain run [s]", "-", stats["plain_s"]),
+        ("every-boundary checkpointing [s]", "-", stats["checkpointing_s"]),
+        ("overhead ratio", f"<= {OVERHEAD_LIMIT}", stats["overhead"]),
+        ("boundaries written", "-", stats["boundaries"]),
+        ("checkpoint size [KiB]", "-", stats["file_kb"]),
+        ("save latency [ms]", "-", stats["save_ms"]),
+        ("load latency [ms]", "-", stats["load_ms"]),
+        ("checkpointing run identical", "always", stats["run_identical"]),
+        ("all resumes identical", "always", stats["resumes_identical"]),
+    ]
+
+
+def _overhead_asserted() -> bool:
+    return os.environ.get("BENCH_SKIP_SPEEDUP_ASSERT", "") != "1"
+
+
+def _check(stats) -> None:
+    assert stats["boundaries"] >= 2, "instance converged before two boundaries"
+    assert stats["run_identical"], "checkpoint writes perturbed the run"
+    assert stats["resumes_identical"], "a resumed run diverged"
+    if _overhead_asserted():
+        assert stats["overhead"] <= OVERHEAD_LIMIT, (
+            f"every-boundary checkpointing overhead {stats['overhead']:.2f}x "
+            f"above {OVERHEAD_LIMIT}x"
+        )
+
+
+@pytest.mark.benchmark(group="checkpoint")
+def test_checkpoint_overhead_and_resume_identity(benchmark, paper_report, tmp_path):
+    stats = benchmark.pedantic(
+        lambda: run_comparison(tmp_path), rounds=1, iterations=1
+    )
+    paper_report(
+        f"Checkpoint overhead & resume identity (n={N})",
+        _report_rows(stats),
+        n=N,
+        seed=SEED,
+        alpha=ALPHA,
+        plain_s=stats["plain_s"],
+        checkpointing_s=stats["checkpointing_s"],
+        overhead=stats["overhead"],
+        save_ms=stats["save_ms"],
+        load_ms=stats["load_ms"],
+    )
+    _check(stats)
+    if not _overhead_asserted():
+        pytest.skip(
+            "overhead assertion skipped (BENCH_SKIP_SPEEDUP_ASSERT set); "
+            "identity checks passed"
+        )
+
+
+def main() -> int:
+    from conftest import _jsonable, write_bench_json
+
+    with tempfile.TemporaryDirectory() as tmp:
+        stats = run_comparison(Path(tmp))
+    print(
+        f"geometric mesh host n={N}, alpha={ALPHA}, batched schedule, "
+        f"checkpoint at every round boundary ({stats['boundaries']} written)"
+    )
+    print(
+        f"  plain {stats['plain_s']:6.2f}s   checkpointing "
+        f"{stats['checkpointing_s']:6.2f}s   overhead {stats['overhead']:.2f}x   "
+        f"save {stats['save_ms']:.1f}ms  load {stats['load_ms']:.1f}ms  "
+        f"file {stats['file_kb']:.0f}KiB  identical="
+        f"{stats['run_identical'] and stats['resumes_identical']}"
+    )
+    entries = [
+        {
+            "title": f"Checkpoint overhead & resume identity (n={N})",
+            "rows": [
+                {"label": lbl, "paper": _jsonable(paper), "measured": _jsonable(measured)}
+                for lbl, paper, measured in _report_rows(stats)
+            ],
+            "meta": _jsonable(
+                {
+                    "n": N,
+                    "seed": SEED,
+                    "alpha": ALPHA,
+                    "plain_s": stats["plain_s"],
+                    "checkpointing_s": stats["checkpointing_s"],
+                    "overhead": stats["overhead"],
+                    "save_ms": stats["save_ms"],
+                    "load_ms": stats["load_ms"],
+                    "file_kb": stats["file_kb"],
+                }
+            ),
+        }
+    ]
+    path = write_bench_json("bench_checkpoint", entries)
+    print(f"wrote {path}")
+    try:
+        _check(stats)
+    except AssertionError as exc:
+        print(f"FAILED: {exc}")
+        return 1
+    if not _overhead_asserted():
+        print("(overhead limit unasserted: BENCH_SKIP_SPEEDUP_ASSERT set)")
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,10 @@ writing any code:
   instances;
 * ``simulate``      — play one game instance end to end (optimum, dynamics,
   equilibrium certification) and print the outcome;
+* ``resume``        — continue a checkpointed ``simulate`` run from its
+  checkpoint file (see ``--checkpoint``/``--checkpoint-every`` below); the
+  continuation is byte-identical to the uninterrupted run, even in a fresh
+  process and even onto a different backend or worker count;
 * ``config dump``   — print the resolved simulation config as JSON;
 * ``worker serve``  — run a remote-evaluator worker server
   (:mod:`repro.core.remote`) that experiment commands on any machine can
@@ -93,6 +97,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--n", type=int, default=7)
     p_sim.add_argument("--alpha", type=float, default=1.5)
     _add_config_flags(p_sim)
+
+    p_res = sub.add_parser(
+        "resume",
+        help="continue a checkpointed run from its checkpoint file "
+        "(byte-identical to the uninterrupted run)",
+    )
+    p_res.add_argument(
+        "checkpoint_file",
+        metavar="CHECKPOINT",
+        help="checkpoint file written by a --checkpoint run",
+    )
+    _add_resume_flags(p_res)
 
     p_cfg = sub.add_parser("config", help="inspect simulation configurations")
     cfg_sub = p_cfg.add_subparsers(dest="action", required=True)
@@ -234,6 +250,29 @@ def _add_config_flags(parser: argparse.ArgumentParser, *, full: bool = False) ->
         ),
     )
     parser.add_argument(
+        "--checkpoint",
+        dest="checkpoint_path",
+        default=None,
+        metavar="PATH",
+        help=(
+            "serialize the run's complete state to PATH at round boundaries "
+            "(atomic write-then-rename; a {round} placeholder keeps one file "
+            "per boundary); continue a killed run with 'repro resume PATH' — "
+            "the continuation is byte-identical to the uninterrupted run"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        dest="checkpoint_every",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "checkpoint every K-th round boundary (default 1 when "
+            "--checkpoint is given; requires --checkpoint)"
+        ),
+    )
+    parser.add_argument(
         "--seed",
         type=int,
         default=None,
@@ -278,12 +317,76 @@ _CONFIG_FIELDS = (
     "buffering",
     "batch_timeout",
     "max_retries",
+    "checkpoint_every",
+    "checkpoint_path",
     "response",
     "order",
     "max_rounds",
     "max_candidates",
     "repair_threshold",
 )
+
+
+def _add_resume_flags(parser: argparse.ArgumentParser) -> None:
+    """The override surface of ``repro resume``.
+
+    A resume is configured by the checkpoint file itself — game, config,
+    RNG and counters all travel in it — so only *placement* fields (which
+    never change a trajectory) and the continued checkpoint policy are
+    exposed; trajectory-shaping fields are pinned by the checkpoint.
+    Defaults are ``None`` = "keep the checkpointed config's value".
+    """
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for the continuation (placement only: the "
+        "trajectory is bit-identical for every worker count)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=["local", "remote"],
+        help="evaluator backend for the continuation (bit-identical either way)",
+    )
+    parser.add_argument(
+        "--endpoint",
+        dest="endpoints",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="remote worker address; repeat for multiple (requires --backend remote)",
+    )
+    parser.add_argument(
+        "--batch-timeout", dest="batch_timeout", type=float, default=None,
+        metavar="SECONDS",
+        help="remote fleet inactivity deadline (requires --backend remote)",
+    )
+    parser.add_argument(
+        "--max-retries", dest="max_retries", type=int, default=None, metavar="N",
+        help="remote shard re-dispatch budget (requires --backend remote)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        dest="checkpoint_path",
+        default=None,
+        metavar="PATH",
+        help="keep checkpointing the continuation to PATH (default: the "
+        "checkpointed run's own policy, i.e. the same file keeps advancing)",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        dest="checkpoint_every",
+        type=int,
+        default=None,
+        metavar="K",
+        help="checkpoint the continuation every K-th round boundary",
+    )
+    parser.add_argument(
+        "--no-checkpoint",
+        action="store_true",
+        help="stop checkpointing the continuation entirely",
+    )
 
 
 def resolve_config(args: argparse.Namespace):
@@ -415,6 +518,46 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_resume(args) -> int:
+    from .core.checkpoint import CheckpointError, load_checkpoint
+    from .core.session import resume_dynamics
+
+    try:
+        ckpt = load_checkpoint(args.checkpoint_file)
+    except CheckpointError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    overrides = {
+        key: value
+        for key, value in {
+            "workers": args.workers,
+            "backend": args.backend,
+            "endpoints": args.endpoints,
+            "batch_timeout": args.batch_timeout,
+            "max_retries": args.max_retries,
+            "checkpoint_path": args.checkpoint_path,
+            "checkpoint_every": args.checkpoint_every,
+        }.items()
+        if value is not None
+    }
+    if args.no_checkpoint:
+        overrides["checkpoint_path"] = None
+        overrides["checkpoint_every"] = None
+    game = ckpt.build_game()
+    result = resume_dynamics(ckpt, game=game, **overrides)
+    profile = result.final_profile
+    # The last two lines are printed with simulate's exact formatting, so a
+    # killed-and-resumed `simulate --checkpoint` run can be diffed against
+    # the uninterrupted one (the CI checkpoint-smoke job does exactly that).
+    print(
+        f"resumed from round : {ckpt.rounds_completed} of {ckpt.rounds_total} "
+        f"(n={ckpt.n}, alpha={ckpt.alpha})\n"
+        f"dynamics converged: {result.converged} after {result.moves} moves\n"
+        f"equilibrium cost  : {game.social_cost(profile):.4f}"
+    )
+    return 0
+
+
 def _cmd_config(args) -> int:
     print(json.dumps(args.sim_config.to_dict(), indent=2))
     return 0
@@ -441,6 +584,7 @@ def main(argv: list[str] | None = None) -> int:
         "poa": _cmd_poa,
         "dynamics": _cmd_dynamics,
         "simulate": _cmd_simulate,
+        "resume": _cmd_resume,
         "config": _cmd_config,
         "worker": _cmd_worker,
     }

@@ -11,6 +11,7 @@ The sub-modules are organised bottom-up:
 * :mod:`repro.core.parallel`       — evaluator backends, shared-memory pool,
 * :mod:`repro.core.remote`         — socket-based remote evaluator backend,
 * :mod:`repro.core.equilibria`     — NE / GE / AE / β-approximate checks,
+* :mod:`repro.core.checkpoint`     — versioned run checkpoints, atomic writes,
 * :mod:`repro.core.dynamics`       — response dynamics and cycle detection,
 * :mod:`repro.core.social_optimum` — exact / heuristic optima, Algorithm 1,
 * :mod:`repro.core.spanner`        — k-spanners (Lemmas 1, 2, Theorem 5),
@@ -39,6 +40,13 @@ from .bounds import (
     rd_one_norm_poa_lower,
     rd_pnorm_poa_lower_4node,
     tree_poa_tight,
+)
+from .checkpoint import (
+    TRAJECTORY_FIELDS,
+    Checkpoint,
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
 )
 from .dynamics import (
     CycleCheckResult,
@@ -75,7 +83,13 @@ from .shortest_paths import (
     relax_through_edges,
 )
 from .poa import PoAEstimate, enumerate_nash_equilibria, estimate_poa, sample_equilibria
-from .session import GameSession, SessionStats, SimulationConfig, spawn_seeds
+from .session import (
+    GameSession,
+    SessionStats,
+    SimulationConfig,
+    resume_dynamics,
+    spawn_seeds,
+)
 from .social_optimum import (
     OptimumResult,
     algorithm1_one_two,
@@ -90,6 +104,8 @@ __all__ = [
     "AgentCostBreakdown",
     "BestResponseResult",
     "CandidateEvaluator",
+    "Checkpoint",
+    "CheckpointError",
     "CycleCheckResult",
     "DecrementalRepair",
     "DynamicsResult",
@@ -116,6 +132,7 @@ __all__ = [
     "SingleMoveScorer",
     "SpannerResult",
     "StrategyProfile",
+    "TRAJECTORY_FIELDS",
     "WorkerServer",
     "ae_to_ne_factor",
     "algorithm1_one_two",
@@ -140,6 +157,7 @@ __all__ = [
     "is_greedy_equilibrium",
     "is_k_spanner",
     "is_nash_equilibrium",
+    "load_checkpoint",
     "local_search_social_optimum",
     "metric_poa_upper",
     "minimum_weight_spanner",
@@ -148,8 +166,10 @@ __all__ = [
     "rd_one_norm_poa_lower",
     "relax_through_edges",
     "rd_pnorm_poa_lower_4node",
+    "resume_dynamics",
     "run_dynamics",
     "sample_equilibria",
+    "save_checkpoint",
     "score_response",
     "social_optimum",
     "spanner_stretch",

@@ -73,6 +73,7 @@ from typing import Callable, Literal, Sequence
 
 import numpy as np
 
+from . import checkpoint as _checkpoint
 from .best_response import (
     BestResponseResult,
     best_response_exact,
@@ -185,6 +186,47 @@ class _ProposalCache:
         self.hits = 0
         self.misses = 0
 
+    def export_state(self) -> dict:
+        """Snapshot the cached proposals and counters for a checkpoint.
+
+        Checkpoints serialize the cache *contents* — not a drop-and-rebuild
+        decision — because a rebuilt cache would replay the same moves (a
+        fresh computation equals a surviving proposal numerically) but shift
+        every hit/miss counter and the speculation window's evolution,
+        breaking the stats half of the resumed == straight-through
+        invariant.
+        """
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "proposals": {
+                int(u): {
+                    "agent": result.agent,
+                    "strategy": result.strategy,
+                    "cost": result.cost,
+                    "current_cost": result.current_cost,
+                    "method": result.method,
+                    "d_rest": d_rest.copy(),
+                }
+                for u, (result, d_rest) in self._proposals.items()
+            },
+        }
+
+    def restore_state(
+        self,
+        proposals: "dict[int, tuple[BestResponseResult, np.ndarray]]",
+        *,
+        hits: int,
+        misses: int,
+    ) -> None:
+        """Install checkpointed proposals and counters (after :meth:`clear`)."""
+        self._proposals = {
+            int(u): (result, np.ascontiguousarray(d_rest, dtype=np.float64))
+            for u, (result, d_rest) in proposals.items()
+        }
+        self.hits = int(hits)
+        self.misses = int(misses)
+
     def on_move(
         self, mover: int, old_profile: StrategyProfile, new_profile: StrategyProfile
     ) -> None:
@@ -247,6 +289,28 @@ class _ProposalCache:
                         break
             if dirty:
                 del self._proposals[u]
+
+
+@dataclass
+class _ResumeState:
+    """Loop state to continue a run from, reconstructed from a checkpoint.
+
+    Built by :meth:`repro.core.session.GameSession.resume` out of a
+    :class:`repro.core.checkpoint.Checkpoint`; every field overrides the
+    corresponding fresh-run initialization in :func:`_run_session_loop`.
+    ``prefill_window`` is ``None`` when the checkpointed run had no
+    proposal cache (sequential schedule).
+    """
+
+    rounds_completed: int
+    steps: int
+    moves: int
+    social_costs: list[float]
+    seen: dict[bytes, int]
+    history: list[StrategyProfile] | None
+    prefill_window: int | None = None
+    floor_misses: int = 0
+    speculated: set[int] = field(default_factory=set)
 
 
 @dataclass
@@ -338,6 +402,8 @@ def run_dynamics(
     schedule: ScheduleKind | None = None,
     workers: int | None = None,
     repair_threshold: float | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_path: str | None = None,
     tol: float = _TOL,
     config: "SimulationConfig | None" = None,
     session: "GameSession | None" = None,
@@ -408,6 +474,13 @@ def run_dynamics(
     repair_threshold:
         Decremental-repair frontier bound of the incremental engine (see
         :class:`~repro.core.incremental.IncrementalEngine`).
+    checkpoint_every, checkpoint_path:
+        Checkpoint policy (see :mod:`repro.core.checkpoint`): every
+        ``checkpoint_every``-th round boundary the run's complete state is
+        atomically serialized to ``checkpoint_path`` (a ``{round}``
+        placeholder keeps one file per boundary).  Resume with
+        :func:`repro.core.session.resume_dynamics` or ``repro resume``;
+        the continuation is byte-identical to the straight-through run.
     config:
         A :class:`~repro.core.session.SimulationConfig` providing the
         defaults for this run; explicit keyword arguments override its
@@ -437,6 +510,8 @@ def run_dynamics(
             "schedule": schedule,
             "workers": workers,
             "repair_threshold": repair_threshold,
+            "checkpoint_every": checkpoint_every,
+            "checkpoint_path": checkpoint_path,
         }.items()
         if value is not None
     }
@@ -472,6 +547,7 @@ def _run_session_loop(
     record_history: bool,
     detect_cycles: bool,
     tol: float,
+    resume: _ResumeState | None = None,
 ) -> DynamicsResult:
     """The activation loop, driven by a validated config and injected state.
 
@@ -480,6 +556,20 @@ def _run_session_loop(
     and proposal cache — so the loop never closes or clears anything it did
     not create (the ROADMAP-flagged pool-churn fix: engines and evaluators
     built by a session survive across its runs).
+
+    ``resume`` continues a checkpointed run: the loop starts at
+    ``resume.rounds_completed`` with the checkpointed counters, trajectory,
+    cycle table and speculation-window state instead of the fresh-run
+    initialization, and the round budget ``cfg.max_rounds`` keeps its
+    straight-through meaning — only the *remaining* rounds execute.  The
+    caller has already pointed ``inc`` at the checkpointed profile and
+    restored the engine/proposal caches.
+
+    With ``cfg.checkpoint_every``/``cfg.checkpoint_path`` set, the complete
+    loop state is serialized (atomically, via
+    :func:`repro.core.checkpoint.save_checkpoint`) at every
+    ``checkpoint_every``-th round boundary the run survives; converged and
+    exhausted runs never write a trailing stale checkpoint.
     """
     profile = initial
     n = game.n
@@ -500,6 +590,10 @@ def _run_session_loop(
     prefill_window = _PREFILL_WINDOW_INIT
     floor_misses = 0
     speculated: set[int] = set()
+    if resume is not None and resume.prefill_window is not None:
+        prefill_window = resume.prefill_window
+        floor_misses = resume.floor_misses
+        speculated = set(resume.speculated)
 
     def respond_batched(u: int, position: int, round_agents: Sequence[int]):
         """Serve ``u`` from the proposal cache, prefilling ahead on a miss.
@@ -574,22 +668,97 @@ def _run_session_loop(
             return inc.social_cost()
         return game.social_cost(profile)
 
-    seen: dict[bytes, int] = {}
-    history: list[StrategyProfile] | None = [initial] if record_history else None
-    moves = 0
-    steps = 0
     cycle_detected = False
     cycle_length: int | None = None
+    start_round = 0
+    if resume is not None:
+        # A checkpointed run continues mid-trajectory: counters, cost
+        # trajectory, cycle table and (when recorded) history pick up
+        # exactly where the boundary left them, and the fresh-run
+        # initialization below — including the initial social-cost probe,
+        # which would double-count an APSP — is skipped entirely.
+        start_round = resume.rounds_completed
+        moves = resume.moves
+        steps = resume.steps
+        social_costs = list(resume.social_costs)
+        seen = dict(resume.seen)
+        history = list(resume.history) if resume.history is not None else None
+        if record_history and history is None:
+            history = [initial]
+    else:
+        seen = {}
+        history = [initial] if record_history else None
+        moves = 0
+        steps = 0
+        social_costs = [social_cost()]
+        if detect_cycles:
+            seen[profile.canonical_key()] = 0
 
     explicit_order = None
     if not isinstance(order, str):
         explicit_order = [int(a) for a in order]
 
-    social_costs = [social_cost()]
-    if detect_cycles:
-        seen[profile.canonical_key()] = 0
+    checkpoint_every = getattr(cfg, "checkpoint_every", None)
+    checkpoint_path = getattr(cfg, "checkpoint_path", None)
 
-    for round_idx in range(cfg.max_rounds):
+    def write_checkpoint(rounds_completed: int) -> None:
+        keylen = (n * n + 7) // 8
+        if seen:
+            seen_keys = np.frombuffer(
+                b"".join(seen.keys()), dtype=np.uint8
+            ).reshape(len(seen), keylen)
+            seen_moves = np.asarray(list(seen.values()), dtype=np.int64)
+        else:
+            seen_keys = np.zeros((0, keylen), dtype=np.uint8)
+            seen_moves = np.zeros((0,), dtype=np.int64)
+        engine_distances = None
+        engine_residuals: dict[int, tuple[bytes, np.ndarray]] = {}
+        engine_stats = None
+        if inc is not None:
+            snap = inc.export_state()
+            engine_distances = snap["distances"]
+            engine_residuals = snap["residuals"]
+            engine_stats = snap["stats"]
+        cache_state = None
+        if cache is not None:
+            cache_state = cache.export_state()
+            cache_state.update(
+                prefill_window=prefill_window,
+                floor_misses=floor_misses,
+                speculated=sorted(speculated),
+            )
+        ckpt = _checkpoint.Checkpoint(
+            config=cfg.to_dict(),
+            alpha=float(game.alpha),
+            host_weights=game.host.weights,
+            rounds_completed=rounds_completed,
+            rounds_total=int(cfg.max_rounds),
+            steps=steps,
+            moves=moves,
+            ownership=profile.ownership,
+            rng_state=_checkpoint.rng_state_to_dict(rng),
+            social_costs=np.asarray(social_costs, dtype=np.float64),
+            seen_keys=seen_keys,
+            seen_moves=seen_moves,
+            detect_cycles=detect_cycles,
+            record_history=record_history,
+            tol=tol,
+            history=(
+                np.stack([p.ownership for p in history]) if history else None
+            ),
+            engine_distances=engine_distances,
+            engine_residuals=engine_residuals,
+            engine_stats=engine_stats,
+            cache_state=cache_state,
+        )
+        # Called through the module attribute so tests (and operational
+        # shims) can intercept every save by patching
+        # repro.core.checkpoint.save_checkpoint.
+        _checkpoint.save_checkpoint(
+            ckpt, _checkpoint.resolve_checkpoint_path(checkpoint_path, rounds_completed)
+        )
+
+    for round_idx in range(start_round, cfg.max_rounds):
         improved_this_round = False
         if explicit_order is not None:
             agents = explicit_order
@@ -678,6 +847,16 @@ def _run_session_loop(
                 schedule_hits=cache.hits if cache is not None else 0,
                 schedule_misses=cache.misses if cache is not None else 0,
             )
+
+        # Round boundary the run survives: persist state per the checkpoint
+        # policy.  Converged runs returned above and the final boundary ends
+        # the run, so neither leaves a stale trailing checkpoint behind.
+        if (
+            checkpoint_every is not None
+            and (round_idx + 1) % checkpoint_every == 0
+            and round_idx + 1 < cfg.max_rounds
+        ):
+            write_checkpoint(round_idx + 1)
 
     return DynamicsResult(
         converged=False,

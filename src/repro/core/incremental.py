@@ -72,6 +72,7 @@ and ``tests/test_batched_dynamics.py`` verify across all model variants.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 import numpy as np
@@ -236,6 +237,52 @@ class IncrementalEngine:
         self._distances = None
         self._residuals.clear()
         self.stats = EngineStats()
+
+    def export_state(self) -> dict:
+        """Snapshot the cached distances, residual matrices and stats.
+
+        The checkpoint subsystem (:mod:`repro.core.checkpoint`) persists this
+        at round boundaries; restoring it via :meth:`restore_state` makes a
+        resumed run perform exactly the shortest-path work — and report
+        exactly the :class:`EngineStats` counters — the straight-through run
+        would.  Matrices are copied, so the snapshot is immune to later
+        in-place engine updates.
+        """
+        return {
+            "distances": None if self._distances is None else self._distances.copy(),
+            "residuals": {
+                int(u): (key, matrix.copy())
+                for u, (key, matrix) in self._residuals.items()
+            },
+            "stats": dataclasses.asdict(self.stats),
+        }
+
+    def restore_state(
+        self,
+        *,
+        distances: np.ndarray | None,
+        residuals: dict[int, tuple[bytes, np.ndarray]],
+        stats: dict | None,
+    ) -> None:
+        """Install checkpointed caches and counters (inverse of :meth:`export_state`).
+
+        Call after :meth:`reset` pointed the engine at the checkpointed
+        profile; the caches must describe that same profile or later queries
+        will silently serve stale distances — the checkpoint loader validates
+        shapes, the pairing is the caller's contract.
+        """
+        n = self._game.n
+        if distances is not None:
+            distances = np.ascontiguousarray(distances, dtype=np.float64)
+            if distances.shape != (n, n):
+                raise ValueError("restored distance matrix has the wrong shape")
+        self._distances = distances
+        self._residuals = {
+            int(u): (bytes(key), np.ascontiguousarray(matrix, dtype=np.float64))
+            for u, (key, matrix) in residuals.items()
+        }
+        if stats is not None:
+            self.stats = EngineStats(**stats)
 
     def __enter__(self) -> "IncrementalEngine":
         return self

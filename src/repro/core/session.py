@@ -66,12 +66,25 @@ Ownership rules (the invariants every layer must preserve):
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
-from .dynamics import _TOL, DynamicsResult, _ProposalCache, _run_session_loop
+from .checkpoint import (
+    TRAJECTORY_FIELDS,
+    Checkpoint,
+    load_checkpoint,
+    rng_from_state,
+)
+from .dynamics import (
+    _TOL,
+    DynamicsResult,
+    _ProposalCache,
+    _ResumeState,
+    _run_session_loop,
+)
 from .equilibria import is_greedy_equilibrium, is_nash_equilibrium
 from .game import NetworkCreationGame
 from .incremental import EngineStats, IncrementalEngine
@@ -80,7 +93,13 @@ from .poa import PoAEstimate, _initial_profiles
 from .social_optimum import social_optimum
 from .strategy import StrategyProfile
 
-__all__ = ["SimulationConfig", "GameSession", "SessionStats", "spawn_seeds"]
+__all__ = [
+    "SimulationConfig",
+    "GameSession",
+    "SessionStats",
+    "spawn_seeds",
+    "resume_dynamics",
+]
 
 
 def check_session_call(session: "GameSession", game, config) -> None:
@@ -181,6 +200,19 @@ class SimulationConfig:
     All backends replay bit-identical trajectories; they trade nothing but
     time and placement.
 
+    ``checkpoint_every``/``checkpoint_path`` set the run's checkpoint
+    policy (see :mod:`repro.core.checkpoint`): every
+    ``checkpoint_every``-th round boundary the complete loop/engine/cache
+    state is atomically serialized to ``checkpoint_path`` — a ``{round}``
+    placeholder in the path keeps one file per boundary, otherwise the file
+    always holds the latest boundary.  ``checkpoint_path`` alone implies
+    ``checkpoint_every=1``; ``checkpoint_every`` without a path is an
+    error.  A checkpointed run resumed via :meth:`GameSession.resume`,
+    :func:`resume_dynamics` or ``repro resume`` continues byte-identically
+    — trajectories, converged costs and stats — even in a fresh process and
+    even onto a different backend or worker count, and honors the
+    *remaining* round budget, never a restarted one.
+
     ``batch_timeout`` and ``max_retries`` tune the remote fleet's failure
     handling (see :class:`~repro.core.remote.RemoteEvaluator`):
     ``batch_timeout`` is the per-socket-operation inactivity deadline in
@@ -207,6 +239,8 @@ class SimulationConfig:
     buffering: str = "single"
     batch_timeout: float | None = None
     max_retries: int | None = None
+    checkpoint_every: int | None = None
+    checkpoint_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.engine not in _ENGINES:
@@ -239,6 +273,12 @@ class SimulationConfig:
                 object.__setattr__(self, "batch_timeout", float(self.batch_timeout))
             if self.max_retries is not None:
                 object.__setattr__(self, "max_retries", int(self.max_retries))
+            if self.checkpoint_every is not None:
+                object.__setattr__(self, "checkpoint_every", int(self.checkpoint_every))
+            if self.checkpoint_path is not None:
+                object.__setattr__(
+                    self, "checkpoint_path", str(os.fspath(self.checkpoint_path))
+                )
             endpoints = self.endpoints
             if isinstance(endpoints, str):  # a lone "host:port" is accepted
                 endpoints = (endpoints,)
@@ -307,6 +347,16 @@ class SimulationConfig:
                 "batch_timeout/max_retries tune the remote fleet's failure "
                 "handling and are only meaningful with backend='remote'"
             )
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.checkpoint_every is not None and self.checkpoint_path is None:
+            raise ValueError(
+                "checkpoint_every without checkpoint_path: there is nowhere "
+                "to write the checkpoints"
+            )
+        if self.checkpoint_path is not None and self.checkpoint_every is None:
+            # A path alone means "checkpoint every round boundary".
+            object.__setattr__(self, "checkpoint_every", 1)
         if self.schedule == "batched":
             if self.engine != "incremental":
                 raise ValueError(
@@ -670,6 +720,10 @@ class GameSession:
             detect_cycles=detect_cycles,
             tol=tol,
         )
+        return self._account(result)
+
+    def _account(self, result: DynamicsResult) -> DynamicsResult:
+        """Fold one finished run into the session's cumulative counters."""
         self._runs += 1
         if result.engine_stats is not None:
             for f in dataclasses.fields(EngineStats):
@@ -682,6 +736,111 @@ class GameSession:
         self._hits += result.schedule_hits
         self._misses += result.schedule_misses
         return result
+
+    def resume(self, source: "Checkpoint | str | os.PathLike", **overrides: Any) -> DynamicsResult:
+        """Continue a checkpointed run through this session, byte-identically.
+
+        ``source`` is a checkpoint file path or an already-loaded
+        :class:`~repro.core.checkpoint.Checkpoint`.  The session rebuilds
+        the run exactly as the checkpoint left it — profile, engine caches,
+        proposal cache and speculation window, RNG stream, counters, cost
+        trajectory and cycle table — and runs the *remaining* round budget
+        (``rounds_total - rounds_completed``; the budget is never
+        restarted).  The returned :class:`~repro.core.dynamics
+        .DynamicsResult` is byte-identical — trajectory, converged costs,
+        ``EngineStats``, proposal-cache counters — to the straight-through
+        run, whatever backend or worker count this session uses: placement
+        fields are free to differ from the checkpointing run, the
+        trajectory-shaping fields (:data:`~repro.core.checkpoint
+        .TRAJECTORY_FIELDS`) must match and are validated.
+
+        ``record_history``, ``detect_cycles``, ``tol`` and the RNG state are
+        taken from the checkpoint — they are part of the run being resumed.
+        ``overrides`` are per-run config overrides (e.g. a new
+        ``checkpoint_path``/``checkpoint_every`` policy, or ``None`` for
+        both to stop checkpointing); session-scoped fields cannot change
+        per run, same as :meth:`run`.
+        """
+        self._ensure_open()
+        ckpt = source if isinstance(source, Checkpoint) else load_checkpoint(source)
+        if (
+            ckpt.n != self._game.n
+            or not np.array_equal(ckpt.host_weights, self._game.host.weights)
+            or float(ckpt.alpha) != float(self._game.alpha)
+        ):
+            raise ValueError(
+                "checkpoint was written for a different game instance "
+                "(host weights or alpha differ from this session's game)"
+            )
+        cfg = self._run_config(overrides)
+        if cfg.max_rounds is None:
+            # An unset budget adopts the checkpointed run's resolved one, so
+            # the continuation finishes the original budget — the resumed
+            # run executes only the remaining rounds.
+            cfg = cfg.replace(max_rounds=ckpt.rounds_total)
+        ck_cfg = ckpt.simulation_config()
+        mismatched = [
+            name
+            for name in TRAJECTORY_FIELDS
+            if getattr(cfg, name) != getattr(ck_cfg, name)
+        ]
+        if mismatched:
+            raise ValueError(
+                f"cannot resume with different trajectory-shaping field(s) "
+                f"{mismatched}: the continuation would not be the same run "
+                "(backend/workers/endpoints may change freely; these may not)"
+            )
+        initial = ckpt.profile()
+        engine = self._engine_for(initial)
+        if engine is not None:
+            engine.restore_state(
+                distances=ckpt.engine_distances,
+                residuals=ckpt.engine_residuals,
+                stats=ckpt.engine_stats,
+            )
+        cache = self._cache_for(cfg)
+        if cache is not None and ckpt.cache_state is not None:
+            cache.restore_state(
+                ckpt.proposals(),
+                hits=ckpt.cache_state["hits"],
+                misses=ckpt.cache_state["misses"],
+            )
+        resume_state = _ResumeState(
+            rounds_completed=ckpt.rounds_completed,
+            steps=ckpt.steps,
+            moves=ckpt.moves,
+            social_costs=[float(c) for c in ckpt.social_costs],
+            seen=ckpt.seen(),
+            history=ckpt.history_profiles(),
+            prefill_window=(
+                ckpt.cache_state["prefill_window"]
+                if ckpt.cache_state is not None
+                else None
+            ),
+            floor_misses=(
+                ckpt.cache_state["floor_misses"]
+                if ckpt.cache_state is not None
+                else 0
+            ),
+            speculated=(
+                set(ckpt.cache_state["speculated"])
+                if ckpt.cache_state is not None
+                else set()
+            ),
+        )
+        result = _run_session_loop(
+            self._game,
+            initial,
+            cfg=cfg,
+            inc=engine,
+            cache=cache,
+            rng=rng_from_state(ckpt.rng_state),
+            record_history=ckpt.record_history,
+            detect_cycles=ckpt.detect_cycles,
+            tol=ckpt.tol,
+            resume=resume_state,
+        )
+        return self._account(result)
 
     def sample_equilibria(
         self,
@@ -832,3 +991,46 @@ class GameSession:
                 else self._final_evaluator_stats
             ),
         )
+
+
+def resume_dynamics(
+    source: "Checkpoint | str | os.PathLike",
+    *,
+    game: NetworkCreationGame | None = None,
+    session: "GameSession | None" = None,
+    **overrides: Any,
+) -> DynamicsResult:
+    """One-shot resume of a checkpointed dynamics run (fresh-process entry point).
+
+    ``source`` is a checkpoint file path or a loaded
+    :class:`~repro.core.checkpoint.Checkpoint`.  Without a ``game`` the
+    exact instance is rebuilt from the checkpoint itself (host weights +
+    alpha travel in the file), so a fresh process needs nothing but the
+    file; pass ``game`` to skip the rebuild when the instance is already in
+    hand, or ``session`` to resume through an open
+    :class:`GameSession` (its engine and pool are reused; equivalent to
+    :meth:`GameSession.resume`).
+
+    ``overrides`` replace fields of the checkpointed config for the
+    continuation — placement fields (``backend``, ``workers``,
+    ``endpoints``, ``buffering``, ``batch_timeout``, ``max_retries``) and
+    the checkpoint policy may change freely (``checkpoint_every=None,
+    checkpoint_path=None`` stops further checkpointing); the
+    trajectory-shaping fields (:data:`~repro.core.checkpoint
+    .TRAJECTORY_FIELDS`) may not, and ``None`` is applied literally, not
+    treated as "unset".  The continuation is byte-identical to the
+    straight-through run and executes only the remaining round budget.
+    """
+    ckpt = source if isinstance(source, Checkpoint) else load_checkpoint(source)
+    if session is not None:
+        if game is not None and game is not session.game:
+            raise ValueError(
+                "session is scoped to a different game: pass the session's "
+                "own game or none at all"
+            )
+        return session.resume(ckpt, **overrides)
+    if game is None:
+        game = ckpt.build_game()
+    cfg = ckpt.simulation_config().replace(**overrides)
+    with GameSession(game, cfg) as one_shot:
+        return one_shot.resume(ckpt)

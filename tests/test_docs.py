@@ -79,3 +79,32 @@ def test_api_doc_documents_the_backend_surface():
     api = (DOCS / "api.md").read_text()
     for term in ("EvaluatorBackend", "RemoteEvaluator", "worker serve"):
         assert term in api, f"docs/api.md does not mention {term}"
+
+
+def test_architecture_doc_specifies_checkpoint_format_and_resume():
+    doc = (DOCS / "architecture.md").read_text()
+    for term in (
+        "Checkpoint format & resume semantics",
+        "REPROCKP",
+        "payload_crc32",
+        "CheckpointError",
+        "TRAJECTORY_FIELDS",
+        "rounds_total",
+        "write-then-rename",
+        "serialized, not rebuilt",
+    ):
+        assert term in doc, f"docs/architecture.md does not mention {term}"
+
+
+def test_api_doc_documents_the_checkpoint_surface():
+    api = (DOCS / "api.md").read_text()
+    for term in (
+        "save_checkpoint",
+        "load_checkpoint",
+        "resume_dynamics",
+        "CheckpointError",
+        "TRAJECTORY_FIELDS",
+        "repro resume",
+        "--checkpoint-every",
+    ):
+        assert term in api, f"docs/api.md does not mention {term}"

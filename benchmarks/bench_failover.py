@@ -1,0 +1,245 @@
+"""Failover-ladder overhead and degraded-mode identity (PR 8).
+
+The graceful-degradation layer (``SimulationConfig.failover="ladder"``)
+wraps the session's evaluator in a rung stack and polls ``revive()``
+while degraded.  Its claims, certified here:
+
+* **identity under total fleet loss** (always asserted) — a run whose
+  entire remote fleet is SIGKILLed mid-sweep (the ``fleet-kill`` fault
+  plan) completes on a local rung with a trajectory, social costs and
+  ``EngineStats`` bit-identical to the serial reference, and the
+  degradation counters show the descent (``fallbacks >= 1``);
+
+* **healthy-path overhead** (timing asserted only outside smoke jobs) —
+  on a healthy local run the ladder is a thin forwarding wrapper: the
+  same sweep under ``failover="ladder"`` vs. ``failover="strict"`` must
+  stay within ``OVERHEAD_BOUND`` of the strict wall-clock (both paths
+  are asserted bit-identical always).
+
+Run directly (``python benchmarks/bench_failover.py``) for a plain-text
+report plus ``BENCH_failover.json``, or through pytest-benchmark like
+the other benchmarks.  ``BENCH_SKIP_SPEEDUP_ASSERT=1`` reports the
+overhead without asserting the bound (noisy shared runners); identity
+checks are always enforced.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GameSession,
+    NetworkCreationGame,
+    SimulationConfig,
+    StrategyProfile,
+    default_workers,
+    run_dynamics,
+)
+from repro.core.faults import preset
+from repro.core.remote import _reap_processes, spawn_local_worker
+from repro.metrics.generators import random_euclidean_host
+
+N = 16
+ALPHA = 1.5
+MAX_ROUNDS = 30
+SEED = 11
+RUNS = 6
+OVERHEAD_BOUND = 1.25  # ladder wall-clock <= 1.25x strict on a healthy run
+
+
+def sweep_instance() -> tuple[NetworkCreationGame, list[StrategyProfile]]:
+    rng = np.random.default_rng(SEED)
+    game = NetworkCreationGame(random_euclidean_host(N, rng=rng), ALPHA)
+    starts: list[StrategyProfile] = [StrategyProfile.empty(N)]
+    for _ in range(RUNS - 1):
+        owns = rng.random((N, N)) < 0.25
+        np.fill_diagonal(owns, False)
+        starts.append(StrategyProfile(owns, copy=False, validate=False))
+    return game, starts
+
+
+def _run_sweep(game, starts, cfg):
+    t0 = time.perf_counter()
+    with GameSession(game, cfg) as session:
+        results = [session.run(start, rng=7) for start in starts]
+        stats = session.stats()
+    return time.perf_counter() - t0, results, stats
+
+
+def _identical(a, b) -> bool:
+    return (
+        a.converged == b.converged
+        and a.moves == b.moves
+        and a.steps == b.steps
+        and a.final_profile == b.final_profile
+        and a.social_costs == b.social_costs  # exact float equality
+        and a.engine_stats == b.engine_stats
+    )
+
+
+def healthy_overhead(game, starts) -> dict:
+    """The same local sweep under strict vs. ladder failover."""
+    base = SimulationConfig(
+        schedule="batched", workers=2, max_rounds=MAX_ROUNDS, seed=SEED
+    )
+    strict_s, strict_results, _ = _run_sweep(
+        game, starts, base.replace(failover="strict")
+    )
+    ladder_s, ladder_results, stats = _run_sweep(
+        game, starts, base.replace(failover="ladder")
+    )
+    fleet = stats.evaluator_stats
+    return {
+        "strict_s": strict_s,
+        "ladder_s": ladder_s,
+        "overhead": ladder_s / strict_s if strict_s > 0 else float("nan"),
+        "identical": all(
+            _identical(a, b) for a, b in zip(strict_results, ladder_results)
+        ),
+        "healthy_fallbacks": fleet.fallbacks,
+        "healthy_trips": fleet.breaker_trips,
+    }
+
+
+def degraded_identity(game, starts) -> dict:
+    """Total fleet loss mid-sweep vs. the serial reference."""
+    serial = [
+        run_dynamics(
+            game, start, schedule="batched", max_rounds=MAX_ROUNDS, rng=7
+        )
+        for start in starts
+    ]
+    plan = preset("fleet-kill")
+    processes, endpoints = [], []
+    for index in range(2):
+        process, endpoint = spawn_local_worker(
+            fault_plan=plan, worker_index=index
+        )
+        processes.append(process)
+        endpoints.append(endpoint)
+    try:
+        cfg = SimulationConfig(
+            schedule="batched",
+            backend="remote",
+            endpoints=tuple(endpoints),
+            batch_timeout=10.0,
+            max_rounds=MAX_ROUNDS,
+            seed=SEED,
+        )
+        degraded_s, chaotic, stats = _run_sweep(game, starts, cfg)
+    finally:
+        _reap_processes(processes, timeout=5.0)
+    fleet = stats.evaluator_stats
+    return {
+        "degraded_s": degraded_s,
+        "identical": all(_identical(a, b) for a, b in zip(serial, chaotic)),
+        "fallbacks": fleet.fallbacks,
+        "breaker_trips": fleet.breaker_trips,
+        "converged": sum(r.converged for r in chaotic),
+        "runs": len(starts),
+    }
+
+
+def _report_rows(healthy, degraded, cpus):
+    return [
+        ("runs in sweep", "-", degraded["runs"]),
+        ("strict (healthy) [s]", "-", healthy["strict_s"]),
+        ("ladder (healthy) [s]", "-", healthy["ladder_s"]),
+        ("ladder overhead", f"<= {OVERHEAD_BOUND}x", healthy["overhead"]),
+        ("healthy runs identical", "always", healthy["identical"]),
+        ("healthy fallbacks/trips", "0 / 0",
+         f"{healthy['healthy_fallbacks']} / {healthy['healthy_trips']}"),
+        ("fleet-kill sweep [s]", "-", degraded["degraded_s"]),
+        ("fleet-kill identical to serial", "always", degraded["identical"]),
+        ("fallbacks (fleet-kill)", ">= 1", degraded["fallbacks"]),
+        ("breaker trips (fleet-kill)", ">= 1", degraded["breaker_trips"]),
+        ("available CPUs", "-", cpus),
+    ]
+
+
+def _overhead_asserted() -> bool:
+    return os.environ.get("BENCH_SKIP_SPEEDUP_ASSERT", "") != "1"
+
+
+def _check(healthy, degraded) -> None:
+    assert healthy["identical"], "ladder diverged from strict on a healthy run"
+    assert healthy["healthy_fallbacks"] == 0, "healthy run descended a rung"
+    assert healthy["healthy_trips"] == 0, "healthy run tripped the breaker"
+    assert degraded["identical"], "fleet-kill run diverged from serial"
+    assert degraded["converged"] == degraded["runs"]
+    assert degraded["fallbacks"] >= 1, "fleet kill never forced a fallback"
+    assert degraded["breaker_trips"] >= 1
+    if _overhead_asserted():
+        assert healthy["overhead"] <= OVERHEAD_BOUND, (
+            f"ladder overhead {healthy['overhead']:.2f}x exceeds "
+            f"{OVERHEAD_BOUND}x on the healthy path"
+        )
+
+
+@pytest.mark.benchmark(group="failover")
+def test_failover_ladder_identity_and_overhead(benchmark, paper_report):
+    game, starts = sweep_instance()
+    healthy, degraded = benchmark.pedantic(
+        lambda: (healthy_overhead(game, starts), degraded_identity(game, starts)),
+        rounds=1,
+        iterations=1,
+    )
+    cpus = default_workers()
+    paper_report(
+        f"Failover ladder — overhead & fleet-kill identity (n={N})",
+        _report_rows(healthy, degraded, cpus),
+        n=N,
+        seed=SEED,
+        alpha=ALPHA,
+        cpus=cpus,
+        strict_s=healthy["strict_s"],
+        ladder_s=healthy["ladder_s"],
+        overhead=healthy["overhead"],
+        degraded_s=degraded["degraded_s"],
+        fallbacks=degraded["fallbacks"],
+    )
+    _check(healthy, degraded)
+    if not _overhead_asserted():
+        pytest.skip(
+            "overhead assertion skipped (BENCH_SKIP_SPEEDUP_ASSERT=1); "
+            "identity and counter checks passed"
+        )
+
+
+def main() -> int:
+    from conftest import _jsonable, write_bench_json
+
+    cpus = default_workers()
+    game, starts = sweep_instance()
+    healthy = healthy_overhead(game, starts)
+    degraded = degraded_identity(game, starts)
+    title = f"Failover ladder — overhead & fleet-kill identity (n={N})"
+    print(title)
+    for label, expected, measured in _report_rows(healthy, degraded, cpus):
+        print(f"  {label:34} expected {expected!s:12} measured {measured}")
+    write_bench_json(
+        "failover",
+        [
+            {
+                "title": title,
+                "rows": _jsonable(_report_rows(healthy, degraded, cpus)),
+                "n": N,
+                "seed": SEED,
+                "alpha": ALPHA,
+                "cpus": cpus,
+                **{k: _jsonable(v) for k, v in healthy.items()},
+                **{k: _jsonable(v) for k, v in degraded.items()},
+            }
+        ],
+    )
+    _check(healthy, degraded)
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

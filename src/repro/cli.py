@@ -19,7 +19,12 @@ writing any code:
 * ``config dump``   — print the resolved simulation config as JSON;
 * ``worker serve``  — run a remote-evaluator worker server
   (:mod:`repro.core.remote`) that experiment commands on any machine can
-  score batches against via ``--backend remote --endpoint host:port``.
+  score batches against via ``--backend remote --endpoint host:port``;
+  ``--auth-token`` arms the shared-secret handshake and ``--fault-plan``
+  arms a deterministic :class:`~repro.core.faults.FaultPlan`;
+* ``chaos``         — replay a fault plan (``--preset`` or ``--plan``)
+  against a live run and verify the degradation invariant: the faulted
+  run's trajectory must be bit-identical to the undisturbed serial run.
 
 Every command accepts ``--seed`` for reproducibility.  The ``poa``,
 ``dynamics`` and ``simulate`` commands are driven by a
@@ -139,6 +144,58 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="port to bind (default 0 = OS-assigned; the bound endpoint is "
         "printed as the first output line)",
+    )
+    p_serve.add_argument(
+        "--auth-token",
+        dest="auth_token",
+        default=None,
+        metavar="SECRET",
+        help="require the protocol-3 shared-secret handshake: clients must "
+        "pass the same token (mismatch is a clean handshake error, never a "
+        "hang)",
+    )
+    p_serve.add_argument(
+        "--fault-plan",
+        dest="fault_plan",
+        default=None,
+        metavar="PATH",
+        help="arm a deterministic FaultPlan JSON file (repro.core.faults) on "
+        "this worker — testing only",
+    )
+    p_serve.add_argument(
+        "--worker-index",
+        dest="worker_index",
+        type=int,
+        default=0,
+        metavar="I",
+        help="this worker's index in the fleet, matched against the fault "
+        "plan's per-endpoint faults (default 0)",
+    )
+
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="inject a deterministic fault plan into a live run and verify "
+        "the result is bit-identical to the undisturbed serial run",
+    )
+    p_chaos.add_argument("--variant", default="euclidean", choices=_VARIANTS)
+    p_chaos.add_argument("--n", type=int, default=10)
+    p_chaos.add_argument("--alpha", type=float, default=1.5)
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument(
+        "--schedule", default="batched", choices=["sequential", "batched"]
+    )
+    plan_source = p_chaos.add_mutually_exclusive_group(required=True)
+    plan_source.add_argument(
+        "--preset",
+        default=None,
+        help="named fault plan from the catalog (see repro.core.faults."
+        "preset_names: fleet-kill, worker-kill, flaky-worker, pool-kill)",
+    )
+    plan_source.add_argument(
+        "--plan",
+        default=None,
+        metavar="PATH",
+        help="FaultPlan JSON file to replay",
     )
 
     return parser
@@ -273,6 +330,29 @@ def _add_config_flags(parser: argparse.ArgumentParser, *, full: bool = False) ->
         ),
     )
     parser.add_argument(
+        "--failover",
+        default=None,
+        choices=["ladder", "strict"],
+        help=(
+            "policy for a batch that fails terminally on the configured "
+            "backend: 'ladder' (default) degrades remote -> local pool -> "
+            "serial with bit-identical results and promotes back once the "
+            "fleet recovers; 'strict' fails fast (after the emergency "
+            "checkpoint, when --checkpoint is set)"
+        ),
+    )
+    parser.add_argument(
+        "--auth-token",
+        dest="auth_token",
+        default=None,
+        metavar="SECRET",
+        help=(
+            "shared secret of the protocol-3 worker handshake; every "
+            "'repro worker serve' must run with the same token (requires "
+            "--backend remote)"
+        ),
+    )
+    parser.add_argument(
         "--seed",
         type=int,
         default=None,
@@ -319,6 +399,8 @@ _CONFIG_FIELDS = (
     "max_retries",
     "checkpoint_every",
     "checkpoint_path",
+    "failover",
+    "auth_token",
     "response",
     "order",
     "max_rounds",
@@ -365,6 +447,20 @@ def _add_resume_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--max-retries", dest="max_retries", type=int, default=None, metavar="N",
         help="remote shard re-dispatch budget (requires --backend remote)",
+    )
+    parser.add_argument(
+        "--failover",
+        default=None,
+        choices=["ladder", "strict"],
+        help="failover policy for the continuation (placement only: the "
+        "ladder swaps backends, never trajectories)",
+    )
+    parser.add_argument(
+        "--auth-token",
+        dest="auth_token",
+        default=None,
+        metavar="SECRET",
+        help="shared secret of the worker handshake (requires --backend remote)",
     )
     parser.add_argument(
         "--checkpoint",
@@ -499,6 +595,7 @@ def _cmd_simulate(args) -> int:
     opt = social_optimum(game)
     with GameSession(game, cfg) as session:
         result = session.run(StrategyProfile.empty(args.n))
+        _report_degradation(session)
     profile = result.final_profile
     stable = result.converged and is_nash_equilibrium(game, profile)
     ratio = game.social_cost(profile) / opt.cost if opt.cost > 0 else float("nan")
@@ -518,6 +615,22 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _report_degradation(session) -> None:
+    """Print the run's failover/breaker counters — to stderr, only if nonzero.
+
+    Stdout is the byte-diffable surface (the CI chaos-smoke job diffs a
+    degraded run against the serial one), so degradation telemetry must
+    never land there.
+    """
+    ev = session.stats().evaluator_stats
+    if ev is not None and (ev.fallbacks or ev.promotions or ev.breaker_trips):
+        print(
+            f"fleet degradation : fallbacks={ev.fallbacks} "
+            f"promotions={ev.promotions} breaker_trips={ev.breaker_trips}",
+            file=sys.stderr,
+        )
+
+
 def _cmd_resume(args) -> int:
     from .core.checkpoint import CheckpointError, load_checkpoint
     from .core.session import resume_dynamics
@@ -535,6 +648,8 @@ def _cmd_resume(args) -> int:
             "endpoints": args.endpoints,
             "batch_timeout": args.batch_timeout,
             "max_retries": args.max_retries,
+            "failover": args.failover,
+            "auth_token": args.auth_token,
             "checkpoint_path": args.checkpoint_path,
             "checkpoint_every": args.checkpoint_every,
         }.items()
@@ -566,8 +681,118 @@ def _cmd_config(args) -> int:
 def _cmd_worker(args) -> int:
     from .core.remote import serve
 
-    serve(args.host, args.port)
+    plan = None
+    if args.fault_plan is not None:
+        from .core.faults import FaultPlan
+
+        try:
+            plan = FaultPlan.from_json(Path(args.fault_plan).read_text())
+        except (OSError, ValueError) as exc:
+            print(
+                f"error: cannot load --fault-plan {args.fault_plan}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+    serve(
+        args.host,
+        args.port,
+        auth_token=args.auth_token,
+        fault_plan=plan,
+        worker_index=args.worker_index,
+    )
     return 0
+
+
+def _load_fault_plan(args):
+    """The chaos command's plan: a named preset or a FaultPlan JSON file."""
+    from .core.faults import FaultPlan, preset
+
+    if args.preset is not None:
+        return preset(args.preset)
+    try:
+        return FaultPlan.from_json(Path(args.plan).read_text())
+    except OSError as exc:
+        raise ValueError(f"cannot read --plan {args.plan}: {exc}") from exc
+
+
+def _cmd_chaos(args) -> int:
+    import numpy as np
+
+    from .analysis.experiments import host_factory
+    from .core.game import NetworkCreationGame
+    from .core.remote import _reap_processes, spawn_local_worker
+    from .core.session import GameSession, SimulationConfig
+    from .core.strategy import StrategyProfile
+
+    try:
+        plan = _load_fault_plan(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    base = SimulationConfig(schedule=args.schedule, seed=args.seed, max_rounds=60)
+    host = host_factory(args.variant, args.n, base.rng())
+    game = NetworkCreationGame(host, args.alpha)
+    initial = StrategyProfile.empty(args.n)
+
+    # The undisturbed in-process serial run is the ground truth every
+    # degraded run must reproduce bit-for-bit.
+    with GameSession(game, base) as session:
+        reference = session.run(initial)
+
+    worker_side = bool(plan.worker_faults())
+    processes = []
+    try:
+        if worker_side:
+            # Worker-side faults run against a live two-worker fleet, each
+            # worker armed with the plan under its own fleet index.
+            endpoints = []
+            for index in range(2):
+                process, endpoint = spawn_local_worker(
+                    fault_plan=plan, worker_index=index
+                )
+                processes.append(process)
+                endpoints.append(endpoint)
+            cfg = base.replace(
+                backend="remote", endpoints=tuple(endpoints), batch_timeout=10.0
+            )
+        else:
+            # Pool faults need only the local shared-memory pool.
+            cfg = base.replace(workers=2)
+        with GameSession(game, cfg) as session:
+            session.arm_faults(plan)
+            chaotic = session.run(initial)
+            ev = session.stats().evaluator_stats
+            _report_degradation(session)
+    finally:
+        if processes:
+            _reap_processes(processes)
+
+    identical = (
+        chaotic.converged == reference.converged
+        and chaotic.moves == reference.moves
+        and list(chaotic.social_costs) == list(reference.social_costs)
+        and np.array_equal(
+            chaotic.final_profile.ownership, reference.final_profile.ownership
+        )
+    )
+    print(
+        f"fault plan        : {args.preset or args.plan} "
+        f"({len(plan.faults)} fault(s), seed={plan.seed})\n"
+        f"faulted backend   : {cfg.backend} "
+        f"({'fleet of 2 workers' if worker_side else '2-process pool'})\n"
+        f"reference run     : converged={reference.converged} "
+        f"moves={reference.moves}\n"
+        f"faulted run       : converged={chaotic.converged} "
+        f"moves={chaotic.moves}\n"
+        f"counters          : fallbacks={ev.fallbacks if ev else 0} "
+        f"promotions={ev.promotions if ev else 0} "
+        f"breaker_trips={ev.breaker_trips if ev else 0} "
+        f"pool_rebuilds={ev.retries if ev else 0}\n"
+        f"trajectory        : "
+        f"{'IDENTICAL' if identical else 'DIVERGED'}"
+    )
+    return 0 if identical else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -587,6 +812,7 @@ def main(argv: list[str] | None = None) -> int:
         "resume": _cmd_resume,
         "config": _cmd_config,
         "worker": _cmd_worker,
+        "chaos": _cmd_chaos,
     }
     return handlers[args.command](args)
 

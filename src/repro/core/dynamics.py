@@ -68,12 +68,14 @@ cache hit is ``O(1)``.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 from typing import Callable, Literal, Sequence
 
 import numpy as np
 
 from . import checkpoint as _checkpoint
+from .parallel import EvaluatorError
 from .best_response import (
     BestResponseResult,
     best_response_exact,
@@ -569,7 +571,10 @@ def _run_session_loop(
     loop state is serialized (atomically, via
     :func:`repro.core.checkpoint.save_checkpoint`) at every
     ``checkpoint_every``-th round boundary the run survives; converged and
-    exhausted runs never write a trailing stale checkpoint.
+    exhausted runs never write a trailing stale checkpoint.  Independent of
+    the cadence, a terminal evaluator failure flushes an *emergency*
+    checkpoint of the last completed round boundary before the exception
+    propagates, so even a ``failover="strict"`` abort resumes losslessly.
     """
     profile = initial
     n = game.n
@@ -701,7 +706,7 @@ def _run_session_loop(
     checkpoint_every = getattr(cfg, "checkpoint_every", None)
     checkpoint_path = getattr(cfg, "checkpoint_path", None)
 
-    def write_checkpoint(rounds_completed: int) -> None:
+    def build_checkpoint(rounds_completed: int) -> "_checkpoint.Checkpoint":
         keylen = (n * n + 7) // 8
         if seen:
             seen_keys = np.frombuffer(
@@ -751,6 +756,9 @@ def _run_session_loop(
             engine_stats=engine_stats,
             cache_state=cache_state,
         )
+        return ckpt
+
+    def write_checkpoint(ckpt: "_checkpoint.Checkpoint", rounds_completed: int) -> None:
         # Called through the module attribute so tests (and operational
         # shims) can intercept every save by patching
         # repro.core.checkpoint.save_checkpoint.
@@ -758,66 +766,53 @@ def _run_session_loop(
             ckpt, _checkpoint.resolve_checkpoint_path(checkpoint_path, rounds_completed)
         )
 
-    for round_idx in range(start_round, cfg.max_rounds):
-        improved_this_round = False
-        if explicit_order is not None:
-            agents = explicit_order
-        elif order == "round_robin":
-            agents = list(range(n))
-        elif order == "random":
-            agents = list(rng.permutation(n))
-        elif order == "max_gain":
-            agents = None  # handled below
-        else:
-            raise ValueError(f"unknown order {order!r}")
+    # The emergency checkpoint: with a checkpoint path configured, the
+    # complete loop state is rebuilt at *every* surviving round boundary
+    # (in memory only — the scheduled cadence still decides what reaches
+    # disk) and flushed when a terminal evaluator failure is about to
+    # abort the run, so a crashed sweep always resumes from its last
+    # completed boundary.  ``None`` whenever the boundary just written by
+    # the scheduled cadence is already on disk.
+    emergency: "tuple[_checkpoint.Checkpoint, int] | None" = None
 
-        if order == "max_gain" and explicit_order is None:
-            # One round = n activations of the currently most-improving
-            # agent; every agent is scored against the same state, exactly
-            # the batch_best_responses primitive (parallel when the engine
-            # has workers).
-            for _ in range(n):
-                steps += 1
-                if inc is not None:
-                    results = inc.respond_many(
-                        range(n), response, max_candidates=max_candidates
-                    )
-                else:
-                    results = [respond(u) for u in range(n)]
-                best_agent, best_result = None, None
-                for u, result in enumerate(results):
-                    if result.improvement > tol and (
-                        best_result is None
-                        or result.improvement > best_result.improvement
-                    ):
-                        best_agent, best_result = u, result
-                if best_result is None:
-                    break
-                profile = apply_move(best_agent, best_result.strategy)
-                moves += 1
-                improved_this_round = True
-                social_costs.append(social_cost())
-                if record_history:
-                    history.append(profile)
-                if detect_cycles:
-                    key = profile.canonical_key()
-                    if key in seen:
-                        cycle_detected = True
-                        cycle_length = moves - seen[key]
+    def run_rounds() -> DynamicsResult | None:
+        nonlocal emergency, profile, moves, steps, cycle_detected, cycle_length
+        for round_idx in range(start_round, cfg.max_rounds):
+            improved_this_round = False
+            if explicit_order is not None:
+                agents = explicit_order
+            elif order == "round_robin":
+                agents = list(range(n))
+            elif order == "random":
+                agents = list(rng.permutation(n))
+            elif order == "max_gain":
+                agents = None  # handled below
+            else:
+                raise ValueError(f"unknown order {order!r}")
+
+            if order == "max_gain" and explicit_order is None:
+                # One round = n activations of the currently most-improving
+                # agent; every agent is scored against the same state, exactly
+                # the batch_best_responses primitive (parallel when the engine
+                # has workers).
+                for _ in range(n):
+                    steps += 1
+                    if inc is not None:
+                        results = inc.respond_many(
+                            range(n), response, max_candidates=max_candidates
+                        )
+                    else:
+                        results = [respond(u) for u in range(n)]
+                    best_agent, best_result = None, None
+                    for u, result in enumerate(results):
+                        if result.improvement > tol and (
+                            best_result is None
+                            or result.improvement > best_result.improvement
+                        ):
+                            best_agent, best_result = u, result
+                    if best_result is None:
                         break
-                    seen[key] = moves
-            if cycle_detected:
-                break
-        else:
-            for position, u in enumerate(agents):
-                steps += 1
-                result = (
-                    respond_batched(u, position, agents)
-                    if cache is not None
-                    else respond(u)
-                )
-                if result.improvement > tol:
-                    profile = apply_move(u, result.strategy)
+                    profile = apply_move(best_agent, best_result.strategy)
                     moves += 1
                     improved_this_round = True
                     social_costs.append(social_cost())
@@ -830,33 +825,75 @@ def _run_session_loop(
                             cycle_length = moves - seen[key]
                             break
                         seen[key] = moves
-            if cycle_detected:
-                break
+                if cycle_detected:
+                    break
+            else:
+                for position, u in enumerate(agents):
+                    steps += 1
+                    result = (
+                        respond_batched(u, position, agents)
+                        if cache is not None
+                        else respond(u)
+                    )
+                    if result.improvement > tol:
+                        profile = apply_move(u, result.strategy)
+                        moves += 1
+                        improved_this_round = True
+                        social_costs.append(social_cost())
+                        if record_history:
+                            history.append(profile)
+                        if detect_cycles:
+                            key = profile.canonical_key()
+                            if key in seen:
+                                cycle_detected = True
+                                cycle_length = moves - seen[key]
+                                break
+                            seen[key] = moves
+                if cycle_detected:
+                    break
 
-        if not improved_this_round:
-            return DynamicsResult(
-                converged=True,
-                steps=steps,
-                moves=moves,
-                cycle_detected=False,
-                cycle_length=None,
-                final_profile=profile,
-                social_costs=social_costs,
-                history=history,
-                engine_stats=inc.stats if inc is not None else None,
-                schedule_hits=cache.hits if cache is not None else 0,
-                schedule_misses=cache.misses if cache is not None else 0,
-            )
+            if not improved_this_round:
+                return DynamicsResult(
+                    converged=True,
+                    steps=steps,
+                    moves=moves,
+                    cycle_detected=False,
+                    cycle_length=None,
+                    final_profile=profile,
+                    social_costs=social_costs,
+                    history=history,
+                    engine_stats=inc.stats if inc is not None else None,
+                    schedule_hits=cache.hits if cache is not None else 0,
+                    schedule_misses=cache.misses if cache is not None else 0,
+                )
 
-        # Round boundary the run survives: persist state per the checkpoint
-        # policy.  Converged runs returned above and the final boundary ends
-        # the run, so neither leaves a stale trailing checkpoint behind.
-        if (
-            checkpoint_every is not None
-            and (round_idx + 1) % checkpoint_every == 0
-            and round_idx + 1 < cfg.max_rounds
-        ):
-            write_checkpoint(round_idx + 1)
+            # Round boundary the run survives: persist state per the checkpoint
+            # policy.  Converged runs returned above and the final boundary ends
+            # the run, so neither leaves a stale trailing checkpoint behind.
+            boundary = round_idx + 1
+            if checkpoint_path is not None and boundary < cfg.max_rounds:
+                ckpt = build_checkpoint(boundary)
+                if checkpoint_every is not None and boundary % checkpoint_every == 0:
+                    write_checkpoint(ckpt, boundary)
+                    emergency = None  # this boundary is already on disk
+                else:
+                    emergency = (ckpt, boundary)
+        return None
+
+    try:
+        result = run_rounds()
+    except (EvaluatorError, OSError):
+        # Terminal evaluator failure (strict mode, or a ladder whose last
+        # rung somehow failed): flush the emergency checkpoint so the run
+        # resumes from its last completed round boundary, then re-raise —
+        # the checkpoint write must never mask the real failure.
+        if emergency is not None:
+            ckpt, boundary = emergency
+            with contextlib.suppress(Exception):
+                write_checkpoint(ckpt, boundary)
+        raise
+    if result is not None:
+        return result
 
     return DynamicsResult(
         converged=False,

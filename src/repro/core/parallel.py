@@ -86,6 +86,7 @@ import multiprocessing as mp
 import os
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Iterable, Protocol, Sequence, runtime_checkable
@@ -96,7 +97,9 @@ from .best_response import BestResponseResult, score_response
 
 __all__ = [
     "EvaluatorBackend",
+    "EvaluatorError",
     "EvaluatorStats",
+    "PoolBrokenError",
     "SharedSnapshot",
     "ParallelEvaluator",
     "default_workers",
@@ -104,6 +107,29 @@ __all__ = [
 
 _DEFAULT_SLOTS = 16
 _BUFFERING_MODES = ("single", "double")
+
+
+class EvaluatorError(RuntimeError):
+    """A backend failed a batch terminally (its own recovery is exhausted).
+
+    Root of the evaluator failure hierarchy:
+    :class:`PoolBrokenError` (local shared-memory pool) and
+    :class:`repro.core.remote.RemoteEvaluatorError` (socket fleet) both
+    derive from it, so the session's failover ladder — and any caller
+    implementing its own policy — can catch one type to mean "this rung
+    is down, try the next one".
+    """
+
+
+class PoolBrokenError(EvaluatorError):
+    """The worker pool broke twice within one batch and was abandoned.
+
+    A single dead pool worker (SIGKILL, segfault, OOM) is recovered
+    transparently: :meth:`ParallelEvaluator.evaluate` rebuilds the pool
+    once per call and resubmits every in-flight chunk.  If the *rebuilt*
+    pool breaks again in the same batch the machine itself is suspect and
+    the evaluator gives up with this error instead of thrashing.
+    """
 
 
 @dataclass(frozen=True)
@@ -126,6 +152,14 @@ class EvaluatorStats:
     connected before, and ``endpoints_alive``/``endpoints_total`` snapshot
     the fleet at stats time; ``endpoint_failures``/``endpoint_retries``
     break the first two down per ``"host:port"`` address.
+
+    The degradation fields describe the failover ladder and the circuit
+    breaker (all zero on a healthy run): ``fallbacks`` counts rung
+    descents (remote → local pool → serial), ``promotions`` counts climbs
+    back up after a successful re-probe, ``breaker_trips`` counts
+    endpoints moved to the tripped state, and ``endpoint_backoff`` maps
+    each ``host:port`` to the seconds remaining until its next probe
+    (0.0 when not tripped).
     """
 
     backend: str
@@ -141,6 +175,10 @@ class EvaluatorStats:
     endpoints_total: int = 0
     endpoint_failures: tuple[tuple[str, int], ...] = ()
     endpoint_retries: tuple[tuple[str, int], ...] = ()
+    fallbacks: int = 0
+    promotions: int = 0
+    breaker_trips: int = 0
+    endpoint_backoff: tuple[tuple[str, float], ...] = ()
 
 
 @runtime_checkable
@@ -371,6 +409,7 @@ class ParallelEvaluator:
     __slots__ = (
         "_weights", "_alpha", "_workers", "_slots", "_banks", "_start_method",
         "_snapshot", "_pool", "pools_started", "_batches", "_tasks",
+        "_failures", "_retries", "fault_hook",
     )
 
     def __init__(
@@ -402,6 +441,13 @@ class ParallelEvaluator:
         self.pools_started = 0
         self._batches = 0
         self._tasks = 0
+        self._failures = 0
+        self._retries = 0
+        # Test-only seam for the deterministic fault layer
+        # (repro.core.faults): when set, called as
+        # ``fault_hook(evaluator, batch_index)`` at the top of every
+        # evaluate() call, before any task is dispatched.
+        self.fault_hook = None
 
     @classmethod
     def for_game(cls, game, **kwargs) -> "ParallelEvaluator":
@@ -430,31 +476,56 @@ class ParallelEvaluator:
             batches=self._batches,
             tasks=self._tasks,
             pools_started=self.pools_started,
+            failures=self._failures,
+            retries=self._retries,
         )
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live pool workers (fault injection and tests)."""
+        if self._pool is None:
+            return []
+        return sorted(self._pool._processes)
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
-    def _ensure_pool(self) -> None:
-        if self._pool is not None:
-            return
+    def _new_executor(self) -> ProcessPoolExecutor:
         method = self._start_method
         if method is None and "fork" in mp.get_all_start_methods():
             method = "fork"
         ctx = mp.get_context(method)
-        self._snapshot = SharedSnapshot.create(self._weights, self._slots * self._banks)
+        assert self._snapshot is not None
         # ProcessPoolExecutor rather than mp.Pool: a worker dying mid-task
         # (OOM kill, segfault) raises BrokenProcessPool from the pending
         # futures instead of leaving the owner blocked forever on a result
         # that will never arrive.
-        self._pool = ProcessPoolExecutor(
+        return ProcessPoolExecutor(
             max_workers=self._workers,
             mp_context=ctx,
             initializer=_init_worker,
             initargs=(self._snapshot.meta(), self._alpha),
         )
+
+    def _ensure_pool(self) -> None:
+        if self._pool is not None:
+            return
+        self._snapshot = SharedSnapshot.create(self._weights, self._slots * self._banks)
+        self._pool = self._new_executor()
         self.pools_started += 1
         atexit.register(self.close)
+
+    def _rebuild_pool(self) -> None:
+        """Replace a broken executor, keeping the shared-memory snapshot.
+
+        The snapshot — and the residual matrices already written into its
+        slots — survives the executor, so in-flight chunks can be
+        resubmitted against the same slot indices after the rebuild.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = self._new_executor()
+        self.pools_started += 1
 
     def close(self) -> None:
         """Tear down the pool and unlink the shared-memory segments (idempotent)."""
@@ -492,16 +563,64 @@ class ParallelEvaluator:
         banks and one chunk may stay in flight while the next one's
         matrices are written — a bank is always fully gathered before it
         is written again.
+
+        A pool worker dying mid-batch (SIGKILL, segfault, OOM kill) breaks
+        the whole executor: every pending future raises
+        ``BrokenProcessPool``.  The slots referenced by the in-flight
+        chunks are still intact (a slot is only rewritten after its chunk
+        has been gathered), so the pool is rebuilt **once per call** and
+        every in-flight chunk is resubmitted in order — tasks are pure, so
+        the re-scored results are bit-identical.  A second break in the
+        same call raises :class:`PoolBrokenError`.
         """
         task_list = list(tasks)
         if not task_list:
             return []
         self._ensure_pool()
         assert self._snapshot is not None
+        if self.fault_hook is not None:
+            self.fault_hook(self, self._batches)
         self._batches += 1
         self._tasks += len(task_list)
         results: list[BestResponseResult] = []
-        in_flight: deque[list] = deque()
+        in_flight: deque[tuple[list[tuple], list]] = deque()
+        rebuilt = False
+
+        def recover(exc: BaseException) -> None:
+            nonlocal rebuilt
+            if rebuilt:
+                raise PoolBrokenError(
+                    "worker pool broke twice in one batch "
+                    f"({type(exc).__name__}: {exc})"
+                ) from exc
+            rebuilt = True
+            self._failures += 1
+            self._retries += 1
+            self._rebuild_pool()
+            try:
+                for index, (chunk, _dead) in enumerate(in_flight):
+                    in_flight[index] = (
+                        chunk,
+                        [self._pool.submit(_score_task, task) for task in chunk],
+                    )
+            except BrokenProcessPool as exc2:
+                raise PoolBrokenError(
+                    "worker pool broke twice in one batch "
+                    f"({type(exc2).__name__}: {exc2})"
+                ) from exc2
+
+        def gather_oldest() -> None:
+            while True:
+                chunk, chunk_futures = in_flight[0]
+                try:
+                    gathered = [future.result() for future in chunk_futures]
+                except BrokenProcessPool as exc:
+                    recover(exc)  # raises PoolBrokenError on the second break
+                    continue
+                in_flight.popleft()
+                results.extend(gathered)
+                return
+
         pos = 0
         bank = 0
         while pos < len(task_list):
@@ -528,10 +647,19 @@ class ParallelEvaluator:
                     )
                 )
                 pos += 1
-            in_flight.append([self._pool.submit(_score_task, task) for task in chunk])
+            while True:
+                try:
+                    chunk_futures = [
+                        self._pool.submit(_score_task, task) for task in chunk
+                    ]
+                except BrokenProcessPool as exc:
+                    recover(exc)
+                    continue
+                break
+            in_flight.append((chunk, chunk_futures))
             if len(in_flight) >= self._banks:
-                results.extend(future.result() for future in in_flight.popleft())
+                gather_oldest()
             bank = (bank + 1) % self._banks
         while in_flight:
-            results.extend(future.result() for future in in_flight.popleft())
+            gather_oldest()
         return results

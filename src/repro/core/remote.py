@@ -51,17 +51,34 @@ Failure semantics (the point of this fleet being *production-grade*; see
 * **lazy rejoin** — a failed endpoint is re-connected (full handshake) at
   the start of the *next* batch, so a restarted worker rejoins the fleet
   without poisoning the sweep; the ``ping`` protocol verb backs the
-  :meth:`RemoteEvaluator.check_endpoints` health check.
+  :meth:`RemoteEvaluator.check_endpoints` health check;
+* **circuit breaker** (opt-in via :class:`BreakerPolicy`) — an endpoint
+  failing ``trip_after`` consecutive times *trips*: it leaves the
+  per-batch reconnect path and is re-probed only when its capped
+  exponential backoff (deterministic, seed-jittered) expires, so a dead
+  fleet costs one connect attempt per backoff expiry instead of one per
+  batch.  :meth:`RemoteEvaluator.revive` is the never-raising probe the
+  session's failover ladder polls for promotion.
 
-Wire format (version ``2``): every frame is an 8-byte big-endian length
+Wire format (version ``3``): every frame is an 8-byte big-endian length
 prefix followed by that many payload bytes.  A *message* is one JSON header
 frame optionally followed by raw-buffer frames it announces — matrices
 travel as raw C-order ``float64`` bytes, **never pickled**:
 
-* client → server ``hello``: ``{"kind": "hello", "protocol": 2, "n": n,
+* client → server ``hello``: ``{"kind": "hello", "protocol": 3, "n": n,
   "alpha": alpha}`` + 1 raw frame holding the ``(n, n)`` weight matrix
-  (shipped once per connection; host weights are static for a game);
-* server → client ``ready``: ``{"kind": "ready", "pid": ...}``;
+  (shipped once per connection; host weights are static for a game).
+  With a shared secret configured the hello also carries ``auth_nonce``
+  (a fresh client nonce) and ``auth_mac`` — an HMAC-SHA256 over the
+  nonce and the hello parameters keyed by the token — and the worker
+  must prove *its* knowledge of the token back via ``auth_proof`` in the
+  ``ready`` reply (mutual challenge/response; a mismatch on either side
+  is a clean :class:`RemoteEvaluatorError`, never a hang).  Pre-hello
+  ``ping`` probes stay unauthenticated by design: health checks carry no
+  game state, and the breaker must be able to probe a fleet it cannot
+  yet authenticate to;
+* server → client ``ready``: ``{"kind": "ready", "pid": ...}`` (plus
+  ``auth_proof`` when authenticating);
 * client → server ``batch``: ``{"kind": "batch", "response": ...,
   "max_candidates": ..., "matrices": k, "tasks": [[agent, matrix_index,
   [strategy...]], ...]}`` + ``k`` raw ``(n, n)`` residual-matrix frames;
@@ -94,21 +111,28 @@ from __future__ import annotations
 
 import atexit
 import contextlib
+import hashlib
+import hmac
 import json
 import multiprocessing as mp
 import os
+import secrets
 import socket
 import struct
 import threading
-from typing import Iterable, Iterator, Sequence
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
 from .best_response import BestResponseResult, score_response
-from .parallel import EvaluatorStats
+from .faults import FaultInjector, FaultPlan
+from .parallel import EvaluatorError, EvaluatorStats
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "BreakerPolicy",
     "RemoteEvaluatorError",
     "RemoteEvaluator",
     "EndpointSet",
@@ -119,8 +143,10 @@ __all__ = [
 ]
 
 # Version 2 added the ping/pong health-check verb (accepted pre-hello and
-# between batches); client and server versions must match exactly.
-PROTOCOL_VERSION = 2
+# between batches); version 3 added the optional HMAC shared-secret
+# challenge/response folded into hello/ready.  Client and server versions
+# must match exactly.
+PROTOCOL_VERSION = 3
 
 _LEN = struct.Struct("!Q")
 # A frame can at most hold one dense (n, n) float64 matrix; 1 GiB bounds
@@ -141,8 +167,18 @@ DEFAULT_MAX_RETRIES = 2
 # ----------------------------------------------------------------------
 # Framing
 # ----------------------------------------------------------------------
-class RemoteEvaluatorError(RuntimeError):
-    """Protocol violation, worker-side failure or unexpected disconnect."""
+class RemoteEvaluatorError(EvaluatorError):
+    """Protocol violation, worker-side failure or unexpected disconnect.
+
+    Derives from :class:`~repro.core.parallel.EvaluatorError` so the
+    session's failover ladder catches one type for every backend.
+    """
+
+
+def _auth_mac(token: str, *parts: str) -> str:
+    """HMAC-SHA256 over ``parts`` keyed by the shared secret, hex-encoded."""
+    message = "|".join(parts).encode()
+    return hmac.new(token.encode(), message, hashlib.sha256).hexdigest()
 
 
 def _send_frame(sock: socket.socket, payload) -> int:
@@ -234,11 +270,59 @@ def _pong(conn: socket.socket) -> None:
     _send_json(conn, {"kind": "pong", "pid": os.getpid(), "protocol": PROTOCOL_VERSION})
 
 
-def _handle_connection(conn: socket.socket) -> None:
-    """Serve one evaluator connection: (pings,) hello, then batches until bye/EOF."""
+class _InjectedKill(BaseException):
+    """Control flow of an injected endpoint kill: abrupt drop, no error reply.
+
+    Derives from ``BaseException`` so the handler's generic ``Exception``
+    clause — which politely reports failures back to the client — does not
+    catch it: a killed endpoint must die silently, exactly like a real
+    SIGKILL.
+    """
+
+
+def _verify_hello_auth(token: str | None, hello: dict, n: int, alpha: float) -> None:
+    """Enforce the protocol-3 shared-secret challenge (both directions).
+
+    Called only after the weights frame has been consumed, so the error
+    reply is never destroyed by a TCP reset over unread client data.
+    """
+    nonce = hello.get("auth_nonce")
+    mac = hello.get("auth_mac")
+    if token is None:
+        if mac is not None:
+            raise RemoteEvaluatorError(
+                "authentication failed: client sent a shared-secret proof but "
+                "this worker has no --auth-token configured"
+            )
+        return
+    if not isinstance(nonce, str) or not isinstance(mac, str):
+        raise RemoteEvaluatorError(
+            "authentication failed: this worker requires a shared secret "
+            "(--auth-token) and the client sent no credentials"
+        )
+    expected = _auth_mac(token, "hello", nonce, str(int(n)), float(alpha).hex())
+    if not hmac.compare_digest(mac, expected):
+        raise RemoteEvaluatorError("authentication failed: shared-secret mismatch")
+
+
+def _handle_connection(
+    conn: socket.socket,
+    auth_token: str | None = None,
+    injector: FaultInjector | None = None,
+    kill: Callable[[], None] | None = None,
+) -> None:
+    """Serve one evaluator connection: (pings,) hello, then batches until bye/EOF.
+
+    ``injector``/``kill`` are the deterministic fault-injection seam (see
+    :mod:`repro.core.faults`): when set, the injector is consulted once per
+    received batch — after the batch is fully read, before it is scored —
+    and ``kill`` takes the whole endpoint down for ``kind="kill"`` faults.
+    Both are ``None`` outside chaos tests and ``repro chaos`` runs.
+    """
     try:
-        # Ping-only probes (health checks) need no hello: answer any number
-        # of pings, then expect the hello (or a bye / clean EOF).
+        # Ping-only probes (health checks, breaker re-probes) need no
+        # hello — and no authentication, by design: answer any number of
+        # pings, then expect the hello (or a bye / clean EOF).
         hello = _recv_json(conn)
         while hello is not None and hello.get("kind") == "ping":
             _pong(conn)
@@ -257,11 +341,17 @@ def _handle_connection(conn: socket.socket) -> None:
         raw = _recv_frame(conn)
         if raw is None or len(raw) != n * n * 8:
             raise RemoteEvaluatorError("weights frame missing or mis-sized")
+        _verify_hello_auth(auth_token, hello, n, alpha)
         # The static segment of the snapshot protocol: received once per
         # connection, read for every batch.  frombuffer views are read-only,
         # which is exactly right — scoring never writes its inputs.
         weights = np.frombuffer(raw, dtype=np.float64).reshape(n, n)
-        _send_json(conn, {"kind": "ready", "pid": os.getpid()})
+        ready = {"kind": "ready", "pid": os.getpid()}
+        if auth_token is not None:
+            # Mutual authentication: prove this worker holds the secret too,
+            # so a client never ships batches to an impostor endpoint.
+            ready["auth_proof"] = _auth_mac(auth_token, "ready", hello["auth_nonce"])
+        _send_json(conn, ready)
         while True:
             header = _recv_json(conn)
             if header is None or header.get("kind") == "bye":
@@ -279,6 +369,30 @@ def _handle_connection(conn: socket.socket) -> None:
                 if frame is None or len(frame) != n * n * 8:
                     raise RemoteEvaluatorError("residual frame missing or mis-sized")
                 matrices.append(np.frombuffer(frame, dtype=np.float64).reshape(n, n))
+            if injector is not None:
+                # Injection point: the batch is fully on this side of the
+                # wire (the client is never left mid-send), nothing has
+                # been scored or answered yet.
+                fault = injector.next_fault()
+                if fault is not None:
+                    if fault.kind == "kill":
+                        if kill is not None:
+                            kill()
+                        raise _InjectedKill
+                    if fault.kind == "error":
+                        _send_json(
+                            conn,
+                            {"kind": "error", "message": "injected fault: error reply"},
+                        )
+                        return
+                    if fault.kind == "garbage":
+                        _send_frame(conn, b"\xfe\xedinjected protocol garbage")
+                        return
+                    if fault.kind == "hang":
+                        time.sleep(fault.duration)
+                        # ...then score normally: a *stalled* worker, which
+                        # the client's batch deadline must turn into an
+                        # endpoint failure.
             response = str(header["response"])
             max_candidates = int(header["max_candidates"])
             results = []
@@ -297,6 +411,8 @@ def _handle_connection(conn: socket.socket) -> None:
     except Exception as exc:  # noqa: BLE001 - reported to the client, connection dropped
         with contextlib.suppress(OSError):
             _send_json(conn, {"kind": "error", "message": f"{type(exc).__name__}: {exc}"})
+    except _InjectedKill:
+        pass  # abrupt drop: no error reply, the endpoint is "dead"
     finally:
         with contextlib.suppress(OSError):
             conn.close()
@@ -309,18 +425,54 @@ class WorkerServer:
     :attr:`port`); :meth:`serve_forever` blocks in the accept loop until
     :meth:`shutdown` closes the listening socket.  Connection threads are
     daemons: an in-flight batch never blocks process exit.
+
+    ``auth_token`` arms the protocol-3 shared-secret handshake: every
+    connection must present a matching HMAC in its hello (and receives the
+    server's counter-proof in ``ready``).  ``fault_plan``/``worker_index``
+    arm deterministic fault injection (:mod:`repro.core.faults`);
+    ``kill_mode`` selects what an injected ``kill`` does — ``"shutdown"``
+    (default; close the listening socket and drop the connection, for
+    in-process servers) or ``"exit"`` (``os._exit(1)``, for servers that
+    own their process).
     """
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0, *, backlog: int = 16) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        backlog: int = 16,
+        auth_token: str | None = None,
+        fault_plan: FaultPlan | None = None,
+        worker_index: int = 0,
+        kill_mode: str = "shutdown",
+    ) -> None:
+        if kill_mode not in ("shutdown", "exit"):
+            raise ValueError(
+                f"unknown kill_mode {kill_mode!r} (expected 'shutdown' or 'exit')"
+            )
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((host, port))
         self._sock.listen(backlog)
         self.host, self.port = self._sock.getsockname()[:2]
+        self._auth_token = auth_token
+        self._kill_mode = kill_mode
+        self.injector = (
+            None
+            if fault_plan is None
+            else FaultInjector(fault_plan, worker_index=worker_index)
+        )
 
     @property
     def endpoint(self) -> str:
         return f"{self.host}:{self.port}"
+
+    def _kill_endpoint(self) -> None:
+        """An injected ``kill`` fault fired: take the endpoint down."""
+        if self._kill_mode == "exit":
+            os._exit(1)
+        self.shutdown()  # reconnect attempts now fail: the endpoint is gone
 
     def serve_forever(self) -> None:
         while True:
@@ -330,7 +482,9 @@ class WorkerServer:
                 return  # listening socket closed by shutdown()
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             threading.Thread(
-                target=_handle_connection, args=(conn,), daemon=True
+                target=_handle_connection,
+                args=(conn, self._auth_token, self.injector, self._kill_endpoint),
+                daemon=True,
             ).start()
 
     def shutdown(self) -> None:
@@ -338,13 +492,28 @@ class WorkerServer:
             self._sock.close()
 
 
-def serve(host: str = "127.0.0.1", port: int = 0) -> None:
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    auth_token: str | None = None,
+    fault_plan: FaultPlan | None = None,
+    worker_index: int = 0,
+) -> None:
     """Run a worker server until interrupted (the ``repro worker serve`` entry).
 
     Prints the bound endpoint as the first output line so launchers that
-    requested ``port=0`` can parse the OS-assigned port.
+    requested ``port=0`` can parse the OS-assigned port.  This server owns
+    its process, so injected ``kill`` faults exit the process outright.
     """
-    server = WorkerServer(host, port)
+    server = WorkerServer(
+        host,
+        port,
+        auth_token=auth_token,
+        fault_plan=fault_plan,
+        worker_index=worker_index,
+        kill_mode="exit",
+    )
     print(f"repro worker listening on {server.endpoint}", flush=True)
     try:
         server.serve_forever()
@@ -354,15 +523,35 @@ def serve(host: str = "127.0.0.1", port: int = 0) -> None:
         server.shutdown()
 
 
-def _worker_process_main(host: str, port: int, pipe) -> None:  # pragma: no cover - child process
-    server = WorkerServer(host, port)
+def _worker_process_main(
+    host: str,
+    port: int,
+    pipe,
+    auth_token: str | None = None,
+    fault_plan: FaultPlan | None = None,
+    worker_index: int = 0,
+) -> None:  # pragma: no cover - child process
+    server = WorkerServer(
+        host,
+        port,
+        auth_token=auth_token,
+        fault_plan=fault_plan,
+        worker_index=worker_index,
+        kill_mode="exit",
+    )
     pipe.send(server.port)
     pipe.close()
     server.serve_forever()
 
 
 def spawn_local_worker(
-    host: str = "127.0.0.1", *, port: int = 0, start_method: str | None = None
+    host: str = "127.0.0.1",
+    *,
+    port: int = 0,
+    start_method: str | None = None,
+    auth_token: str | None = None,
+    fault_plan: FaultPlan | None = None,
+    worker_index: int = 0,
 ) -> tuple[mp.process.BaseProcess, str]:
     """Start a worker server in a child process; returns ``(process, endpoint)``.
 
@@ -370,14 +559,17 @@ def spawn_local_worker(
     worker on a known endpoint, e.g. in rejoin tests) and reports the bound
     port through a pipe, so the returned endpoint is immediately
     connectable — no sleep-and-retry races.  Terminate the process to stop
-    the worker.
+    the worker.  ``auth_token`` and ``fault_plan``/``worker_index`` are
+    forwarded to the child's :class:`WorkerServer`.
     """
     if start_method is None and "fork" in mp.get_all_start_methods():
         start_method = "fork"
     ctx = mp.get_context(start_method)
     parent, child = ctx.Pipe()
     process = ctx.Process(
-        target=_worker_process_main, args=(host, int(port), child), daemon=True
+        target=_worker_process_main,
+        args=(host, int(port), child, auth_token, fault_plan, worker_index),
+        daemon=True,
     )
     process.start()
     child.close()
@@ -437,10 +629,53 @@ def parse_endpoint(endpoint: str) -> tuple[str, int]:
     return host, int(port)
 
 
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Circuit-breaker schedule for tripped endpoints.
+
+    An endpoint that fails ``trip_after`` consecutive times *trips*: it
+    leaves the per-batch reconnect path and is only re-probed once its
+    backoff delay expires.  The delay starts at ``base_delay`` seconds and
+    doubles per failed probe up to the ``max_delay`` cap, then a
+    deterministic jitter factor in ``[1, 1 + jitter]`` is applied — drawn
+    from a generator seeded with ``seed`` (the session seeds it from the
+    run config), so two identically-configured clients replay the same
+    probe schedule and never synchronize their reconnect stampedes by
+    accident.  A successful (re)connect resets the endpoint's breaker
+    state entirely: healthy → tripped → probing → recovered.
+    """
+
+    trip_after: int = 1
+    base_delay: float = 0.25
+    max_delay: float = 30.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if int(self.trip_after) < 1:
+            raise ValueError("trip_after must be >= 1")
+        if float(self.base_delay) <= 0:
+            raise ValueError("base_delay must be positive")
+        if float(self.max_delay) < float(self.base_delay):
+            raise ValueError("max_delay must be >= base_delay")
+        if float(self.jitter) < 0:
+            raise ValueError("jitter must be >= 0")
+
+    def delay(self, attempts: int, rng: np.random.Generator) -> float:
+        """Backoff before probe ``attempts`` (0-based): capped, then jittered."""
+        base = min(float(self.max_delay), float(self.base_delay) * (2.0 ** attempts))
+        if self.jitter:
+            base *= 1.0 + float(self.jitter) * float(rng.random())
+        return base
+
+
 class _Endpoint:
     """One worker endpoint: its address, connection state and counters."""
 
-    __slots__ = ("address", "sock", "failures", "retries", "ever_connected", "last_error")
+    __slots__ = (
+        "address", "sock", "failures", "retries", "ever_connected", "last_error",
+        "consecutive_failures", "tripped", "probe_attempts", "next_probe_at",
+    )
 
     def __init__(self, address: str) -> None:
         self.address = address
@@ -449,6 +684,11 @@ class _Endpoint:
         self.retries = 0  # re-dispatched shards this endpoint picked up
         self.ever_connected = False
         self.last_error: str | None = None
+        # Circuit-breaker state (only driven when a BreakerPolicy is set):
+        self.consecutive_failures = 0
+        self.tripped = False
+        self.probe_attempts = 0  # failed probes since the trip
+        self.next_probe_at = 0.0  # clock() time of the next allowed probe
 
 
 class EndpointSet:
@@ -529,6 +769,20 @@ class RemoteEvaluator:
         least one endpoint failure (the failed endpoint leaves the fan-out),
         so rounds are also bounded by the endpoint count; ``0`` makes any
         endpoint failure fail the batch.
+    auth_token:
+        Optional shared secret for the protocol-3 HMAC challenge/response
+        (mutual: the worker must hold the same token, and prove it).  A
+        mismatch on either side is a clean :class:`RemoteEvaluatorError`.
+    breaker:
+        Optional :class:`BreakerPolicy` arming the circuit breaker.
+        Without it (the default) every batch re-attempts every down
+        endpoint — the original fail-fast behavior; with it, endpoints
+        that keep failing trip out of the reconnect path and are re-probed
+        on a capped exponential backoff, and :meth:`revive` becomes a
+        cheap promotion poll for the session's failover ladder.
+    clock:
+        Monotonic time source for the breaker schedule (injectable for
+        deterministic tests).
 
     Connections open lazily on the first :meth:`evaluate` and are reused
     for every later batch.  An endpoint that fails mid-batch is dropped
@@ -553,7 +807,8 @@ class RemoteEvaluator:
         "_weights", "_alpha", "_endpoints", "_connect_timeout", "_batch_timeout",
         "_max_retries", "pools_started", "_batches", "_tasks", "_bytes_sent",
         "_bytes_received", "_failures", "_retries", "_reconnects",
-        "_atexit_registered",
+        "_atexit_registered", "_auth_token", "_breaker", "_breaker_rng",
+        "_breaker_trips", "_clock",
     )
 
     def __init__(
@@ -565,6 +820,9 @@ class RemoteEvaluator:
         connect_timeout: float = 10.0,
         batch_timeout: float | None = DEFAULT_BATCH_TIMEOUT,
         max_retries: int = DEFAULT_MAX_RETRIES,
+        auth_token: str | None = None,
+        breaker: BreakerPolicy | None = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self._weights = np.ascontiguousarray(weights, dtype=np.float64)
         if self._weights.ndim != 2 or self._weights.shape[0] != self._weights.shape[1]:
@@ -580,6 +838,14 @@ class RemoteEvaluator:
         self._max_retries = int(max_retries)
         if self._max_retries < 0:
             raise ValueError("max_retries must be non-negative")
+        self._auth_token = None if auth_token is None else str(auth_token)
+        # The breaker is opt-in: without a policy every batch re-attempts
+        # every down endpoint (the original fail-fast behavior, which the
+        # direct-construction tests and failover="strict" rely on).
+        self._breaker = breaker
+        self._breaker_rng = np.random.default_rng(breaker.seed) if breaker else None
+        self._breaker_trips = 0
+        self._clock = clock
         self.pools_started = 0
         self._batches = 0
         self._tasks = 0
@@ -627,6 +893,14 @@ class RemoteEvaluator:
             endpoints_alive=sum(1 for e in entries if e.sock is not None),
             endpoint_failures=tuple((e.address, e.failures) for e in entries),
             endpoint_retries=tuple((e.address, e.retries) for e in entries),
+            breaker_trips=self._breaker_trips,
+            endpoint_backoff=tuple(
+                (
+                    e.address,
+                    max(0.0, e.next_probe_at - self._clock()) if e.tripped else 0.0,
+                )
+                for e in entries
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -690,19 +964,45 @@ class RemoteEvaluator:
         sock = socket.create_connection((host, port), timeout=self._connect_timeout)
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            n = int(self._weights.shape[0])
             hello = {
                 "kind": "hello",
                 "protocol": PROTOCOL_VERSION,
-                "n": self._weights.shape[0],
+                "n": n,
                 "alpha": self._alpha,
             }
+            nonce = None
+            if self._auth_token is not None:
+                # Challenge/response keyed by the shared secret: the MAC
+                # binds the hello parameters, the worker's counter-proof
+                # binds our nonce (mutual authentication).
+                nonce = secrets.token_hex(16)
+                hello["auth_nonce"] = nonce
+                hello["auth_mac"] = _auth_mac(
+                    self._auth_token, "hello", nonce, str(n), float(self._alpha).hex()
+                )
             sent = _send_json(sock, hello)
             sent += _send_frame(sock, self._weights)
             reply = _recv_json(sock)
+            if reply is not None and reply.get("kind") == "error":
+                raise RemoteEvaluatorError(
+                    f"worker {entry.address} rejected the handshake: "
+                    f"{reply.get('message')}"
+                )
             if reply is None or reply.get("kind") != "ready":
                 raise RemoteEvaluatorError(
                     f"worker {entry.address} did not become ready: {reply!r}"
                 )
+            if self._auth_token is not None:
+                proof = reply.get("auth_proof")
+                expected = _auth_mac(self._auth_token, "ready", nonce)
+                if not isinstance(proof, str) or not hmac.compare_digest(
+                    proof, expected
+                ):
+                    raise RemoteEvaluatorError(
+                        f"worker {entry.address} failed authentication: it did "
+                        "not prove knowledge of the shared secret (--auth-token)"
+                    )
             # Batches may legitimately take long, but a *hung* worker must
             # not block the client forever: every later socket operation
             # runs under the batch deadline.
@@ -715,35 +1015,75 @@ class RemoteEvaluator:
         entry.sock = sock
         entry.ever_connected = True
         entry.last_error = None
+        # A live connection resets the endpoint's breaker state entirely:
+        # tripped/probing endpoints are "recovered" the moment a full
+        # handshake succeeds.
+        entry.consecutive_failures = 0
+        entry.tripped = False
+        entry.probe_attempts = 0
+        entry.next_probe_at = 0.0
+
+    def _record_failure(self, entry: _Endpoint, exc: BaseException, now: float) -> None:
+        """Count one endpoint failure and advance its circuit-breaker state."""
+        entry.failures += 1
+        entry.last_error = f"{type(exc).__name__}: {exc}"
+        self._failures += 1
+        if self._breaker is None:
+            return
+        entry.consecutive_failures += 1
+        if not entry.tripped:
+            if entry.consecutive_failures >= self._breaker.trip_after:
+                entry.tripped = True
+                entry.probe_attempts = 0
+                entry.next_probe_at = now + self._breaker.delay(0, self._breaker_rng)
+                self._breaker_trips += 1
+        else:
+            # A failed probe of an already-tripped endpoint: back off further.
+            entry.probe_attempts += 1
+            entry.next_probe_at = now + self._breaker.delay(
+                entry.probe_attempts, self._breaker_rng
+            )
 
     def _ensure_connections(self) -> list[_Endpoint]:
         """Live endpoints for the next batch, lazily (re)connecting down ones.
 
-        Raises when no endpoint can be connected at all — preserving the
-        underlying :class:`OSError` when every endpoint refused, so a
-        misconfigured fleet fails with the real error, not a wrapper.
+        With a :class:`BreakerPolicy` armed, tripped endpoints whose backoff
+        has not expired are skipped without a connect attempt.  Raises when
+        no endpoint is live afterwards — preserving the underlying
+        :class:`OSError` when every endpoint refused, so a misconfigured
+        fleet fails with the real error, not a wrapper.
         """
         if not len(self._endpoints):
             raise RemoteEvaluatorError("no endpoints configured")
         had_live = bool(self._endpoints.live())
+        now = self._clock()
         last_error: Exception | None = None
         for entry in self._endpoints:
             if entry.sock is not None:
                 continue
+            if self._breaker is not None and entry.tripped and now < entry.next_probe_at:
+                continue  # breaker open: not due for a probe yet
             rejoining = entry.ever_connected
             try:
                 self._handshake(entry)
             except (OSError, RemoteEvaluatorError) as exc:
                 last_error = exc
-                entry.failures += 1
-                entry.last_error = f"{type(exc).__name__}: {exc}"
-                self._failures += 1
+                self._record_failure(entry, exc, now)
             else:
                 if rejoining:
                     self._reconnects += 1
         live = self._endpoints.live()
         if not live:
-            assert last_error is not None
+            if last_error is None:
+                # Every down endpoint is breaker-tripped with an unexpired
+                # backoff: nothing was even attempted this call.
+                wait = min(
+                    entry.next_probe_at for entry in self._endpoints
+                ) - now
+                raise RemoteEvaluatorError(
+                    f"all {len(self._endpoints)} endpoint(s) are tripped by "
+                    f"the circuit breaker; next probe due in {max(0.0, wait):.2f}s"
+                )
             raise last_error
         if not had_live:
             self.pools_started += 1
@@ -755,11 +1095,24 @@ class RemoteEvaluator:
                 self._atexit_registered = True
         return live
 
+    def revive(self) -> bool:
+        """Try to get at least one endpoint live, without ever raising.
+
+        The failover ladder polls this at batch boundaries while running
+        degraded: it honors the circuit-breaker schedule (tripped endpoints
+        whose backoff has not expired are skipped), so calling it every
+        batch costs nothing until a probe is actually due.  Returns True
+        when the fleet has a live connection afterwards.
+        """
+        try:
+            self._ensure_connections()
+        except (OSError, RemoteEvaluatorError):
+            return False
+        return True
+
     def _drop(self, entry: _Endpoint, exc: BaseException) -> None:
         """Drop one failed endpoint's connection (no bye — it is desynchronized)."""
-        entry.failures += 1
-        entry.last_error = f"{type(exc).__name__}: {exc}"
-        self._failures += 1
+        self._record_failure(entry, exc, self._clock())
         sock, entry.sock = entry.sock, None
         if sock is not None:
             with contextlib.suppress(OSError):

@@ -88,7 +88,13 @@ from .dynamics import (
 from .equilibria import is_greedy_equilibrium, is_nash_equilibrium
 from .game import NetworkCreationGame
 from .incremental import EngineStats, IncrementalEngine
-from .parallel import EvaluatorBackend, EvaluatorStats, ParallelEvaluator
+from .parallel import (
+    EvaluatorBackend,
+    EvaluatorError,
+    EvaluatorStats,
+    ParallelEvaluator,
+    default_workers,
+)
 from .poa import PoAEstimate, _initial_profiles
 from .social_optimum import social_optimum
 from .strategy import StrategyProfile
@@ -124,6 +130,7 @@ _RESPONSES = ("best", "greedy", "single")
 _ORDERS = ("round_robin", "random", "max_gain")
 _BACKENDS = ("local", "remote")
 _BUFFERINGS = ("single", "double")
+_FAILOVERS = ("ladder", "strict")
 
 # Config fields a session cannot change per run: they shape the owned
 # engine and worker pool, so changing them needs a fresh session.  A
@@ -137,6 +144,8 @@ _SESSION_SCOPED = (
     "buffering",
     "batch_timeout",
     "max_retries",
+    "failover",
+    "auth_token",
 )
 
 # Entry-point round budgets applied when ``max_rounds`` is None ("not
@@ -223,6 +232,22 @@ class SimulationConfig:
     ``backend="remote"``.  Because failed shards re-run the same pure tasks
     and results are gathered in submission order, retries never change a
     trajectory — only whether the sweep survives a dying worker.
+
+    ``failover`` sets the policy for a batch that fails *terminally* on
+    the configured backend (every endpoint dead and retries exhausted, or
+    the local pool broken beyond its one rebuild): ``"ladder"`` (default)
+    wraps the backend in the session's degradation ladder — remote →
+    local shared-memory pool → in-process serial — which finishes the
+    batch on the next rung and keeps going (scoring tasks are pure and
+    gathered in submission order, so the trajectory is bit-identical on
+    every rung), re-probing dead endpoints on the circuit breaker's
+    capped exponential backoff and promoting back up at a batch boundary
+    once a probe succeeds; ``"strict"`` preserves the fail-fast behavior —
+    the terminal failure propagates (after the emergency checkpoint, when
+    checkpointing is configured).  ``auth_token`` arms the protocol-3
+    shared-secret handshake against the worker fleet (each worker must run
+    with the same ``--auth-token``); it is remote-only and, note, stored
+    in plaintext by ``to_dict`` — i.e. in config files and checkpoints.
     """
 
     engine: str = "incremental"
@@ -241,6 +266,8 @@ class SimulationConfig:
     max_retries: int | None = None
     checkpoint_every: int | None = None
     checkpoint_path: str | None = None
+    failover: str = "ladder"
+    auth_token: str | None = None
 
     def __post_init__(self) -> None:
         if self.engine not in _ENGINES:
@@ -253,6 +280,8 @@ class SimulationConfig:
             raise ValueError(f"unknown backend {self.backend!r}")
         if self.buffering not in _BUFFERINGS:
             raise ValueError(f"unknown buffering {self.buffering!r}")
+        if self.failover not in _FAILOVERS:
+            raise ValueError(f"unknown failover policy {self.failover!r}")
         # Coercion failures (e.g. {"workers": null} or {"order": 5} in a JSON
         # config file) must surface as ValueError — the error type callers
         # like the CLI catch — never as a raw TypeError traceback.
@@ -273,6 +302,8 @@ class SimulationConfig:
                 object.__setattr__(self, "batch_timeout", float(self.batch_timeout))
             if self.max_retries is not None:
                 object.__setattr__(self, "max_retries", int(self.max_retries))
+            if self.auth_token is not None:
+                object.__setattr__(self, "auth_token", str(self.auth_token))
             if self.checkpoint_every is not None:
                 object.__setattr__(self, "checkpoint_every", int(self.checkpoint_every))
             if self.checkpoint_path is not None:
@@ -346,6 +377,11 @@ class SimulationConfig:
             raise ValueError(
                 "batch_timeout/max_retries tune the remote fleet's failure "
                 "handling and are only meaningful with backend='remote'"
+            )
+        if self.backend != "remote" and self.auth_token is not None:
+            raise ValueError(
+                "auth_token arms the remote handshake and is only "
+                "meaningful with backend='remote'"
             )
         if self.checkpoint_every is not None and self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
@@ -446,6 +482,223 @@ class SimulationConfig:
         return spawn_seeds(self.root_seed(), count)
 
 
+class _SerialEvaluator:
+    """The ladder's last rung: in-process serial scoring, nothing to fail.
+
+    Scores each ``(agent, d_rest, strategy)`` task with the same pure
+    :func:`~repro.core.best_response.score_response` call the pool and
+    socket workers make, so results are bit-identical to every other
+    backend.  It holds no processes and no sockets — the rung of last
+    resort can always finish the batch.
+    """
+
+    __slots__ = ("_weights", "_alpha", "pools_started", "_batches", "_tasks")
+
+    def __init__(self, weights: np.ndarray, alpha: float) -> None:
+        self._weights = np.asarray(weights, dtype=np.float64)
+        self._alpha = float(alpha)
+        self.pools_started = 0
+        self._batches = 0
+        self._tasks = 0
+
+    @classmethod
+    def for_game(cls, game: NetworkCreationGame) -> "_SerialEvaluator":
+        return cls(game.host.weights, game.alpha)
+
+    @property
+    def workers(self) -> int:
+        return 1
+
+    @property
+    def is_running(self) -> bool:
+        return False
+
+    @property
+    def stats(self) -> EvaluatorStats:
+        return EvaluatorStats(
+            backend="serial",
+            batches=self._batches,
+            tasks=self._tasks,
+            pools_started=self.pools_started,
+        )
+
+    def evaluate(self, tasks, response: str = "best", *, max_candidates: int = 22):
+        from .best_response import score_response
+
+        results = [
+            score_response(
+                d_rest,
+                int(agent),
+                self._weights[int(agent)],
+                self._alpha,
+                tuple(int(v) for v in strategy),
+                response,
+                max_candidates=max_candidates,
+            )
+            for agent, d_rest, strategy in tasks
+        ]
+        self._batches += 1
+        self._tasks += len(results)
+        return results
+
+    def close(self) -> None:
+        return None
+
+
+class _FailoverLadder:
+    """Supervised evaluator stack: remote → local pool → in-process serial.
+
+    The ladder wraps the configured backend (the *primary* rung) and owns
+    its fallbacks, built lazily and only on first descent.  A batch that
+    fails terminally on the current rung — every endpoint dead and retries
+    exhausted (:class:`~repro.core.remote.RemoteEvaluatorError` /
+    ``OSError``), or the local pool broken beyond its one rebuild
+    (:class:`~repro.core.parallel.PoolBrokenError`) — is re-run whole on
+    the next rung down; scoring tasks are pure and results gather in
+    submission order, so the re-run is bit-identical and the trajectory
+    never notices the swap.  While degraded below a remote primary, every
+    batch boundary polls :meth:`~repro.core.remote.RemoteEvaluator.revive`
+    (which honors the circuit breaker's backoff, so the poll is free until
+    a probe is due) and promotes back to the primary as soon as a probe
+    succeeds.
+
+    Stats keep the primary rung's ``backend`` label and sum the volume
+    counters (``batches``/``tasks``/``pools_started``/``failures``/
+    ``retries``) across rungs; ``fallbacks``/``promotions`` count the
+    ladder's own moves.  Unknown attributes (``add_endpoint``,
+    ``check_endpoints`` and the rest of the fleet-management surface)
+    pass through to the primary rung, so ``GameSession.evaluator`` keeps
+    its documented API under the ladder.
+    """
+
+    def __init__(self, game: NetworkCreationGame, cfg: "SimulationConfig") -> None:
+        builders: list[Any] = []
+        if cfg.backend == "remote":
+            from .remote import BreakerPolicy, RemoteEvaluator
+
+            # None means "the backend's default": only pin what the
+            # config actually set, so backend defaults stay in one place.
+            fleet_kwargs: dict[str, Any] = {}
+            if cfg.batch_timeout is not None:
+                fleet_kwargs["batch_timeout"] = cfg.batch_timeout
+            if cfg.max_retries is not None:
+                fleet_kwargs["max_retries"] = cfg.max_retries
+            if cfg.auth_token is not None:
+                fleet_kwargs["auth_token"] = cfg.auth_token
+            builders.append(
+                lambda: RemoteEvaluator.for_game(
+                    game,
+                    endpoints=cfg.endpoints,
+                    breaker=BreakerPolicy(seed=cfg.root_seed()),
+                    **fleet_kwargs,
+                )
+            )
+            builders.append(
+                lambda: ParallelEvaluator.for_game(
+                    game, workers=default_workers(), buffering=cfg.buffering
+                )
+            )
+        else:
+            builders.append(
+                lambda: ParallelEvaluator.for_game(
+                    game, workers=cfg.workers, buffering=cfg.buffering
+                )
+            )
+        builders.append(lambda: _SerialEvaluator.for_game(game))
+        self._builders = builders
+        self._rungs: list[Any] = [None] * len(builders)
+        self._level = 0
+        self.fallbacks = 0
+        self.promotions = 0
+        self._fault_hook = None
+        self._rung(0)  # the primary is the configured backend: built eagerly
+
+    def _rung(self, level: int):
+        if self._rungs[level] is None:
+            rung = self._builders[level]()
+            if self._fault_hook is not None and isinstance(rung, ParallelEvaluator):
+                rung.fault_hook = self._fault_hook
+            self._rungs[level] = rung
+        return self._rungs[level]
+
+    @property
+    def level(self) -> int:
+        """Current rung index: 0 = primary backend, higher = degraded."""
+        return self._level
+
+    @property
+    def fault_hook(self):
+        """Test-only injection seam, propagated to every pool rung."""
+        return self._fault_hook
+
+    @fault_hook.setter
+    def fault_hook(self, hook) -> None:
+        self._fault_hook = hook
+        for rung in self._rungs:
+            if isinstance(rung, ParallelEvaluator):
+                rung.fault_hook = hook
+
+    @property
+    def workers(self) -> int:
+        return self._rungs[self._level].workers
+
+    @property
+    def is_running(self) -> bool:
+        return any(r.is_running for r in self._rungs if r is not None)
+
+    @property
+    def pools_started(self) -> int:
+        return sum(r.pools_started for r in self._rungs if r is not None)
+
+    @property
+    def stats(self) -> EvaluatorStats:
+        built = [r for r in self._rungs if r is not None]
+        return dataclasses.replace(
+            built[0].stats,
+            batches=sum(r.stats.batches for r in built),
+            tasks=sum(r.stats.tasks for r in built),
+            pools_started=self.pools_started,
+            failures=sum(r.stats.failures for r in built),
+            retries=sum(r.stats.retries for r in built),
+            fallbacks=self.fallbacks,
+            promotions=self.promotions,
+        )
+
+    def evaluate(self, tasks, response: str = "best", *, max_candidates: int = 22):
+        # Materialize first: a rung may die mid-iteration, and the next
+        # rung must re-run the *whole* batch.
+        task_list = list(tasks)
+        if self._level > 0:
+            primary = self._rungs[0]
+            if hasattr(primary, "revive") and primary.revive():
+                self._level = 0
+                self.promotions += 1
+        while True:
+            rung = self._rung(self._level)
+            try:
+                return rung.evaluate(
+                    task_list, response, max_candidates=max_candidates
+                )
+            except (EvaluatorError, OSError):
+                if self._level + 1 >= len(self._builders):
+                    raise
+                self._level += 1
+                self.fallbacks += 1
+
+    def close(self) -> None:
+        for rung in self._rungs:
+            if rung is not None:
+                rung.close()
+
+    def __getattr__(self, name: str):
+        # Fleet management (add_endpoint/remove_endpoint/check_endpoints)
+        # passes through to the primary rung.  Private names never forward
+        # (they would recurse through a half-built instance).
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return getattr(self._rungs[0], name)
+
+
 @dataclass(frozen=True)
 class SessionStats:
     """What a :class:`GameSession` built and did over its lifetime.
@@ -494,11 +747,18 @@ class GameSession:
     evaluator they did not create, so nothing a session owns is destroyed
     by the runs inside it.
 
+    Under ``config.failover="ladder"`` (the default) the shared evaluator
+    is wrapped in the degradation ladder (:class:`_FailoverLadder`):
+    terminal backend failures descend remote → local pool → serial with
+    bit-identical results, and a recovered fleet promotes back at a batch
+    boundary.  ``failover="strict"`` injects the bare backend — today's
+    fail-fast semantics.
+
     Per-run keyword overrides may change ``response``, ``order``,
     ``schedule``, ``max_rounds``, ``max_candidates`` and ``seed``;
     ``engine``, ``workers``, ``repair_threshold``, ``backend``,
-    ``endpoints``, ``buffering``, ``batch_timeout`` and ``max_retries``
-    are fixed for the session's lifetime
+    ``endpoints``, ``buffering``, ``batch_timeout``, ``max_retries``,
+    ``failover`` and ``auth_token`` are fixed for the session's lifetime
     because the owned engine and evaluator are shaped by them (open a new
     session — or :meth:`SimulationConfig.replace` the config — to change
     those).
@@ -599,7 +859,9 @@ class GameSession:
         if cfg.backend != "remote" and cfg.workers <= 1:
             return None
         if self._evaluator is None:
-            if cfg.backend == "remote":
+            if cfg.failover == "ladder":
+                self._evaluator = _FailoverLadder(self._game, cfg)
+            elif cfg.backend == "remote":
                 from .remote import RemoteEvaluator
 
                 # None means "the backend's default": only pin what the
@@ -609,6 +871,8 @@ class GameSession:
                     fleet_kwargs["batch_timeout"] = cfg.batch_timeout
                 if cfg.max_retries is not None:
                     fleet_kwargs["max_retries"] = cfg.max_retries
+                if cfg.auth_token is not None:
+                    fleet_kwargs["auth_token"] = cfg.auth_token
                 self._evaluator = RemoteEvaluator.for_game(
                     self._game, endpoints=cfg.endpoints, **fleet_kwargs
                 )
@@ -618,6 +882,21 @@ class GameSession:
                 )
             self._evaluators_created += 1
         return self._evaluator
+
+    def arm_faults(self, plan) -> None:
+        """Arm a :class:`~repro.core.faults.FaultPlan`'s pool faults (test seam).
+
+        Builds the shared evaluator if needed and installs the plan's
+        ``kill_pool_worker`` hook on it (the ladder propagates the hook to
+        every pool rung).  Worker-side faults are armed on the *servers*
+        (``repro worker serve --fault-plan``), not here.  No-op when the
+        config runs serial in-process (there is no pool to kill).
+        """
+        from .faults import pool_fault_hook
+
+        evaluator = self._shared_evaluator()
+        if evaluator is not None and hasattr(evaluator, "fault_hook"):
+            evaluator.fault_hook = pool_fault_hook(plan)
 
     def _engine_for(self, initial: StrategyProfile) -> IncrementalEngine | None:
         """The owned incremental engine, pointed at ``initial``.

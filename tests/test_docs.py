@@ -69,6 +69,45 @@ def test_architecture_doc_names_the_evaluation_stack():
         assert term in doc, f"docs/architecture.md does not mention {term}"
 
 
+def test_architecture_doc_specifies_the_degradation_ladder():
+    doc = (DOCS / "architecture.md").read_text()
+    for term in (
+        "Degradation ladder",
+        "BreakerPolicy",
+        "tripped",
+        "probing",
+        "recovered",
+        "revive()",
+        "failover",
+        "fallbacks",
+        "promotions",
+        "breaker_trips",
+        "FaultPlan",
+        "emergency checkpoint",
+        "auth_nonce",
+    ):
+        assert term in doc, f"docs/architecture.md does not mention {term}"
+
+
+def test_api_doc_documents_the_degradation_surface():
+    api = (DOCS / "api.md").read_text()
+    for term in (
+        "BreakerPolicy",
+        "PoolBrokenError",
+        "EvaluatorError",
+        "fallbacks",
+        "promotions",
+        "breaker_trips",
+        "endpoint_backoff",
+        "FaultPlan",
+        "arm_faults",
+        "repro chaos",
+        "--auth-token",
+        "--fault-plan",
+    ):
+        assert term in api, f"docs/api.md does not mention {term}"
+
+
 def test_readme_documents_config_workflow_and_backends():
     readme = (REPO / "README.md").read_text()
     for term in ("config dump", "--config", "Scaling out", "worker serve"):

@@ -1,0 +1,438 @@
+"""Chaos certification: the degradation ladder under seeded, declarative faults.
+
+:mod:`repro.core.faults` turns failure into a reproducible input — a
+JSON-round-trippable :class:`~repro.core.faults.FaultPlan` injected into
+worker servers and the local pool.  This suite certifies the graceful-
+degradation acceptance properties against those plans:
+
+* **declarative layer** — plans and faults validate their fields, reject
+  unknown keys, and round-trip through dicts and JSON exactly; the
+  ``repro chaos --preset`` catalog is well-formed;
+
+* **injector** — batch counting is exact and endpoint-restricted faults
+  fire only on their worker index;
+
+* **ladder invariance** — under total remote-fleet loss (``fleet-kill``),
+  protocol-level chaos (``flaky-worker``), a hung worker, and a SIGKILLed
+  local pool worker, sweeps complete *bit-identically* to serial runs
+  across the model variants, with the degradation counters
+  (``fallbacks``/``promotions``/``breaker_trips``) telling the story;
+
+* **recovery** — a fleet restarted after a total kill is promoted back to
+  the remote rung within one breaker backoff cycle, without perturbing a
+  single trajectory bit;
+
+* **last-resort durability** — with ``failover="strict"`` a terminal
+  fleet loss still flushes an emergency checkpoint at the last completed
+  round boundary, and resuming it matches the straight-through run;
+
+* **strict mode** — ``failover="strict"`` preserves the fail-fast
+  contract exactly: the error propagates, no rung descent happens.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GameSession,
+    SimulationConfig,
+    resume_dynamics,
+    run_dynamics,
+)
+from repro.core.faults import (
+    FAULT_KINDS,
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    preset,
+    preset_names,
+)
+from repro.core.parallel import EvaluatorError
+from repro.core.remote import (
+    _reap_processes,
+    parse_endpoint,
+    spawn_local_worker,
+)
+from test_parallel_evaluator import (
+    _assert_identical_runs,
+    _random_game,
+    _random_profile,
+)
+
+LADDER_VARIANTS = ("euclidean", "metric", "tree", "one_two", "general")
+
+
+def _spawn_fleet(plan: FaultPlan | None, count: int = 2):
+    """``count`` local worker processes, each armed with the plan (if any)."""
+    processes, endpoints = [], []
+    for index in range(count):
+        process, endpoint = spawn_local_worker(
+            fault_plan=plan, worker_index=index
+        )
+        processes.append(process)
+        endpoints.append(endpoint)
+    return processes, endpoints
+
+
+# ----------------------------------------------------------------------
+# Declarative layer: Fault / FaultPlan / presets
+# ----------------------------------------------------------------------
+def test_fault_validates_fields():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        Fault(kind="segfault", at_batch=0)
+    with pytest.raises(ValueError, match="at_batch"):
+        Fault(kind="kill", at_batch=-1)
+    with pytest.raises(ValueError, match="endpoint index"):
+        Fault(kind="kill", at_batch=0, endpoint=-2)
+    with pytest.raises(ValueError, match="duration"):
+        Fault(kind="hang", at_batch=0, duration=-0.5)
+    assert "kill" in FAULT_KINDS and "kill_pool_worker" in FAULT_KINDS
+
+
+def test_fault_dict_round_trip_is_exact_and_strict():
+    faults = [
+        Fault(kind="kill", at_batch=1),
+        Fault(kind="hang", at_batch=2, endpoint=1, duration=0.75),
+        Fault(kind="garbage", at_batch=0, endpoint=0),
+    ]
+    for fault in faults:
+        assert Fault.from_dict(fault.to_dict()) == fault
+    with pytest.raises(ValueError, match="unknown Fault key"):
+        Fault.from_dict({"kind": "kill", "at_batch": 0, "sigkill": True})
+    with pytest.raises(ValueError, match="at least"):
+        Fault.from_dict({"kind": "kill"})
+
+
+def test_plan_json_round_trip_and_dict_coercion():
+    plan = FaultPlan(
+        seed=7,
+        faults=(
+            Fault(kind="error", at_batch=1, endpoint=0),
+            Fault(kind="kill_pool_worker", at_batch=3),
+        ),
+    )
+    assert FaultPlan.from_json(plan.to_json()) == plan
+    assert FaultPlan.from_json(plan.to_json(indent=2)) == plan
+    # Dicts coerce to Fault instances at construction.
+    coerced = FaultPlan(seed=7, faults=({"kind": "error", "at_batch": 1, "endpoint": 0},))
+    assert coerced.faults[0] == plan.faults[0]
+    with pytest.raises(ValueError, match="object"):
+        FaultPlan.from_json("[1, 2, 3]")
+    with pytest.raises(ValueError, match="unknown FaultPlan key"):
+        FaultPlan.from_dict({"seed": 0, "chaos": True})
+
+
+def test_plan_splits_worker_and_pool_faults():
+    plan = FaultPlan(
+        faults=(
+            Fault(kind="kill", at_batch=1, endpoint=0),
+            Fault(kind="hang", at_batch=2),
+            Fault(kind="kill_pool_worker", at_batch=3),
+        )
+    )
+    assert [f.kind for f in plan.pool_faults()] == ["kill_pool_worker"]
+    assert [f.kind for f in plan.worker_faults()] == ["kill", "hang"]
+    # worker_index filters endpoint-restricted faults; None hits everyone.
+    assert [f.kind for f in plan.worker_faults(0)] == ["kill", "hang"]
+    assert [f.kind for f in plan.worker_faults(1)] == ["hang"]
+
+
+def test_preset_catalog_is_well_formed():
+    names = preset_names()
+    assert set(names) >= {"fleet-kill", "worker-kill", "flaky-worker", "pool-kill"}
+    for name in names:
+        plan = preset(name)
+        assert FaultPlan.from_json(plan.to_json()) == plan
+    with pytest.raises(ValueError, match="unknown fault preset"):
+        preset("meteor-strike")
+
+
+# ----------------------------------------------------------------------
+# Injector
+# ----------------------------------------------------------------------
+def test_injector_counts_batches_and_fires_in_order():
+    plan = FaultPlan(
+        faults=(
+            Fault(kind="error", at_batch=1),
+            Fault(kind="garbage", at_batch=3),
+        )
+    )
+    injector = FaultInjector(plan)
+    fired = [injector.next_fault() for _ in range(5)]
+    assert [f.kind if f else None for f in fired] == [
+        None, "error", None, "garbage", None,
+    ]
+    assert injector.batches == 5
+    assert [f.kind for f in injector.triggered] == ["error", "garbage"]
+
+
+def test_injector_respects_worker_index():
+    plan = FaultPlan(faults=(Fault(kind="kill", at_batch=0, endpoint=1),))
+    bystander = FaultInjector(plan, worker_index=0)
+    victim = FaultInjector(plan, worker_index=1)
+    assert bystander.next_fault() is None
+    assert victim.next_fault().kind == "kill"
+
+
+# ----------------------------------------------------------------------
+# Ladder invariance: chaos property sweeps
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("variant", LADDER_VARIANTS)
+def test_fleet_kill_ladder_completes_bit_identically(variant, property_budget):
+    """Total remote-fleet loss mid-run: the ladder finishes on a local rung.
+
+    Every worker of the fleet dies at its second batch.  Under the default
+    ``failover="ladder"`` the session must notice the terminal remote
+    failure, descend to a local rung, finish the very batch that failed
+    there, and complete the sweep bit-identically to a serial run — the
+    acceptance centerpiece of the graceful-degradation PR.
+    """
+    rng = np.random.default_rng(zlib.crc32(f"faults-{variant}".encode()) % 2**32)
+    trials = max(1, property_budget // 8)
+    plan = preset("fleet-kill")
+    for trial in range(trials):
+        n = int(rng.integers(5, 8))
+        game = _random_game(variant, n, rng)
+        start = _random_profile(n, rng, density=0.35)
+        schedule = ("batched", "sequential")[trial % 2]
+        serial = run_dynamics(
+            game, start, max_rounds=8, rng=7, schedule=schedule, workers=1
+        )
+        processes, endpoints = _spawn_fleet(plan)
+        try:
+            config = SimulationConfig(
+                backend="remote",
+                endpoints=tuple(endpoints),
+                batch_timeout=10.0,
+                max_rounds=8,
+                schedule=schedule,
+            )
+            with GameSession(game, config) as session:
+                chaotic = session.run(start, rng=7)
+                stats = session.stats()
+        finally:
+            _reap_processes(processes, timeout=5.0)
+        _assert_identical_runs([serial, chaotic])
+        fleet = stats.evaluator_stats
+        assert fleet is not None and fleet.backend == "remote"
+        if schedule == "batched" and fleet.batches >= 2:
+            # The batched schedule drives the evaluator, so once the run
+            # reached the kill batch the ladder must have descended
+            # (sequential scores in-process; a run that converged after a
+            # single batch never armed the fault).
+            assert fleet.fallbacks >= 1
+            assert fleet.breaker_trips >= 1
+
+
+def test_flaky_worker_is_absorbed_by_shard_retry():
+    """Protocol-level chaos (error replies, garbage frames) costs retries only."""
+    rng = np.random.default_rng(131)
+    game = _random_game("euclidean", 7, rng)
+    start = _random_profile(7, rng)
+    serial = run_dynamics(game, start, schedule="batched", max_rounds=8, rng=7)
+    processes, endpoints = _spawn_fleet(preset("flaky-worker"))
+    try:
+        config = SimulationConfig(
+            backend="remote",
+            endpoints=tuple(endpoints),
+            batch_timeout=10.0,
+            max_rounds=8,
+            schedule="batched",
+        )
+        with GameSession(game, config) as session:
+            chaotic = session.run(start, rng=7)
+            stats = session.stats()
+    finally:
+        _reap_processes(processes, timeout=5.0)
+    _assert_identical_runs([serial, chaotic])
+    fleet = stats.evaluator_stats
+    assert fleet.retries >= 1  # the healthy peer picked up the shards
+    assert fleet.fallbacks == 0  # no rung descent was needed
+
+
+def test_hung_worker_shard_times_out_and_sweep_completes():
+    """An injected hang trips the batch deadline, not the trajectory."""
+    rng = np.random.default_rng(137)
+    game = _random_game("metric", 6, rng)
+    start = _random_profile(6, rng)
+    serial = run_dynamics(game, start, schedule="batched", max_rounds=6, rng=7)
+    plan = FaultPlan(faults=(Fault(kind="hang", at_batch=1, endpoint=0, duration=5.0),))
+    processes, endpoints = _spawn_fleet(plan)
+    try:
+        config = SimulationConfig(
+            backend="remote",
+            endpoints=tuple(endpoints),
+            batch_timeout=1.0,
+            max_rounds=6,
+            schedule="batched",
+        )
+        with GameSession(game, config) as session:
+            chaotic = session.run(start, rng=7)
+            stats = session.stats()
+    finally:
+        _reap_processes(processes, timeout=5.0)
+    _assert_identical_runs([serial, chaotic])
+    assert stats.evaluator_stats.failures >= 1  # the deadline fired
+
+
+@pytest.mark.parametrize("variant", LADDER_VARIANTS)
+def test_pool_kill_sweep_is_bit_identical(variant, property_budget):
+    """A SIGKILLed pool worker mid-sweep never perturbs the trajectory."""
+    rng = np.random.default_rng(zlib.crc32(f"poolkill-{variant}".encode()) % 2**32)
+    trials = max(1, property_budget // 8)
+    for trial in range(trials):
+        n = int(rng.integers(5, 9))
+        game = _random_game(variant, n, rng)
+        start = _random_profile(n, rng, density=0.35)
+        serial = run_dynamics(
+            game, start, schedule="batched", max_rounds=8, rng=7, workers=1
+        )
+        config = SimulationConfig(schedule="batched", workers=2, max_rounds=8)
+        with GameSession(game, config) as session:
+            session.arm_faults(preset("pool-kill"))
+            chaotic = session.run(start, rng=7)
+        _assert_identical_runs([serial, chaotic])
+
+
+def test_ladder_survives_a_fleet_that_never_existed():
+    """Unconnectable endpoints from batch zero: the ladder still delivers."""
+    rng = np.random.default_rng(139)
+    game = _random_game("euclidean", 6, rng)
+    start = _random_profile(6, rng)
+    serial = run_dynamics(game, start, schedule="batched", max_rounds=6, rng=7)
+    config = SimulationConfig(
+        backend="remote",
+        endpoints=("127.0.0.1:1", "127.0.0.1:2"),
+        max_rounds=6,
+        schedule="batched",
+    )
+    with GameSession(game, config) as session:
+        chaotic = session.run(start, rng=7)
+        stats = session.stats()
+    _assert_identical_runs([serial, chaotic])
+    assert stats.evaluator_stats.fallbacks >= 1
+
+
+# ----------------------------------------------------------------------
+# Recovery: fleet restart promotes back to the remote rung
+# ----------------------------------------------------------------------
+def test_fleet_restart_promotes_back_within_one_backoff_cycle():
+    """Kill the whole fleet, restart it: the session climbs back to remote.
+
+    After the ``fleet-kill`` run degrades to a local rung, workers are
+    restarted on the same ports (without fault plans).  The ladder's
+    ``revive()`` poll — gated by the circuit breaker's backoff — must
+    promote the session back to the remote rung, and every run before,
+    during and after the outage must stay bit-identical to serial.
+    """
+    rng = np.random.default_rng(151)
+    game = _random_game("euclidean", 8, rng)
+    start = _random_profile(8, rng)
+    serial = run_dynamics(game, start, schedule="batched", max_rounds=12, rng=7)
+    processes, endpoints = _spawn_fleet(preset("fleet-kill"))
+    restarted: list = []
+    try:
+        config = SimulationConfig(
+            backend="remote",
+            endpoints=tuple(endpoints),
+            batch_timeout=10.0,
+            max_rounds=12,
+            schedule="batched",
+        )
+        with GameSession(game, config) as session:
+            runs = [session.run(start, rng=7)]  # the fleet dies under this one
+            assert session.stats().evaluator_stats.fallbacks >= 1
+            for endpoint in endpoints:
+                process, _ep = spawn_local_worker(
+                    port=parse_endpoint(endpoint)[1]
+                )
+                restarted.append(process)
+            deadline = time.monotonic() + 30.0
+            while session.stats().evaluator_stats.promotions < 1:
+                assert time.monotonic() < deadline, "never promoted back"
+                time.sleep(0.05)
+                runs.append(session.run(start, rng=7))
+            stats = session.stats()
+        _assert_identical_runs([serial, *runs])
+        assert stats.evaluator_stats.promotions >= 1
+        assert stats.evaluator_stats.fallbacks >= 1
+    finally:
+        _reap_processes(processes + restarted, timeout=5.0)
+
+
+# ----------------------------------------------------------------------
+# Last-resort durability: the emergency checkpoint
+# ----------------------------------------------------------------------
+def test_terminal_failure_flushes_emergency_checkpoint(tmp_path):
+    """A strict-mode abort leaves a resumable boundary checkpoint behind.
+
+    ``failover="strict"`` with a mid-run total fleet loss re-raises the
+    evaluator error — but first flushes the last completed round boundary
+    to ``checkpoint_path`` (the cadence here is too sparse to have written
+    anything).  Resuming that emergency file must match the
+    straight-through serial run bit-identically.
+    """
+    rng = np.random.default_rng(157)
+    game = _random_game("euclidean", 8, rng)
+    start = _random_profile(8, rng)
+    serial = run_dynamics(game, start, schedule="batched", max_rounds=12, rng=7)
+    assert serial.steps > 2  # the instance survives past the first boundary
+    plan = FaultPlan(faults=(Fault(kind="kill", at_batch=2),))
+    processes, endpoints = _spawn_fleet(plan)
+    directory = tmp_path / "emergency"
+    directory.mkdir()
+    try:
+        config = SimulationConfig(
+            backend="remote",
+            endpoints=tuple(endpoints),
+            failover="strict",
+            batch_timeout=10.0,
+            max_rounds=12,
+            schedule="batched",
+            checkpoint_path=str(directory / "ckpt-{round}.bin"),
+            checkpoint_every=1000,  # the cadence never fires on its own
+        )
+        with GameSession(game, config) as session:
+            with pytest.raises((EvaluatorError, OSError)):
+                session.run(start, rng=7)
+    finally:
+        _reap_processes(processes, timeout=5.0)
+    written = sorted(directory.glob("ckpt-*.bin"))
+    assert len(written) == 1, "expected exactly the emergency flush"
+    # The checkpointed config still points at the dead fleet: resume on
+    # the serial backend (placement fields may change freely on resume).
+    resumed = resume_dynamics(
+        str(written[0]),
+        backend="local",
+        endpoints=(),
+        workers=1,
+        batch_timeout=None,
+        max_retries=None,
+        checkpoint_every=None,
+        checkpoint_path=None,
+    )
+    _assert_identical_runs([serial, resumed])
+
+
+# ----------------------------------------------------------------------
+# Strict mode: fail-fast preserved exactly
+# ----------------------------------------------------------------------
+def test_strict_failover_preserves_fail_fast():
+    """``failover="strict"`` + a dead fleet raises — no rungs, no rescue."""
+    game = _random_game("euclidean", 5, np.random.default_rng(163))
+    start = _random_profile(5, np.random.default_rng(163))
+    config = SimulationConfig(
+        backend="remote",
+        endpoints=("127.0.0.1:1",),
+        failover="strict",
+        max_rounds=4,
+        schedule="batched",
+    )
+    with GameSession(game, config) as session:
+        with pytest.raises(OSError):
+            session.run(start, rng=7)

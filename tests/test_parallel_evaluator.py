@@ -364,3 +364,117 @@ def test_double_owned_edge_drop_invalidates_co_owner():
     assert seq.final_profile == bat.final_profile
     assert seq.moves == bat.moves
     assert seq.social_costs == bat.social_costs
+
+
+# ----------------------------------------------------------------------
+# Pool-worker failure recovery (the SIGKILL regression)
+# ----------------------------------------------------------------------
+def test_pool_worker_sigkill_mid_batch_recovers_bit_identically():
+    """SIGKILL a pool worker between batches: rebuild once, results unchanged.
+
+    The regression this pins: a dead pool worker used to surface as an
+    unrecoverable ``BrokenProcessPool`` that killed the whole sweep.  The
+    evaluator must now detect the break, rebuild the pool exactly once,
+    resubmit the in-flight chunks in order, and return results that are
+    bit-identical to the serial engine.
+    """
+    import os
+    import signal
+
+    from repro.core.faults import Fault, FaultPlan, pool_fault_hook
+
+    rng = np.random.default_rng(29)
+    game = _random_game("euclidean", 7, rng)
+    profile = _random_profile(7, rng)
+    engine = IncrementalEngine(game, profile)
+    tasks = [(u, engine.residual(u), profile.strategy(u)) for u in range(7)]
+    serial = [engine.respond(u, "best") for u in range(7)]
+    plan = FaultPlan(seed=3, faults=(Fault(kind="kill_pool_worker", at_batch=1),))
+    with ParallelEvaluator.for_game(game, workers=2) as evaluator:
+        evaluator.fault_hook = pool_fault_hook(plan)
+        batches = [evaluator.evaluate(tasks, "best") for _ in range(5)]
+        for batch in batches:
+            assert batch == serial
+        stats = evaluator.stats
+        assert stats.backend == "local"
+        assert stats.retries >= 1  # the rebuild-and-resubmit path ran
+        assert evaluator.pools_started >= 2  # original pool + one rebuild
+        assert evaluator.is_running
+    assert _no_pool_children()
+
+
+def test_pool_kill_during_dynamics_is_bit_identical():
+    """An armed pool-kill plan does not perturb a dynamics trajectory."""
+    from repro.core.faults import preset
+    from repro.core.session import GameSession, SimulationConfig
+
+    rng = np.random.default_rng(37)
+    game = _random_game("euclidean", 8, rng)
+    start = _random_profile(8, rng)
+    serial = run_dynamics(game, start, schedule="batched", max_rounds=10, rng=7)
+    cfg = SimulationConfig(schedule="batched", workers=2, max_rounds=10)
+    with GameSession(game, cfg) as session:
+        session.arm_faults(preset("pool-kill"))
+        chaotic = session.run(start, rng=7)
+        stats = session.stats()
+    _assert_identical_runs([serial, chaotic])
+    fleet = stats.evaluator_stats
+    assert fleet is not None and fleet.retries >= 1
+    assert fleet.fallbacks == 0  # the pool healed in place: no rung descent
+    assert _no_pool_children()
+
+
+def test_pool_broken_twice_raises_clean_error(monkeypatch):
+    """A pool that breaks again right after its one rebuild fails loudly.
+
+    The rebuild-and-resubmit path retries exactly once per batch; if the
+    rebuilt pool is broken too, the evaluator must surface a
+    :class:`~repro.core.parallel.PoolBrokenError` (an
+    :class:`~repro.core.parallel.EvaluatorError`, so the failover ladder
+    can catch it) instead of looping or hanging.
+    """
+    import os
+    import signal
+    import time
+    from concurrent.futures.process import BrokenProcessPool
+
+    from repro.core.parallel import EvaluatorError, PoolBrokenError
+
+    rng = np.random.default_rng(43)
+    game = _random_game("metric", 6, rng)
+    profile = _random_profile(6, rng)
+    engine = IncrementalEngine(game, profile)
+    tasks = [(u, engine.residual(u), profile.strategy(u)) for u in range(6)]
+
+    class _BrokenPool:
+        def submit(self, *args, **kwargs):
+            raise BrokenProcessPool("pool is broken")
+
+        def shutdown(self, *args, **kwargs):
+            pass
+
+    def sabotage(self):
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+        self._pool = _BrokenPool()
+        self.pools_started += 1
+
+    evaluator = ParallelEvaluator.for_game(game, workers=2)
+    try:
+        assert evaluator.evaluate(tasks, "single") == [
+            engine.respond(u, "single") for u in range(6)
+        ]
+        monkeypatch.setattr(ParallelEvaluator, "_rebuild_pool", sabotage)
+        os.kill(evaluator.worker_pids()[0], signal.SIGKILL)
+        with pytest.raises(PoolBrokenError):
+            evaluator.evaluate(tasks, "single")
+        assert issubclass(PoolBrokenError, EvaluatorError)
+    finally:
+        evaluator.close()
+    # The sabotaged shutdown joined the survivors of the SIGKILLed pool,
+    # but a freshly reaped child can linger in active_children() briefly.
+    deadline = time.monotonic() + 5.0
+    while mp.active_children() and time.monotonic() < deadline:
+        time.sleep(0.05)
+    assert _no_pool_children()

@@ -55,6 +55,7 @@ from repro.core import (
 )
 from repro.core.remote import (
     PROTOCOL_VERSION,
+    BreakerPolicy,
     EndpointSet,
     RemoteEvaluator,
     RemoteEvaluatorError,
@@ -671,3 +672,199 @@ def test_local_workers_reaps_stubborn_worker(monkeypatch):
     with local_workers(1, reap_timeout=1.0):
         assert process.is_alive()
     assert not process.is_alive()
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker (fake clock — no real sleeping)
+# ----------------------------------------------------------------------
+class _FakeClock:
+    """A manually-advanced monotonic clock for breaker-schedule tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def test_breaker_policy_validates():
+    with pytest.raises(ValueError, match="trip_after"):
+        BreakerPolicy(trip_after=0)
+    with pytest.raises(ValueError, match="base_delay"):
+        BreakerPolicy(base_delay=0.0)
+    with pytest.raises(ValueError, match="max_delay"):
+        BreakerPolicy(base_delay=2.0, max_delay=1.0)
+    with pytest.raises(ValueError, match="jitter"):
+        BreakerPolicy(jitter=-0.1)
+
+
+def test_breaker_delay_schedule_is_capped_and_deterministic():
+    """Delays double from base to the cap; jitter is seed-deterministic."""
+    plain = BreakerPolicy(base_delay=0.25, max_delay=4.0, jitter=0.0)
+    rng = np.random.default_rng(0)
+    assert [plain.delay(k, rng) for k in range(7)] == [
+        0.25, 0.5, 1.0, 2.0, 4.0, 4.0, 4.0,
+    ]
+    jittered = BreakerPolicy(base_delay=0.25, max_delay=4.0, jitter=0.1, seed=3)
+    rng_a, rng_b = np.random.default_rng(3), np.random.default_rng(3)
+    schedule_a = [jittered.delay(k, rng_a) for k in range(10)]
+    schedule_b = [jittered.delay(k, rng_b) for k in range(10)]
+    assert schedule_a == schedule_b  # same seed, same probe schedule
+    for k, delay in enumerate(schedule_a):
+        assert delay <= 4.0 * 1.1 + 1e-12  # never beyond cap * (1 + jitter)
+        assert delay >= min(4.0, 0.25 * 2.0**k)  # jitter only lengthens
+
+
+def test_breaker_trips_dead_endpoint_and_skips_until_backoff_expires():
+    """Trip on failure, skip probes while backed off, double on failed probe."""
+    game = _random_game("euclidean", 5, np.random.default_rng(101))
+    profile = _random_profile(5, np.random.default_rng(101))
+    _engine, tasks = _engine_tasks(game, profile)
+    clock = _FakeClock()
+    evaluator = RemoteEvaluator.for_game(
+        game,
+        endpoints=["127.0.0.1:1"],
+        connect_timeout=1.0,
+        breaker=BreakerPolicy(trip_after=1, base_delay=0.25, jitter=0.0),
+        clock=clock,
+    )
+    with pytest.raises(OSError):  # a real connect attempt, a real refusal
+        evaluator.evaluate(tasks, "single")
+    stats = evaluator.stats
+    assert stats.breaker_trips == 1
+    assert dict(stats.endpoint_backoff)["127.0.0.1:1"] == pytest.approx(0.25)
+    # Backoff unexpired: no connect attempt at all, a clean breaker error.
+    with pytest.raises(RemoteEvaluatorError, match="tripped"):
+        evaluator.evaluate(tasks, "single")
+    assert evaluator.stats.breaker_trips == 1  # skipped, not re-tripped
+    assert evaluator.revive() is False  # revive honors the schedule too
+    # Probe due: attempted, fails again, backoff doubles.
+    clock.advance(0.25)
+    with pytest.raises(OSError):
+        evaluator.evaluate(tasks, "single")
+    assert dict(evaluator.stats.endpoint_backoff)["127.0.0.1:1"] == pytest.approx(0.5)
+    evaluator.close()
+
+
+def test_breaker_probe_success_recovers_endpoint():
+    """healthy -> tripped -> probing -> recovered, with a worker restart."""
+    rng = np.random.default_rng(103)
+    game = _random_game("euclidean", 6, rng)
+    profile = _random_profile(6, rng)
+    engine, tasks = _engine_tasks(game, profile)
+    serial = [engine.respond(u, "single") for u in range(6)]
+    victim, victim_ep = spawn_local_worker()
+    restarted = None
+    clock = _FakeClock()
+    try:
+        evaluator = RemoteEvaluator.for_game(
+            game,
+            endpoints=[victim_ep],
+            batch_timeout=10.0,
+            max_retries=2,
+            breaker=BreakerPolicy(base_delay=0.25, jitter=0.0),
+            clock=clock,
+        )
+        assert evaluator.evaluate(tasks, "single") == serial
+        victim.kill()
+        victim.join()
+        with pytest.raises(RemoteEvaluatorError):
+            evaluator.evaluate(tasks, "single")
+        assert evaluator.stats.breaker_trips >= 1
+        assert evaluator.revive() is False  # still backed off
+        restarted, _ep = spawn_local_worker(port=parse_endpoint(victim_ep)[1])
+        clock.advance(60.0)  # well past any backoff in the schedule
+        deadline = time.monotonic() + 10.0
+        while not evaluator.revive():  # the restarted server may still be binding
+            assert time.monotonic() < deadline, "worker never came back"
+            time.sleep(0.05)
+        # A successful handshake resets the breaker state entirely.
+        stats = evaluator.stats
+        assert stats.endpoints_alive == 1
+        assert all(b == 0.0 for _ep, b in stats.endpoint_backoff)
+        assert evaluator.evaluate(tasks, "single") == serial
+        evaluator.close()
+    finally:
+        _reap_processes(
+            [p for p in (victim, restarted) if p is not None], timeout=5.0
+        )
+
+
+# ----------------------------------------------------------------------
+# Shared-secret authentication (protocol 3)
+# ----------------------------------------------------------------------
+def test_auth_matched_tokens_are_invisible():
+    """With the same secret on both sides, results match serial bit-exactly."""
+    rng = np.random.default_rng(107)
+    game = _random_game("metric", 6, rng)
+    profile = _random_profile(6, rng)
+    engine, tasks = _engine_tasks(game, profile)
+    serial = [engine.respond(u, "single") for u in range(6)]
+    worker, ep = spawn_local_worker(auth_token="sesame")
+    try:
+        with RemoteEvaluator.for_game(
+            game, endpoints=[ep], auth_token="sesame"
+        ) as evaluator:
+            assert evaluator.evaluate(tasks, "single") == serial
+            assert evaluator.evaluate(tasks, "single") == serial
+            assert evaluator.stats.endpoints_alive == 1
+    finally:
+        _reap_processes([worker], timeout=5.0)
+
+
+def test_auth_missing_client_token_is_rejected_cleanly():
+    """An authenticated worker refuses a secretless client — error, not hang."""
+    rng = np.random.default_rng(109)
+    game = _random_game("euclidean", 5, rng)
+    profile = _random_profile(5, rng)
+    _engine, tasks = _engine_tasks(game, profile)
+    worker, ep = spawn_local_worker(auth_token="sesame")
+    try:
+        evaluator = RemoteEvaluator.for_game(game, endpoints=[ep], batch_timeout=10.0)
+        # Pings are pre-hello probes and carry no secret, by design.
+        assert evaluator.check_endpoints() == {ep: True}
+        started = time.monotonic()
+        with pytest.raises(RemoteEvaluatorError, match="no credentials"):
+            evaluator.evaluate(tasks, "single")
+        assert time.monotonic() - started < 10.0  # rejected, not hung
+        evaluator.close()
+    finally:
+        _reap_processes([worker], timeout=5.0)
+
+
+def test_auth_unexpected_client_token_is_rejected_cleanly():
+    """A secretless worker refuses an authenticating client (mutual auth)."""
+    rng = np.random.default_rng(113)
+    game = _random_game("euclidean", 5, rng)
+    profile = _random_profile(5, rng)
+    _engine, tasks = _engine_tasks(game, profile)
+    worker, ep = spawn_local_worker()
+    try:
+        evaluator = RemoteEvaluator.for_game(
+            game, endpoints=[ep], auth_token="sesame", batch_timeout=10.0
+        )
+        with pytest.raises(RemoteEvaluatorError, match="no --auth-token"):
+            evaluator.evaluate(tasks, "single")
+        evaluator.close()
+    finally:
+        _reap_processes([worker], timeout=5.0)
+
+
+def test_auth_wrong_token_is_rejected_cleanly():
+    rng = np.random.default_rng(127)
+    game = _random_game("euclidean", 5, rng)
+    profile = _random_profile(5, rng)
+    _engine, tasks = _engine_tasks(game, profile)
+    worker, ep = spawn_local_worker(auth_token="sesame")
+    try:
+        evaluator = RemoteEvaluator.for_game(
+            game, endpoints=[ep], auth_token="open says me", batch_timeout=10.0
+        )
+        with pytest.raises(RemoteEvaluatorError, match="shared-secret mismatch"):
+            evaluator.evaluate(tasks, "single")
+        evaluator.close()
+    finally:
+        _reap_processes([worker], timeout=5.0)

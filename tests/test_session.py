@@ -206,11 +206,25 @@ class TestSimulationConfig:
                 {"backend": "remote", "endpoints": ("h:1",), "max_retries": -1},
                 "max_retries must be non-negative",
             ),
+            ({"failover": "yolo"}, "unknown failover policy"),
+            ({"auth_token": "sesame"}, "backend='remote'"),
         ],
     )
     def test_validation(self, kwargs, match):
         with pytest.raises(ValueError, match=match):
             SimulationConfig(**kwargs)
+
+    def test_failover_and_auth_token_fields(self):
+        assert SimulationConfig().failover == "ladder"  # graceful by default
+        assert SimulationConfig().auth_token is None
+        strict = SimulationConfig(failover="strict")
+        assert strict.failover == "strict"
+        remote = SimulationConfig(
+            backend="remote", endpoints=("h:1",), auth_token=1234
+        )
+        assert remote.auth_token == "1234"  # coerced to str
+        # Round-trips through the dict form like every other field.
+        assert SimulationConfig.from_dict(remote.to_dict()) == remote
 
     def test_fleet_fields_are_coerced_and_default_to_backend_defaults(self):
         cfg = SimulationConfig(
@@ -494,6 +508,7 @@ def test_session_scoped_fields_cannot_change_per_run():
             ("engine", "exact"),
             ("workers", 2),
             ("repair_threshold", 0.1),
+            ("failover", "strict"),
         ):
             with pytest.raises(ValueError, match=field):
                 session.run(start, **{field: value})

@@ -44,7 +44,7 @@ nothing but time and placement; see :mod:`repro.core.session`,
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 import numpy as np

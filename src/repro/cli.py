@@ -198,6 +198,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="FaultPlan JSON file to replay",
     )
 
+    p_lint = sub.add_parser(
+        "lint",
+        help="check the tree against the determinism & lifecycle invariant "
+        "rules (DET*/NET*/RES*/PROTO*; exit 1 on findings)",
+    )
+    p_lint.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint (default: the installed repro "
+        "package tree); pass changed files for pre-commit use",
+    )
+    p_lint.add_argument(
+        "--json",
+        dest="as_json",
+        action="store_true",
+        help="emit findings as a sorted JSON array (stable across runs, "
+        "so CI diffs are deterministic)",
+    )
+    p_lint.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="directory finding paths are reported relative to (default: "
+        "the current directory)",
+    )
+
     return parser
 
 
@@ -352,6 +379,7 @@ def _add_config_flags(parser: argparse.ArgumentParser, *, full: bool = False) ->
             "--backend remote)"
         ),
     )
+    _add_breaker_flags(parser)
     parser.add_argument(
         "--seed",
         type=int,
@@ -387,6 +415,60 @@ def _add_config_flags(parser: argparse.ArgumentParser, *, full: bool = False) ->
         )
 
 
+def _add_breaker_flags(parser: argparse.ArgumentParser) -> None:
+    """The degradation ladder's circuit-breaker knobs (remote + ladder only).
+
+    Backoff timing schedules re-probes of dead endpoints; it can never
+    change a trajectory, so these are placement flags like ``--workers``.
+    """
+    parser.add_argument(
+        "--breaker-trip-after",
+        dest="breaker_trip_after",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "consecutive failures that trip an endpoint's circuit breaker "
+            "(default 1; requires --backend remote and --failover ladder)"
+        ),
+    )
+    parser.add_argument(
+        "--breaker-base-delay",
+        dest="breaker_base_delay",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "starting backoff before a tripped endpoint is re-probed; "
+            "doubles per failed probe (default 0.25; requires --backend "
+            "remote and --failover ladder)"
+        ),
+    )
+    parser.add_argument(
+        "--breaker-max-delay",
+        dest="breaker_max_delay",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "cap on the re-probe backoff (default 30; requires --backend "
+            "remote and --failover ladder)"
+        ),
+    )
+    parser.add_argument(
+        "--breaker-jitter",
+        dest="breaker_jitter",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help=(
+            "deterministic jitter factor applied to each backoff, drawn "
+            "from a config-seeded stream (default 0.1; requires --backend "
+            "remote and --failover ladder)"
+        ),
+    )
+
+
 _CONFIG_FIELDS = (
     "engine",
     "schedule",
@@ -401,6 +483,10 @@ _CONFIG_FIELDS = (
     "checkpoint_path",
     "failover",
     "auth_token",
+    "breaker_trip_after",
+    "breaker_base_delay",
+    "breaker_max_delay",
+    "breaker_jitter",
     "response",
     "order",
     "max_rounds",
@@ -462,6 +548,7 @@ def _add_resume_flags(parser: argparse.ArgumentParser) -> None:
         metavar="SECRET",
         help="shared secret of the worker handshake (requires --backend remote)",
     )
+    _add_breaker_flags(parser)
     parser.add_argument(
         "--checkpoint",
         dest="checkpoint_path",
@@ -650,6 +737,10 @@ def _cmd_resume(args) -> int:
             "max_retries": args.max_retries,
             "failover": args.failover,
             "auth_token": args.auth_token,
+            "breaker_trip_after": args.breaker_trip_after,
+            "breaker_base_delay": args.breaker_base_delay,
+            "breaker_max_delay": args.breaker_max_delay,
+            "breaker_jitter": args.breaker_jitter,
             "checkpoint_path": args.checkpoint_path,
             "checkpoint_every": args.checkpoint_every,
         }.items()
@@ -795,6 +886,17 @@ def _cmd_chaos(args) -> int:
     return 0 if identical else 1
 
 
+def _cmd_lint(args) -> int:
+    from .tools.lint import run
+
+    forwarded = list(args.paths)
+    if args.as_json:
+        forwarded.append("--json")
+    if args.root is not None:
+        forwarded.extend(["--root", args.root])
+    return run(forwarded)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -813,6 +915,7 @@ def main(argv: list[str] | None = None) -> int:
         "config": _cmd_config,
         "worker": _cmd_worker,
         "chaos": _cmd_chaos,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

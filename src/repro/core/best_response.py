@@ -52,7 +52,7 @@ amortizes across rounds by caching and re-validating the scored proposals.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Literal, Sequence
 
 import numpy as np
@@ -408,7 +408,7 @@ def score_response(
     u: int,
     edge_weights: np.ndarray,
     alpha: float,
-    current,
+    current: Sequence[int],
     response: str,
     *,
     max_candidates: int = _MAX_EXACT_CANDIDATES,

@@ -76,7 +76,7 @@ import tempfile
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import IO, TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -84,6 +84,9 @@ from .best_response import BestResponseResult
 from .game import NetworkCreationGame
 from .host_graph import HostGraph
 from .strategy import StrategyProfile
+
+if TYPE_CHECKING:  # import cycle: session serializes through this module
+    from .session import SimulationConfig
 
 __all__ = [
     "CHECKPOINT_MAGIC",
@@ -216,7 +219,7 @@ class Checkpoint:
         """The strategy profile at the checkpointed round boundary."""
         return StrategyProfile(self.ownership, copy=True, validate=False)
 
-    def simulation_config(self):
+    def simulation_config(self) -> "SimulationConfig":
         """The (resolved) :class:`~repro.core.session.SimulationConfig` of the run."""
         from .session import SimulationConfig
 
@@ -398,7 +401,7 @@ def save_checkpoint(ckpt: Checkpoint, path: str | os.PathLike[str]) -> None:
             os.unlink(tmp_name)
 
 
-def _read_exact(handle, count: int, what: str) -> bytes:
+def _read_exact(handle: IO[bytes], count: int, what: str) -> bytes:
     data = handle.read(count)
     _require(
         len(data) == count,

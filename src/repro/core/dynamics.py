@@ -70,7 +70,7 @@ from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass, field
-from typing import Callable, Literal, Sequence
+from typing import TYPE_CHECKING, Literal, Sequence
 
 import numpy as np
 
@@ -85,6 +85,9 @@ from .best_response import (
 from .game import NetworkCreationGame
 from .incremental import EngineStats, IncrementalEngine
 from .strategy import StrategyProfile
+
+if TYPE_CHECKING:  # import cycle: session orchestrates this module's loop
+    from .session import SimulationConfig
 
 __all__ = [
     "DynamicsResult",
@@ -542,7 +545,7 @@ def _run_session_loop(
     game: NetworkCreationGame,
     initial: StrategyProfile,
     *,
-    cfg,
+    cfg: SimulationConfig,
     inc: IncrementalEngine | None,
     cache: _ProposalCache | None,
     rng: np.random.Generator,

@@ -40,6 +40,10 @@ import os
 import signal
 import threading
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # import cycle: parallel's pools are this module's targets
+    from .parallel import ParallelEvaluator
 
 __all__ = [
     "FAULT_KINDS",
@@ -101,7 +105,7 @@ class Fault:
         if self.duration < 0:
             raise ValueError("duration must be >= 0")
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         out = {"kind": self.kind, "at_batch": self.at_batch}
         if self.endpoint is not None:
             out["endpoint"] = self.endpoint
@@ -110,7 +114,7 @@ class Fault:
         return out
 
     @classmethod
-    def from_dict(cls, data: dict) -> "Fault":
+    def from_dict(cls, data: dict[str, Any]) -> "Fault":
         unknown = set(data) - {"kind", "at_batch", "endpoint", "duration"}
         if unknown:
             raise ValueError(f"unknown Fault key(s): {sorted(unknown)}")
@@ -166,11 +170,11 @@ class FaultPlan:
         """The ``kill_pool_worker`` faults."""
         return tuple(f for f in self.faults if f.kind == "kill_pool_worker")
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {"seed": self.seed, "faults": [f.to_dict() for f in self.faults]}
 
     @classmethod
-    def from_dict(cls, data: dict) -> "FaultPlan":
+    def from_dict(cls, data: dict[str, Any]) -> "FaultPlan":
         unknown = set(data) - {"seed", "faults"}
         if unknown:
             raise ValueError(f"unknown FaultPlan key(s): {sorted(unknown)}")
@@ -270,7 +274,7 @@ class FaultInjector:
         return None
 
 
-def pool_fault_hook(plan: FaultPlan):
+def pool_fault_hook(plan: FaultPlan) -> "Callable[[ParallelEvaluator, int], None]":
     """Build a ``ParallelEvaluator.fault_hook`` driving the plan's pool faults.
 
     The evaluator invokes the hook with ``(evaluator, batch_index)`` at
@@ -281,7 +285,7 @@ def pool_fault_hook(plan: FaultPlan):
     """
     kill_batches = {f.at_batch for f in plan.pool_faults()}
 
-    def hook(evaluator, batch_index: int) -> None:
+    def hook(evaluator: "ParallelEvaluator", batch_index: int) -> None:
         if batch_index not in kill_batches:
             return
         pids = evaluator.worker_pids()

@@ -89,11 +89,22 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Iterable, Protocol, Sequence, runtime_checkable
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterable,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
 import numpy as np
 
 from .best_response import BestResponseResult, score_response
+
+if TYPE_CHECKING:  # import cycle: game sits above the evaluator layer
+    from .game import NetworkCreationGame
 
 __all__ = [
     "EvaluatorBackend",
@@ -281,12 +292,21 @@ class SharedSnapshot:
             raise ValueError("need at least one residual slot")
         n = w.shape[0]
         shm_w = shared_memory.SharedMemory(create=True, size=max(1, w.nbytes))
-        shm_s = shared_memory.SharedMemory(create=True, size=max(1, slots * n * n * 8))
+        try:
+            shm_s = shared_memory.SharedMemory(
+                create=True, size=max(1, slots * n * n * 8)
+            )
+        except BaseException:
+            # The slots allocation failed (e.g. /dev/shm exhaustion): the
+            # weights segment has no owner yet and must not outlive us.
+            shm_w.close()
+            shm_w.unlink()
+            raise
         snapshot = cls(shm_w, shm_s, n, slots, owner=True)
         snapshot.weights[:] = w
         return snapshot
 
-    def meta(self) -> dict:
+    def meta(self) -> dict[str, Any]:
         """Picklable handle from which a worker re-attaches the snapshot."""
         return {
             "weights_name": self._segments[0].name,
@@ -296,7 +316,7 @@ class SharedSnapshot:
         }
 
     @classmethod
-    def attach(cls, meta: dict) -> "SharedSnapshot":
+    def attach(cls, meta: dict[str, Any]) -> "SharedSnapshot":
         """Attach to an existing snapshot from its :meth:`meta` handle.
 
         Attaching re-registers the segment names with the POSIX resource
@@ -308,7 +328,13 @@ class SharedSnapshot:
         shared memory is reference-counted and untracked.
         """
         shm_w = shared_memory.SharedMemory(name=meta["weights_name"])
-        shm_s = shared_memory.SharedMemory(name=meta["slots_name"])
+        try:
+            shm_s = shared_memory.SharedMemory(name=meta["slots_name"])
+        except BaseException:
+            # A half-attached snapshot pins the weights segment in this
+            # worker; release it before surfacing the failure.
+            shm_w.close()
+            raise
         return cls(shm_w, shm_s, meta["n"], meta["slots"], owner=False)
 
     def write_slot(self, slot: int, matrix: np.ndarray) -> None:
@@ -337,16 +363,16 @@ class SharedSnapshot:
 # ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
-_WORKER_STATE: dict = {}
+_WORKER_STATE: dict[str, Any] = {}
 
 
-def _init_worker(meta: dict, alpha: float) -> None:
+def _init_worker(meta: dict[str, Any], alpha: float) -> None:
     """Pool initializer: attach the snapshot once per worker process."""
     _WORKER_STATE["snapshot"] = SharedSnapshot.attach(meta)
     _WORKER_STATE["alpha"] = float(alpha)
 
 
-def _score_task(task: tuple) -> BestResponseResult:
+def _score_task(task: tuple[int, int, Sequence[int], str, int]) -> BestResponseResult:
     """Score one agent against a slot of the shared snapshot."""
     u, slot, strategy, response, max_candidates = task
     snapshot: SharedSnapshot = _WORKER_STATE["snapshot"]
@@ -447,10 +473,10 @@ class ParallelEvaluator:
         # (repro.core.faults): when set, called as
         # ``fault_hook(evaluator, batch_index)`` at the top of every
         # evaluate() call, before any task is dispatched.
-        self.fault_hook = None
+        self.fault_hook: Callable[[ParallelEvaluator, int], None] | None = None
 
     @classmethod
-    def for_game(cls, game, **kwargs) -> "ParallelEvaluator":
+    def for_game(cls, game: "NetworkCreationGame", **kwargs: Any) -> "ParallelEvaluator":
         """Evaluator for a :class:`~repro.core.game.NetworkCreationGame`."""
         return cls(game.host.weights, game.alpha, **kwargs)
 
@@ -540,7 +566,7 @@ class ParallelEvaluator:
     def __enter__(self) -> "ParallelEvaluator":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------

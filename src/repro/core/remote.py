@@ -122,13 +122,18 @@ import struct
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Sequence
 
 import numpy as np
 
 from .best_response import BestResponseResult, score_response
 from .faults import FaultInjector, FaultPlan
 from .parallel import EvaluatorError, EvaluatorStats
+
+if TYPE_CHECKING:  # import cycle: game sits above the evaluator layer
+    from multiprocessing.connection import Connection
+
+    from .game import NetworkCreationGame
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -181,7 +186,7 @@ def _auth_mac(token: str, *parts: str) -> str:
     return hmac.new(token.encode(), message, hashlib.sha256).hexdigest()
 
 
-def _send_frame(sock: socket.socket, payload) -> int:
+def _send_frame(sock: socket.socket, payload: bytes | bytearray | memoryview) -> int:
     """Send one length-prefixed frame; returns the bytes put on the wire."""
     view = memoryview(payload)
     sock.sendall(_LEN.pack(view.nbytes))
@@ -222,7 +227,7 @@ def _recv_frame(sock: socket.socket) -> bytes | None:
     return payload
 
 
-def _send_json(sock: socket.socket, obj: dict) -> int:
+def _send_json(sock: socket.socket, obj: dict[str, Any]) -> int:
     return _send_frame(sock, json.dumps(obj, separators=(",", ":")).encode())
 
 
@@ -242,7 +247,7 @@ def _recv_json(sock: socket.socket) -> dict | None:
 # ----------------------------------------------------------------------
 # Result serialization (bit-exact)
 # ----------------------------------------------------------------------
-def _pack_result(result: BestResponseResult) -> list:
+def _pack_result(result: BestResponseResult) -> list[Any]:
     return [
         int(result.agent),
         sorted(int(v) for v in result.strategy),
@@ -252,7 +257,7 @@ def _pack_result(result: BestResponseResult) -> list:
     ]
 
 
-def _unpack_result(data: Sequence) -> BestResponseResult:
+def _unpack_result(data: Sequence[Any]) -> BestResponseResult:
     agent, strategy, cost_hex, current_hex, method = data
     return BestResponseResult(
         agent=int(agent),
@@ -280,7 +285,9 @@ class _InjectedKill(BaseException):
     """
 
 
-def _verify_hello_auth(token: str | None, hello: dict, n: int, alpha: float) -> None:
+def _verify_hello_auth(
+    token: str | None, hello: dict[str, Any], n: int, alpha: float
+) -> None:
     """Enforce the protocol-3 shared-secret challenge (both directions).
 
     Called only after the weights frame has been consumed, so the error
@@ -451,7 +458,9 @@ class WorkerServer:
             raise ValueError(
                 f"unknown kill_mode {kill_mode!r} (expected 'shutdown' or 'exit')"
             )
-        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        # Deadline-free by design: the listening socket only ever blocks in
+        # accept(), and shutdown() unblocks it by closing the fd.
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)  # repro-lint: disable=NET001
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((host, port))
         self._sock.listen(backlog)
@@ -477,7 +486,10 @@ class WorkerServer:
     def serve_forever(self) -> None:
         while True:
             try:
-                conn, _addr = self._sock.accept()
+                # Deadline-free by design: all client sockets carry the
+                # deadlines (connect_timeout/batch_timeout); a server thread
+                # parked in recv() is a daemon and dies with the process.
+                conn, _addr = self._sock.accept()  # repro-lint: disable=NET001
             except OSError:
                 return  # listening socket closed by shutdown()
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -526,7 +538,7 @@ def serve(
 def _worker_process_main(
     host: str,
     port: int,
-    pipe,
+    pipe: "Connection",
     auth_token: str | None = None,
     fault_plan: FaultPlan | None = None,
     worker_index: int = 0,
@@ -857,7 +869,7 @@ class RemoteEvaluator:
         self._atexit_registered = False
 
     @classmethod
-    def for_game(cls, game, **kwargs) -> "RemoteEvaluator":
+    def for_game(cls, game: "NetworkCreationGame", **kwargs: Any) -> "RemoteEvaluator":
         """Evaluator for a :class:`~repro.core.game.NetworkCreationGame`."""
         return cls(game.host.weights, game.alpha, **kwargs)
 
@@ -1080,9 +1092,12 @@ class RemoteEvaluator:
                 wait = min(
                     entry.next_probe_at for entry in self._endpoints
                 ) - now
+                # Rounded for the human-facing error only; this string
+                # never crosses the wire or a checkpoint header.
+                eta = f"{max(0.0, wait):.2f}"  # repro-lint: disable=DET004
                 raise RemoteEvaluatorError(
                     f"all {len(self._endpoints)} endpoint(s) are tripped by "
-                    f"the circuit breaker; next probe due in {max(0.0, wait):.2f}s"
+                    f"the circuit breaker; next probe due in {eta}s"
                 )
             raise last_error
         if not had_live:
@@ -1136,7 +1151,7 @@ class RemoteEvaluator:
     def __enter__(self) -> "RemoteEvaluator":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
@@ -1189,7 +1204,7 @@ class RemoteEvaluator:
     def _evaluate_with_retry(
         self,
         live: list[_Endpoint],
-        task_list: list,
+        task_list: list[tuple[int, np.ndarray, Sequence[int]]],
         response: str,
         max_candidates: int,
     ) -> list[BestResponseResult]:
@@ -1249,13 +1264,13 @@ class RemoteEvaluator:
     def _send_shard(
         self,
         entry: _Endpoint,
-        shard_tasks: list,
+        shard_tasks: list[tuple[int, np.ndarray, Sequence[int]]],
         response: str,
         max_candidates: int,
     ) -> None:
         matrices: list[np.ndarray] = []
         index_of: dict[int, int] = {}
-        wire_tasks: list[list] = []
+        wire_tasks: list[list[Any]] = []
         for agent, d_rest, strategy in shard_tasks:
             key = id(d_rest)
             matrix_index = index_of.get(key)

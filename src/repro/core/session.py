@@ -68,7 +68,7 @@ from __future__ import annotations
 import dataclasses
 import os
 from dataclasses import dataclass
-from typing import Any, Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -99,6 +99,11 @@ from .poa import PoAEstimate, _initial_profiles
 from .social_optimum import social_optimum
 from .strategy import StrategyProfile
 
+if TYPE_CHECKING:  # import cycle: remote imports parallel which peers here
+    from .best_response import BestResponseResult
+    from .faults import FaultPlan
+    from .remote import BreakerPolicy
+
 __all__ = [
     "SimulationConfig",
     "GameSession",
@@ -108,7 +113,11 @@ __all__ = [
 ]
 
 
-def check_session_call(session: "GameSession", game, config) -> None:
+def check_session_call(
+    session: "GameSession",
+    game: NetworkCreationGame,
+    config: "SimulationConfig | None",
+) -> None:
     """Validate a legacy entry point's ``(game, config, session)`` combination.
 
     The one guard shared by every ``session=``-accepting shim
@@ -146,6 +155,10 @@ _SESSION_SCOPED = (
     "max_retries",
     "failover",
     "auth_token",
+    "breaker_trip_after",
+    "breaker_base_delay",
+    "breaker_max_delay",
+    "breaker_jitter",
 )
 
 # Entry-point round budgets applied when ``max_rounds`` is None ("not
@@ -248,6 +261,18 @@ class SimulationConfig:
     shared-secret handshake against the worker fleet (each worker must run
     with the same ``--auth-token``); it is remote-only and, note, stored
     in plaintext by ``to_dict`` — i.e. in config files and checkpoints.
+
+    ``breaker_trip_after``/``breaker_base_delay``/``breaker_max_delay``/
+    ``breaker_jitter`` pin the degradation ladder's circuit breaker (see
+    :class:`~repro.core.remote.BreakerPolicy`): how many consecutive
+    failures trip an endpoint, the starting/capped backoff delay of its
+    re-probes, and the deterministic jitter factor applied on top.  Each
+    defaults to ``None`` — "the policy's default" (1 / 0.25 s / 30 s /
+    0.1) — and they require ``backend="remote"`` with
+    ``failover="ladder"`` (``"strict"`` deliberately runs without a
+    breaker, preserving fail-fast re-attempts).  Backoff timing only
+    schedules *probes of dead endpoints*; tasks are pure and gathered in
+    submission order, so no breaker setting can change a trajectory.
     """
 
     engine: str = "incremental"
@@ -268,6 +293,10 @@ class SimulationConfig:
     checkpoint_path: str | None = None
     failover: str = "ladder"
     auth_token: str | None = None
+    breaker_trip_after: int | None = None
+    breaker_base_delay: float | None = None
+    breaker_max_delay: float | None = None
+    breaker_jitter: float | None = None
 
     def __post_init__(self) -> None:
         if self.engine not in _ENGINES:
@@ -304,6 +333,22 @@ class SimulationConfig:
                 object.__setattr__(self, "max_retries", int(self.max_retries))
             if self.auth_token is not None:
                 object.__setattr__(self, "auth_token", str(self.auth_token))
+            if self.breaker_trip_after is not None:
+                object.__setattr__(
+                    self, "breaker_trip_after", int(self.breaker_trip_after)
+                )
+            if self.breaker_base_delay is not None:
+                object.__setattr__(
+                    self, "breaker_base_delay", float(self.breaker_base_delay)
+                )
+            if self.breaker_max_delay is not None:
+                object.__setattr__(
+                    self, "breaker_max_delay", float(self.breaker_max_delay)
+                )
+            if self.breaker_jitter is not None:
+                object.__setattr__(
+                    self, "breaker_jitter", float(self.breaker_jitter)
+                )
             if self.checkpoint_every is not None:
                 object.__setattr__(self, "checkpoint_every", int(self.checkpoint_every))
             if self.checkpoint_path is not None:
@@ -383,6 +428,20 @@ class SimulationConfig:
                 "auth_token arms the remote handshake and is only "
                 "meaningful with backend='remote'"
             )
+        if self.breaker_overrides():
+            if self.backend != "remote" or self.failover != "ladder":
+                raise ValueError(
+                    "breaker_* fields tune the degradation ladder's circuit "
+                    "breaker and are only meaningful with backend='remote' "
+                    "and failover='ladder' (strict mode deliberately runs "
+                    "without a breaker)"
+                )
+            # Range and cross-field validation (trip_after >= 1,
+            # 0 < base_delay <= max_delay, jitter >= 0) lives in one
+            # place: the policy's own constructor.
+            from .remote import BreakerPolicy
+
+            BreakerPolicy(seed=0, **self.breaker_overrides())
         if self.checkpoint_every is not None and self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
         if self.checkpoint_every is not None and self.checkpoint_path is None:
@@ -477,6 +536,32 @@ class SimulationConfig:
         """The config's default per-run generator (fixed seed, never OS entropy)."""
         return np.random.default_rng(self.root_seed())
 
+    # ------------------------------------------------------------------
+    # Failover breaker policy
+    # ------------------------------------------------------------------
+    def breaker_overrides(self) -> dict[str, Any]:
+        """The breaker fields this config explicitly pins (``None`` = default)."""
+        overrides: dict[str, Any] = {}
+        if self.breaker_trip_after is not None:
+            overrides["trip_after"] = self.breaker_trip_after
+        if self.breaker_base_delay is not None:
+            overrides["base_delay"] = self.breaker_base_delay
+        if self.breaker_max_delay is not None:
+            overrides["max_delay"] = self.breaker_max_delay
+        if self.breaker_jitter is not None:
+            overrides["jitter"] = self.breaker_jitter
+        return overrides
+
+    def breaker_policy(self) -> "BreakerPolicy":
+        """The ladder's circuit-breaker policy this config resolves to.
+
+        Seeded from :meth:`root_seed`, so backoff jitter is as reproducible
+        as everything else the config derives from its seed.
+        """
+        from .remote import BreakerPolicy
+
+        return BreakerPolicy(seed=self.root_seed(), **self.breaker_overrides())
+
     def spawn_seeds(self, count: int) -> list[int]:
         """``count`` independent child seeds of the config's root seed (see :func:`spawn_seeds`)."""
         return spawn_seeds(self.root_seed(), count)
@@ -522,7 +607,13 @@ class _SerialEvaluator:
             pools_started=self.pools_started,
         )
 
-    def evaluate(self, tasks, response: str = "best", *, max_candidates: int = 22):
+    def evaluate(
+        self,
+        tasks: Iterable[tuple[int, np.ndarray, Sequence[int]]],
+        response: str = "best",
+        *,
+        max_candidates: int = 22,
+    ) -> "list[BestResponseResult]":
         from .best_response import score_response
 
         results = [
@@ -574,7 +665,7 @@ class _FailoverLadder:
     def __init__(self, game: NetworkCreationGame, cfg: "SimulationConfig") -> None:
         builders: list[Any] = []
         if cfg.backend == "remote":
-            from .remote import BreakerPolicy, RemoteEvaluator
+            from .remote import RemoteEvaluator
 
             # None means "the backend's default": only pin what the
             # config actually set, so backend defaults stay in one place.
@@ -589,7 +680,7 @@ class _FailoverLadder:
                 lambda: RemoteEvaluator.for_game(
                     game,
                     endpoints=cfg.endpoints,
-                    breaker=BreakerPolicy(seed=cfg.root_seed()),
+                    breaker=cfg.breaker_policy(),
                     **fleet_kwargs,
                 )
             )
@@ -610,10 +701,10 @@ class _FailoverLadder:
         self._level = 0
         self.fallbacks = 0
         self.promotions = 0
-        self._fault_hook = None
+        self._fault_hook: Callable[[ParallelEvaluator, int], None] | None = None
         self._rung(0)  # the primary is the configured backend: built eagerly
 
-    def _rung(self, level: int):
+    def _rung(self, level: int) -> Any:
         if self._rungs[level] is None:
             rung = self._builders[level]()
             if self._fault_hook is not None and isinstance(rung, ParallelEvaluator):
@@ -627,12 +718,14 @@ class _FailoverLadder:
         return self._level
 
     @property
-    def fault_hook(self):
+    def fault_hook(self) -> "Callable[[ParallelEvaluator, int], None] | None":
         """Test-only injection seam, propagated to every pool rung."""
         return self._fault_hook
 
     @fault_hook.setter
-    def fault_hook(self, hook) -> None:
+    def fault_hook(
+        self, hook: "Callable[[ParallelEvaluator, int], None] | None"
+    ) -> None:
         self._fault_hook = hook
         for rung in self._rungs:
             if isinstance(rung, ParallelEvaluator):
@@ -664,7 +757,13 @@ class _FailoverLadder:
             promotions=self.promotions,
         )
 
-    def evaluate(self, tasks, response: str = "best", *, max_candidates: int = 22):
+    def evaluate(
+        self,
+        tasks: Iterable[tuple[int, np.ndarray, Sequence[int]]],
+        response: str = "best",
+        *,
+        max_candidates: int = 22,
+    ) -> "list[BestResponseResult]":
         # Materialize first: a rung may die mid-iteration, and the next
         # rung must re-run the *whole* batch.
         task_list = list(tasks)
@@ -690,7 +789,7 @@ class _FailoverLadder:
             if rung is not None:
                 rung.close()
 
-    def __getattr__(self, name: str):
+    def __getattr__(self, name: str) -> Any:
         # Fleet management (add_endpoint/remove_endpoint/check_endpoints)
         # passes through to the primary rung.  Private names never forward
         # (they would recurse through a half-built instance).
@@ -829,7 +928,7 @@ class GameSession:
     def __enter__(self) -> "GameSession":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -883,7 +982,7 @@ class GameSession:
             self._evaluators_created += 1
         return self._evaluator
 
-    def arm_faults(self, plan) -> None:
+    def arm_faults(self, plan: "FaultPlan") -> None:
         """Arm a :class:`~repro.core.faults.FaultPlan`'s pool faults (test seam).
 
         Builds the shared evaluator if needed and installs the plan's

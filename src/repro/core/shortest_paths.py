@@ -82,7 +82,6 @@ from typing import Iterable, Sequence
 import numpy as np
 
 try:  # scipy is a hard dependency of the package, but keep the import local.
-    from scipy.sparse import csr_matrix
     from scipy.sparse.csgraph import shortest_path as _scipy_shortest_path
 
     _HAVE_SCIPY = True

@@ -310,7 +310,6 @@ def social_optimum(
       edges, Algorithm 1 for 1-2 hosts with α ≤ 1, the defining tree for tree
       hosts, otherwise baselines + local search.
     """
-    n = game.n
     finite_edges = int(np.count_nonzero(np.triu(np.isfinite(game.host.weights), k=1)))
     variant = game.host.classify()
 

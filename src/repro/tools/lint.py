@@ -1,0 +1,76 @@
+"""Entry point for ``repro lint`` / ``python -m repro.tools.lint``.
+
+Exit status: 0 when the linted tree is clean, 1 when there are findings,
+2 on usage errors (argparse convention).  Output is deterministic — the
+findings are sorted by ``(path, line, rule, message)`` in both the human
+and ``--json`` renderings, so CI diffs are stable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.tools.engine import format_findings, lint_paths, registered_rules
+
+
+def default_target() -> Path:
+    """The shipped package tree (``src/repro``), wherever it is installed."""
+    return Path(__file__).resolve().parents[1]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "AST-based determinism & lifecycle invariant checker "
+            "(rules: %s)" % ", ".join(sorted(registered_rules()))
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help=(
+            "files or directories to lint (default: the installed repro "
+            "package tree) — pass changed files for pre-commit use"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings as a sorted JSON array instead of text lines",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="directory findings paths are reported relative to (default: cwd)",
+    )
+    return parser
+
+
+def run(
+    argv: Sequence[str] | None = None, *, writer: Callable[[str], object] = print
+) -> int:
+    args = build_parser().parse_args(argv)
+    paths = list(args.paths) or [default_target()]
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        for path in missing:
+            writer(f"repro lint: no such path: {path}")
+        return 2
+    root = args.root if args.root is not None else Path.cwd()
+    findings = lint_paths(paths, root=root)
+    format_findings(findings, as_json=args.json, writer=writer)
+    return 1 if findings else 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    return run(argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,386 @@
+"""Determinism rules: DET001-DET004.
+
+These rules make the bit-identical-trajectory invariant machine-checked
+at its four statically recognizable failure points: entropy entering
+through an unseeded generator, wall-clock reads steering control flow,
+hash-ordered container iteration, and lossy float formatting at a
+serialization boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.tools.engine import (
+    LintRule,
+    ParsedModule,
+    attribute_chain,
+    call_name,
+    iter_scopes,
+    register,
+    walk_scope,
+)
+
+__all__ = [
+    "NoLossyFloatFormatting",
+    "NoSetOrderDependence",
+    "NoUnseededRandomness",
+    "NoWallClockReads",
+]
+
+
+def _has_seed_argument(node: ast.Call) -> bool:
+    return bool(node.args) or bool(node.keywords)
+
+
+# Legacy ``np.random`` module-level functions draw from (or mutate) the
+# hidden global RandomState — banned outright in favor of passing a
+# seeded ``Generator``.
+_NP_GLOBAL_STATE = frozenset(
+    {
+        "seed",
+        "get_state",
+        "set_state",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "rand",
+        "randn",
+        "randint",
+        "random_integers",
+        "choice",
+        "bytes",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "binomial",
+        "poisson",
+        "beta",
+        "gamma",
+        "exponential",
+        "laplace",
+        "lognormal",
+        "geometric",
+        "multinomial",
+        "multivariate_normal",
+    }
+)
+
+
+@register
+class NoUnseededRandomness(LintRule):
+    """DET001: every random draw must come from an explicitly seeded source."""
+
+    id = "DET001"
+    title = "no unseeded randomness"
+    # Path suffixes exempt from the rule (kept empty: exemptions in the
+    # shipped tree are per-line audited pragmas, not whole files).
+    allowlist: frozenset[str] = frozenset()
+
+    def applies(self, module: ParsedModule) -> bool:
+        display = module.display_path
+        return not any(display.endswith(entry) for entry in self.allowlist)
+
+    def check(self, module: ParsedModule) -> Iterator[tuple[int, str]]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = call_name(node)
+            if not chain:
+                continue
+            if chain[0] == "random" and len(chain) == 2:
+                if chain[1] == "Random" and _has_seed_argument(node):
+                    continue  # random.Random(seed) is an owned, seeded stream
+                yield (
+                    node.lineno,
+                    f"stdlib random.{chain[1]}() draws from process-global "
+                    "state; use a seeded numpy Generator",
+                )
+            elif chain[:2] in (("np", "random"), ("numpy", "random")) and len(chain) == 3:
+                fn = chain[2]
+                if fn == "default_rng" and not _has_seed_argument(node):
+                    yield (
+                        node.lineno,
+                        "default_rng() without a seed draws OS entropy; pass a "
+                        "seed or SeedSequence",
+                    )
+                elif fn == "RandomState" and not _has_seed_argument(node):
+                    yield (
+                        node.lineno,
+                        "RandomState() without a seed draws OS entropy; pass a "
+                        "seed or use default_rng(seed)",
+                    )
+                elif fn in _NP_GLOBAL_STATE:
+                    yield (
+                        node.lineno,
+                        f"np.random.{fn}() uses the legacy global RandomState; "
+                        "pass a seeded Generator instead",
+                    )
+            elif chain == ("default_rng",) and not _has_seed_argument(node):
+                yield (
+                    node.lineno,
+                    "default_rng() without a seed draws OS entropy; pass a "
+                    "seed or SeedSequence",
+                )
+
+
+# Dotted call targets that read a wall clock.  ``time.sleep`` is not a
+# read; references without a call (e.g. ``clock=time.monotonic`` as an
+# injectable default) are the sanctioned pattern and do not match.
+_CLOCK_READS = frozenset(
+    {
+        ("time", "time"),
+        ("time", "time_ns"),
+        ("time", "monotonic"),
+        ("time", "monotonic_ns"),
+        ("time", "perf_counter"),
+        ("time", "perf_counter_ns"),
+        ("time", "process_time"),
+        ("time", "process_time_ns"),
+        ("datetime", "now"),
+        ("datetime", "utcnow"),
+        ("datetime", "today"),
+        ("datetime", "datetime", "now"),
+        ("datetime", "datetime", "utcnow"),
+        ("datetime", "datetime", "today"),
+        ("datetime", "date", "today"),
+        ("date", "today"),
+    }
+)
+
+
+@register
+class NoWallClockReads(LintRule):
+    """DET002: trajectory-affecting code must take time via ``clock=``."""
+
+    id = "DET002"
+    title = "no wall-clock reads outside an injectable clock"
+
+    def applies(self, module: ParsedModule) -> bool:
+        return self.in_core(module)
+
+    def check(self, module: ParsedModule) -> Iterator[tuple[int, str]]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = call_name(node)
+            if chain in _CLOCK_READS:
+                yield (
+                    node.lineno,
+                    f"direct {'.'.join(chain)}() read; route timing through an "
+                    "injectable clock= parameter (BreakerPolicy pattern)",
+                )
+
+
+def _is_set_expression(node: ast.expr, set_names: frozenset[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+    ):
+        return _is_set_expression(node.left, set_names) or _is_set_expression(
+            node.right, set_names
+        )
+    if isinstance(node, ast.Call):
+        chain = call_name(node)
+        if chain in (("set",), ("frozenset",)):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "union",
+            "intersection",
+            "difference",
+            "symmetric_difference",
+        ):
+            return _is_set_expression(node.func.value, set_names)
+    return False
+
+
+def _set_names_in_scope(body: list[ast.stmt]) -> frozenset[str]:
+    """Local names bound to a set/frozenset expression in this scope."""
+    names: set[str] = set()
+    # Two passes so ``a = set(); b = a | other`` resolves.
+    for _ in range(2):
+        for node in walk_scope(body):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target, value = node.target, node.value
+            if (
+                isinstance(target, ast.Name)
+                and value is not None
+                and _is_set_expression(value, frozenset(names))
+            ):
+                names.add(target.id)
+    return frozenset(names)
+
+
+# Materializing one of these over a set bakes hash order into a sequence.
+_ORDER_SINKS = frozenset({"list", "tuple", "enumerate", "iter", "reversed"})
+
+
+@register
+class NoSetOrderDependence(LintRule):
+    """DET003: set iteration order is PYTHONHASHSEED-dependent; sort first."""
+
+    id = "DET003"
+    title = "no hash-ordered set iteration feeding ordering"
+
+    def applies(self, module: ParsedModule) -> bool:
+        return self.in_core(module)
+
+    def check(self, module: ParsedModule) -> Iterator[tuple[int, str]]:
+        for _scope, body in iter_scopes(module.tree):
+            set_names = _set_names_in_scope(body)
+            for node in walk_scope(body):
+                if isinstance(node, ast.For) and _is_set_expression(
+                    node.iter, set_names
+                ):
+                    yield (
+                        node.lineno,
+                        "for-loop over a set iterates in hash order; wrap the "
+                        "iterable in sorted()",
+                    )
+                elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                    for generator in node.generators:
+                        if _is_set_expression(generator.iter, set_names):
+                            yield (
+                                node.lineno,
+                                "comprehension over a set materializes hash "
+                                "order; wrap the iterable in sorted()",
+                            )
+                elif isinstance(node, ast.Call):
+                    chain = call_name(node)
+                    if (
+                        len(chain) == 1
+                        and chain[0] in _ORDER_SINKS
+                        and node.args
+                        and _is_set_expression(node.args[0], set_names)
+                    ):
+                        yield (
+                            node.lineno,
+                            f"{chain[0]}() over a set materializes hash order; "
+                            "wrap the set in sorted()",
+                        )
+                    elif (
+                        isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "join"
+                        and node.args
+                        and _is_set_expression(node.args[0], set_names)
+                    ):
+                        yield (
+                            node.lineno,
+                            "join() over a set concatenates in hash order; "
+                            "wrap the set in sorted()",
+                        )
+
+
+def _lossy_spec(spec: str) -> bool:
+    """True when a format spec rounds or rescales a float (f/e/g/%/n)."""
+    return bool(spec) and spec.rstrip()[-1:] in ("f", "e", "g", "%", "n", "E", "G", "F")
+
+
+def _format_spec_text(node: ast.FormattedValue) -> str:
+    if node.format_spec is None:
+        return ""
+    parts = []
+    for value in node.format_spec.values:
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            parts.append(value.value)
+    return "".join(parts)
+
+
+_LOSSY_TEMPLATE_RE = re.compile(r"\{[^{}]*:[^{}]*[efgEFG%n]\}")
+
+
+def _str_format_has_lossy_spec(template: str) -> bool:
+    return bool(_LOSSY_TEMPLATE_RE.search(template))
+
+
+@register
+class NoLossyFloatFormatting(LintRule):
+    """DET004: floats cross serialization boundaries via hex/repr only."""
+
+    id = "DET004"
+    title = "no lossy float formatting at serialization boundaries"
+
+    def applies(self, module: ParsedModule) -> bool:
+        return self.at_wire_boundary(module)
+
+    def check(self, module: ParsedModule) -> Iterator[tuple[int, str]]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.FormattedValue):
+                spec = _format_spec_text(node)
+                if _lossy_spec(spec):
+                    yield (
+                        node.lineno,
+                        f"f-string format spec {spec!r} rounds the value; use "
+                        "float.hex() (wire) or repr-faithful json (headers)",
+                    )
+            elif isinstance(node, ast.Call):
+                chain = call_name(node)
+                if (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "format"
+                    and isinstance(node.func.value, ast.Constant)
+                    and isinstance(node.func.value.value, str)
+                    and _str_format_has_lossy_spec(node.func.value.value)
+                ):
+                    yield (
+                        node.lineno,
+                        "str.format() with a rounding spec; use float.hex() "
+                        "or repr-faithful json",
+                    )
+                elif chain == ("round",) and len(node.args) >= 2:
+                    yield (
+                        node.lineno,
+                        "round() truncates float precision before "
+                        "serialization; ship the exact value",
+                    )
+                elif chain in (("np", "float32"), ("numpy", "float32")):
+                    yield (
+                        node.lineno,
+                        "float32 narrowing loses bits across the boundary; "
+                        "keep float64 end to end",
+                    )
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "astype"
+                    and node.args
+                    and (
+                        attribute_chain(node.args[0])
+                        in (("np", "float32"), ("numpy", "float32"))
+                        or (
+                            isinstance(node.args[0], ast.Constant)
+                            and node.args[0].value == "float32"
+                        )
+                    )
+                ):
+                    yield (
+                        node.lineno,
+                        "astype(float32) narrows floats before serialization; "
+                        "keep float64 end to end",
+                    )
+            elif (
+                isinstance(node, ast.BinOp)
+                and isinstance(node.op, ast.Mod)
+                and isinstance(node.left, ast.Constant)
+                and isinstance(node.left.value, str)
+                and any(
+                    marker in node.left.value
+                    for marker in ("%f", "%e", "%g", "%.","%E", "%G")
+                )
+            ):
+                yield (
+                    node.lineno,
+                    "printf-style float formatting rounds the value; use "
+                    "float.hex() or repr-faithful json",
+                )

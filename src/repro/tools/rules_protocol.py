@@ -1,0 +1,323 @@
+"""PROTO001: wire-protocol and checkpoint-schema drift detection.
+
+Unlike the other rules, PROTO001 is a *consistency* check between two
+halves of one module:
+
+* ``remote.py`` — the verbs the client (any ``*Evaluator`` class) sends
+  must be handled by the server half (everything else in the module),
+  and vice versa for replies; the protocol version must always travel as
+  the ``PROTOCOL_VERSION`` name, never as a re-hardcoded int literal.
+* ``checkpoint.py`` — every ``Checkpoint`` dataclass field must be
+  serialized (as a header state key, an array-manifest entry, or a known
+  derived key), and the loader's required/optional key sets must match
+  exactly what the serializer writes.
+
+The collections are purely syntactic (dict literals, ``.get("kind")``
+comparisons, ``writer.add("name", ...)`` calls, ``for required in
+(...)`` tuples), which is what lets the self-test corpus assert that a
+single mutated verb or schema field is detected.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.tools.engine import LintRule, ParsedModule, register
+
+__all__ = ["ProtocolDrift"]
+
+# Checkpoint fields serialized under a different header key.
+_DERIVED_STATE_KEYS = {"engine_residuals": "residual_keys"}
+
+
+def _dict_literal_entries(node: ast.Dict, key: str) -> list[tuple[str, int]]:
+    """``(value, lineno)`` pairs where a dict literal maps ``key`` to a str."""
+    entries: list[tuple[str, int]] = []
+    for key_node, value_node in zip(node.keys, node.values):
+        if (
+            isinstance(key_node, ast.Constant)
+            and key_node.value == key
+            and isinstance(value_node, ast.Constant)
+            and isinstance(value_node.value, str)
+        ):
+            entries.append((value_node.value, value_node.lineno))
+    return entries
+
+
+def _is_kind_access(node: ast.expr, key: str) -> bool:
+    """Matches ``x.get("kind")`` / ``x["kind"]`` style accesses."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "get"
+        and node.args
+        and isinstance(node.args[0], ast.Constant)
+        and node.args[0].value == key
+    ):
+        return True
+    return (
+        isinstance(node, ast.Subscript)
+        and isinstance(node.slice, ast.Constant)
+        and node.slice.value == key
+    )
+
+
+def _compared_values(tree: ast.AST, key: str) -> dict[str, int]:
+    """String literals compared against ``.get(key)`` accesses."""
+    checked: dict[str, int] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        sides = [node.left, *node.comparators]
+        if not any(_is_kind_access(side, key) for side in sides):
+            continue
+        for side in sides:
+            if isinstance(side, ast.Constant) and isinstance(side.value, str):
+                checked.setdefault(side.value, side.lineno)
+    return checked
+
+
+def _sent_verbs(nodes: list[ast.AST]) -> dict[str, int]:
+    sent: dict[str, int] = {}
+    for tree in nodes:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Dict):
+                for verb, lineno in _dict_literal_entries(node, "kind"):
+                    sent.setdefault(verb, lineno)
+    return sent
+
+
+def _checked_verbs(nodes: list[ast.AST]) -> dict[str, int]:
+    checked: dict[str, int] = {}
+    for tree in nodes:
+        for verb, lineno in _compared_values(tree, "kind").items():
+            checked.setdefault(verb, lineno)
+    return checked
+
+
+@register
+class ProtocolDrift(LintRule):
+    """PROTO001: the two halves of a boundary module must agree."""
+
+    id = "PROTO001"
+    title = "protocol/schema halves stay in sync"
+
+    def applies(self, module: ParsedModule) -> bool:
+        return self.at_wire_boundary(module)
+
+    def check(self, module: ParsedModule) -> Iterator[tuple[int, str]]:
+        if module.filename == "remote.py":
+            yield from self._check_remote(module)
+        else:
+            yield from self._check_checkpoint(module)
+
+    # -- remote.py ------------------------------------------------------
+    @staticmethod
+    def _check_remote(module: ParsedModule) -> Iterator[tuple[int, str]]:
+        client_nodes: list[ast.AST] = [
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, ast.ClassDef) and node.name.endswith("Evaluator")
+        ]
+        inside_client = {
+            id(sub) for cls in client_nodes for sub in ast.walk(cls)
+        }
+        server_nodes: list[ast.AST] = [
+            node
+            for node in module.tree.body
+            if id(node) not in inside_client
+        ]
+
+        client_sent = _sent_verbs(client_nodes)
+        client_checked = _checked_verbs(client_nodes)
+        server_sent = _sent_verbs(server_nodes)
+        server_checked = _checked_verbs(server_nodes)
+
+        if client_sent and server_checked:
+            for verb in sorted(set(client_sent) - set(server_checked)):
+                yield (
+                    client_sent[verb],
+                    f"client sends verb {verb!r} but the server half never "
+                    "checks for it",
+                )
+        if server_sent and client_checked:
+            for verb in sorted(set(server_sent) - set(client_checked)):
+                yield (
+                    server_sent[verb],
+                    f"server sends verb {verb!r} but the client half never "
+                    "checks for it",
+                )
+
+        # The version must travel as the PROTOCOL_VERSION name.
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Dict):
+                for key_node, value_node in zip(node.keys, node.values):
+                    if (
+                        isinstance(key_node, ast.Constant)
+                        and key_node.value == "protocol"
+                        and isinstance(value_node, ast.Constant)
+                        and isinstance(value_node.value, int)
+                    ):
+                        yield (
+                            value_node.lineno,
+                            "hardcoded protocol version literal; send the "
+                            "PROTOCOL_VERSION name",
+                        )
+            elif isinstance(node, ast.Compare):
+                sides = [node.left, *node.comparators]
+                if any(_is_kind_access(side, "protocol") for side in sides):
+                    for side in sides:
+                        if isinstance(side, ast.Constant) and isinstance(
+                            side.value, int
+                        ):
+                            yield (
+                                side.lineno,
+                                "protocol version compared against an int "
+                                "literal; compare against PROTOCOL_VERSION",
+                            )
+
+    # -- checkpoint.py --------------------------------------------------
+    @staticmethod
+    def _check_checkpoint(module: ParsedModule) -> Iterator[tuple[int, str]]:
+        checkpoint_cls = None
+        serialize_fn = None
+        load_fn = None
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef) and node.name == "Checkpoint":
+                checkpoint_cls = node
+            elif isinstance(node, ast.FunctionDef) and node.name == "_serialize":
+                serialize_fn = node
+            elif isinstance(node, ast.FunctionDef) and node.name == "load_checkpoint":
+                load_fn = node
+        if checkpoint_cls is None or serialize_fn is None:
+            return
+
+        fields: dict[str, int] = {}
+        for stmt in checkpoint_cls.body:
+            if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+                fields[stmt.target.id] = stmt.lineno
+
+        array_names: dict[str, int] = {}
+        state_keys: dict[str, int] = {}
+        header_keys: set[str] = set()
+        for node in ast.walk(serialize_fn):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                array_names.setdefault(node.args[0].value, node.lineno)
+            elif isinstance(node, ast.Dict):
+                keys = [
+                    key.value
+                    for key in node.keys
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str)
+                ]
+                if "state" in keys and "arrays" in keys:
+                    header_keys.update(keys)
+                    state_value = node.values[keys.index("state")]
+                    if isinstance(state_value, ast.Dict):
+                        for key_node in state_value.keys:
+                            if isinstance(key_node, ast.Constant) and isinstance(
+                                key_node.value, str
+                            ):
+                                state_keys.setdefault(
+                                    key_node.value, key_node.lineno
+                                )
+        if not state_keys or not array_names:
+            return
+
+        for name, lineno in sorted(fields.items()):
+            covered = (
+                name in state_keys
+                or name in array_names
+                or name in header_keys
+                or _DERIVED_STATE_KEYS.get(name) in state_keys
+            )
+            if not covered:
+                yield (
+                    lineno,
+                    f"Checkpoint field {name!r} is never written by "
+                    "_serialize (state keys, array manifest, or derived keys)",
+                )
+
+        if load_fn is None:
+            return
+        required_state: dict[str, int] = {}
+        required_arrays: dict[str, int] = {}
+        optional_state: set[str] = set()
+        optional_arrays: set[str] = set()
+        for node in ast.walk(load_fn):
+            if isinstance(node, ast.For) and isinstance(node.target, ast.Name):
+                loop_var = node.target.id
+                literals = [
+                    (elt.value, elt.lineno)
+                    for elt in getattr(node.iter, "elts", [])
+                    if isinstance(elt, ast.Constant) and isinstance(elt.value, str)
+                ]
+                if not literals:
+                    continue
+                membership = None
+                for sub in ast.walk(node):
+                    if (
+                        isinstance(sub, ast.Compare)
+                        and isinstance(sub.left, ast.Name)
+                        and sub.left.id == loop_var
+                        and len(sub.ops) == 1
+                        and isinstance(sub.ops[0], ast.In)
+                        and isinstance(sub.comparators[0], ast.Name)
+                    ):
+                        membership = sub.comparators[0].id
+                        break
+                if membership == "state":
+                    required_state.update(dict(literals))
+                elif membership == "arrays":
+                    required_arrays.update(dict(literals))
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "get"
+                and isinstance(node.func.value, ast.Name)
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                if node.func.value.id == "state":
+                    optional_state.add(node.args[0].value)
+                elif node.func.value.id == "arrays":
+                    optional_arrays.add(node.args[0].value)
+
+        for name, lineno in sorted(required_state.items()):
+            if name not in state_keys:
+                yield (
+                    lineno,
+                    f"loader requires state key {name!r} that _serialize "
+                    "never writes",
+                )
+        for name, lineno in sorted(required_arrays.items()):
+            if name not in array_names:
+                yield (
+                    lineno,
+                    f"loader requires array {name!r} that _serialize never "
+                    "writes",
+                )
+        if required_state:
+            for name, lineno in sorted(state_keys.items()):
+                if name not in required_state and name not in optional_state:
+                    yield (
+                        lineno,
+                        f"serialized state key {name!r} is neither required "
+                        "nor read via state.get() in load_checkpoint",
+                    )
+        if required_arrays:
+            for name, lineno in sorted(array_names.items()):
+                if name not in required_arrays and name not in optional_arrays:
+                    yield (
+                        lineno,
+                        f"serialized array {name!r} is neither required nor "
+                        "read via arrays.get() in load_checkpoint",
+                    )

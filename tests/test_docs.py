@@ -108,6 +108,47 @@ def test_api_doc_documents_the_degradation_surface():
         assert term in api, f"docs/api.md does not mention {term}"
 
 
+def test_development_doc_documents_every_lint_rule():
+    """Every registered lint rule id (and the engine's own ids) has a row
+    in the docs/development.md invariant-rules table."""
+    from repro.tools.engine import PRAGMA_RULE_ID, SYNTAX_RULE_ID, registered_rules
+
+    doc = (DOCS / "development.md").read_text()
+    missing = [
+        rule_id
+        for rule_id in (*registered_rules(), PRAGMA_RULE_ID, SYNTAX_RULE_ID)
+        if f"| `{rule_id}`" not in doc
+    ]
+    assert not missing, (
+        f"lint rule(s) {missing} have no row in the docs/development.md "
+        "invariant-rules table"
+    )
+
+
+def test_development_doc_specifies_the_lint_surface():
+    doc = (DOCS / "development.md").read_text()
+    for term in (
+        "repro lint",
+        "disable=",
+        "bit-identical",
+        "static-analysis",
+        "mypy",
+        "ruff",
+        "pyproject.toml",
+        "not suppressible",
+    ):
+        assert term in doc, f"docs/development.md does not mention {term!r}"
+
+
+def test_lint_checker_is_cross_referenced():
+    for path, pointer in (
+        (REPO / "README.md", "docs/development.md"),
+        (DOCS / "architecture.md", "development.md"),
+        (DOCS / "api.md", "development.md"),
+    ):
+        assert pointer in path.read_text(), f"{path.name} does not link {pointer}"
+
+
 def test_readme_documents_config_workflow_and_backends():
     readme = (REPO / "README.md").read_text()
     for term in ("config dump", "--config", "Scaling out", "worker serve"):

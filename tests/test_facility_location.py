@@ -7,7 +7,6 @@ import itertools
 import numpy as np
 import pytest
 
-from repro.core.equilibria import is_greedy_equilibrium
 from repro.core.game import NetworkCreationGame
 from repro.core.host_graph import HostGraph
 from repro.core.strategy import StrategyProfile

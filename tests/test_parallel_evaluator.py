@@ -258,6 +258,63 @@ def test_snapshot_roundtrip():
         shared_memory.SharedMemory(name=names["slots_name"])
 
 
+def test_snapshot_create_partial_failure_releases_first_segment(monkeypatch):
+    """If the slots allocation fails, the weights segment must not leak.
+
+    ``SharedSnapshot.create`` allocates two segments; the first has no
+    owner until both exist, so a failure in between (e.g. /dev/shm
+    exhaustion) must close *and unlink* it before re-raising.
+    """
+    real = shared_memory.SharedMemory
+    created: list[str] = []
+    calls = {"n": 0}
+
+    def flaky(*args, **kwargs):
+        calls["n"] += 1
+        if calls["n"] == 2:
+            raise OSError("injected: no space left on /dev/shm")
+        segment = real(*args, **kwargs)
+        created.append(segment.name)
+        return segment
+
+    monkeypatch.setattr(shared_memory, "SharedMemory", flaky)
+    with pytest.raises(OSError, match="injected"):
+        SharedSnapshot.create(np.zeros((4, 4)), slots=2)
+    assert len(created) == 1  # the weights segment was allocated...
+    with pytest.raises(FileNotFoundError):  # ...and did not outlive the failure
+        real(name=created[0])
+
+
+def test_snapshot_attach_partial_failure_closes_first_segment(monkeypatch):
+    """A half-attached snapshot must not pin the weights segment in a worker."""
+    owner = SharedSnapshot.create(np.zeros((4, 4)), slots=1)
+    names = owner.meta()
+    real = shared_memory.SharedMemory
+    closed: list[str] = []
+    calls = {"n": 0}
+
+    def flaky(*args, **kwargs):
+        calls["n"] += 1
+        if calls["n"] == 2:
+            raise FileNotFoundError("injected: slots segment vanished")
+        segment = real(*args, **kwargs)
+        original_close = segment.close
+
+        def recording_close():
+            closed.append(segment.name)
+            original_close()
+
+        segment.close = recording_close
+        return segment
+
+    monkeypatch.setattr(shared_memory, "SharedMemory", flaky)
+    with pytest.raises(FileNotFoundError, match="injected"):
+        SharedSnapshot.attach(names)
+    assert closed == [names["weights_name"]]
+    monkeypatch.undo()
+    owner.close()
+
+
 # ----------------------------------------------------------------------
 # Pool lifecycle
 # ----------------------------------------------------------------------

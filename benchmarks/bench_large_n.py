@@ -1,0 +1,346 @@
+"""Large-n localized dynamics: dense vs. delta residual transport.
+
+``residual_encoding="delta"`` (:mod:`repro.core.residual_delta`) is the
+knob that unlocks ``n >= 1000``: residual matrices are near copies of the
+round's distance snapshot, so shipping each distinct one as a dense
+``(n, n)`` float64 frame — 8 MB at ``n = 1000`` — wastes almost all of the
+wire on bytes the worker already holds.  This benchmark measures the
+effect on a *localized-dynamics* workload built to mirror the shape the
+codec targets:
+
+* the created network is a doubly-owned BFS spanning tree of a
+  degree-bounded geometric mesh — an agent owning no edge solely has a
+  residual *identical* to the snapshot, so all of them share one matrix;
+
+* a few dozen **hub** agents (tree leaves) each solely buy one shortcut
+  to a sibling leaf.  Removing that shortcut reroutes only paths *ending
+  at the two leaves* (geometric triangle inequality keeps through
+  traffic off it), so each hub's residual differs from the snapshot in
+  one or two row/column pairs — the delta packs ``O(n)`` bytes instead
+  of ``O(n^2)``.
+
+A batched prefill at ``n = 1000`` therefore ships one dense base per
+evaluator batch plus tiny per-hub deltas under ``"delta"`` where
+``"dense"`` ships every distinct residual as a full matrix per batch and
+shard: the measured wire-byte reduction
+(``EvaluatorStats.bytes_sent``, handshake included) must be **>= 5x at
+n = 1000, asserted unconditionally** — alongside bit-identical
+trajectories *and* engine stats across serial, remote/dense, remote/delta
+and the shared-memory pool (whose slot-write bytes are reported too).
+The wall-clock speedup of the delta run is asserted only on machines
+with >= 4 CPUs, like the other parallel benchmarks; the ``n = 2000``
+instance runs (and asserts its ratio) only there as well, to keep
+small-runner memory bounded.
+
+Run directly (``python benchmarks/bench_large_n.py``) for a plain-text
+report plus ``BENCH_large_n.json``, or through pytest-benchmark like the
+other benchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    GameSession,
+    NetworkCreationGame,
+    SimulationConfig,
+    StrategyProfile,
+    default_workers,
+    run_dynamics,
+)
+from repro.core.host_graph import HostGraph
+from repro.core.remote import _reap_processes, spawn_local_worker
+
+SIZES = (1000, 2000)
+HUBS = {1000: 48, 2000: 56}
+ALPHA = 0.0  # edges are free: no strictly improving move exists (see below)
+MESH_DEGREE = 9
+ROUNDS = 2
+SEED = 5
+ENDPOINT_COUNT = 2
+BYTES_TARGET = 5.0  # asserted unconditionally at n=1000
+SPEEDUP_TARGET = 1.05  # asserted only with >= 4 CPUs
+
+
+def _available_cpus() -> int:
+    return default_workers()
+
+
+def localized_instance(n: int) -> tuple[NetworkCreationGame, StrategyProfile]:
+    """A doubly-owned geometric spanning tree plus solely-owned shortcuts.
+
+    The host support *equals* the created network (tree edges plus
+    ``HUBS[n]`` shortcuts) and ``alpha = 0``: every candidate single move
+    either duplicates an existing edge (zero gain), drops a doubly-owned
+    copy (zero gain — edges are free), or drops a load-bearing edge
+    (negative gain), so the profile is single-response stable and the
+    measured traffic is exactly one clean batched prefill per run — the
+    shape the delta codec targets.
+
+    Every tree edge is bought by *both* endpoints, so a non-hub agent has
+    no solely-owned edge and its residual is the distance snapshot itself
+    (one shared matrix).  Each hub is a tree leaf buying the shortcut to a
+    *sibling* leaf: strictly shorter than the two-hop tree path through
+    the shared parent (so the residual genuinely differs) but never on a
+    through route — both endpoints are leaves and the parent edges beat
+    any detour by the triangle inequality — so the difference is confined
+    to the two leaves' row/column pairs.  Each leaf joins at most one
+    shortcut, keeping the deltas independent.
+    """
+    rng = np.random.default_rng(SEED)
+    pts = rng.random((n, 2)) * np.sqrt(n)
+    diff = pts[:, None, :] - pts[None, :, :]
+    d = np.sqrt((diff**2).sum(-1))
+    # A degree-bounded kNN scaffold, used only to pick geometrically short
+    # tree edges and sibling shortcuts; the host keeps just those edges.
+    order = np.argsort(d, axis=1)
+    allowed = np.zeros((n, n), dtype=bool)
+    for u in range(n):
+        allowed[u, order[u, 1 : MESH_DEGREE + 1]] = True
+    allowed |= allowed.T
+    owns = np.zeros((n, n), dtype=bool)
+    support = np.zeros((n, n), dtype=bool)
+    parent: dict[int, int] = {}
+    children: dict[int, list[int]] = {u: [] for u in range(n)}
+    seen = {0}
+    queue = deque([0])
+    while queue:
+        u = queue.popleft()
+        for v in np.nonzero(allowed[u])[0]:
+            v = int(v)
+            if v not in seen:
+                seen.add(v)
+                parent[v] = u
+                children[u].append(v)
+                owns[u, v] = owns[v, u] = True  # doubly owned
+                support[u, v] = support[v, u] = True
+                queue.append(v)
+    if len(seen) != n:
+        raise ValueError("kNN scaffold is disconnected; pick another seed")
+    leaves = {u for u in range(n) if u in parent and not children[u]}
+    hubs: list[int] = []
+    used: set[int] = set()
+    for u in sorted(leaves):
+        if len(hubs) >= HUBS[n]:
+            break
+        if u in used:
+            continue
+        p = parent[u]
+        for v in sorted(leaves):
+            if v == u or v in used or parent[v] != p or not allowed[u, v]:
+                continue
+            if d[u, v] >= d[u, p] + d[p, v]:
+                continue  # the shortcut must actually carry the leaves' paths
+            owns[u, v] = True  # solely owned: only this residual removes it
+            support[u, v] = support[v, u] = True
+            used.update((u, v))
+            hubs.append(u)
+            break
+    if len(hubs) < HUBS[n] // 2:
+        raise ValueError(f"only {len(hubs)} usable leaf hubs at n={n}")
+    w = np.where(support, d, np.inf)
+    np.fill_diagonal(w, 0.0)
+    return NetworkCreationGame(HostGraph(w), ALPHA), StrategyProfile(
+        owns, copy=False, validate=False
+    )
+
+
+def _base_config(**overrides) -> SimulationConfig:
+    return SimulationConfig(
+        schedule="batched",
+        response="single",
+        max_rounds=ROUNDS,
+        **overrides,
+    )
+
+
+def _timed_session(game, start, config):
+    t0 = time.perf_counter()
+    with GameSession(game, config) as session:
+        result = session.run(start, rng=0)
+        stats = session.stats().evaluator_stats
+    return time.perf_counter() - t0, result, stats
+
+
+def _remote_run(game, start, encoding: str):
+    processes, endpoints = [], []
+    try:
+        for index in range(ENDPOINT_COUNT):
+            process, endpoint = spawn_local_worker(worker_index=index)
+            processes.append(process)
+            endpoints.append(endpoint)
+        config = _base_config(
+            backend="remote",
+            endpoints=tuple(endpoints),
+            failover="strict",
+            residual_encoding=encoding,
+        )
+        return _timed_session(game, start, config)
+    finally:
+        _reap_processes(processes, timeout=5.0)
+
+
+def _pool_run(game, start, encoding: str):
+    config = _base_config(workers=2, residual_encoding=encoding)
+    return _timed_session(game, start, config)
+
+
+def _identical(runs) -> bool:
+    base = runs[0]
+    return all(
+        r.converged == base.converged
+        and r.steps == base.steps
+        and r.moves == base.moves
+        and r.final_profile == base.final_profile
+        and r.social_costs == base.social_costs  # exact float equality
+        and r.engine_stats == base.engine_stats
+        for r in runs[1:]
+    )
+
+
+def compare_encodings(n: int) -> dict:
+    """Serial oracle vs. remote/pool under both encodings; bytes and timings."""
+    game, start = localized_instance(n)
+    serial = run_dynamics(
+        game, start, response="single", schedule="batched", max_rounds=ROUNDS, rng=0
+    )
+    out: dict = {"runs": [serial], "n": n}
+    for encoding in ("dense", "delta"):
+        elapsed, result, stats = _remote_run(game, start, encoding)
+        out["runs"].append(result)
+        out[f"remote_{encoding}_s"] = elapsed
+        out[f"remote_{encoding}_bytes"] = stats.bytes_sent
+        elapsed, result, stats = _pool_run(game, start, encoding)
+        out["runs"].append(result)
+        out[f"pool_{encoding}_bytes"] = stats.bytes_sent
+    out["identical"] = _identical(out["runs"])
+    out["wire_reduction"] = out["remote_dense_bytes"] / out["remote_delta_bytes"]
+    out["pool_reduction"] = out["pool_dense_bytes"] / out["pool_delta_bytes"]
+    out["speedup"] = out["remote_dense_s"] / out["remote_delta_s"]
+    out["moves"] = serial.moves
+    return out
+
+
+def _report_rows(stats, cpus):
+    return [
+        ("remote dense [bytes]", "-", stats["remote_dense_bytes"]),
+        ("remote delta [bytes]", "-", stats["remote_delta_bytes"]),
+        (
+            "wire-byte reduction",
+            f">= {BYTES_TARGET} at n=1000 (always)",
+            stats["wire_reduction"],
+        ),
+        ("pool slot-write reduction", "-", stats["pool_reduction"]),
+        ("remote dense [s]", "-", stats["remote_dense_s"]),
+        ("remote delta [s]", "-", stats["remote_delta_s"]),
+        (
+            "speedup (delta over dense)",
+            f">= {SPEEDUP_TARGET} with >= 4 CPUs",
+            stats["speedup"],
+        ),
+        ("byte-identical runs", "always", stats["identical"]),
+        ("available CPUs", "-", cpus),
+    ]
+
+
+@pytest.mark.benchmark(group="large-n")
+@pytest.mark.parametrize("n", SIZES)
+def test_delta_transport_unlocks_large_n(benchmark, n, paper_report):
+    cpus = _available_cpus()
+    if n > 1000 and cpus < 4:
+        pytest.skip(f"n={n} instance needs >= 4 CPUs (have {cpus})")
+    stats = benchmark.pedantic(lambda: compare_encodings(n), rounds=1, iterations=1)
+    paper_report(
+        f"Sparse residual deltas — localized dynamics (n={n})",
+        _report_rows(stats, cpus),
+        n=n,
+        seed=SEED,
+        alpha=ALPHA,
+        hubs=HUBS[n],
+        rounds=ROUNDS,
+        wire_reduction=stats["wire_reduction"],
+        pool_reduction=stats["pool_reduction"],
+        speedup_delta_over_dense=stats["speedup"],
+    )
+    assert stats["identical"], "encodings disagreed on the trajectory or stats"
+    assert stats["wire_reduction"] >= BYTES_TARGET
+    assert stats["pool_reduction"] >= BYTES_TARGET
+    if cpus >= 4:
+        assert stats["speedup"] >= SPEEDUP_TARGET
+    else:
+        pytest.skip(
+            f"speedup assertion needs >= 4 CPUs (have {cpus}); "
+            "byte-reduction and identity checks passed"
+        )
+
+
+def main() -> int:
+    from conftest import _jsonable, write_bench_json
+
+    cpus = _available_cpus()
+    entries: list[dict] = []
+    ok = True
+    print(
+        f"localized dynamics on geometric mesh hosts (degree {MESH_DEGREE}, "
+        f"alpha={ALPHA}), doubly-owned spanning tree + solely-owned leaf "
+        f"shortcuts, batched single-response schedule, {ROUNDS} rounds, "
+        f"{ENDPOINT_COUNT} remote workers, {cpus} CPUs available"
+    )
+    for n in SIZES:
+        if n > 1000 and cpus < 4:
+            print(f"  n={n}: skipped (needs >= 4 CPUs, have {cpus})")
+            continue
+        stats = compare_encodings(n)
+        print(
+            f"  n={n:>4}: wire {stats['remote_dense_bytes']/1e6:8.1f} MB -> "
+            f"{stats['remote_delta_bytes']/1e6:7.1f} MB "
+            f"({stats['wire_reduction']:.1f}x)  "
+            f"pool {stats['pool_reduction']:.1f}x  "
+            f"time {stats['remote_dense_s']:6.2f}s -> {stats['remote_delta_s']:6.2f}s "
+            f"({stats['speedup']:.2f}x)  identical={stats['identical']}  "
+            f"moves={stats['moves']}"
+        )
+        entries.append(
+            {
+                "title": f"Sparse residual deltas — localized dynamics (n={n})",
+                "rows": [
+                    {"label": lbl, "paper": _jsonable(paper), "measured": _jsonable(measured)}
+                    for lbl, paper, measured in _report_rows(stats, cpus)
+                ],
+                "meta": _jsonable(
+                    {
+                        "n": n,
+                        "seed": SEED,
+                        "alpha": ALPHA,
+                        "hubs": HUBS[n],
+                        "rounds": ROUNDS,
+                        "cpus": cpus,
+                        "wire_reduction": stats["wire_reduction"],
+                        "pool_reduction": stats["pool_reduction"],
+                        "speedup_delta_over_dense": stats["speedup"],
+                    }
+                ),
+            }
+        )
+        ok &= stats["identical"] and stats["wire_reduction"] >= BYTES_TARGET
+        ok &= stats["pool_reduction"] >= BYTES_TARGET
+        if cpus >= 4:
+            ok &= stats["speedup"] >= SPEEDUP_TARGET
+        else:
+            print(
+                f"  (speedup target unasserted: {cpus} < 4 CPUs available; "
+                "byte-reduction and identity checks still enforced)"
+            )
+    path = write_bench_json("bench_large_n", entries)
+    print(f"wrote {path}")
+    print("OK" if ok else "FAILED: encodings disagree or reduction below target")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -309,6 +309,19 @@ def _add_config_flags(parser: argparse.ArgumentParser, *, full: bool = False) ->
         ),
     )
     parser.add_argument(
+        "--residual-encoding",
+        dest="residual_encoding",
+        default=None,
+        choices=["dense", "delta"],
+        help=(
+            "how residual matrices reach the evaluation workers: 'dense' "
+            "(default) ships every distinct matrix verbatim; 'delta' ships "
+            "one dense base per chunk/shard plus packed changed-row deltas "
+            "against it — bit-identical trajectories, O(k*n) bytes per "
+            "localized move instead of O(n^2), the knob for n >= 1000"
+        ),
+    )
+    parser.add_argument(
         "--batch-timeout",
         dest="batch_timeout",
         type=float,
@@ -477,6 +490,7 @@ _CONFIG_FIELDS = (
     "backend",
     "endpoints",
     "buffering",
+    "residual_encoding",
     "batch_timeout",
     "max_retries",
     "checkpoint_every",
@@ -524,6 +538,14 @@ def _add_resume_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="HOST:PORT",
         help="remote worker address; repeat for multiple (requires --backend remote)",
+    )
+    parser.add_argument(
+        "--residual-encoding",
+        dest="residual_encoding",
+        default=None,
+        choices=["dense", "delta"],
+        help="residual transport encoding for the continuation (placement "
+        "only: dense and delta replay bit-identical trajectories)",
     )
     parser.add_argument(
         "--batch-timeout", dest="batch_timeout", type=float, default=None,
@@ -733,6 +755,7 @@ def _cmd_resume(args) -> int:
             "workers": args.workers,
             "backend": args.backend,
             "endpoints": args.endpoints,
+            "residual_encoding": args.residual_encoding,
             "batch_timeout": args.batch_timeout,
             "max_retries": args.max_retries,
             "failover": args.failover,

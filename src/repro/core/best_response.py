@@ -58,6 +58,7 @@ from typing import Callable, Iterable, Literal, Sequence
 import numpy as np
 
 from .game import NetworkCreationGame
+from .residual_delta import DeltaResidual
 from .shortest_paths import (
     CandidateEvaluator,
     SingleMoveScorer,
@@ -404,7 +405,7 @@ def _greedy_given(
 
 
 def score_response(
-    d_rest: np.ndarray,
+    d_rest: np.ndarray | DeltaResidual,
     u: int,
     edge_weights: np.ndarray,
     alpha: float,
@@ -417,7 +418,9 @@ def score_response(
 
     The array-only entry point behind :meth:`repro.core.incremental.
     IncrementalEngine.respond` and the parallel evaluator's worker
-    processes: ``d_rest`` and ``edge_weights`` may be (shared-memory) views,
+    processes: ``d_rest`` and ``edge_weights`` may be (shared-memory) views
+    — or a delta-encoded :class:`~repro.core.residual_delta.DeltaResidual`
+    row-view, which every response path reads only row by row —
     ``current`` is the agent's current strategy, ``response`` is ``"best"``,
     ``"greedy"`` or ``"single"``.  No shortest-path computation happens
     here — every candidate is scored by pure relaxation.

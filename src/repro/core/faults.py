@@ -8,7 +8,7 @@ scripts.  This module makes failure a first-class, seeded input:
 ``Fault``
     One failure at one injection point: a ``kind`` from :data:`FAULT_KINDS`
     and the 0-based batch index at which it fires.  Worker-side kinds
-    (``kill``/``hang``/``error``/``garbage``) fire inside a
+    (``kill``/``hang``/``hang_mid_frame``/``error``/``garbage``) fire inside a
     :class:`~repro.core.remote.WorkerServer` when it receives its
     ``at_batch``-th batch, optionally restricted to one worker of a fleet
     via ``endpoint`` (the worker's index, ``None`` = every worker).
@@ -55,7 +55,9 @@ __all__ = [
     "preset_names",
 ]
 
-FAULT_KINDS = ("kill", "hang", "error", "garbage", "kill_pool_worker")
+FAULT_KINDS = (
+    "kill", "hang", "hang_mid_frame", "error", "garbage", "kill_pool_worker"
+)
 """Supported failure modes.
 
 ``kill``
@@ -64,6 +66,12 @@ FAULT_KINDS = ("kill", "hang", "error", "garbage", "kill_pool_worker")
 ``hang``
     The worker sits on the batch for ``duration`` seconds before replying
     — drives the client's ``batch_timeout`` deadline path.
+``hang_mid_frame``
+    The worker reads the batch header plus only *part* of the first
+    residual frame, stalls for ``duration`` seconds and drops the
+    connection — the client is left mid-send on a residual (dense or
+    packed-delta) frame, driving the deadline path while a frame is
+    partially on the wire.
 ``error``
     The worker answers the batch with a protocol-level ``error`` reply.
 ``garbage``
@@ -81,7 +89,7 @@ class Fault:
 
     ``endpoint`` restricts worker-side kinds to one worker index of a
     fleet (``None`` hits every worker); ``duration`` is the sleep in
-    seconds for ``kind="hang"`` and ignored otherwise.
+    seconds for ``kind="hang"``/``"hang_mid_frame"`` and ignored otherwise.
     """
 
     kind: str

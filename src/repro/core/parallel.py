@@ -102,6 +102,7 @@ from typing import (
 import numpy as np
 
 from .best_response import BestResponseResult, score_response
+from .residual_delta import DeltaResidual, encode_delta, pack_delta, unpack_delta
 
 if TYPE_CHECKING:  # import cycle: game sits above the evaluator layer
     from .game import NetworkCreationGame
@@ -111,6 +112,7 @@ __all__ = [
     "EvaluatorError",
     "EvaluatorStats",
     "PoolBrokenError",
+    "RESIDUAL_ENCODINGS",
     "SharedSnapshot",
     "ParallelEvaluator",
     "default_workers",
@@ -118,6 +120,7 @@ __all__ = [
 
 _DEFAULT_SLOTS = 16
 _BUFFERING_MODES = ("single", "double")
+RESIDUAL_ENCODINGS = ("dense", "delta")
 
 
 class EvaluatorError(RuntimeError):
@@ -151,8 +154,13 @@ class EvaluatorStats:
     connection-set establishments (remote backend) — 0 until the first
     ``evaluate``, above 1 only when the evaluator was revived after a
     ``close``.  ``batches``/``tasks`` count ``evaluate`` calls and the
-    tasks they carried; the ``bytes_*`` counters are nonzero only for the
-    socket transport (shared-memory traffic is not byte-accounted).
+    tasks they carried.  ``bytes_sent`` counts snapshot payload bytes the
+    client wrote toward the workers — slot writes for the shared-memory
+    backend (a dense matrix counts its ``n * n * 8`` bytes, a packed
+    residual delta counts its packed size), socket frames for the remote
+    backend — so the dense/delta encodings are directly comparable on
+    either transport; ``bytes_received`` is nonzero only for the socket
+    transport (shared-memory results are not byte-accounted).
 
     The fleet-health fields describe the remote backend's endpoints and
     stay at their defaults for the local backend (whose workers share the
@@ -262,7 +270,9 @@ class SharedSnapshot:
     views and the segments — the owner also unlinks them.
     """
 
-    __slots__ = ("n", "slots", "owner", "weights", "slot_matrices", "_segments")
+    __slots__ = (
+        "n", "slots", "owner", "weights", "slot_matrices", "slot_bytes", "_segments",
+    )
 
     def __init__(
         self,
@@ -280,6 +290,13 @@ class SharedSnapshot:
         self.weights = np.ndarray((n, n), dtype=np.float64, buffer=shm_weights.buf)
         self.slot_matrices = np.ndarray(
             (slots, n, n), dtype=np.float64, buffer=shm_slots.buf
+        )
+        # Raw byte view of the same slot storage: a slot can alternatively
+        # hold a *packed residual delta* (repro.core.residual_delta) instead
+        # of a dense matrix — always smaller than the slot, so the two
+        # interpretations share the allocation.
+        self.slot_bytes = np.ndarray(
+            (slots, n * n * 8), dtype=np.uint8, buffer=shm_slots.buf
         )
 
     @classmethod
@@ -341,12 +358,27 @@ class SharedSnapshot:
         """Bitwise copy of an ``(n, n)`` residual matrix into a slot."""
         self.slot_matrices[slot] = matrix
 
+    def write_slot_packed(self, slot: int, payload: bytes) -> None:
+        """Copy a packed residual delta into a slot's byte storage."""
+        size = len(payload)
+        if size > self.slot_bytes.shape[1]:
+            raise ValueError(
+                f"packed delta ({size} bytes) exceeds the slot capacity "
+                f"({self.slot_bytes.shape[1]} bytes)"
+            )
+        self.slot_bytes[slot, :size] = np.frombuffer(payload, dtype=np.uint8)
+
+    def slot_payload(self, slot: int, size: int) -> np.ndarray:
+        """Zero-copy view of the first ``size`` bytes of a slot."""
+        return self.slot_bytes[slot, : int(size)]
+
     def close(self) -> None:
         """Release the views and segments; the owner also unlinks them."""
         # The NumPy views export the segments' buffers — drop them first or
         # SharedMemory.close() raises BufferError.
         self.weights = None  # type: ignore[assignment]
         self.slot_matrices = None  # type: ignore[assignment]
+        self.slot_bytes = None  # type: ignore[assignment]
         segments, self._segments = self._segments, ()
         for shm in segments:
             try:
@@ -372,11 +404,27 @@ def _init_worker(meta: dict[str, Any], alpha: float) -> None:
     _WORKER_STATE["alpha"] = float(alpha)
 
 
-def _score_task(task: tuple[int, int, Sequence[int], str, int]) -> BestResponseResult:
-    """Score one agent against a slot of the shared snapshot."""
-    u, slot, strategy, response, max_candidates = task
+def _score_task(
+    task: tuple[int, int, "tuple[int, int] | None", Sequence[int], str, int]
+) -> BestResponseResult:
+    """Score one agent against a slot of the shared snapshot.
+
+    ``spec`` selects the slot's interpretation: ``None`` means the slot
+    holds a dense ``(n, n)`` matrix; ``(base_slot, payload_bytes)`` means
+    it holds a packed residual delta against the dense matrix in
+    ``base_slot``, which is served to the kernel as a lazy
+    :class:`~repro.core.residual_delta.DeltaResidual` row-view — the dense
+    matrix is never materialized worker-side.
+    """
+    u, slot, spec, strategy, response, max_candidates = task
     snapshot: SharedSnapshot = _WORKER_STATE["snapshot"]
-    d_rest = snapshot.slot_matrices[slot]
+    d_rest: np.ndarray | DeltaResidual
+    if spec is None:
+        d_rest = snapshot.slot_matrices[slot]
+    else:
+        base_slot, payload_bytes = spec
+        delta = unpack_delta(snapshot.slot_payload(slot, payload_bytes), snapshot.n)
+        d_rest = DeltaResidual(snapshot.slot_matrices[base_slot], delta)
     return score_response(
         d_rest,
         u,
@@ -416,6 +464,17 @@ class ParallelEvaluator:
         scoring the current one, keeping at most one chunk per bank in
         flight.  Results are bit-identical either way — buffering trades
         nothing but memory (one extra slot bank) for overlap.
+    residual_encoding:
+        ``"dense"`` (default) writes every distinct residual matrix into
+        its slot verbatim; ``"delta"`` writes the first distinct matrix of
+        each chunk dense (the chunk's *base*) and encodes every later
+        distinct matrix as a packed residual delta against it
+        (:mod:`repro.core.residual_delta`), falling back to a dense write
+        for any matrix whose packed delta would not fit the slot.  Workers
+        relax from ``base + changed rows`` through a lazy
+        :class:`~repro.core.residual_delta.DeltaResidual` row-view, so
+        results are bit-identical to the dense encoding while localized
+        dynamics move O(k·n) bytes per matrix instead of O(n²).
     start_method:
         Explicit :mod:`multiprocessing` start method; default is ``fork``
         where available, the platform default otherwise.
@@ -434,8 +493,8 @@ class ParallelEvaluator:
 
     __slots__ = (
         "_weights", "_alpha", "_workers", "_slots", "_banks", "_start_method",
-        "_snapshot", "_pool", "pools_started", "_batches", "_tasks",
-        "_failures", "_retries", "fault_hook",
+        "_encoding", "_snapshot", "_pool", "pools_started", "_batches",
+        "_tasks", "_bytes_sent", "_failures", "_retries", "fault_hook",
     )
 
     def __init__(
@@ -446,6 +505,7 @@ class ParallelEvaluator:
         workers: int | None = None,
         slots: int = _DEFAULT_SLOTS,
         buffering: str = "single",
+        residual_encoding: str = "dense",
         start_method: str | None = None,
     ) -> None:
         self._weights = np.ascontiguousarray(weights, dtype=np.float64)
@@ -459,14 +519,21 @@ class ParallelEvaluator:
             raise ValueError(
                 f"unknown buffering {buffering!r} (expected one of {_BUFFERING_MODES})"
             )
+        if residual_encoding not in RESIDUAL_ENCODINGS:
+            raise ValueError(
+                f"unknown residual_encoding {residual_encoding!r} "
+                f"(expected one of {RESIDUAL_ENCODINGS})"
+            )
         self._slots = int(slots)
         self._banks = 2 if buffering == "double" else 1
+        self._encoding = residual_encoding
         self._start_method = start_method
         self._snapshot: SharedSnapshot | None = None
         self._pool = None
         self.pools_started = 0
         self._batches = 0
         self._tasks = 0
+        self._bytes_sent = 0
         self._failures = 0
         self._retries = 0
         # Test-only seam for the deterministic fault layer
@@ -495,6 +562,11 @@ class ParallelEvaluator:
         return "double" if self._banks == 2 else "single"
 
     @property
+    def residual_encoding(self) -> str:
+        """``"dense"`` or ``"delta"`` slot encoding (see the class docs)."""
+        return self._encoding
+
+    @property
     def stats(self) -> EvaluatorStats:
         """Lifetime counters of this backend (see :class:`EvaluatorStats`)."""
         return EvaluatorStats(
@@ -502,6 +574,7 @@ class ParallelEvaluator:
             batches=self._batches,
             tasks=self._tasks,
             pools_started=self.pools_started,
+            bytes_sent=self._bytes_sent,
             failures=self._failures,
             retries=self._retries,
         )
@@ -647,11 +720,14 @@ class ParallelEvaluator:
                 results.extend(gathered)
                 return
 
+        slot_capacity = self._snapshot.n * self._snapshot.n * 8
         pos = 0
         bank = 0
         while pos < len(task_list):
-            base = bank * self._slots
+            bank_base = bank * self._slots
             slot_of: dict[int, int] = {}
+            spec_of: dict[int, tuple[int, int] | None] = {}
+            chunk_base: tuple[int, np.ndarray] | None = None
             chunk: list[tuple] = []
             while pos < len(task_list):
                 u, d_rest, strategy = task_list[pos]
@@ -660,13 +736,30 @@ class ParallelEvaluator:
                 if slot is None:
                     if len(slot_of) >= self._slots:
                         break  # chunk full: the bank has no free slot left
-                    slot = base + len(slot_of)
+                    slot = bank_base + len(slot_of)
                     slot_of[key] = slot
-                    self._snapshot.write_slot(slot, d_rest)
+                    spec: tuple[int, int] | None = None
+                    if self._encoding == "delta" and chunk_base is not None:
+                        # Later distinct matrices ride as packed deltas
+                        # against the chunk's first (base) matrix — unless
+                        # the delta would not fit the slot, in which case
+                        # the dense write is both smaller and simpler.
+                        payload = pack_delta(encode_delta(chunk_base[1], d_rest))
+                        if len(payload) <= slot_capacity:
+                            self._snapshot.write_slot_packed(slot, payload)
+                            spec = (chunk_base[0], len(payload))
+                            self._bytes_sent += len(payload)
+                    if spec is None:
+                        self._snapshot.write_slot(slot, d_rest)
+                        self._bytes_sent += slot_capacity
+                        if self._encoding == "delta" and chunk_base is None:
+                            chunk_base = (slot, d_rest)
+                    spec_of[key] = spec
                 chunk.append(
                     (
                         int(u),
                         slot,
+                        spec_of[key],
                         tuple(int(v) for v in strategy),
                         response,
                         int(max_candidates),

@@ -60,7 +60,7 @@ Failure semantics (the point of this fleet being *production-grade*; see
   batch.  :meth:`RemoteEvaluator.revive` is the never-raising probe the
   session's failover ladder polls for promotion.
 
-Wire format (version ``3``): every frame is an 8-byte big-endian length
+Wire format (version ``4``): every frame is an 8-byte big-endian length
 prefix followed by that many payload bytes.  A *message* is one JSON header
 frame optionally followed by raw-buffer frames it announces — matrices
 travel as raw C-order ``float64`` bytes, **never pickled**:
@@ -82,6 +82,17 @@ travel as raw C-order ``float64`` bytes, **never pickled**:
 * client → server ``batch``: ``{"kind": "batch", "response": ...,
   "max_candidates": ..., "matrices": k, "tasks": [[agent, matrix_index,
   [strategy...]], ...]}`` + ``k`` raw ``(n, n)`` residual-matrix frames;
+* client → server ``delta_batch`` (version 4, sent under
+  ``residual_encoding="delta"``): like ``batch`` but ``"matrices"`` is a
+  *list* of frame descriptors — ``{"enc": "dense"}`` for a raw ``(n, n)``
+  matrix frame, ``{"enc": "delta", "base": b, "rows": k}`` for a packed
+  residual-delta frame (:mod:`repro.core.residual_delta` layout: a
+  little-endian ``uint64`` row count, ``k`` sorted little-endian ``int64``
+  row indices, then the ``k`` changed rows as raw C-order ``float64``)
+  decoded against the dense matrix at descriptor index ``b``.  The first
+  distinct matrix of a shard ships dense and serves as the shard's base;
+  a matrix whose packed delta would not beat the dense frame ships dense
+  too, so the encoding never inflates a shard;
 * server → client ``results``: ``{"kind": "results", "results": [[agent,
   [strategy...], cost_hex, current_cost_hex, method], ...]}`` — costs are
   serialized with :meth:`float.hex`, which round-trips every ``float``
@@ -128,7 +139,14 @@ import numpy as np
 
 from .best_response import BestResponseResult, score_response
 from .faults import FaultInjector, FaultPlan
-from .parallel import EvaluatorError, EvaluatorStats
+from .parallel import RESIDUAL_ENCODINGS, EvaluatorError, EvaluatorStats
+from .residual_delta import (
+    DeltaResidual,
+    encode_delta,
+    pack_delta,
+    packed_size,
+    unpack_delta,
+)
 
 if TYPE_CHECKING:  # import cycle: game sits above the evaluator layer
     from multiprocessing.connection import Connection
@@ -149,9 +167,10 @@ __all__ = [
 
 # Version 2 added the ping/pong health-check verb (accepted pre-hello and
 # between batches); version 3 added the optional HMAC shared-secret
-# challenge/response folded into hello/ready.  Client and server versions
-# must match exactly.
-PROTOCOL_VERSION = 3
+# challenge/response folded into hello/ready; version 4 added the
+# delta_batch verb shipping residuals as packed deltas against a dense
+# base frame.  Client and server versions must match exactly.
+PROTOCOL_VERSION = 4
 
 _LEN = struct.Struct("!Q")
 # A frame can at most hold one dense (n, n) float64 matrix; 1 GiB bounds
@@ -366,40 +385,81 @@ def _handle_connection(
             if header.get("kind") == "ping":  # liveness check between batches
                 _pong(conn)
                 continue
-            if header.get("kind") != "batch":
+            is_delta = header.get("kind") == "delta_batch"
+            if not is_delta and header.get("kind") != "batch":
                 raise RemoteEvaluatorError(
                     f"expected batch, got {header.get('kind')!r}"
                 )
-            matrices: list[np.ndarray] = []
-            for _ in range(int(header["matrices"])):
+            # Injection point: consulted once per batch, right after the
+            # header.  ``hang_mid_frame`` fires *now* — the client is left
+            # mid-send on the residual frames — while every other kind is
+            # stashed and fired after the frames are fully read (the
+            # client is never left mid-send), nothing scored or answered
+            # yet either way.
+            fault = injector.next_fault() if injector is not None else None
+            if fault is not None and fault.kind == "hang_mid_frame":
+                prefix = _recv_exact(conn, _LEN.size)
+                if prefix is not None:
+                    (size,) = _LEN.unpack(prefix)
+                    # Half the first residual frame: a partially-received
+                    # delta (or dense) frame, then a stall.
+                    _recv_exact(conn, min(size, size // 2 + 1))
+                time.sleep(fault.duration)
+                return
+            if is_delta:
+                descriptors = list(header["matrices"])
+            else:
+                descriptors = [{"enc": "dense"}] * int(header["matrices"])
+            matrices: list[np.ndarray | DeltaResidual] = []
+            for descriptor in descriptors:
                 frame = _recv_frame(conn)
-                if frame is None or len(frame) != n * n * 8:
-                    raise RemoteEvaluatorError("residual frame missing or mis-sized")
-                matrices.append(np.frombuffer(frame, dtype=np.float64).reshape(n, n))
-            if injector is not None:
-                # Injection point: the batch is fully on this side of the
-                # wire (the client is never left mid-send), nothing has
-                # been scored or answered yet.
-                fault = injector.next_fault()
-                if fault is not None:
-                    if fault.kind == "kill":
-                        if kill is not None:
-                            kill()
-                        raise _InjectedKill
-                    if fault.kind == "error":
-                        _send_json(
-                            conn,
-                            {"kind": "error", "message": "injected fault: error reply"},
+                if frame is None:
+                    raise RemoteEvaluatorError("residual frame missing")
+                if descriptor.get("enc") == "delta":
+                    base_index = int(descriptor["base"])
+                    rows = int(descriptor["rows"])
+                    base = (
+                        matrices[base_index]
+                        if 0 <= base_index < len(matrices)
+                        else None
+                    )
+                    if not isinstance(base, np.ndarray):
+                        raise RemoteEvaluatorError(
+                            f"delta descriptor references base {base_index}, "
+                            "which is not an earlier dense matrix"
                         )
-                        return
-                    if fault.kind == "garbage":
-                        _send_frame(conn, b"\xfe\xedinjected protocol garbage")
-                        return
-                    if fault.kind == "hang":
-                        time.sleep(fault.duration)
-                        # ...then score normally: a *stalled* worker, which
-                        # the client's batch deadline must turn into an
-                        # endpoint failure.
+                    if len(frame) != packed_size(rows, n):
+                        raise RemoteEvaluatorError("residual delta frame mis-sized")
+                    matrices.append(DeltaResidual(base, unpack_delta(frame, n)))
+                elif descriptor.get("enc") == "dense":
+                    if len(frame) != n * n * 8:
+                        raise RemoteEvaluatorError("residual frame mis-sized")
+                    matrices.append(
+                        np.frombuffer(frame, dtype=np.float64).reshape(n, n)
+                    )
+                else:
+                    raise RemoteEvaluatorError(
+                        f"unknown frame encoding {descriptor.get('enc')!r}"
+                    )
+            if fault is not None:
+                if fault.kind == "kill":
+                    if kill is not None:
+                        kill()
+                    raise _InjectedKill
+                if fault.kind == "error":
+                    _send_json(
+                        conn,
+                        {"kind": "error", "message": "injected fault: error reply"},
+                    )
+                    return
+                if fault.kind == "garbage":
+                    _send_frame(conn, b"\xfe\xedinjected protocol garbage")
+                    return
+                if fault.kind == "hang":
+                    time.sleep(fault.duration)
+                    # ...then score normally: a *stalled* worker, which
+                    # the client's batch deadline must turn into an
+                    # endpoint failure.
             response = str(header["response"])
             max_candidates = int(header["max_candidates"])
             results = []
@@ -792,6 +852,17 @@ class RemoteEvaluator:
         that keep failing trip out of the reconnect path and are re-probed
         on a capped exponential backoff, and :meth:`revive` becomes a
         cheap promotion poll for the session's failover ladder.
+    residual_encoding:
+        ``"dense"`` (default) ships every distinct residual matrix of a
+        shard as a raw ``(n, n)`` frame under the ``batch`` verb;
+        ``"delta"`` uses the protocol-4 ``delta_batch`` verb — the first
+        distinct matrix ships dense as the shard's base and every later
+        one ships as a packed residual delta against it
+        (:mod:`repro.core.residual_delta`), falling back to a dense frame
+        whenever the delta would not be smaller.  The worker relaxes from
+        ``base + changed rows``, never materializing the dense matrix, and
+        replies are bit-identical either way; re-dispatched shards
+        re-elect their base on the surviving endpoints like any pure task.
     clock:
         Monotonic time source for the breaker schedule (injectable for
         deterministic tests).
@@ -820,7 +891,7 @@ class RemoteEvaluator:
         "_max_retries", "pools_started", "_batches", "_tasks", "_bytes_sent",
         "_bytes_received", "_failures", "_retries", "_reconnects",
         "_atexit_registered", "_auth_token", "_breaker", "_breaker_rng",
-        "_breaker_trips", "_clock",
+        "_breaker_trips", "_clock", "_encoding",
     )
 
     def __init__(
@@ -834,6 +905,7 @@ class RemoteEvaluator:
         max_retries: int = DEFAULT_MAX_RETRIES,
         auth_token: str | None = None,
         breaker: BreakerPolicy | None = None,
+        residual_encoding: str = "dense",
         clock: Callable[[], float] = time.monotonic,
     ) -> None:
         self._weights = np.ascontiguousarray(weights, dtype=np.float64)
@@ -857,6 +929,12 @@ class RemoteEvaluator:
         self._breaker = breaker
         self._breaker_rng = np.random.default_rng(breaker.seed) if breaker else None
         self._breaker_trips = 0
+        if residual_encoding not in RESIDUAL_ENCODINGS:
+            raise ValueError(
+                f"unknown residual_encoding {residual_encoding!r} "
+                f"(expected one of {RESIDUAL_ENCODINGS})"
+            )
+        self._encoding = residual_encoding
         self._clock = clock
         self.pools_started = 0
         self._batches = 0
@@ -881,6 +959,11 @@ class RemoteEvaluator:
     @property
     def endpoints(self) -> tuple[str, ...]:
         return self._endpoints.addresses
+
+    @property
+    def residual_encoding(self) -> str:
+        """``"dense"`` or ``"delta"`` residual-frame encoding (see the class docs)."""
+        return self._encoding
 
     @property
     def is_running(self) -> bool:
@@ -1281,6 +1364,35 @@ class RemoteEvaluator:
             wire_tasks.append(
                 [int(agent), matrix_index, [int(v) for v in strategy]]
             )
+        if self._encoding == "delta" and matrices:
+            # Protocol-4 delta shard: the first distinct matrix ships
+            # dense and is the base; every later one ships as a packed
+            # delta against it unless the delta would not be smaller.
+            descriptors: list[dict[str, Any]] = [{"enc": "dense"}]
+            frames: list[bytes | np.ndarray] = [matrices[0]]
+            for matrix in matrices[1:]:
+                delta = encode_delta(matrices[0], matrix)
+                payload = pack_delta(delta)
+                if len(payload) < matrix.nbytes:
+                    descriptors.append(
+                        {"enc": "delta", "base": 0, "rows": int(delta.num_rows)}
+                    )
+                    frames.append(payload)
+                else:
+                    descriptors.append({"enc": "dense"})
+                    frames.append(matrix)
+            header: dict[str, Any] = {
+                "kind": "delta_batch",
+                "response": str(response),
+                "max_candidates": int(max_candidates),
+                "matrices": descriptors,
+                "tasks": wire_tasks,
+            }
+            sent = _send_json(entry.sock, header)
+            for frame in frames:
+                sent += _send_frame(entry.sock, frame)
+            self._bytes_sent += sent
+            return
         header = {
             "kind": "batch",
             "response": str(response),

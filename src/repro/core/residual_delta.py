@@ -1,0 +1,379 @@
+"""Sparse residual deltas: encode a residual matrix against a base snapshot.
+
+Residual distance matrices are *near copies* of the profile's distance
+matrix: the decremental repair that produces them
+(:func:`repro.core.shortest_paths.decremental_distances`) rewrites only the
+rows and columns of the affected sources, so two residuals of the same
+round typically differ in ``O(k)`` symmetric row/column pairs out of ``n``.
+Shipping each of them as a dense ``(n, n)`` float64 block through the
+shared-memory slots (:mod:`repro.core.parallel`) or the wire frames
+(:mod:`repro.core.remote`) therefore wastes ``O(n^2)`` bytes per matrix on
+data the receiver already holds.  This module is the codec both transports
+share:
+
+``encode_delta`` / ``decode_delta``
+    Encode a matrix as ``(changed row index set, packed changed rows)``
+    against a base matrix, and reconstruct it exactly.  Distance matrices
+    in this codebase are symmetric (created networks are undirected), and
+    symmetry is what lets a row set double as a column set, so a delta of
+    ``k`` rows carries ``k * (n + 1)`` scalars instead of ``n^2``.  The
+    codec does **not** assume bit-level symmetry, though — a solver's
+    output can carry asymmetric floating-point noise in the last ulp — it
+    grows the row set until every row outside it is bitwise
+    column-consistent with the packed block, so decoding is exact for any
+    input.  Reconstruction is bit-exact: the packed rows are
+    verbatim float64 copies, never re-derived, so delta-encoded transports
+    stay byte-identical to dense ones (the cross-oracle sweep in
+    ``tests/test_residual_delta.py`` asserts this across backends).
+
+``changed_rows``
+    The row auto-detection behind ``encode_delta``: the changed entries
+    form a boolean mask (symmetrized first, since a symmetric rewrite
+    against a bit-asymmetric base yields an asymmetric raw mask), and any
+    **vertex cover** of that mask (every changed entry has its row or its
+    column in the set) is a valid row set.  A greedy max-degree cover is
+    computed deterministically (ties break towards the lowest index), which
+    recovers the affected-source set of a decremental repair exactly in the
+    common case and never returns an unsound cover.  Note that the naive
+    per-row test ``(matrix != base).any(axis=1)`` would mark nearly *every*
+    row — the repair's column writes touch column ``S`` of all rows — which
+    is why the cover formulation matters.
+
+``pack_delta`` / ``unpack_delta``
+    The byte layout used verbatim by both transports, pinned byte-for-byte
+    by the golden wire-format test: an 8-byte little-endian unsigned row
+    count, the sorted row indices as little-endian int64, then the changed
+    rows as C-order little-endian float64.  All sections are 8-byte aligned
+    so a receiver can build zero-copy views over the payload.
+
+``DeltaResidual``
+    A lazy row-view over ``(base, delta)`` implementing exactly the access
+    surface the scoring kernels use (``shape``/``dtype``/row indexing — see
+    :func:`repro.core.best_response.score_response`): a worker relaxes
+    candidate strategies straight from ``base + rows`` and never
+    materializes the dense matrix.  Rows in the delta are served verbatim;
+    a row ``i`` outside the delta is ``base[i]`` with its entries at the
+    changed columns overlaid from the packed columns (``matrix[i, r] ==
+    matrix[r, i]`` for rows outside the delta, guaranteed at encode time)
+    — serving plain ``base[i]`` would be wrong.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "ResidualDelta",
+    "DeltaResidual",
+    "changed_rows",
+    "encode_delta",
+    "decode_delta",
+    "pack_delta",
+    "unpack_delta",
+    "packed_size",
+]
+
+# Byte layout of a packed delta (everything little-endian, 8-byte aligned):
+#   [0, 8)                      row count k as unsigned 64-bit
+#   [8, 8 + 8k)                 sorted row indices as int64
+#   [8 + 8k, 8 + 8k + 8kn)      changed rows, C-order float64 (k, n) block
+_COUNT = struct.Struct("<Q")
+_ROW_DTYPE = np.dtype("<i8")
+_DATA_DTYPE = np.dtype("<f8")
+
+
+def packed_size(num_rows: int, n: int) -> int:
+    """Bytes of a packed delta with ``num_rows`` changed rows over ``n`` nodes."""
+    return _COUNT.size + int(num_rows) * 8 + int(num_rows) * int(n) * 8
+
+
+def _square(matrix: np.ndarray, name: str) -> np.ndarray:
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"{name} must be a square matrix, got shape {arr.shape}")
+    return arr
+
+
+@dataclass(frozen=True)
+class ResidualDelta:
+    """A residual matrix expressed relative to a base snapshot.
+
+    ``rows`` is the sorted, duplicate-free index set of changed rows (a
+    vertex cover of the symmetric changed-entry mask) and ``data`` holds
+    the corresponding full matrix rows, ``data[i] == matrix[rows[i]]``
+    verbatim.  An empty delta (``rows.size == 0``) encodes "identical to
+    the base".
+    """
+
+    rows: np.ndarray
+    data: np.ndarray
+
+    def __post_init__(self) -> None:
+        rows = np.ascontiguousarray(self.rows, dtype=np.int64)
+        data = np.ascontiguousarray(self.data, dtype=np.float64)
+        if rows.ndim != 1:
+            raise ValueError(f"rows must be one-dimensional, got shape {rows.shape}")
+        if data.ndim != 2 or data.shape[0] != rows.shape[0]:
+            raise ValueError(
+                f"data must be (len(rows), n), got {data.shape} for {rows.size} rows"
+            )
+        if rows.size:
+            if rows[0] < 0 or rows[-1] >= data.shape[1]:
+                raise ValueError(
+                    f"row indices out of range for n={data.shape[1]}"
+                )
+            if np.any(np.diff(rows) <= 0):
+                raise ValueError("row indices must be strictly increasing")
+        object.__setattr__(self, "rows", rows)
+        object.__setattr__(self, "data", data)
+
+    @property
+    def n(self) -> int:
+        """Matrix dimension the delta applies to."""
+        return int(self.data.shape[1])
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.rows.shape[0])
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the packed representation (see :func:`pack_delta`)."""
+        return packed_size(self.num_rows, self.n)
+
+
+def changed_rows(base: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+    """Deterministic row set covering every entry where ``matrix != base``.
+
+    Computes a greedy maximum-degree vertex cover of the symmetric
+    changed-entry mask: repeatedly pick the index covering the most
+    still-uncovered changed entries (lowest index on ties) and remove its
+    row and column from the mask.  ``inf`` entries compare equal to
+    themselves (``inf != inf`` is false), so unreachable pairs never count
+    as changed.  Returns a sorted int64 array; empty when the matrices are
+    identical.
+    """
+    b = _square(base, "base")
+    m = _square(matrix, "matrix")
+    if b.shape != m.shape:
+        raise ValueError(f"shape mismatch: base {b.shape} vs matrix {m.shape}")
+    uncovered = m != b
+    if not uncovered.any():
+        return np.zeros(0, dtype=np.int64)
+    # Symmetrize before covering: distance matrices are symmetric up to
+    # accumulated floating-point error, and a repair that rewrites row and
+    # column ``u`` against a bit-asymmetric base shows up as one changed
+    # entry in row ``u`` but hundreds in column ``u`` — covering the
+    # symmetrized mask recovers the single index ``u`` where the raw mask
+    # would drown the greedy choice in degree-one rows.  A cover of the
+    # union is still a cover of the actual changed set.
+    np.logical_or(uncovered, uncovered.T, out=uncovered)
+    degree = uncovered.sum(axis=1)
+    picked: list[int] = []
+    while True:
+        i = int(np.argmax(degree))
+        if degree[i] == 0:
+            break
+        picked.append(i)
+        # Covering index i removes row i and column i from the mask; every
+        # other index loses exactly its uncovered entry towards i.
+        degree -= uncovered[:, i]
+        degree[i] = 0
+        uncovered[i, :] = False
+        uncovered[:, i] = False
+    return np.array(sorted(picked), dtype=np.int64)
+
+
+def encode_delta(
+    base: np.ndarray,
+    matrix: np.ndarray,
+    rows: Sequence[int] | np.ndarray | None = None,
+) -> ResidualDelta:
+    """Encode ``matrix`` as a delta against ``base`` (both symmetric).
+
+    When ``rows`` is omitted the changed rows are auto-detected with
+    :func:`changed_rows`.  An explicit ``rows`` must cover every changed
+    entry (e.g. the affected sources of a decremental repair); it is
+    normalized to the canonical form — sorted, duplicate-free, rows equal
+    to their base row dropped — so encoding the same pair of matrices
+    always yields byte-identical packed output.
+    """
+    b = _square(base, "base")
+    m = _square(matrix, "matrix")
+    if b.shape != m.shape:
+        raise ValueError(f"shape mismatch: base {b.shape} vs matrix {m.shape}")
+    n = b.shape[0]
+    if rows is None:
+        row_set = changed_rows(b, m)
+    else:
+        row_set = np.unique(np.asarray(rows, dtype=np.int64))
+        if row_set.size and (row_set[0] < 0 or row_set[-1] >= n):
+            raise ValueError(f"row indices out of range for n={n}")
+        if row_set.size:
+            keep = np.any(m[row_set] != b[row_set], axis=1) | np.any(
+                m[:, row_set] != b[:, row_set], axis=0
+            )
+            row_set = row_set[keep]
+    row_set = _close_asymmetric_partners(m, row_set)
+    return ResidualDelta(rows=row_set, data=np.ascontiguousarray(m[row_set]))
+
+
+def _close_asymmetric_partners(m: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """Grow ``rows`` until every outside row is column-consistent with it.
+
+    Decoding (and the :class:`DeltaResidual` view) serves entry ``(x, s)``
+    of an uncovered row ``x`` as ``m[s, x]`` — the transpose of the packed
+    row — so bit-exactness needs ``m[x, rows] == m[rows, x].T`` for every
+    ``x`` outside the set.  Distance matrices are symmetric up to
+    floating-point error; where that error makes a pair bit-asymmetric the
+    offending row is simply pulled into the delta (its row then ships
+    verbatim).  The loop terminates because the set only grows; in the
+    degenerate all-rows case every row ships verbatim and no transposed
+    entry survives decoding at all.
+    """
+    n = m.shape[0]
+    while rows.size and rows.size < n:
+        outside = np.setdiff1d(np.arange(n, dtype=np.int64), rows)
+        mismatch = m[np.ix_(outside, rows)] != m[np.ix_(rows, outside)].T
+        bad = outside[mismatch.any(axis=1)]
+        if bad.size == 0:
+            break
+        rows = np.union1d(rows, bad)
+    return rows
+
+
+def decode_delta(base: np.ndarray, delta: ResidualDelta) -> np.ndarray:
+    """Reconstruct the dense matrix a delta encodes (bit-exact).
+
+    The changed rows are written verbatim and mirrored onto the matching
+    columns (valid because both matrices are symmetric), so every float of
+    the result equals the originally encoded matrix bit for bit.
+    """
+    b = _square(base, "base")
+    if delta.n != b.shape[0]:
+        raise ValueError(
+            f"delta is over n={delta.n} but the base has n={b.shape[0]}"
+        )
+    out = np.array(b, dtype=np.float64, order="C", copy=True)
+    if delta.num_rows:
+        # Columns first, rows second: a covered row is always served
+        # verbatim from the packed data, and an uncovered row's entries at
+        # the covered columns come from the transpose — exactly the
+        # consistency :func:`_close_asymmetric_partners` guarantees at
+        # encode time, so the reconstruction is bit-exact even when the
+        # matrices are only symmetric up to floating-point error.
+        out[:, delta.rows] = delta.data.T
+        out[delta.rows, :] = delta.data
+    return out
+
+
+def pack_delta(delta: ResidualDelta) -> bytes:
+    """Serialize a delta to the pinned transport layout (see module docs)."""
+    return (
+        _COUNT.pack(delta.num_rows)
+        + np.ascontiguousarray(delta.rows, dtype=_ROW_DTYPE).tobytes()
+        + np.ascontiguousarray(delta.data, dtype=_DATA_DTYPE).tobytes()
+    )
+
+
+def unpack_delta(payload: bytes | bytearray | memoryview, n: int) -> ResidualDelta:
+    """Parse a packed delta for an ``(n, n)`` matrix; zero-copy over ``payload``.
+
+    Validates the exact payload size and the row-index invariants (sorted,
+    unique, in range) so a corrupted frame fails loudly instead of decoding
+    into a silently wrong matrix.  The returned arrays view ``payload``
+    where the buffer protocol allows it — callers keeping the delta beyond
+    the payload's lifetime must copy.
+    """
+    view = memoryview(payload)
+    n = int(n)
+    if view.nbytes < _COUNT.size:
+        raise ValueError(f"delta payload too short ({view.nbytes} bytes)")
+    (count,) = _COUNT.unpack_from(view, 0)
+    expected = packed_size(count, n)
+    if view.nbytes != expected:
+        raise ValueError(
+            f"delta payload mis-sized: {view.nbytes} bytes for {count} rows "
+            f"over n={n} (expected {expected})"
+        )
+    rows = np.frombuffer(view, dtype=_ROW_DTYPE, count=count, offset=_COUNT.size)
+    data = np.frombuffer(
+        view, dtype=_DATA_DTYPE, count=count * n, offset=_COUNT.size + count * 8
+    ).reshape(count, n)
+    return ResidualDelta(rows=rows, data=data)
+
+
+class DeltaResidual:
+    """Lazy row-view of ``base + delta``, the worker-side face of the codec.
+
+    Implements exactly the read surface the scoring kernels use — ``shape``,
+    ``dtype``, ``len`` and row indexing by scalar or 1-D integer sequence —
+    so :func:`repro.core.best_response.score_response` relaxes candidates
+    straight from the base matrix plus the packed rows without ever
+    materializing the dense ``(n, n)`` array.  Rows inside the delta are
+    served verbatim from the packed block; a row outside it is the base row
+    with its entries at the changed columns overlaid from the packed data
+    (``matrix[i, r] == matrix[r, i]`` for every outside row, which
+    :func:`encode_delta` guarantees by construction), which is what keeps
+    every served float bit-identical to the dense matrix.
+    """
+
+    __slots__ = ("base", "delta", "shape")
+
+    ndim = 2
+    dtype = np.dtype(np.float64)
+
+    def __init__(self, base: np.ndarray, delta: ResidualDelta) -> None:
+        b = _square(base, "base")
+        if delta.n != b.shape[0]:
+            raise ValueError(
+                f"delta is over n={delta.n} but the base has n={b.shape[0]}"
+            )
+        self.base = b
+        self.delta = delta
+        self.shape = b.shape
+
+    def __len__(self) -> int:
+        return self.shape[0]
+
+    def dense(self) -> np.ndarray:
+        """The full dense matrix (tests and debugging; never on hot paths)."""
+        return decode_delta(self.base, self.delta)
+
+    def __getitem__(self, index):
+        rows, data = self.delta.rows, self.delta.data
+        n = self.shape[0]
+        if isinstance(index, (int, np.integer)):
+            i = int(index)
+            if i < 0:
+                i += n
+            if not 0 <= i < n:
+                raise IndexError(f"row {index} out of range for n={n}")
+            pos = int(np.searchsorted(rows, i))
+            if pos < rows.size and rows[pos] == i:
+                return data[pos]
+            row = np.array(self.base[i], dtype=np.float64)
+            if rows.size:
+                row[rows] = data[:, i]
+            return row
+        idx = np.asarray(index)
+        if idx.ndim != 1 or not np.issubdtype(idx.dtype, np.integer):
+            raise TypeError(
+                "DeltaResidual supports scalar or 1-D integer row indexing only"
+            )
+        idx = np.where(idx < 0, idx + n, idx).astype(np.intp)
+        out = self.base[idx].astype(np.float64, copy=False)
+        if not out.flags.writeable:  # pragma: no cover - read-only base
+            out = out.copy()
+        if rows.size:
+            out[:, rows] = data[:, idx].T
+            pos = np.searchsorted(rows, idx)
+            clipped = np.minimum(pos, rows.size - 1)
+            hit = rows[clipped] == idx
+            if hit.any():
+                out[hit] = data[pos[hit]]
+        return out

@@ -139,6 +139,7 @@ _RESPONSES = ("best", "greedy", "single")
 _ORDERS = ("round_robin", "random", "max_gain")
 _BACKENDS = ("local", "remote")
 _BUFFERINGS = ("single", "double")
+_RESIDUAL_ENCODINGS = ("dense", "delta")
 _FAILOVERS = ("ladder", "strict")
 
 # Config fields a session cannot change per run: they shape the owned
@@ -151,6 +152,7 @@ _SESSION_SCOPED = (
     "backend",
     "endpoints",
     "buffering",
+    "residual_encoding",
     "batch_timeout",
     "max_retries",
     "failover",
@@ -222,6 +224,19 @@ class SimulationConfig:
     All backends replay bit-identical trajectories; they trade nothing but
     time and placement.
 
+    ``residual_encoding`` selects how residual matrices reach the workers:
+    ``"dense"`` (default) ships every distinct matrix verbatim, while
+    ``"delta"`` ships the first distinct matrix of each chunk/shard dense
+    and every later one as a packed delta of its changed rows against that
+    base (:mod:`repro.core.residual_delta`), falling back to dense
+    whenever the delta would not be smaller.  Workers relax from ``base +
+    changed rows`` without materializing dense copies, so trajectories
+    and stats stay bit-identical to ``"dense"`` while localized dynamics
+    move O(k·n) bytes per matrix instead of O(n²) — the knob that unlocks
+    n ≥ 1000.  It shapes both the shared-memory slot banks and the
+    protocol-4 wire frames; the in-process serial path has no transport
+    and ignores it.
+
     ``checkpoint_every``/``checkpoint_path`` set the run's checkpoint
     policy (see :mod:`repro.core.checkpoint`): every
     ``checkpoint_every``-th round boundary the complete loop/engine/cache
@@ -287,6 +302,7 @@ class SimulationConfig:
     backend: str = "local"
     endpoints: tuple[str, ...] = ()
     buffering: str = "single"
+    residual_encoding: str = "dense"
     batch_timeout: float | None = None
     max_retries: int | None = None
     checkpoint_every: int | None = None
@@ -309,6 +325,10 @@ class SimulationConfig:
             raise ValueError(f"unknown backend {self.backend!r}")
         if self.buffering not in _BUFFERINGS:
             raise ValueError(f"unknown buffering {self.buffering!r}")
+        if self.residual_encoding not in _RESIDUAL_ENCODINGS:
+            raise ValueError(
+                f"unknown residual_encoding {self.residual_encoding!r}"
+            )
         if self.failover not in _FAILOVERS:
             raise ValueError(f"unknown failover policy {self.failover!r}")
         # Coercion failures (e.g. {"workers": null} or {"order": 5} in a JSON
@@ -681,18 +701,25 @@ class _FailoverLadder:
                     game,
                     endpoints=cfg.endpoints,
                     breaker=cfg.breaker_policy(),
+                    residual_encoding=cfg.residual_encoding,
                     **fleet_kwargs,
                 )
             )
             builders.append(
                 lambda: ParallelEvaluator.for_game(
-                    game, workers=default_workers(), buffering=cfg.buffering
+                    game,
+                    workers=default_workers(),
+                    buffering=cfg.buffering,
+                    residual_encoding=cfg.residual_encoding,
                 )
             )
         else:
             builders.append(
                 lambda: ParallelEvaluator.for_game(
-                    game, workers=cfg.workers, buffering=cfg.buffering
+                    game,
+                    workers=cfg.workers,
+                    buffering=cfg.buffering,
+                    residual_encoding=cfg.residual_encoding,
                 )
             )
         builders.append(lambda: _SerialEvaluator.for_game(game))
@@ -751,6 +778,8 @@ class _FailoverLadder:
             batches=sum(r.stats.batches for r in built),
             tasks=sum(r.stats.tasks for r in built),
             pools_started=self.pools_started,
+            bytes_sent=sum(r.stats.bytes_sent for r in built),
+            bytes_received=sum(r.stats.bytes_received for r in built),
             failures=sum(r.stats.failures for r in built),
             retries=sum(r.stats.retries for r in built),
             fallbacks=self.fallbacks,
@@ -973,11 +1002,17 @@ class GameSession:
                 if cfg.auth_token is not None:
                     fleet_kwargs["auth_token"] = cfg.auth_token
                 self._evaluator = RemoteEvaluator.for_game(
-                    self._game, endpoints=cfg.endpoints, **fleet_kwargs
+                    self._game,
+                    endpoints=cfg.endpoints,
+                    residual_encoding=cfg.residual_encoding,
+                    **fleet_kwargs,
                 )
             else:
                 self._evaluator = ParallelEvaluator.for_game(
-                    self._game, workers=cfg.workers, buffering=cfg.buffering
+                    self._game,
+                    workers=cfg.workers,
+                    buffering=cfg.buffering,
+                    residual_encoding=cfg.residual_encoding,
                 )
             self._evaluators_created += 1
         return self._evaluator

@@ -81,6 +81,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from .residual_delta import DeltaResidual
+
 try:  # scipy is a hard dependency of the package, but keep the import local.
     from scipy.sparse.csgraph import shortest_path as _scipy_shortest_path
 
@@ -106,6 +108,11 @@ __all__ = [
 
 
 def _as_square_float(matrix: np.ndarray) -> np.ndarray:
+    if isinstance(matrix, DeltaResidual):
+        # A delta-encoded residual view (already square float64): the
+        # scoring kernels only ever index it by row, which the view serves
+        # bit-identically to the dense matrix without materializing it.
+        return matrix
     arr = np.asarray(matrix, dtype=float)
     if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
         raise ValueError(f"expected a square matrix, got shape {arr.shape}")
@@ -157,7 +164,17 @@ def apsp_scipy(weights: np.ndarray) -> np.ndarray:
     masked = np.ma.masked_array(dist0, mask=~np.isfinite(dist0))
     result = _scipy_shortest_path(masked, method="D", directed=False)
     np.fill_diagonal(result, 0.0)
-    return np.asarray(result, dtype=float)
+    result = np.asarray(result, dtype=float)
+    # scipy's per-source Dijkstra accumulates path sums in source order, so
+    # ``result[i, j]`` and ``result[j, i]`` can disagree in the last ulp even
+    # though the graph is undirected.  Distances are mathematically symmetric,
+    # so pin the bitwise-symmetric representative: this keeps every snapshot
+    # and row/column repair of it exactly symmetric, which is what lets the
+    # residual delta codec cover changed entries with a small row set (the
+    # Floyd–Warshall path is bitwise symmetric already, as float addition
+    # commutes).
+    np.minimum(result, result.T, out=result)
+    return result
 
 
 def all_pairs_shortest_paths(weights: np.ndarray, method: str = "auto") -> np.ndarray:

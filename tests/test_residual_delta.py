@@ -1,0 +1,499 @@
+"""Delta-codec certification: the sparse residual transport for n >= 1000.
+
+:mod:`repro.core.residual_delta` encodes a residual distance matrix as
+``(changed row index set, packed changed rows)`` against a base snapshot,
+and both transports — the shared-memory slot banks and the protocol-4
+``delta_batch`` wire frames — ship that encoding verbatim.  This battery
+certifies the layers bottom-up:
+
+* **codec** — encode → decode is bit-exact for randomized symmetric
+  matrices and row subsets (empty deltas, all-row deltas, ``inf`` rows,
+  n in {1, 2, 3, large}), re-encoding is byte-stable, and the changed-row
+  auto-detection returns a vertex cover (one index for a symmetric
+  row/column write — the naive per-row test would return nearly all of
+  them);
+
+* **golden layout** — the packed byte layout and the length-prefixed wire
+  frame wrapping it are pinned byte-for-byte as literals, so any codec
+  change that silently reshapes the wire format fails here first;
+
+* **row view** — :class:`~repro.core.residual_delta.DeltaResidual` serves
+  every row bit-identically to the dense matrix (scalar, negative and
+  fancy indexing), and ``score_response`` over the view equals the dense
+  result field-for-field;
+
+* **cross-oracle sweep** — ``residual_encoding="delta"`` replays the exact
+  trajectory *and* EngineStats of ``"dense"`` across model variants,
+  schedules and the serial/pool/remote backends, while shipping no more
+  bytes;
+
+* **chaos** — a worker dropped mid-frame while a delta batch is partially
+  on the wire (``hang_mid_frame``) costs a deadline and a shard
+  re-dispatch, never a trajectory bit.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core import GameSession, SimulationConfig, run_dynamics
+from repro.core.best_response import score_response
+from repro.core.faults import Fault, FaultPlan
+from repro.core.parallel import ParallelEvaluator
+from repro.core.remote import _LEN, _reap_processes, spawn_local_worker
+from repro.core.residual_delta import (
+    DeltaResidual,
+    ResidualDelta,
+    changed_rows,
+    decode_delta,
+    encode_delta,
+    pack_delta,
+    packed_size,
+    unpack_delta,
+)
+from test_parallel_evaluator import (
+    _assert_identical_runs,
+    _random_game,
+    _random_profile,
+)
+
+INF = float("inf")
+
+
+def _random_symmetric(n, rng, inf_frac=0.0):
+    """A random symmetric matrix with zero diagonal, optionally inf pairs."""
+    m = rng.uniform(0.5, 9.5, size=(n, n))
+    m = (m + m.T) / 2.0
+    if inf_frac and n > 1:
+        mask = np.triu(rng.random((n, n)) < inf_frac, k=1)
+        m[mask] = INF
+        m[mask.T] = INF
+    np.fill_diagonal(m, 0.0)
+    return m
+
+
+def _perturb_rows(base, rows, rng):
+    """A symmetric copy of ``base`` rewritten on the given row/column set."""
+    m = base.copy()
+    for i in rows:
+        fresh = rng.uniform(10.0, 20.0, size=m.shape[0])
+        m[i, :] = fresh
+        m[:, i] = fresh
+        m[i, i] = 0.0
+    # Re-symmetrize the rows x rows block (later rows overwrote earlier).
+    for i in rows:
+        for j in rows:
+            m[j, i] = m[i, j]
+    return m
+
+
+def _spawn_fleet(plan=None, count=2):
+    processes, endpoints = [], []
+    for index in range(count):
+        process, endpoint = spawn_local_worker(fault_plan=plan, worker_index=index)
+        processes.append(process)
+        endpoints.append(endpoint)
+    return processes, endpoints
+
+
+# ----------------------------------------------------------------------
+# Codec: encode -> decode round trips
+# ----------------------------------------------------------------------
+def test_roundtrip_randomized_rows_and_sizes(property_budget):
+    """decode(encode(m)) == m bit-for-bit over random matrices and row sets."""
+    rng = np.random.default_rng(zlib.crc32(b"delta-roundtrip") % 2**32)
+    trials = max(4, property_budget)
+    for trial in range(trials):
+        n = int(rng.choice([1, 2, 3, 5, 9, 17, 40]))
+        base = _random_symmetric(n, rng, inf_frac=0.15 if trial % 3 else 0.0)
+        k = int(rng.integers(0, n + 1))
+        rows = sorted(rng.choice(n, size=k, replace=False)) if k else []
+        matrix = _perturb_rows(base, rows, rng)
+        for explicit in (None, rows):
+            delta = encode_delta(base, matrix, explicit)
+            out = decode_delta(base, delta)
+            assert out.dtype == np.float64
+            assert np.array_equal(out, matrix), (n, rows, explicit)
+            # The packed form round-trips through bytes identically too.
+            rehydrated = unpack_delta(pack_delta(delta), n)
+            assert np.array_equal(decode_delta(base, rehydrated), matrix)
+
+
+def test_empty_delta_encodes_identity():
+    rng = np.random.default_rng(3)
+    base = _random_symmetric(6, rng)
+    delta = encode_delta(base, base)
+    assert delta.num_rows == 0
+    assert delta.nbytes == packed_size(0, 6) == 8
+    assert pack_delta(delta) == b"\x00" * 8
+    assert np.array_equal(decode_delta(base, delta), base)
+
+
+def test_all_rows_delta_round_trips():
+    rng = np.random.default_rng(5)
+    base = _random_symmetric(7, rng)
+    matrix = _random_symmetric(7, rng)
+    delta = encode_delta(base, matrix, rows=range(7))
+    assert np.array_equal(decode_delta(base, delta), matrix)
+    assert delta.nbytes == packed_size(delta.num_rows, 7)
+
+
+def test_inf_entries_never_register_as_changed():
+    """inf != inf is False: unreachable pairs shared with the base drop out."""
+    base = np.array(
+        [
+            [0.0, 1.0, INF],
+            [1.0, 0.0, INF],
+            [INF, INF, 0.0],
+        ]
+    )
+    assert changed_rows(base, base.copy()).size == 0
+    # Row 2 becomes reachable: exactly one cover index, served exactly.
+    matrix = np.array(
+        [
+            [0.0, 1.0, 4.0],
+            [1.0, 0.0, 5.0],
+            [4.0, 5.0, 0.0],
+        ]
+    )
+    delta = encode_delta(base, matrix)
+    assert delta.rows.tolist() == [2]
+    assert np.array_equal(decode_delta(base, delta), matrix)
+    # And the reverse direction carries inf inside the packed rows.
+    back = encode_delta(matrix, base)
+    assert back.rows.tolist() == [2]
+    assert np.array_equal(decode_delta(matrix, back), base)
+
+
+def test_changed_rows_is_a_cover_not_a_naive_row_scan():
+    """A symmetric row/column write yields ONE cover index, not n rows."""
+    rng = np.random.default_rng(11)
+    n = 12
+    base = _random_symmetric(n, rng)
+    matrix = _perturb_rows(base, [4], rng)
+    # Column 4 of every row changed, so the naive per-row test marks all 12.
+    naive = np.flatnonzero((matrix != base).any(axis=1))
+    assert naive.size == n
+    assert changed_rows(base, matrix).tolist() == [4]
+
+
+def test_cover_survives_bit_asymmetric_base():
+    """Ulp-level base asymmetry must not blow up the cover (or break bits).
+
+    A solver's all-pairs output can carry last-ulp asymmetry
+    (``base[i, j] != base[j, i]``): a symmetric row/column rewrite of such a
+    base then yields an *asymmetric* raw change mask — one changed entry in
+    row ``u`` but ``n - 1`` in column ``u`` — which drowned the pre-fix
+    greedy cover in degree-one rows.  The symmetrized cover must recover
+    the single index, and decode/view must stay bit-exact regardless.
+    """
+    rng = np.random.default_rng(23)
+    n = 40
+    base = _random_symmetric(n, rng)
+    noisy = rng.random((n, n)) < 0.5
+    np.fill_diagonal(noisy, False)
+    base[noisy] = np.nextafter(base[noisy], INF)  # asymmetric last-ulp noise
+    assert not np.array_equal(base, base.T)
+    matrix = _perturb_rows(base, [7], rng)
+    assert changed_rows(base, matrix).tolist() == [7]
+    delta = encode_delta(base, matrix)
+    assert delta.rows.tolist() == [7]
+    assert np.array_equal(decode_delta(base, delta), matrix)
+    view = DeltaResidual(base, delta)
+    for i in range(n):
+        assert np.array_equal(view[i], matrix[i]), i
+
+
+def test_fully_asymmetric_matrices_still_decode_exactly():
+    """No symmetry at all: the row set grows until decoding is verbatim."""
+    rng = np.random.default_rng(29)
+    base = rng.random((6, 6))
+    matrix = rng.random((6, 6))
+    delta = encode_delta(base, matrix)
+    assert delta.rows.tolist() == list(range(6))  # closure reached all rows
+    assert np.array_equal(decode_delta(base, delta), matrix)
+    view = DeltaResidual(base, delta)
+    assert np.array_equal(view[np.arange(6)], matrix)
+
+
+def test_reencoding_is_byte_stable():
+    """Same matrices -> same packed bytes, however the row set is supplied."""
+    rng = np.random.default_rng(13)
+    base = _random_symmetric(9, rng)
+    matrix = _perturb_rows(base, [2, 6], rng)
+    reference = pack_delta(encode_delta(base, matrix))
+    assert pack_delta(encode_delta(base, matrix)) == reference
+    # Unsorted, duplicated explicit rows normalize to the canonical form.
+    assert pack_delta(encode_delta(base, matrix, rows=[6, 2, 2])) == reference
+
+
+def test_codec_validation_rejects_malformed_input():
+    rng = np.random.default_rng(17)
+    base = _random_symmetric(4, rng)
+    with pytest.raises(ValueError, match="square"):
+        encode_delta(base, np.zeros((4, 3)))
+    with pytest.raises(ValueError, match="shape mismatch"):
+        encode_delta(base, _random_symmetric(5, rng))
+    with pytest.raises(ValueError, match="out of range"):
+        encode_delta(base, base, rows=[7])
+    with pytest.raises(ValueError, match="strictly increasing"):
+        ResidualDelta(rows=np.array([2, 2]), data=np.zeros((2, 4)))
+    with pytest.raises(ValueError, match="too short"):
+        unpack_delta(b"\x00", 4)
+    payload = pack_delta(encode_delta(base, _perturb_rows(base, [1], rng)))
+    with pytest.raises(ValueError, match="mis-sized"):
+        unpack_delta(payload + b"\x00", 4)
+    with pytest.raises(ValueError, match="mis-sized"):
+        unpack_delta(payload, 5)
+
+
+# ----------------------------------------------------------------------
+# Golden layout: the packed bytes and the wire frame, pinned as literals
+# ----------------------------------------------------------------------
+def test_golden_packed_delta_layout():
+    """The transport byte layout, frozen: count u64 | rows i64 | data f64."""
+    base = np.array(
+        [
+            [0.0, 2.0, 3.0],
+            [2.0, 0.0, 6.0],
+            [3.0, 6.0, 0.0],
+        ]
+    )
+    matrix = np.array(
+        [
+            [0.0, 7.5, 3.0],
+            [7.5, 0.0, INF],
+            [3.0, INF, 0.0],
+        ]
+    )
+    delta = encode_delta(base, matrix)
+    assert delta.rows.tolist() == [1]
+    payload = pack_delta(delta)
+    golden = (
+        b"\x01\x00\x00\x00\x00\x00\x00\x00"  # k = 1 rows, little-endian u64
+        b"\x01\x00\x00\x00\x00\x00\x00\x00"  # row index 1, little-endian i64
+        b"\x00\x00\x00\x00\x00\x00\x1e\x40"  # matrix[1, 0] = 7.5
+        b"\x00\x00\x00\x00\x00\x00\x00\x00"  # matrix[1, 1] = 0.0
+        b"\x00\x00\x00\x00\x00\x00\xf0\x7f"  # matrix[1, 2] = inf
+    )
+    assert payload == golden
+    assert len(payload) == packed_size(1, 3) == 40
+    rehydrated = unpack_delta(golden, 3)
+    assert np.array_equal(decode_delta(base, rehydrated), matrix)
+
+
+def test_golden_protocol4_delta_frame():
+    """A delta_batch residual frame on the wire: !Q length prefix + payload.
+
+    The server validates the frame length against ``packed_size(rows, n)``
+    from the header descriptor, so the prefix, the payload layout and the
+    size formula are one contract — pinned here byte-for-byte.
+    """
+    import socket
+
+    base = np.array([[0.0, 2.0], [2.0, 0.0]])
+    matrix = np.array([[0.0, 5.0], [5.0, 0.0]])
+    payload = pack_delta(encode_delta(base, matrix))
+    client, server = socket.socketpair()
+    try:
+        from repro.core.remote import _recv_frame, _send_frame
+
+        sent = _send_frame(client, payload)
+        raw = b""
+        while len(raw) < sent:
+            raw += server.recv(4096)
+    finally:
+        client.close()
+    golden = (
+        b"\x00\x00\x00\x00\x00\x00\x00\x20"  # frame length 32, network-order u64
+        b"\x01\x00\x00\x00\x00\x00\x00\x00"  # k = 1
+        b"\x00\x00\x00\x00\x00\x00\x00\x00"  # row index 0
+        b"\x00\x00\x00\x00\x00\x00\x00\x00"  # matrix[0, 0] = 0.0
+        b"\x00\x00\x00\x00\x00\x00\x14\x40"  # matrix[0, 1] = 5.0
+    )
+    try:
+        assert raw == golden
+        assert sent == _LEN.size + packed_size(1, 2)
+        # And the receiving half parses the exact same bytes back.
+        client2, server2 = socket.socketpair()
+        try:
+            server2.sendall(raw)
+            frame = _recv_frame(client2)
+        finally:
+            client2.close()
+            server2.close()
+        assert frame == payload
+    finally:
+        server.close()
+
+
+# ----------------------------------------------------------------------
+# DeltaResidual: the worker-side row view
+# ----------------------------------------------------------------------
+def test_view_serves_every_row_bit_identically(property_budget):
+    rng = np.random.default_rng(zlib.crc32(b"delta-view") % 2**32)
+    trials = max(4, property_budget)
+    for trial in range(trials):
+        n = int(rng.choice([1, 2, 3, 6, 13]))
+        base = _random_symmetric(n, rng, inf_frac=0.2 if trial % 2 else 0.0)
+        k = int(rng.integers(0, n + 1))
+        rows = sorted(rng.choice(n, size=k, replace=False)) if k else []
+        matrix = _perturb_rows(base, rows, rng)
+        view = DeltaResidual(base, encode_delta(base, matrix, rows))
+        assert view.shape == (n, n) and len(view) == n
+        assert view.dtype == np.float64 and view.ndim == 2
+        assert np.array_equal(view.dense(), matrix)
+        for i in range(n):
+            assert np.array_equal(view[i], matrix[i]), (n, rows, i)
+            assert np.array_equal(view[i - n], matrix[i - n])  # negative index
+        # Fancy indexing: shuffled, duplicated and negative indices.
+        idx = rng.integers(-n, n, size=2 * n + 1)
+        assert np.array_equal(view[idx], matrix[idx])
+
+
+def test_view_rejects_unsupported_indexing():
+    base = np.zeros((3, 3))
+    view = DeltaResidual(base, encode_delta(base, base))
+    with pytest.raises(IndexError):
+        view[3]
+    with pytest.raises(IndexError):
+        view[-4]
+    with pytest.raises(TypeError, match="integer row indexing"):
+        view[np.zeros((2, 2), dtype=int)]
+    with pytest.raises(TypeError, match="integer row indexing"):
+        view[np.array([0.5])]
+
+
+def test_score_response_on_view_matches_dense(property_budget):
+    """The kernels relax from base + rows exactly as from the dense matrix."""
+    rng = np.random.default_rng(zlib.crc32(b"delta-score") % 2**32)
+    trials = max(2, property_budget // 4)
+    for trial in range(trials):
+        n = int(rng.integers(5, 9))
+        game = _random_game(("euclidean", "metric", "general")[trial % 3], n, rng)
+        profile = _random_profile(n, rng)
+        from repro.core.incremental import IncrementalEngine
+
+        engine = IncrementalEngine(game, profile)
+        for u in range(n):
+            dense = np.ascontiguousarray(engine.residual(u))
+            base = _perturb_rows(dense, [int(rng.integers(0, n))], rng)
+            view = DeltaResidual(base, encode_delta(base, dense))
+            current = profile.strategy(u)
+            for response in ("best", "greedy", "single"):
+                got = score_response(
+                    view, u, game.host.weights[u], game.alpha, current, response
+                )
+                want = score_response(
+                    dense, u, game.host.weights[u], game.alpha, current, response
+                )
+                assert got == want, (trial, u, response)
+
+
+# ----------------------------------------------------------------------
+# Cross-oracle sweep: delta == dense across backends and schedules
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("variant", ("euclidean", "metric", "tree", "one_two", "general"))
+def test_delta_pool_matches_dense_and_serial(variant, property_budget):
+    """serial == pool/dense == pool/delta, trajectories and EngineStats."""
+    rng = np.random.default_rng(zlib.crc32(f"delta-pool-{variant}".encode()) % 2**32)
+    trials = max(1, property_budget // 8)
+    for trial in range(trials):
+        n = int(rng.integers(5, 10))
+        game = _random_game(variant, n, rng)
+        start = _random_profile(n, rng, density=0.35)
+        schedule = ("batched", "sequential")[trial % 2]
+        runs = [run_dynamics(game, start, schedule=schedule, max_rounds=8, rng=7)]
+        stats = {}
+        for encoding in ("dense", "delta"):
+            config = SimulationConfig(
+                schedule=schedule,
+                workers=2,
+                max_rounds=8,
+                residual_encoding=encoding,
+            )
+            with GameSession(game, config) as session:
+                runs.append(session.run(start, rng=7))
+                stats[encoding] = session.stats().evaluator_stats
+        _assert_identical_runs(runs)
+        assert stats["delta"].bytes_sent <= stats["dense"].bytes_sent
+
+
+def test_delta_remote_matches_dense_and_serial():
+    """serial == remote/dense == remote/delta over a live local fleet."""
+    rng = np.random.default_rng(zlib.crc32(b"delta-remote") % 2**32)
+    n = 8
+    game = _random_game("euclidean", n, rng)
+    start = _random_profile(n, rng, density=0.4)
+    for schedule in ("batched", "sequential"):
+        runs = [run_dynamics(game, start, schedule=schedule, max_rounds=8, rng=7)]
+        stats = {}
+        for encoding in ("dense", "delta"):
+            processes, endpoints = _spawn_fleet()
+            try:
+                config = SimulationConfig(
+                    backend="remote",
+                    endpoints=tuple(endpoints),
+                    batch_timeout=10.0,
+                    schedule=schedule,
+                    max_rounds=8,
+                    residual_encoding=encoding,
+                )
+                with GameSession(game, config) as session:
+                    runs.append(session.run(start, rng=7))
+                    stats[encoding] = session.stats().evaluator_stats
+            finally:
+                _reap_processes(processes, timeout=5.0)
+        _assert_identical_runs(runs)
+        assert stats["delta"].bytes_sent <= stats["dense"].bytes_sent
+
+
+def test_residual_encoding_is_validated():
+    with pytest.raises(ValueError, match="residual_encoding"):
+        SimulationConfig(residual_encoding="sparse")
+    game = _random_game("metric", 5, np.random.default_rng(0))
+    with pytest.raises(ValueError, match="residual_encoding"):
+        ParallelEvaluator.for_game(game, workers=1, residual_encoding="rle")
+
+
+# ----------------------------------------------------------------------
+# Chaos: a worker dropped mid-frame while a delta batch is on the wire
+# ----------------------------------------------------------------------
+def test_hang_mid_frame_shard_redispatches_bit_identically():
+    """A connection dropped halfway through a residual frame costs a retry.
+
+    The faulted worker reads the delta_batch header plus only part of the
+    first residual frame and stalls — the client is left mid-send with a
+    packed delta partially on the wire.  The batch deadline must fire, the
+    shard must be re-dispatched (to the healthy peer or down the ladder),
+    and the trajectory must stay bit-identical to a serial run.
+    """
+    rng = np.random.default_rng(zlib.crc32(b"delta-midframe") % 2**32)
+    n = 6
+    game = _random_game("metric", n, rng)
+    start = _random_profile(n, rng)
+    serial = run_dynamics(game, start, schedule="batched", max_rounds=6, rng=7)
+    plan = FaultPlan(
+        faults=(Fault(kind="hang_mid_frame", at_batch=1, endpoint=0, duration=5.0),)
+    )
+    processes, endpoints = _spawn_fleet(plan)
+    try:
+        config = SimulationConfig(
+            backend="remote",
+            endpoints=tuple(endpoints),
+            batch_timeout=1.0,
+            schedule="batched",
+            max_rounds=6,
+            residual_encoding="delta",
+        )
+        with GameSession(game, config) as session:
+            chaotic = session.run(start, rng=7)
+            stats = session.stats()
+    finally:
+        _reap_processes(processes, timeout=5.0)
+    _assert_identical_runs([serial, chaotic])
+    assert stats.evaluator_stats.failures >= 1  # the deadline fired mid-frame
